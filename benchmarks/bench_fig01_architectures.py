@@ -1,0 +1,56 @@
+"""Figure 1 — comparison of cloud architectures (job-scoped and always-on).
+
+Reproduces the introduction's simulation: (a) cost vs running time of scanning
+1 TB from S3 with job-scoped VMs vs serverless functions, and (b) hourly cost
+of always-on clusters vs usage-based FaaS/QaaS as a function of the query rate.
+"""
+
+from repro.analysis.figures import figure1a_job_scoped, figure1b_always_on
+
+
+def test_fig1a_job_scoped(benchmark, experiment_report):
+    data = benchmark(figure1a_job_scoped)
+    experiment_report(
+        "",
+        "Figure 1a — job-scoped resources (1 TB scan from S3)",
+        f"  {'series':<6} {'workers':>8} {'seconds':>10} {'dollars':>10}",
+    )
+    for series in ("iaas", "faas"):
+        for point in data[series]:
+            experiment_report(
+                f"  {series:<6} {point['workers']:>8} {point['seconds']:>10.1f} "
+                f"{point['dollars']:>10.4f}"
+            )
+    fastest_faas = min(p["seconds"] for p in data["faas"])
+    cheapest_iaas = min(p["dollars"] for p in data["iaas"])
+    cheapest_faas = min(p["dollars"] for p in data["faas"])
+    experiment_report(
+        f"  -> FaaS reaches {fastest_faas:.1f} s (interactive); "
+        f"IaaS is {cheapest_faas / cheapest_iaas:.1f}x cheaper at the low-cost end "
+        f"(paper: up to an order of magnitude)"
+    )
+    assert fastest_faas < 10
+    assert cheapest_iaas < cheapest_faas
+
+
+def test_fig1b_always_on(benchmark, experiment_report):
+    data = benchmark(figure1b_always_on)
+    experiment_report(
+        "",
+        "Figure 1b — always-on resources (hourly cost vs queries/hour)",
+        "  " + " ".join(f"{label:>14}" for label in ["q/hour"] + list(data.keys())),
+    )
+    rates = [point["queries_per_hour"] for point in next(iter(data.values()))]
+    for index, rate in enumerate(rates):
+        row = [f"{rate:>14.0f}"] + [
+            f"{series[index]['dollars_per_hour']:>14.2f}" for series in data.values()
+        ]
+        experiment_report("  " + " ".join(row))
+    faas = {p["queries_per_hour"]: p["dollars_per_hour"] for p in data["FaaS (S3)"]}
+    dram = {p["queries_per_hour"]: p["dollars_per_hour"] for p in data["3 VMs (DRAM)"]}
+    experiment_report(
+        f"  -> FaaS cheaper at 1 q/h ({faas[1]:.2f} vs {dram[1]:.2f} $/h), "
+        f"always-on cheaper at 64 q/h ({dram[64]:.2f} vs {faas[64]:.2f} $/h)"
+    )
+    assert faas[1] < dram[1]
+    assert faas[64] > dram[64]

@@ -1,0 +1,28 @@
+"""Figure 4 — intra-worker compute performance vs memory size.
+
+Reproduces the microbenchmark showing that CPU share is proportional to the
+configured memory (1 vCPU at 1792 MiB) and that a second thread only helps on
+workers larger than one vCPU (up to ~1.67x at 3008 MiB).
+"""
+
+from repro.analysis.figures import figure4_compute_performance
+
+
+def test_fig4_compute_performance(benchmark, experiment_report):
+    rows = benchmark(figure4_compute_performance)
+    experiment_report(
+        "",
+        "Figure 4 — relative compute performance vs 1-thread 1792 MiB baseline [%]",
+        f"  {'memory MiB':>10} {'1 thread':>10} {'2 threads':>10}",
+    )
+    for row in rows:
+        experiment_report(
+            f"  {row['memory_mib']:>10} {row['threads_1']:>10.1f} {row['threads_2']:>10.1f}"
+        )
+    by_memory = {row["memory_mib"]: row for row in rows}
+    experiment_report(
+        f"  -> two threads at 3008 MiB reach {by_memory[3008]['threads_2']:.0f}% "
+        f"(paper: 167%); below 1792 MiB both thread counts are proportional to memory"
+    )
+    assert abs(by_memory[3008]["threads_2"] - 167.8) < 2.0
+    assert abs(by_memory[1792]["threads_1"] - 100.0) < 1e-6

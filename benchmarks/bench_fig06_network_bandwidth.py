@@ -1,0 +1,33 @@
+"""Figure 6 — network (ingress) bandwidth of serverless workers.
+
+Reproduces the S3 download microbenchmark: large (1 GB) objects are capped at
+~90 MiB/s per worker regardless of connection count, while small (100 MB)
+objects on large workers burst close to 300 MiB/s when several connections are
+used concurrently.
+"""
+
+from repro.analysis.figures import figure6_network_bandwidth
+
+
+def test_fig6_network_bandwidth(benchmark, experiment_report):
+    data = benchmark(figure6_network_bandwidth)
+    for label, title in (("large_files", "(a) large files (1 GB)"), ("small_files", "(b) small files (100 MB)")):
+        experiment_report(
+            "",
+            f"Figure 6{title[1]} — scan bandwidth [MiB/s] {title}",
+            f"  {'memory MiB':>10} {'1 conn':>10} {'2 conn':>10} {'4 conn':>10}",
+        )
+        for row in data[label]:
+            experiment_report(
+                f"  {row['memory_mib']:>10} {row['connections_1_mib_per_s']:>10.1f} "
+                f"{row['connections_2_mib_per_s']:>10.1f} {row['connections_4_mib_per_s']:>10.1f}"
+            )
+    large = {row["memory_mib"]: row for row in data["large_files"]}
+    small = {row["memory_mib"]: row for row in data["small_files"]}
+    experiment_report(
+        f"  -> large files capped at ~{large[3008]['connections_4_mib_per_s']:.0f} MiB/s "
+        f"(paper: ~90); small files burst to {small[3008]['connections_4_mib_per_s']:.0f} MiB/s "
+        f"with 4 connections (paper: almost 300)"
+    )
+    assert large[3008]["connections_4_mib_per_s"] < 100
+    assert small[3008]["connections_4_mib_per_s"] > 200

@@ -1,0 +1,36 @@
+"""Figure 9 — cost of the S3-based exchange algorithms on AWS.
+
+Reproduces the per-worker dollar cost of every exchange variant as a function
+of the fleet size, together with the worker-cost band used as reference.
+"""
+
+from repro.analysis.figures import figure9_exchange_cost
+from repro.exchange.cost_model import EXCHANGE_VARIANTS
+
+
+def test_fig9_exchange_cost(benchmark, experiment_report):
+    data = benchmark(figure9_exchange_cost)
+    series = data["series"]
+    worker_counts = sorted(next(iter(series.values())).keys())
+    experiment_report(
+        "",
+        "Figure 9 — per-worker request cost of the exchange variants [$]",
+        "  " + f"{'P':>7} " + " ".join(f"{variant:>10}" for variant in EXCHANGE_VARIANTS),
+    )
+    for workers in worker_counts:
+        experiment_report(
+            "  "
+            + f"{workers:>7} "
+            + " ".join(f"{series[variant][workers]:>10.2e}" for variant in EXCHANGE_VARIANTS)
+        )
+    experiment_report(
+        f"  worker-cost band: {data['worker_cost_band_low']:.2e} .. {data['worker_cost_band_high']:.2e} $/worker",
+        "  -> the 1l baseline grows with P and dwarfs the worker cost at 4k workers; "
+        "2l-wc stays below the band's upper edge everywhere; 3l-wc is negligible "
+        "(matches the paper's reading of Figure 9)",
+    )
+    assert series["1l"][4096] > data["worker_cost_band_high"]
+    assert series["2l-wc"][4096] < data["worker_cost_band_high"]
+    assert series["3l-wc"][16384] < data["worker_cost_band_high"] / 10
+    # Total request cost of the 1l baseline at 4k workers is about $100 (§4.4.1).
+    assert 70 <= series["1l"][4096] * 4096 <= 130

@@ -1,0 +1,58 @@
+"""Figure 12 — comparison of Lambada with commercial QaaS systems.
+
+Regenerates the latency/cost scatter of TPC-H Q1 and Q6 at SF 1 k and SF 10 k
+for Lambada (hot and cold, several worker sizes), Amazon Athena, and Google
+BigQuery (hot and cold including the load step).
+"""
+
+from repro.analysis.experiments import figure12_qaas_comparison
+
+
+def test_fig12_qaas_comparison(benchmark, experiment_report):
+    rows = benchmark(figure12_qaas_comparison)
+    experiment_report(
+        "",
+        "Figure 12 — Lambada vs Athena vs BigQuery (TPC-H Q1/Q6, SF 1k and 10k)",
+        f"  {'query':<5} {'SF':>6} {'system':<18} {'latency [s]':>12} {'cost [$]':>10}",
+    )
+    for row in rows:
+        label = row["system"]
+        if row["system"] == "lambada":
+            label = f"lambada M={row['memory_mib']}{' cold' if row['cold'] else ''}"
+        elif row["system"] == "bigquery":
+            label = "bigquery cold" if row["cold"] else "bigquery hot"
+        experiment_report(
+            f"  {row['query']:<5} {row['scale_factor']:>6} {label:<18} "
+            f"{row['latency_seconds']:>12.1f} {row['cost_dollars']:>10.4f}"
+        )
+
+    def pick(system, query, sf, cold=False):
+        return next(
+            r for r in rows
+            if r["system"] == system and r["query"] == query and r["scale_factor"] == sf
+            and r["cold"] == cold and (system != "lambada" or r["memory_mib"] == 1792)
+        )
+
+    lam_q1_1k = pick("lambada", "q1", 1000)
+    lam_q1_10k = pick("lambada", "q1", 10000)
+    ath_q1_1k = pick("athena", "q1", 1000)
+    ath_q1_10k = pick("athena", "q1", 10000)
+    big_q1_1k = pick("bigquery", "q1", 1000)
+    experiment_report(
+        "",
+        f"  -> Q1 SF1k:  Lambada {lam_q1_1k['latency_seconds']:.1f}s vs Athena "
+        f"{ath_q1_1k['latency_seconds']:.1f}s ({ath_q1_1k['latency_seconds'] / lam_q1_1k['latency_seconds']:.1f}x, paper ~4x); "
+        f"cost {ath_q1_1k['cost_dollars'] / lam_q1_1k['cost_dollars']:.0f}x cheaper than Athena, "
+        f"{big_q1_1k['cost_dollars'] / lam_q1_1k['cost_dollars']:.0f}x cheaper than BigQuery "
+        f"(paper: one and two orders of magnitude)",
+        f"  -> Q1 SF10k: Athena/Lambada latency ratio grows to "
+        f"{ath_q1_10k['latency_seconds'] / lam_q1_10k['latency_seconds']:.0f}x (paper: ~26x)",
+    )
+    # Qualitative assertions mirroring §5.4.
+    assert ath_q1_1k["latency_seconds"] / lam_q1_1k["latency_seconds"] > 2
+    assert ath_q1_10k["latency_seconds"] / lam_q1_10k["latency_seconds"] > 10
+    assert ath_q1_1k["cost_dollars"] / lam_q1_1k["cost_dollars"] > 5
+    assert big_q1_1k["cost_dollars"] / lam_q1_1k["cost_dollars"] > 30
+    # BigQuery hot is faster than Lambada at SF 1k, but its cold run is far slower.
+    assert big_q1_1k["latency_seconds"] < lam_q1_1k["latency_seconds"]
+    assert pick("bigquery", "q1", 1000, cold=True)["latency_seconds"] > 100 * lam_q1_1k["latency_seconds"]

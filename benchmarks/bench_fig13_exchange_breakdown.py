@@ -1,0 +1,42 @@
+"""Figure 13 — break-down and per-phase running time of the two-level exchange.
+
+Regenerates the straggler analysis of the 1 TB (1250 workers) and 3 TB
+(2500 workers) exchanges: per-phase fastest/median/p95/slowest times, the
+fraction of time spent waiting, and the gap between the slowest worker and the
+informal lower bound.
+"""
+
+from repro.analysis.figures import figure13_exchange_breakdown
+
+
+def test_fig13_exchange_breakdown(benchmark, experiment_report):
+    data = benchmark(figure13_exchange_breakdown)
+    for label in ("1TB", "3TB"):
+        entry = data[label]
+        experiment_report(
+            "",
+            f"Figure 13 ({label}, {entry['workers']} workers) — per-phase running time [s]",
+            f"  {'phase':<16} {'fastest':>8} {'median':>8} {'p95':>8} {'slowest':>8}",
+        )
+        for phase, values in entry["phases"].items():
+            experiment_report(
+                f"  {phase:<16} {values['fastest']:>8.2f} {values['median']:>8.2f} "
+                f"{values['p95']:>8.2f} {values['slowest']:>8.2f}"
+            )
+        experiment_report(
+            f"  total {entry['total_seconds']:.1f} s, fastest worker "
+            f"{entry['fastest_worker_seconds']:.1f} s, lower bound "
+            f"{entry['lower_bound_seconds']:.1f} s, waiting fraction "
+            f"{entry['waiting_fraction']:.0%}"
+        )
+    one_tb, three_tb = data["1TB"], data["3TB"]
+    experiment_report(
+        "",
+        "  -> on 1 TB the fastest worker takes ~85% of the end-to-end time and the run is "
+        "close to its lower bound; on 3 TB the execution is more than 2x the lower bound and "
+        "waiting/stragglers dominate (matches §5.5)",
+    )
+    assert one_tb["fastest_worker_seconds"] > 0.6 * one_tb["total_seconds"]
+    assert three_tb["total_seconds"] > 1.8 * three_tb["lower_bound_seconds"]
+    write_3tb = three_tb["phases"]["Round 1 write"]
+    assert write_3tb["slowest"] / write_3tb["median"] > 2.0

@@ -1,0 +1,53 @@
+"""Table 2 — cost models of the S3-based exchange algorithms.
+
+Reproduces the request-count formulas and additionally validates them against
+the *measured* request counts of the functional exchange implementation on a
+small worker fleet (an end-to-end check the paper's table cannot give).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.figures import table2_exchange_models
+from repro.cloud.s3 import ObjectStore
+from repro.exchange.basic import BasicExchange, ExchangeConfig
+from repro.exchange.multilevel import MultiLevelExchange
+
+
+def test_tab2_exchange_models(benchmark, experiment_report):
+    rows = benchmark(table2_exchange_models, 1024)
+    experiment_report(
+        "",
+        "Table 2 — request counts of the exchange variants (P = 1024)",
+        f"  {'variant':<8} {'#reads':>14} {'#writes':>14} {'#lists':>10} {'#scans':>7}",
+    )
+    for row in rows:
+        experiment_report(
+            f"  {row['variant']:<8} {row['reads']:>14,.0f} {row['writes']:>14,.0f} "
+            f"{row['lists']:>10,.0f} {row['scans']:>7.0f}"
+        )
+
+    # Validate the formulas against the functional implementation at P = 16.
+    P = 16
+    rng = np.random.default_rng(0)
+    tables = [
+        {"key": rng.integers(0, 1000, 64).astype(np.int64), "v": rng.random(64)}
+        for _ in range(P)
+    ]
+    basic = BasicExchange(ObjectStore(), P, ExchangeConfig(keys=["key"]))
+    basic.run(tables)
+    two_level = MultiLevelExchange(ObjectStore(), P, keys=["key"], levels=2)
+    two_level.run(tables)
+    combined = MultiLevelExchange(ObjectStore(), P, keys=["key"], levels=2, write_combining=True)
+    combined.run(tables)
+    experiment_report(
+        "",
+        f"  measured on the functional implementation at P = {P}:",
+        f"    1l    writes {basic.total_stats().put_requests:>6}  (model: {P * P})",
+        f"    2l    writes {two_level.stats.put_requests:>6}  (model: {2 * P * int(math.sqrt(P))})",
+        f"    2l-wc writes {combined.stats.put_requests:>6}  (model: {2 * P})",
+    )
+    assert basic.total_stats().put_requests == P * P
+    assert two_level.stats.put_requests == 2 * P * int(math.sqrt(P))
+    assert combined.stats.put_requests == 2 * P

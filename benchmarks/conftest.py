@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper.  Besides
+timing the computation with ``pytest-benchmark``, every benchmark emits the
+reproduced series/rows through the ``experiment_report`` fixture; the collected
+lines are printed in the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records both the
+timings and the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import pytest
+
+_REPORT_LINES: List[str] = []
+
+
+@pytest.fixture
+def experiment_report():
+    """Collect output lines describing a reproduced experiment."""
+
+    def add(*lines: str) -> None:
+        for line in lines:
+            _REPORT_LINES.append(str(line))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_sep("=", "reproduced experiment outputs (paper tables and figures)")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def functional_stack():
+    """A small functional environment shared by the query-driven benchmarks."""
+    from repro.analysis.experiments import setup_functional_environment
+
+    env, dataset, driver = setup_functional_environment(
+        scale_factor=0.002, num_files=8, memory_mib=1792
+    )
+    return env, dataset, driver

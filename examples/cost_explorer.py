@@ -1,0 +1,80 @@
+"""Cost explorer: when is serverless analytics the right choice?
+
+Reproduces the decision analysis of the paper's introduction (Figure 1) and
+the QaaS comparison (Figure 12) as a single script: given a dataset size and
+an expected query rate, it prints what each deployment model would cost and
+how fast it would be — job-scoped VMs, an always-on cluster, Query-as-a-Service,
+and Lambada on serverless functions.
+
+Run with:  python examples/cost_explorer.py [dataset_tb] [queries_per_hour]
+"""
+
+import sys
+
+from repro.analysis.experiments import PaperScaleModel
+from repro.baselines.iaas import (
+    ALWAYS_ON_CONFIGURATIONS,
+    AlwaysOnIaasModel,
+    JobScopedFaasModel,
+    JobScopedIaasModel,
+)
+from repro.baselines.qaas import AthenaModel, BigQueryModel
+from repro.config import TB
+
+
+def main() -> None:
+    dataset_tb = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    queries_per_hour = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    data_bytes = dataset_tb * TB
+
+    print(f"dataset: {dataset_tb:.1f} TB, expected load: {queries_per_hour:.0f} queries/hour\n")
+
+    # -- job-scoped resources (Figure 1a) ----------------------------------------------
+    print("job-scoped resources (started per query, scanning from S3):")
+    iaas = JobScopedIaasModel()
+    faas = JobScopedFaasModel()
+    for count in (16, 64, 256):
+        point = iaas.point(count, data_bytes)
+        print(f"  {count:>5} VMs        {point.running_time_seconds:8.1f} s   "
+              f"${point.cost_dollars:8.4f} per query")
+    for count in (512, 4096):
+        point = faas.point(count, data_bytes)
+        print(f"  {count:>5} functions  {point.running_time_seconds:8.1f} s   "
+              f"${point.cost_dollars:8.4f} per query")
+
+    # -- always-on resources (Figure 1b) -----------------------------------------------
+    print("\nalways-on resources (hourly cost at the given query rate):")
+    always_on = AlwaysOnIaasModel()
+    for configuration in ALWAYS_ON_CONFIGURATIONS:
+        hourly = always_on.hourly_cost(configuration, queries_per_hour)
+        latency = always_on.scan_seconds(configuration, data_bytes)
+        print(f"  {configuration.label:<16} ${hourly:8.2f}/hour   ~{latency:5.1f} s per query")
+    print(f"  {'FaaS (S3)':<16} ${always_on.faas_hourly_cost(queries_per_hour, data_bytes):8.2f}/hour")
+    print(f"  {'QaaS (S3)':<16} ${always_on.qaas_hourly_cost(queries_per_hour, data_bytes):8.2f}/hour")
+
+    # -- per-query comparison with QaaS (Figure 12) ---------------------------------------
+    print("\nper-query latency and cost for TPC-H Q1/Q6 at SF 1000 (151 GiB Parquet):")
+    athena = AthenaModel()
+    bigquery = BigQueryModel()
+    print(f"  {'system':<22} {'query':<5} {'latency':>10} {'cost':>12}")
+    for query in ("q1", "q6"):
+        lambada = PaperScaleModel(query=query, memory_mib=1792, files_per_worker=1)
+        print(f"  {'lambada (hot)':<22} {query:<5} {lambada.latency_seconds():>9.1f}s "
+              f"${lambada.cost_dollars()['total']:>10.4f}")
+        estimate = athena.estimate(query, 1000)
+        print(f"  {'athena':<22} {query:<5} {estimate.latency_seconds:>9.1f}s "
+              f"${estimate.cost_dollars:>10.4f}")
+        hot = bigquery.estimate(query, 1000, cold=False)
+        cold = bigquery.estimate(query, 1000, cold=True)
+        print(f"  {'bigquery (hot)':<22} {query:<5} {hot.latency_seconds:>9.1f}s "
+              f"${hot.cost_dollars:>10.4f}")
+        print(f"  {'bigquery (cold, +load)':<22} {query:<5} {cold.cold_latency_seconds:>9.1f}s "
+              f"${cold.cost_dollars:>10.4f}")
+
+    print("\nrule of thumb (the paper's conclusion): serverless wins for sporadic,")
+    print("interactive queries on cold data; always-on clusters win once the query")
+    print("rate is high enough to keep them busy.")
+
+
+if __name__ == "__main__":
+    main()

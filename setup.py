@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable wheels, which requires the `wheel`
+package; in fully offline environments without it, `python setup.py develop`
+installs the same editable path entry.
+"""
+from setuptools import setup
+
+setup()

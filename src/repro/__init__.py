@@ -1,0 +1,51 @@
+"""Lambada reproduction: interactive data analytics on cold data using
+(simulated) serverless cloud infrastructure.
+
+The package reproduces the system described in "Lambada: Interactive Data
+Analytics on Cold Data using Serverless Cloud Infrastructure" (SIGMOD 2020):
+a purely serverless query processing engine whose driver runs on the data
+scientist's machine and whose workers run as serverless functions
+communicating only through shared serverless storage.
+
+Quickstart
+----------
+
+>>> from repro import CloudEnvironment, LambadaDriver, LambadaSession, col, lit
+>>> from repro.workload import generate_lineitem_dataset
+>>> env = CloudEnvironment.create()
+>>> dataset = generate_lineitem_dataset(env.s3, scale_factor=0.001, num_files=4)
+>>> driver = LambadaDriver(env, memory_mib=2048)
+>>> session = LambadaSession(driver)
+>>> result = (
+...     session.from_parquet(dataset.glob)
+...     .filter(col("l_discount") >= lit(0.05))
+...     .sum(col("l_extendedprice") * col("l_discount"), alias="revenue")
+...     .collect()
+... )
+>>> result.num_rows
+1
+"""
+
+from repro.cloud import CloudEnvironment
+from repro.driver import LambadaDriver, QueryResult, QueryStatistics
+from repro.frontend import DataFlow, LambadaSession, from_files, parse_sql, SqlCatalog
+from repro.plan import col, lit
+from repro.errors import LambadaError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudEnvironment",
+    "LambadaDriver",
+    "QueryResult",
+    "QueryStatistics",
+    "DataFlow",
+    "LambadaSession",
+    "from_files",
+    "parse_sql",
+    "SqlCatalog",
+    "col",
+    "lit",
+    "LambadaError",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Analysis helpers that regenerate the paper's figures and tables.
+
+:mod:`~repro.analysis.figures` contains the model-driven figures (1, 4–7, 9,
+13 and Tables 1–3); :mod:`~repro.analysis.experiments` contains the
+query-driven experiments (Figures 10–12) that execute TPC-H queries end to end
+on the simulated serverless stack.  The benchmark harness under
+``benchmarks/`` is a thin layer over these functions that prints the series
+the paper reports.
+"""
+
+from repro.analysis import figures
+from repro.analysis import experiments
+
+__all__ = ["figures", "experiments"]

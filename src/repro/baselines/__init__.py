@@ -1,0 +1,35 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`~repro.baselines.iaas` — the VM-based alternatives of Figure 1:
+  job-scoped clusters (started per query) and always-on clusters (DRAM, NVMe,
+  or S3 resident data).
+* :mod:`~repro.baselines.qaas` — the Query-as-a-Service systems of Figure 12:
+  Amazon Athena and Google BigQuery, modelled through their published pricing
+  rules and the scaling behaviour the paper reports.
+* :mod:`~repro.baselines.external` — published numbers of the serverless
+  shuffle systems (Pocket, Locus) used in Table 3.
+"""
+
+from repro.baselines.iaas import (
+    JobScopedIaasModel,
+    JobScopedFaasModel,
+    AlwaysOnConfiguration,
+    AlwaysOnIaasModel,
+    ALWAYS_ON_CONFIGURATIONS,
+)
+from repro.baselines.qaas import AthenaModel, BigQueryModel, QaasEstimate
+from repro.baselines.external import POCKET_RESULTS, LOCUS_RESULTS, ExternalResult
+
+__all__ = [
+    "JobScopedIaasModel",
+    "JobScopedFaasModel",
+    "AlwaysOnConfiguration",
+    "AlwaysOnIaasModel",
+    "ALWAYS_ON_CONFIGURATIONS",
+    "AthenaModel",
+    "BigQueryModel",
+    "QaasEstimate",
+    "POCKET_RESULTS",
+    "LOCUS_RESULTS",
+    "ExternalResult",
+]

@@ -1,0 +1,46 @@
+"""Published results of external serverless shuffle systems (Table 3).
+
+The paper compares its exchange operator against the numbers published for
+Pocket [Klimovic et al., OSDI'18] and Locus [Pu et al., NSDI'19] on a 100 GB
+shuffle.  As in the paper, these are reference constants, not re-executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ExternalResult:
+    """One published data point of an external system."""
+
+    system: str
+    workers: Optional[int]
+    storage_layer: str
+    data_bytes: float
+    running_time_seconds: float
+
+
+_GB = 1_000_000_000
+
+#: Pocket's published 100 GB sort/shuffle times (their Figure/Table), both the
+#: VM-based Pocket storage layer and their S3 baseline.
+POCKET_RESULTS: Tuple[ExternalResult, ...] = (
+    ExternalResult("pocket", 250, "vms", 100 * _GB, 58.0),
+    ExternalResult("pocket", 500, "vms", 100 * _GB, 28.0),
+    ExternalResult("pocket", 1000, "vms", 100 * _GB, 18.0),
+    ExternalResult("pocket-s3-baseline", 250, "s3", 100 * _GB, 98.0),
+)
+
+#: Locus' published range for the 100 GB shuffle (dynamic worker count) and
+#: its 1 TB configuration with VM-based fast storage.
+LOCUS_RESULTS: Tuple[ExternalResult, ...] = (
+    ExternalResult("locus", None, "s3+redis", 100 * _GB, 80.0),
+    ExternalResult("locus-slow", None, "s3+redis", 100 * _GB, 140.0),
+    ExternalResult("locus-1tb", None, "s3+redis", 1000 * _GB, 39.0),
+)
+
+#: Lambada's own published Table 3 rows, used by the benchmark to check that
+#: the simulated exchange reproduces the right ballpark and ordering.
+LAMBADA_PAPER_RESULTS: Dict[int, float] = {250: 22.0, 500: 15.0, 1000: 13.0}

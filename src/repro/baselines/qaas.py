@@ -1,0 +1,142 @@
+"""Query-as-a-Service baselines: Amazon Athena and Google BigQuery (Figure 12).
+
+Both systems charge $5 per TiB of input scanned, but they apply the rule
+differently (§5.4.1/§5.4.3):
+
+* **BigQuery** counts *all referenced columns in their entirety*, on its own
+  loaded format (which for the paper's LINEITEM is ~5.4× larger than the
+  Parquet files); it additionally requires an ETL load step whose duration the
+  paper reports (40 min at SF 1k, 6.7 h at SF 10k).
+* **Athena** counts only the *selected rows* of the referenced columns
+  ("selections are pushed into the cost model") and queries the same Parquet
+  files in place.
+
+Latency scaling follows the paper's observations: Athena's running time grows
+roughly linearly with the scale factor (it does not appear to add resources),
+BigQuery's grows sub-linearly, and the paper's absolute anchor points at SF 1k
+are used for calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cloud.pricing import DEFAULT_PRICES, PriceList
+from repro.config import GiB, LINEITEM_SF1000_BIGQUERY_BYTES, LINEITEM_SF1000_PARQUET_BYTES
+
+
+@dataclass(frozen=True)
+class QaasEstimate:
+    """Latency and cost estimate of one QaaS query."""
+
+    system: str
+    query: str
+    scale_factor: int
+    latency_seconds: float
+    cost_dollars: float
+    #: Loading (ETL) time included in the "cold" latency, seconds.
+    load_seconds: float = 0.0
+
+    @property
+    def cold_latency_seconds(self) -> float:
+        """Latency including any one-off loading step."""
+        return self.latency_seconds + self.load_seconds
+
+
+def _schema_column_fraction(columns) -> float:
+    """Fraction of the LINEITEM byte volume occupied by ``columns``."""
+    from repro.workload.tpch import LINEITEM_SCHEMA
+
+    total = sum(item.type.item_size for item in LINEITEM_SCHEMA)
+    return sum(LINEITEM_SCHEMA.field(name).type.item_size for name in columns) / total
+
+
+#: Fraction of the LINEITEM byte volume occupied by the columns each query
+#: touches (Q1 uses 7 of 15 mostly-wide columns, Q6 uses 4); derived from the
+#: schema so the QaaS models and the Lambada scan model agree.
+_COLUMN_FRACTION = {
+    "q1": _schema_column_fraction(
+        ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+         "l_discount", "l_tax", "l_shipdate"]
+    ),
+    "q6": _schema_column_fraction(
+        ["l_extendedprice", "l_discount", "l_quantity", "l_shipdate"]
+    ),
+}
+
+#: Selectivity of each query's predicate (paper §5.3).
+_SELECTIVITY = {"q1": 0.98, "q6": 0.02}
+
+#: Athena running time anchors at SF 1000 (derived from the paper's reported
+#: speed-ups: Lambada ~8s is "about 4x faster" on Q1 and "on par" on Q6).
+_ATHENA_SF1000_SECONDS = {"q1": 32.0, "q6": 10.0}
+
+#: BigQuery hot running time anchors at SF 1000 (paper: 3.9 s and 1.6 s).
+_BIGQUERY_SF1000_SECONDS = {"q1": 3.9, "q6": 1.6}
+
+#: BigQuery load times: 40 min at SF 1k, 6.7 h at SF 10k.
+_BIGQUERY_LOAD_SECONDS = {1000: 40 * 60.0, 10000: 6.7 * 3600.0}
+
+
+class AthenaModel:
+    """Amazon Athena: in-situ Parquet scans, selection-aware pricing."""
+
+    def __init__(self, prices: PriceList = DEFAULT_PRICES):
+        self.prices = prices
+
+    def estimate(self, query: str, scale_factor: int = 1000) -> QaasEstimate:
+        """Latency and cost of running ``query`` ("q1" or "q6") at a scale factor."""
+        query = query.lower()
+        if query not in _COLUMN_FRACTION:
+            raise ValueError(f"unknown query {query!r}; expected 'q1' or 'q6'")
+        dataset_bytes = LINEITEM_SF1000_PARQUET_BYTES * scale_factor / 1000.0
+        scanned = dataset_bytes * _COLUMN_FRACTION[query] * _SELECTIVITY[query]
+        cost = self.prices.qaas_scan_cost(scanned)
+        # Athena's latency grows linearly with the dataset (paper §5.4.2).
+        latency = _ATHENA_SF1000_SECONDS[query] * scale_factor / 1000.0
+        return QaasEstimate(
+            system="athena",
+            query=query,
+            scale_factor=scale_factor,
+            latency_seconds=latency,
+            cost_dollars=cost,
+        )
+
+
+class BigQueryModel:
+    """Google BigQuery: loaded proprietary format, column-volume pricing."""
+
+    def __init__(self, prices: PriceList = DEFAULT_PRICES):
+        self.prices = prices
+
+    def load_seconds(self, scale_factor: int) -> float:
+        """Duration of the ETL load of LINEITEM at ``scale_factor``."""
+        if scale_factor in _BIGQUERY_LOAD_SECONDS:
+            return _BIGQUERY_LOAD_SECONDS[scale_factor]
+        # Interpolate linearly in the data volume.
+        return _BIGQUERY_LOAD_SECONDS[1000] * scale_factor / 1000.0
+
+    def estimate(self, query: str, scale_factor: int = 1000, cold: bool = False) -> QaasEstimate:
+        """Latency and cost of running ``query`` at a scale factor.
+
+        ``cold=True`` includes the load time in the latency (the paper's
+        "BigQuery (cold)" series).
+        """
+        query = query.lower()
+        if query not in _COLUMN_FRACTION:
+            raise ValueError(f"unknown query {query!r}; expected 'q1' or 'q6'")
+        dataset_bytes = LINEITEM_SF1000_BIGQUERY_BYTES * scale_factor / 1000.0
+        # All referenced columns are charged in full, regardless of selectivity.
+        scanned = dataset_bytes * _COLUMN_FRACTION[query]
+        cost = self.prices.qaas_scan_cost(scanned)
+        # Latency grows sub-linearly (paper observes ~sqrt-like growth).
+        latency = _BIGQUERY_SF1000_SECONDS[query] * (scale_factor / 1000.0) ** 0.6
+        return QaasEstimate(
+            system="bigquery",
+            query=query,
+            scale_factor=scale_factor,
+            latency_seconds=latency,
+            cost_dollars=cost,
+            load_seconds=self.load_seconds(scale_factor) if cold else 0.0,
+        )

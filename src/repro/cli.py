@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Because the cloud substrate is an in-process simulation, the CLI runs
+self-contained sessions: each invocation creates an environment, generates (or
+registers) a dataset, executes the requested action, and prints the results
+and the bill.  Subcommands:
+
+``demo-query``
+    Generate a LINEITEM dataset and run a SQL query (default: TPC-H Q6)
+    end to end on the serverless stack, printing the result, the modelled
+    latency, and the cost breakdown.
+
+``exchange-cost``
+    Print the Table 2 / Figure 9 request counts and per-worker costs of the
+    exchange variants for a given fleet size.
+
+``invocation``
+    Print the flat vs two-level invocation times for a given fleet size
+    (Figure 5).
+
+``qaas``
+    Print the Figure 12 comparison (Lambada vs Athena vs BigQuery) for a
+    query and scale factor.
+
+Run ``python -m repro.cli <subcommand> --help`` for the options of each
+subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import PaperScaleModel
+from repro.baselines.qaas import AthenaModel, BigQueryModel
+from repro.cloud.environment import CloudEnvironment
+from repro.driver.catalog import StatisticsCatalog
+from repro.driver.driver import LambadaDriver
+from repro.driver.invocation import FlatInvocationModel, TreeInvocationModel
+from repro.exchange.cost_model import EXCHANGE_VARIANTS, ExchangeCostModel
+from repro.frontend.sql import SqlCatalog, parse_sql
+from repro.workload.queries import q6_sql
+from repro.workload.tpch import generate_lineitem_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lambada reproduction: serverless analytics on cold data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo-query", help="run a SQL query on a generated dataset")
+    demo.add_argument("--sql", default=None, help="SQL statement (default: TPC-H Q6)")
+    demo.add_argument("--scale-factor", type=float, default=0.002, help="LINEITEM scale factor")
+    demo.add_argument("--files", type=int, default=8, help="number of dataset files")
+    demo.add_argument("--memory-mib", type=int, default=1792, help="worker memory size")
+    demo.add_argument("--files-per-worker", type=int, default=1, help="files per worker (F)")
+    demo.add_argument("--cold", action="store_true", help="force cold starts")
+    demo.add_argument("--use-catalog", action="store_true",
+                      help="skip fully-pruned files via the statistics catalog")
+
+    exchange = subparsers.add_parser("exchange-cost", help="exchange request-cost model (Table 2 / Figure 9)")
+    exchange.add_argument("--workers", type=int, default=1024, help="fleet size P")
+
+    invocation = subparsers.add_parser("invocation", help="flat vs two-level invocation times (Figure 5)")
+    invocation.add_argument("--workers", type=int, default=4096, help="fleet size P")
+    invocation.add_argument("--region", default="eu", choices=["eu", "us", "sa", "ap"])
+
+    qaas = subparsers.add_parser("qaas", help="Lambada vs Athena vs BigQuery (Figure 12)")
+    qaas.add_argument("--query", default="q1", choices=["q1", "q6"])
+    qaas.add_argument("--scale-factor", type=int, default=1000)
+    qaas.add_argument("--memory-mib", type=int, default=1792)
+
+    return parser
+
+
+def _run_demo_query(args: argparse.Namespace, out) -> int:
+    env = CloudEnvironment.create()
+    dataset = generate_lineitem_dataset(
+        env.s3, scale_factor=args.scale_factor, num_files=args.files
+    )
+    driver = LambadaDriver(env, memory_mib=args.memory_mib)
+    sql = args.sql or q6_sql()
+    catalog = SqlCatalog({"lineitem": dataset.paths})
+
+    statistics_catalog: Optional[StatisticsCatalog] = None
+    dataset_name: Optional[str] = None
+    if args.use_catalog:
+        statistics_catalog = StatisticsCatalog(env.dynamodb)
+        statistics_catalog.register_dataset(env.s3, "lineitem", dataset.paths)
+        dataset_name = "lineitem"
+
+    result = driver.execute(
+        parse_sql(sql, catalog),
+        files_per_worker=args.files_per_worker,
+        cold=args.cold,
+        catalog=statistics_catalog,
+        dataset_name=dataset_name,
+    )
+
+    print(f"dataset: {dataset.num_files} files, {dataset.total_rows} rows", file=out)
+    print(f"query:   {sql}", file=out)
+    print(f"result ({result.num_rows} rows):", file=out)
+    names = list(result.table.keys())
+    print("  " + " | ".join(f"{name:>16}" for name in names), file=out)
+    for index in range(result.num_rows):
+        row = " | ".join(f"{result.table[name][index]:>16.4f}" for name in names)
+        print("  " + row, file=out)
+    stats = result.statistics
+    print(f"workers: {stats.num_workers}   modelled latency: {stats.latency_seconds:.2f} s   "
+          f"cost: {stats.cost_total * 100:.4f} cents", file=out)
+    print("cost breakdown:", file=out)
+    print(f"  lambda duration  ${stats.cost_lambda_duration:.6f}", file=out)
+    print(f"  lambda requests  ${stats.cost_lambda_requests:.6f}", file=out)
+    print(f"  s3 requests      ${stats.cost_s3_requests:.6f}", file=out)
+    print(f"  sqs requests     ${stats.cost_sqs_requests:.6f}", file=out)
+    return 0
+
+
+def _run_exchange_cost(args: argparse.Namespace, out) -> int:
+    model = ExchangeCostModel()
+    print(f"exchange request counts and costs for P = {args.workers}", file=out)
+    print(f"  {'variant':<8} {'#reads':>14} {'#writes':>14} {'total $':>12} {'$/worker':>12}", file=out)
+    for variant in EXCHANGE_VARIANTS:
+        counts = model.requests(variant, args.workers)
+        cost = model.cost(variant, args.workers)
+        print(
+            f"  {variant:<8} {counts['reads']:>14,.0f} {counts['writes']:>14,.0f} "
+            f"{cost['total_cost']:>12.4f} {cost['cost_per_worker']:>12.2e}",
+            file=out,
+        )
+    return 0
+
+
+def _run_invocation(args: argparse.Namespace, out) -> int:
+    flat = FlatInvocationModel(region=args.region)
+    tree = TreeInvocationModel(region=args.region)
+    print(f"starting {args.workers} workers in region {args.region!r}", file=out)
+    print(f"  flat (driver only):   {flat.time_to_start_all(args.workers):8.2f} s", file=out)
+    print(f"  two-level tree:       {tree.time_to_start_all(args.workers):8.2f} s", file=out)
+    print(f"  first generation:     {tree.first_generation_count(args.workers)} workers", file=out)
+    return 0
+
+
+def _run_qaas(args: argparse.Namespace, out) -> int:
+    lambada = PaperScaleModel(
+        query=args.query, scale_factor=args.scale_factor, memory_mib=args.memory_mib
+    )
+    athena = AthenaModel().estimate(args.query, args.scale_factor)
+    bigquery_hot = BigQueryModel().estimate(args.query, args.scale_factor, cold=False)
+    bigquery_cold = BigQueryModel().estimate(args.query, args.scale_factor, cold=True)
+    print(f"TPC-H {args.query.upper()} at SF {args.scale_factor}", file=out)
+    print(f"  {'system':<16} {'latency [s]':>12} {'cost [$]':>10}", file=out)
+    print(f"  {'lambada (hot)':<16} {lambada.latency_seconds():>12.1f} "
+          f"{lambada.cost_dollars()['total']:>10.4f}", file=out)
+    print(f"  {'athena':<16} {athena.latency_seconds:>12.1f} {athena.cost_dollars:>10.4f}", file=out)
+    print(f"  {'bigquery (hot)':<16} {bigquery_hot.latency_seconds:>12.1f} "
+          f"{bigquery_hot.cost_dollars:>10.4f}", file=out)
+    print(f"  {'bigquery (cold)':<16} {bigquery_cold.cold_latency_seconds:>12.1f} "
+          f"{bigquery_cold.cost_dollars:>10.4f}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo-query": _run_demo_query,
+        "exchange-cost": _run_exchange_cost,
+        "invocation": _run_invocation,
+        "qaas": _run_qaas,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

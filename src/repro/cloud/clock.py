@@ -1,0 +1,49 @@
+"""Virtual clock shared by the simulated cloud services.
+
+The clock is a simple monotonically non-decreasing counter of seconds.  The
+functional execution path advances it explicitly from the performance model
+(e.g. "this scan took 2.3 s of modelled time"); nothing in the library sleeps
+on the wall clock.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start at a negative time")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it is in the future.
+
+        Advancing to a time in the past is a no-op; the clock never goes
+        backwards.  Returns the (possibly unchanged) current time.
+        """
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, e.g. between benchmark repetitions."""
+        if start < 0:
+            raise ValueError("clock cannot be reset to a negative time")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"

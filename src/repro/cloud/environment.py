@@ -1,0 +1,81 @@
+"""Bundled cloud environment.
+
+A :class:`CloudEnvironment` wires together one instance of every simulated
+service sharing a single virtual clock and metering ledger.  It is the main
+entry point used by the driver, the examples, and the benchmark harness:
+
+>>> from repro.cloud import CloudEnvironment
+>>> env = CloudEnvironment.create(region="eu")
+>>> env.s3.ensure_bucket("my-data")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.clock import VirtualClock
+from repro.cloud.dynamodb import KeyValueStore
+from repro.cloud.lambda_service import LambdaService
+from repro.cloud.metering import MeteringLedger
+from repro.cloud.network import BandwidthModel
+from repro.cloud.pricing import DEFAULT_PRICES, PriceList
+from repro.cloud.s3 import ObjectStore
+from repro.cloud.sqs import QueueService
+from repro.config import LAMBDA_DEFAULT_CONCURRENCY_LIMIT
+
+
+@dataclass
+class CloudEnvironment:
+    """All simulated services sharing one clock and one ledger."""
+
+    clock: VirtualClock
+    ledger: MeteringLedger
+    s3: ObjectStore
+    sqs: QueueService
+    dynamodb: KeyValueStore
+    lambda_service: LambdaService
+    bandwidth: BandwidthModel
+    region: str = "eu"
+
+    @classmethod
+    def create(
+        cls,
+        region: str = "eu",
+        prices: PriceList = DEFAULT_PRICES,
+        concurrency_limit: int = LAMBDA_DEFAULT_CONCURRENCY_LIMIT,
+        enforce_s3_rate_limits: bool = False,
+    ) -> "CloudEnvironment":
+        """Create a fresh environment with all services wired together."""
+        clock = VirtualClock()
+        ledger = MeteringLedger(prices)
+        s3 = ObjectStore(clock, ledger, enforce_rate_limits=enforce_s3_rate_limits)
+        sqs = QueueService(clock, ledger)
+        dynamodb = KeyValueStore(clock, ledger)
+        lam = LambdaService(clock, ledger, concurrency_limit, region)
+        bandwidth = BandwidthModel()
+        return cls(
+            clock=clock,
+            ledger=ledger,
+            s3=s3,
+            sqs=sqs,
+            dynamodb=dynamodb,
+            lambda_service=lam,
+            bandwidth=bandwidth,
+            region=region,
+        )
+
+    # -- convenience ----------------------------------------------------------
+
+    def total_cost(self) -> float:
+        """Total dollar cost metered so far across all services."""
+        return self.ledger.total_cost()
+
+    def cost_breakdown(self) -> dict:
+        """Dollar cost per billing dimension across all services."""
+        return self.ledger.cost_breakdown()
+
+    def reset_metering(self) -> None:
+        """Clear the ledger and reset the clock (between benchmark runs)."""
+        self.ledger.reset()
+        self.clock.reset()

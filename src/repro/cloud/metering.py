@@ -1,0 +1,129 @@
+"""Usage metering and billing ledger.
+
+Every simulated cloud service records billable events (requests, bytes,
+durations) into a :class:`MeteringLedger`.  The ledger converts usage into
+dollar cost using a :class:`~repro.cloud.pricing.PriceList` and produces the
+per-service breakdowns that the paper's cost analyses report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.cloud.pricing import DEFAULT_PRICES, PriceList
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """A single billable event.
+
+    ``dimension`` is a dotted name such as ``"s3.get_requests"`` or
+    ``"lambda.gib_seconds"``; ``amount`` is in the natural unit of that
+    dimension (requests, GiB-seconds, bytes...).
+    """
+
+    service: str
+    dimension: str
+    amount: float
+    timestamp: float = 0.0
+    tag: Optional[str] = None
+
+
+class MeteringLedger:
+    """Accumulates :class:`UsageRecord` entries and computes costs."""
+
+    def __init__(self, prices: PriceList = DEFAULT_PRICES):
+        self.prices = prices
+        self._records: List[UsageRecord] = []
+        self._totals: Dict[str, float] = defaultdict(float)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        service: str,
+        dimension: str,
+        amount: float,
+        timestamp: float = 0.0,
+        tag: Optional[str] = None,
+    ) -> None:
+        """Append a usage record and update the running totals."""
+        if amount < 0:
+            raise ValueError(f"usage amount must be non-negative, got {amount}")
+        record = UsageRecord(service, dimension, amount, timestamp, tag)
+        self._records.append(record)
+        self._totals[f"{service}.{dimension}"] += amount
+
+    # -- introspection ------------------------------------------------------
+
+    def total(self, service: str, dimension: str) -> float:
+        """Total usage of ``service.dimension`` recorded so far."""
+        return self._totals.get(f"{service}.{dimension}", 0.0)
+
+    def records(self) -> Iterator[UsageRecord]:
+        """Iterate over all records in insertion order."""
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def reset(self) -> None:
+        """Clear all recorded usage (e.g. between benchmark repetitions)."""
+        self._records.clear()
+        self._totals.clear()
+
+    # -- billing ------------------------------------------------------------
+
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Dollar cost per billing dimension.
+
+        Only the dimensions that have a price attached contribute; unknown
+        dimensions (e.g. ``s3.bytes_read``, which AWS does not bill for
+        intra-region traffic) are reported with a cost of zero so that they
+        still show up in the breakdown.
+        """
+        prices = self.prices
+        breakdown: Dict[str, float] = {}
+        for key, amount in sorted(self._totals.items()):
+            if key == "s3.get_requests":
+                breakdown[key] = prices.s3_get_cost(int(amount))
+            elif key in ("s3.put_requests", "s3.list_requests"):
+                breakdown[key] = prices.s3_put_cost(int(amount))
+            elif key == "lambda.gib_seconds":
+                breakdown[key] = amount * prices.lambda_gib_second
+            elif key == "lambda.invocations":
+                breakdown[key] = prices.lambda_invocation_cost(int(amount))
+            elif key == "sqs.requests":
+                breakdown[key] = prices.sqs_cost(int(amount))
+            elif key == "dynamodb.read_units":
+                breakdown[key] = int(amount) / 1e6 * prices.dynamodb_read_per_million
+            elif key == "dynamodb.write_units":
+                breakdown[key] = int(amount) / 1e6 * prices.dynamodb_write_per_million
+            else:
+                breakdown[key] = 0.0
+        return breakdown
+
+    def total_cost(self) -> float:
+        """Total dollar cost of all recorded usage."""
+        return sum(self.cost_breakdown().values())
+
+    def cost_of_service(self, service: str) -> float:
+        """Total dollar cost attributed to one service (prefix match)."""
+        return sum(
+            cost
+            for key, cost in self.cost_breakdown().items()
+            if key.startswith(service + ".")
+        )
+
+    def merge(self, other: "MeteringLedger") -> None:
+        """Fold another ledger's records into this one."""
+        for record in other.records():
+            self.record(
+                record.service,
+                record.dimension,
+                record.amount,
+                record.timestamp,
+                record.tag,
+            )

@@ -1,0 +1,34 @@
+"""The Lambada driver.
+
+The driver runs on the data scientist's machine: it compiles queries, deploys
+the worker function (at installation time), invokes the serverless workers —
+using the two-level tree invocation strategy of §4.2 — and collects their
+partial results from the SQS result queue.
+"""
+
+from repro.driver.invocation import (
+    FlatInvocationModel,
+    TreeInvocationModel,
+    InvocationTimeline,
+    build_invocation_tree,
+)
+from repro.driver.worker import make_worker_handler, WORKER_FUNCTION_NAME
+from repro.driver.driver import LambadaDriver, QueryResult, QueryStatistics
+from repro.driver.catalog import StatisticsCatalog, FileStatistics
+from repro.driver.shuffle import ShuffleAggregateCoordinator, ShuffleStatistics
+
+__all__ = [
+    "ShuffleAggregateCoordinator",
+    "ShuffleStatistics",
+    "FlatInvocationModel",
+    "TreeInvocationModel",
+    "InvocationTimeline",
+    "build_invocation_tree",
+    "make_worker_handler",
+    "WORKER_FUNCTION_NAME",
+    "LambadaDriver",
+    "QueryResult",
+    "QueryStatistics",
+    "StatisticsCatalog",
+    "FileStatistics",
+]

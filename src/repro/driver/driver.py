@@ -1,0 +1,449 @@
+"""The Lambada driver: query coordinator.
+
+The driver deploys the worker function once ("installation"), then executes
+queries by compiling them, invoking the worker fleet through the two-level
+tree strategy, polling the SQS result queue, and merging the partial results
+locally (the driver scope of the physical plan).  It reports per-query
+statistics — modelled end-to-end latency and the full dollar-cost breakdown —
+which the evaluation benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.lambda_service import FunctionConfig
+from repro.cloud.s3 import parse_s3_path
+from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
+from repro.driver.worker import WORKER_FUNCTION_NAME, make_worker_handler
+from repro.engine.aggregates import finalize_aggregates, merge_partials
+from repro.engine.pipeline import WorkerResult
+from repro.engine.table import (
+    Table,
+    concat_tables,
+    sort_table,
+    table_from_payload,
+    table_num_rows,
+    take_rows,
+)
+from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
+from repro.plan.logical import LogicalPlan
+from repro.plan.optimizer import OptimizerReport, optimize
+from repro.plan.physical import PhysicalPlan, resolve_udf
+
+
+@dataclass
+class QueryStatistics:
+    """Performance and cost statistics of one query execution."""
+
+    num_workers: int
+    memory_mib: int
+    cold: bool
+    #: Modelled time until every worker of the fleet was running.
+    invocation_seconds: float
+    #: Modelled execution time of the slowest / median worker.
+    max_worker_seconds: float
+    median_worker_seconds: float
+    #: Modelled end-to-end query latency seen by the user.
+    latency_seconds: float
+    rows_scanned: int
+    bytes_read: int
+    get_requests: int
+    #: Dollar cost breakdown.
+    cost_lambda_duration: float
+    cost_lambda_requests: float
+    cost_s3_requests: float
+    cost_sqs_requests: float
+    #: Per-worker modelled execution durations, seconds.
+    worker_durations: List[float] = field(default_factory=list)
+
+    @property
+    def cost_total(self) -> float:
+        """Total dollar cost of the query."""
+        return (
+            self.cost_lambda_duration
+            + self.cost_lambda_requests
+            + self.cost_s3_requests
+            + self.cost_sqs_requests
+        )
+
+
+@dataclass
+class QueryResult:
+    """Result of one query execution."""
+
+    table: Table
+    reduce_value: Optional[Any]
+    statistics: QueryStatistics
+    worker_results: List[WorkerResult]
+    optimizer_report: Optional[OptimizerReport] = None
+
+    def column(self, name: str) -> np.ndarray:
+        """One result column as a NumPy array."""
+        return np.asarray(self.table[name])
+
+    def scalar(self) -> float:
+        """The single value of a scalar (one row, one column) result."""
+        if self.reduce_value is not None:
+            return float(self.reduce_value)
+        if len(self.table) != 1:
+            raise ExecutionError(f"result has {len(self.table)} columns, expected 1")
+        column = next(iter(self.table.values()))
+        if len(column) != 1:
+            raise ExecutionError(f"result has {len(column)} rows, expected 1")
+        return float(column[0])
+
+    @property
+    def num_rows(self) -> int:
+        """Number of result rows."""
+        return table_num_rows(self.table)
+
+
+class LambadaDriver:
+    """Coordinates query execution over the serverless worker fleet."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        memory_mib: int = 2048,
+        function_name: str = WORKER_FUNCTION_NAME,
+        result_queue: str = "lambada-result-queue",
+        worker_timeout_seconds: float = 900.0,
+    ):
+        self.env = env
+        self.memory_mib = memory_mib
+        self.function_name = function_name
+        self.result_queue = result_queue
+        self.worker_timeout_seconds = worker_timeout_seconds
+        self.install()
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self) -> None:
+        """Deploy the worker function and create the result queue.
+
+        This is the per-installation step of the usage model (§2.1); it incurs
+        no recurring cost.
+        """
+        config = FunctionConfig(
+            name=self.function_name,
+            memory_mib=self.memory_mib,
+            timeout_seconds=self.worker_timeout_seconds,
+            region=self.env.region,
+        )
+        self.env.lambda_service.deploy(config, make_worker_handler(self.env))
+        self.env.sqs.create_queue(self.result_queue)
+
+    def set_memory(self, memory_mib: int) -> None:
+        """Reconfigure the worker memory size (redeploys the function)."""
+        self.memory_mib = memory_mib
+        self.install()
+
+    # -- query execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Union[LogicalPlan, PhysicalPlan],
+        num_workers: Optional[int] = None,
+        files_per_worker: Optional[int] = None,
+        cold: bool = False,
+        threads: int = 2,
+        catalog: Optional["StatisticsCatalog"] = None,
+        dataset_name: Optional[str] = None,
+        max_worker_retries: int = 1,
+    ) -> QueryResult:
+        """Execute a query and return its result and statistics.
+
+        ``num_workers`` and ``files_per_worker`` control the fleet size (the
+        paper's ``W`` and ``F`` parameters); by default one worker per input
+        file is used.  ``cold=True`` forces cold starts (fresh function
+        instances), reproducing the paper's cold-run measurements.
+
+        When a :class:`~repro.driver.catalog.StatisticsCatalog` and the
+        dataset's catalog name are given, files whose min/max statistics cannot
+        match the query's prune ranges are skipped entirely, so their workers
+        are never invoked (the §5.3 central-statistics optimisation).
+
+        Failed workers are retried up to ``max_worker_retries`` times before
+        the query is aborted with :class:`~repro.errors.WorkerFailedError`.
+        """
+        report: Optional[OptimizerReport] = None
+        if isinstance(plan, LogicalPlan):
+            physical, report = optimize(plan)
+        else:
+            physical = plan
+
+        input_files = self._expand_paths(physical.input_files)
+        if catalog is not None and dataset_name is not None:
+            input_files = catalog.prune_paths(
+                input_files, dataset_name, physical.worker_template.prune_ranges
+            )
+            if not input_files:
+                # Every file is pruned by the central statistics: the query
+                # result is empty and no worker needs to be started.
+                return self._empty_result(physical, report, cold)
+        if not input_files:
+            raise ExecutionError("query has no input files")
+        physical = PhysicalPlan(
+            worker_template=physical.worker_template,
+            driver=physical.driver,
+            input_files=input_files,
+        )
+
+        if num_workers is None:
+            if files_per_worker is not None:
+                if files_per_worker <= 0:
+                    raise ValueError("files_per_worker must be positive")
+                num_workers = math.ceil(len(input_files) / files_per_worker)
+            else:
+                num_workers = len(input_files)
+        num_workers = min(num_workers, len(input_files))
+
+        worker_plans = physical.worker_plans(num_workers)
+        query_id = uuid.uuid4().hex[:12]
+
+        if cold:
+            self.env.lambda_service.reset_warm_instances(self.function_name)
+
+        payloads = [
+            {
+                "worker_id": worker_id,
+                "plan": worker_plan.to_dict(),
+                "result_queue": self.result_queue,
+                "query_id": query_id,
+                "function_name": self.function_name,
+                "threads": threads,
+            }
+            for worker_id, worker_plan in enumerate(worker_plans)
+        ]
+        tree = build_invocation_tree(payloads)
+
+        self.env.sqs.purge_queue(self.result_queue)
+        for parent in tree:
+            self.env.lambda_service.invoke(self.function_name, parent, from_driver=True)
+
+        messages = self._collect_messages(query_id, expected=len(payloads))
+        by_worker = self._group_messages(messages)
+        by_worker = self._retry_failures(by_worker, payloads, query_id, max_worker_retries)
+        worker_results = self._parse_results(by_worker, expected=len(payloads))
+
+        table, reduce_value = self._merge(physical, worker_results)
+        statistics = self._build_statistics(
+            physical, worker_results, num_workers=len(payloads), cold=cold
+        )
+        return QueryResult(
+            table=table,
+            reduce_value=reduce_value,
+            statistics=statistics,
+            worker_results=worker_results,
+            optimizer_report=report,
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _expand_paths(self, paths: Sequence[str]) -> List[str]:
+        """Expand glob patterns against the object store.
+
+        Globs over missing buckets expand to nothing (the caller then reports
+        "no input files"), mirroring how a CLI glob over a missing directory
+        behaves.
+        """
+        from repro.errors import NoSuchBucketError
+
+        expanded: List[str] = []
+        for path in paths:
+            if "*" in path:
+                try:
+                    expanded.extend(self.env.s3.glob(path))
+                except NoSuchBucketError:
+                    continue
+            else:
+                expanded.append(path)
+        return expanded
+
+    def _collect_messages(self, query_id: str, expected: int) -> List[Dict]:
+        """Poll the result queue until all workers have reported."""
+        messages: List[Dict] = []
+        max_polls = max(expected * 4, 64)
+        for _ in range(max_polls):
+            batch = self.env.sqs.receive_messages(self.result_queue, max_messages=10)
+            for message in batch:
+                payload = message.json()
+                if payload.get("query_id") != query_id:
+                    continue  # stale message from an earlier query
+                messages.append(payload)
+            if len(messages) >= expected:
+                return messages
+        raise QueryTimeoutError(
+            f"received {len(messages)} of {expected} worker results before giving up"
+        )
+
+    def _group_messages(self, messages: List[Dict]) -> Dict[int, Dict]:
+        """Group queue messages by worker id, fetching spilled payloads from S3."""
+        by_worker: Dict[int, Dict] = {}
+        for message in messages:
+            if "result_s3" in message:
+                bucket, key = parse_s3_path(message["result_s3"])
+                raw = self.env.s3.get_object(bucket, key).data
+                message = json.loads(raw.decode("utf-8"))
+            by_worker[message["worker_id"]] = message
+        return by_worker
+
+    def _retry_failures(
+        self,
+        by_worker: Dict[int, Dict],
+        payloads: List[Dict],
+        query_id: str,
+        max_worker_retries: int,
+    ) -> Dict[int, Dict]:
+        """Re-invoke failed workers (flat, from the driver) up to the retry limit."""
+        payload_by_worker = {payload["worker_id"]: payload for payload in payloads}
+        for _ in range(max_worker_retries):
+            failed = [wid for wid, msg in by_worker.items() if msg.get("status") != "ok"]
+            if not failed:
+                break
+            for worker_id in failed:
+                retry_payload = dict(payload_by_worker[worker_id])
+                retry_payload.pop("children", None)
+                self.env.lambda_service.invoke(
+                    self.function_name, retry_payload, from_driver=True
+                )
+            retry_messages = self._collect_messages(query_id, expected=len(failed))
+            by_worker.update(self._group_messages(retry_messages))
+        return by_worker
+
+    def _parse_results(self, by_worker: Dict[int, Dict], expected: int) -> List[WorkerResult]:
+        """Turn grouped messages into WorkerResults, surfacing remaining failures."""
+        failures = [m for m in by_worker.values() if m.get("status") != "ok"]
+        if failures:
+            first = failures[0]
+            raise WorkerFailedError(first["worker_id"], first.get("error", "unknown error"))
+        if len(by_worker) != expected:
+            raise QueryTimeoutError(
+                f"got results from {len(by_worker)} distinct workers, expected {expected}"
+            )
+        return [
+            WorkerResult.from_payload(by_worker[worker_id]["result"])
+            for worker_id in sorted(by_worker)
+        ]
+
+    def _empty_result(
+        self,
+        physical: PhysicalPlan,
+        report: Optional[OptimizerReport],
+        cold: bool,
+    ) -> QueryResult:
+        """Result of a query whose files were all pruned by the catalog."""
+        table, reduce_value = self._merge(physical, [])
+        statistics = QueryStatistics(
+            num_workers=0,
+            memory_mib=self.memory_mib,
+            cold=cold,
+            invocation_seconds=0.0,
+            max_worker_seconds=0.0,
+            median_worker_seconds=0.0,
+            latency_seconds=0.0,
+            rows_scanned=0,
+            bytes_read=0,
+            get_requests=0,
+            cost_lambda_duration=0.0,
+            cost_lambda_requests=0.0,
+            cost_s3_requests=0.0,
+            cost_sqs_requests=0.0,
+            worker_durations=[],
+        )
+        return QueryResult(
+            table=table,
+            reduce_value=reduce_value,
+            statistics=statistics,
+            worker_results=[],
+            optimizer_report=report,
+        )
+
+    def _merge(
+        self, physical: PhysicalPlan, worker_results: List[WorkerResult]
+    ) -> Tuple[Table, Optional[Any]]:
+        """Driver-scope final phase: merge partials, finalise, sort, limit."""
+        driver_plan = physical.driver
+        template = physical.worker_template
+
+        if template.reduce_udf:
+            reduce_fn = resolve_udf(template.reduce_udf)
+            values = [
+                result.reduce_value
+                for result in worker_results
+                if result.reduce_value is not None
+            ]
+            reduce_value = functools.reduce(reduce_fn, values) if values else None
+            return {}, reduce_value
+
+        partials = [table_from_payload(result.partial) for result in worker_results]
+        if driver_plan.collect_rows:
+            table = concat_tables(partials)
+        else:
+            merged = merge_partials(partials, driver_plan.group_by, template.aggregates)
+            table = finalize_aggregates(
+                merged, driver_plan.group_by, driver_plan.final_aggregates
+            )
+        if driver_plan.order_by:
+            table = sort_table(table, driver_plan.order_by, driver_plan.descending)
+        if driver_plan.limit is not None:
+            count = min(driver_plan.limit, table_num_rows(table))
+            table = take_rows(table, np.arange(count))
+        return table, None
+
+    def _build_statistics(
+        self,
+        physical: PhysicalPlan,
+        worker_results: List[WorkerResult],
+        num_workers: int,
+        cold: bool,
+    ) -> QueryStatistics:
+        """Compute modelled latency and dollar cost of the query."""
+        prices = self.env.ledger.prices
+        durations = [result.duration_seconds for result in worker_results]
+        invocation = TreeInvocationModel(region=self.env.region)
+        start_times = invocation.worker_start_times(num_workers, cold=cold)
+        completion = start_times[: len(durations)] + np.asarray(durations)
+        # Result collection: one additional round of SQS polling.
+        result_poll_seconds = 0.3
+        latency = float(completion.max()) + result_poll_seconds if durations else 0.0
+
+        rows_scanned = sum(result.rows_scanned for result in worker_results)
+        bytes_read = sum(result.bytes_read for result in worker_results)
+        get_requests = sum(result.get_requests for result in worker_results)
+
+        cost_lambda_duration = sum(
+            prices.lambda_duration_cost(self.memory_mib, duration) for duration in durations
+        )
+        cost_lambda_requests = prices.lambda_invocation_cost(num_workers)
+        cost_s3 = prices.s3_get_cost(get_requests)
+        # Each worker sends one result message; the driver polls in batches.
+        sqs_requests = num_workers + math.ceil(num_workers / 10) + 1
+        cost_sqs = prices.sqs_cost(sqs_requests)
+
+        return QueryStatistics(
+            num_workers=num_workers,
+            memory_mib=self.memory_mib,
+            cold=cold,
+            invocation_seconds=invocation.time_to_start_all(num_workers, cold=cold),
+            max_worker_seconds=float(max(durations)) if durations else 0.0,
+            median_worker_seconds=float(np.median(durations)) if durations else 0.0,
+            latency_seconds=latency,
+            rows_scanned=rows_scanned,
+            bytes_read=bytes_read,
+            get_requests=get_requests,
+            cost_lambda_duration=cost_lambda_duration,
+            cost_lambda_requests=cost_lambda_requests,
+            cost_s3_requests=cost_s3,
+            cost_sqs_requests=cost_sqs,
+            worker_durations=durations,
+        )

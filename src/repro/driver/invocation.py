@@ -1,0 +1,177 @@
+"""Worker invocation strategies and their timing models.
+
+Starting thousands of workers from the driver alone takes 13–18 s at the
+measured invocation rates (Table 1), which would dominate an interactive
+query.  The paper's solution (§4.2) is a two-level *tree* invocation: the
+driver invokes ~√P first-generation workers, each of which invokes ~√P
+second-generation workers before starting on its own query fragment; 4096
+workers start in under 3 s.
+
+This module provides both the analytic timing models (for Figure 5 and the
+flat-vs-tree ablation) and the functional tree builder used by the driver to
+construct the invocation payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import (
+    DRIVER_INVOKER_THREADS,
+    INVOCATION_LATENCY_SECONDS,
+    INVOCATION_RATE_DRIVER,
+    INVOCATION_RATE_INTRA_REGION,
+    LAMBDA_COLD_START_SECONDS,
+    LAMBDA_WARM_START_SECONDS,
+)
+
+
+@dataclass
+class InvocationTimeline:
+    """Timeline of a two-level invocation (the data behind Figure 5).
+
+    All arrays are indexed by first-generation worker in invocation order.
+    """
+
+    #: Time the driver spent before initiating this worker's invocation.
+    before_own_invocation: np.ndarray
+    #: Duration of this worker's own invocation (request latency + start-up).
+    own_invocation: np.ndarray
+    #: Time this worker spent invoking its second-generation children.
+    invoking_workers: np.ndarray
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        """Time at which each first-generation worker finished invoking children."""
+        return self.before_own_invocation + self.own_invocation + self.invoking_workers
+
+    @property
+    def all_started_at(self) -> float:
+        """Time at which the last worker of the fleet has been started."""
+        return float(self.completion_times.max())
+
+
+class FlatInvocationModel:
+    """Driver-only invocation with a pool of invoker threads (the baseline)."""
+
+    def __init__(self, region: str = "eu", threads: int = DRIVER_INVOKER_THREADS):
+        if region not in INVOCATION_RATE_DRIVER:
+            raise ValueError(f"unknown region {region!r}")
+        self.region = region
+        self.threads = threads
+        self.rate = INVOCATION_RATE_DRIVER[region]
+        self.latency = INVOCATION_LATENCY_SECONDS[region]
+
+    def time_to_start_all(self, num_workers: int, cold: bool = True) -> float:
+        """Time until all ``num_workers`` are running."""
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        startup = LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        return num_workers / self.rate + self.latency + startup
+
+    def worker_start_times(self, num_workers: int, cold: bool = True) -> np.ndarray:
+        """Modelled start time of every worker (in invocation order)."""
+        startup = LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        initiated = np.arange(num_workers) / self.rate
+        return initiated + self.latency + startup
+
+
+class TreeInvocationModel:
+    """Two-level tree invocation (the paper's strategy)."""
+
+    def __init__(self, region: str = "eu", threads: int = DRIVER_INVOKER_THREADS):
+        if region not in INVOCATION_RATE_DRIVER:
+            raise ValueError(f"unknown region {region!r}")
+        self.region = region
+        self.threads = threads
+        self.driver_rate = INVOCATION_RATE_DRIVER[region]
+        self.worker_rate = INVOCATION_RATE_INTRA_REGION[region]
+        self.latency = INVOCATION_LATENCY_SECONDS[region]
+
+    @staticmethod
+    def first_generation_count(num_workers: int) -> int:
+        """Number of first-generation workers (~√P, §4.2)."""
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        return int(math.ceil(math.sqrt(num_workers)))
+
+    def timeline(self, num_workers: int, cold: bool = True) -> InvocationTimeline:
+        """Per-first-generation-worker timing breakdown (Figure 5)."""
+        first_gen = self.first_generation_count(num_workers)
+        children_total = num_workers - first_gen
+        base_children = children_total // first_gen if first_gen else 0
+        remainder = children_total - base_children * first_gen
+        children = np.full(first_gen, base_children, dtype=np.int64)
+        children[:remainder] += 1
+
+        startup = LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        before = np.arange(first_gen) / self.driver_rate
+        own = np.full(first_gen, self.latency + startup)
+        invoking = children / self.worker_rate
+        return InvocationTimeline(
+            before_own_invocation=before,
+            own_invocation=own,
+            invoking_workers=invoking,
+        )
+
+    def time_to_start_all(self, num_workers: int, cold: bool = True) -> float:
+        """Time until every worker of the fleet is running."""
+        timeline = self.timeline(num_workers, cold)
+        startup = LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        # The last second-generation worker starts one invocation latency +
+        # start-up after its parent initiated its invocation.
+        return timeline.all_started_at + self.latency + startup
+
+    def worker_start_times(self, num_workers: int, cold: bool = True) -> np.ndarray:
+        """Modelled start time of every worker in the fleet.
+
+        First-generation workers start right after their own invocation;
+        second-generation workers start after their parent finished the
+        (uniformly spread) invocations that precede them.
+        """
+        timeline = self.timeline(num_workers, cold)
+        first_gen = len(timeline.before_own_invocation)
+        startup = LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        starts: List[float] = []
+        # First generation.
+        first_gen_start = timeline.before_own_invocation + timeline.own_invocation
+        starts.extend(first_gen_start.tolist())
+        # Second generation, parents assigned round-robin in order.
+        children_total = num_workers - first_gen
+        per_parent_counter = np.zeros(first_gen, dtype=np.int64)
+        for child in range(children_total):
+            parent = child % first_gen
+            per_parent_counter[parent] += 1
+            start = (
+                first_gen_start[parent]
+                + per_parent_counter[parent] / self.worker_rate
+                + self.latency
+                + startup
+            )
+            starts.append(float(start))
+        return np.asarray(starts[:num_workers])
+
+
+def build_invocation_tree(
+    worker_payloads: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Arrange worker payloads into a two-level invocation tree.
+
+    Returns the payloads of the first-generation workers; each carries its
+    second-generation children under the ``"children"`` key.  The split is
+    balanced: ~√P first-generation workers with ~√P children each.
+    """
+    total = len(worker_payloads)
+    if total == 0:
+        return []
+    first_gen = TreeInvocationModel.first_generation_count(total)
+    parents = [dict(payload) for payload in worker_payloads[:first_gen]]
+    for parent in parents:
+        parent["children"] = []
+    for index, payload in enumerate(worker_payloads[first_gen:]):
+        parents[index % first_gen]["children"].append(dict(payload))
+    return parents

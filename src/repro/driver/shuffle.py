@@ -1,0 +1,320 @@
+"""Shuffle-based (repartitioned) aggregation across two waves of workers.
+
+The driver-merge aggregation path (``LambadaDriver.execute``) is ideal for the
+paper's evaluation queries, whose results have a handful of groups.  For
+high-cardinality group-bys the driver would become the bottleneck; the paper's
+exchange operator exists precisely so that such queries can repartition data
+among the serverless workers through S3.
+
+:class:`ShuffleAggregateCoordinator` implements that execution strategy as two
+waves of serverless function invocations:
+
+* **map wave** — each worker scans its files, applies the filter, computes
+  per-group partial aggregates, hash-partitions them by the group keys, and
+  writes one partition object per receiver to S3 (using the multi-bucket
+  naming scheme of §4.4.1 to stay clear of per-bucket rate limits);
+* **reduce wave** — each worker reads the partition objects addressed to it,
+  merges the partial aggregates of its disjoint share of the groups, and
+  returns its result rows to the driver through SQS (spilling to S3 when
+  large).
+
+The driver only concatenates the disjoint reduce outputs and finalises derived
+aggregates (``avg``), so its work is proportional to the result size of its
+own share, not to the number of groups.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.lambda_service import FunctionConfig, InvocationContext
+from repro.driver.worker import RESULT_BUCKET
+from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
+from repro.engine.scan import S3ScanOperator, ScanConfig
+from repro.engine.table import (
+    Table,
+    concat_tables,
+    filter_table,
+    sort_table,
+    table_from_payload,
+    table_num_rows,
+    table_to_payload,
+)
+from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
+from repro.exchange.basic import deserialize_partition, serialize_partition
+from repro.exchange.naming import MultiBucketNaming
+from repro.exchange.partition import hash_partition
+from repro.plan.expressions import evaluate, expression_from_dict, expression_to_dict
+from repro.plan.logical import AggregateSpec
+from repro.plan.optimizer import _decompose_aggregates
+from repro.plan.physical import PruneRange
+
+MAP_FUNCTION_NAME = "lambada-shuffle-map"
+REDUCE_FUNCTION_NAME = "lambada-shuffle-reduce"
+SHUFFLE_RESULT_QUEUE = "lambada-shuffle-results"
+
+
+@dataclass
+class ShuffleStatistics:
+    """Statistics of one shuffle-aggregation execution."""
+
+    map_workers: int
+    reduce_workers: int
+    rows_scanned: int
+    partition_objects_written: int
+    partition_objects_read: int
+    result_rows: int
+
+
+def _make_map_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBucketNaming]):
+    """Handler of the map-wave function."""
+
+    def handler(event: Dict, context: InvocationContext) -> Dict:
+        query_id = event["query_id"]
+        naming = naming_by_query[query_id]
+        worker_id = event["worker_id"]
+        group_by = list(event["group_by"])
+        partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
+        predicate = expression_from_dict(event.get("predicate"))
+        prune_ranges = [PruneRange.from_dict(item) for item in event.get("prune_ranges", [])]
+        num_partitions = event["num_partitions"]
+
+        scan = S3ScanOperator(
+            env.s3,
+            files=event["files"],
+            columns=event.get("columns") or None,
+            prune_ranges=prune_ranges,
+            config=ScanConfig(memory_mib=context.memory_mib),
+            bandwidth=env.bandwidth,
+        )
+        partials: List[Table] = []
+        for chunk in scan.scan():
+            if predicate is not None:
+                chunk = filter_table(chunk, np.asarray(evaluate(predicate, chunk), dtype=bool))
+            partials.append(partial_aggregate(chunk, group_by, partials_specs))
+        merged = merge_partials(partials, group_by, partials_specs)
+
+        partitions = hash_partition(merged, group_by, num_partitions)
+        written = 0
+        for receiver in range(num_partitions):
+            part = partitions.get(receiver, {})
+            data = serialize_partition(part)
+            env.s3.put_path(naming.path(worker_id, receiver), data)
+            written += 1
+        context.charge(scan.modelled_seconds())
+        message = {
+            "query_id": query_id,
+            "worker_id": worker_id,
+            "status": "ok",
+            "rows_scanned": scan.counters.rows_scanned,
+            "partitions_written": written,
+        }
+        env.sqs.send_json(event["result_queue"], message)
+        return message
+
+    return handler
+
+
+def _make_reduce_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBucketNaming]):
+    """Handler of the reduce-wave function."""
+
+    def handler(event: Dict, context: InvocationContext) -> Dict:
+        import json
+
+        query_id = event["query_id"]
+        naming = naming_by_query[query_id]
+        partition = event["partition"]
+        senders = event["senders"]
+        group_by = list(event["group_by"])
+        partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
+
+        pieces: List[Table] = []
+        objects_read = 0
+        for sender in senders:
+            data = env.s3.get_path(naming.path(sender, partition)).data
+            objects_read += 1
+            piece = deserialize_partition(data)
+            if table_num_rows(piece):
+                pieces.append(piece)
+        merged = merge_partials(pieces, group_by, partials_specs)
+        context.charge(0.1 + 0.001 * objects_read)
+
+        payload = {
+            "query_id": query_id,
+            "worker_id": partition,
+            "status": "ok",
+            "objects_read": objects_read,
+            "result": table_to_payload(merged),
+        }
+        encoded = json.dumps(payload)
+        if len(encoded.encode("utf-8")) > 200 * 1024:
+            env.s3.ensure_bucket(RESULT_BUCKET)
+            key = f"{query_id}/reduce-{partition}.json"
+            env.s3.put_object(RESULT_BUCKET, key, encoded.encode("utf-8"))
+            env.sqs.send_json(
+                event["result_queue"],
+                {
+                    "query_id": query_id,
+                    "worker_id": partition,
+                    "status": "ok",
+                    "objects_read": objects_read,
+                    "result_s3": f"s3://{RESULT_BUCKET}/{key}",
+                },
+            )
+        else:
+            env.sqs.send_json(event["result_queue"], payload)
+        return payload
+
+    return handler
+
+
+class ShuffleAggregateCoordinator:
+    """Coordinates two-wave (map + reduce) aggregation over serverless workers."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        memory_mib: int = 2048,
+        num_buckets: int = 10,
+        result_queue: str = SHUFFLE_RESULT_QUEUE,
+    ):
+        self.env = env
+        self.memory_mib = memory_mib
+        self.num_buckets = num_buckets
+        self.result_queue = result_queue
+        self._naming_by_query: Dict[str, MultiBucketNaming] = {}
+        env.sqs.create_queue(result_queue)
+        env.lambda_service.deploy(
+            FunctionConfig(name=MAP_FUNCTION_NAME, memory_mib=memory_mib),
+            _make_map_handler(env, self._naming_by_query),
+        )
+        env.lambda_service.deploy(
+            FunctionConfig(name=REDUCE_FUNCTION_NAME, memory_mib=memory_mib),
+            _make_reduce_handler(env, self._naming_by_query),
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(
+        self,
+        paths: Sequence[str],
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        predicate=None,
+        columns: Optional[Sequence[str]] = None,
+        num_workers: Optional[int] = None,
+        order_by: Optional[Sequence[str]] = None,
+    ):
+        """Run a repartitioned group-by aggregation and return (table, statistics)."""
+        paths = self._expand(paths)
+        if not paths:
+            raise ExecutionError("shuffle aggregation has no input files")
+        if not group_by:
+            raise ExecutionError("shuffle aggregation requires group-by keys")
+        num_workers = num_workers or len(paths)
+        num_workers = min(num_workers, len(paths))
+
+        partials, finals = _decompose_aggregates(list(aggregates))
+        query_id = uuid.uuid4().hex[:12]
+        naming = MultiBucketNaming(
+            num_buckets=self.num_buckets,
+            bucket_prefix="shuffle-b",
+            prefix=f"{query_id}/",
+        )
+        for bucket in naming.buckets():
+            self.env.s3.ensure_bucket(bucket)
+        self._naming_by_query[query_id] = naming
+
+        # -- map wave -------------------------------------------------------------
+        assignments = [paths[i::num_workers] for i in range(num_workers)]
+        assignments = [files for files in assignments if files]
+        for worker_id, files in enumerate(assignments):
+            event = {
+                "query_id": query_id,
+                "worker_id": worker_id,
+                "files": files,
+                "columns": list(columns) if columns else None,
+                "predicate": expression_to_dict(predicate),
+                "prune_ranges": [],
+                "group_by": list(group_by),
+                "aggregates": [spec.to_dict() for spec in partials],
+                "num_partitions": len(assignments),
+                "result_queue": self.result_queue,
+            }
+            self.env.lambda_service.invoke(MAP_FUNCTION_NAME, event)
+        map_messages = self._collect(query_id, expected=len(assignments))
+        rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
+        objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
+
+        # -- reduce wave ------------------------------------------------------------
+        for partition in range(len(assignments)):
+            event = {
+                "query_id": query_id,
+                "partition": partition,
+                "senders": list(range(len(assignments))),
+                "group_by": list(group_by),
+                "aggregates": [spec.to_dict() for spec in partials],
+                "result_queue": self.result_queue,
+            }
+            self.env.lambda_service.invoke(REDUCE_FUNCTION_NAME, event)
+        reduce_messages = self._collect(query_id, expected=len(assignments))
+        objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
+
+        pieces = []
+        for message in reduce_messages:
+            if "result_s3" in message:
+                import json
+
+                from repro.cloud.s3 import parse_s3_path
+
+                bucket, key = parse_s3_path(message["result_s3"])
+                message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
+            pieces.append(table_from_payload(message["result"]))
+        merged = concat_tables([piece for piece in pieces if table_num_rows(piece)])
+        result = finalize_aggregates(merged, list(group_by), list(finals))
+        if order_by:
+            result = sort_table(result, list(order_by))
+
+        self._naming_by_query.pop(query_id, None)
+        statistics = ShuffleStatistics(
+            map_workers=len(assignments),
+            reduce_workers=len(assignments),
+            rows_scanned=rows_scanned,
+            partition_objects_written=objects_written,
+            partition_objects_read=objects_read,
+            result_rows=table_num_rows(result),
+        )
+        return result, statistics
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _expand(self, paths: Sequence[str]) -> List[str]:
+        expanded: List[str] = []
+        for path in paths:
+            if "*" in path:
+                expanded.extend(self.env.s3.glob(path))
+            else:
+                expanded.append(path)
+        return expanded
+
+    def _collect(self, query_id: str, expected: int) -> List[Dict]:
+        messages: List[Dict] = []
+        for _ in range(max(64, expected * 4)):
+            for message in self.env.sqs.receive_messages(self.result_queue, max_messages=10):
+                payload = message.json()
+                if payload.get("query_id") != query_id:
+                    continue
+                if payload.get("status") != "ok":
+                    raise WorkerFailedError(payload.get("worker_id", -1),
+                                            payload.get("error", "unknown error"))
+                messages.append(payload)
+            if len(messages) >= expected:
+                return messages
+        raise QueryTimeoutError(
+            f"received {len(messages)} of {expected} shuffle results before giving up"
+        )

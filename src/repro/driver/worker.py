@@ -1,0 +1,112 @@
+"""Serverless worker: the Lambda event handler.
+
+The handler mirrors the paper's description (§3.3): it extracts the worker id,
+the query plan fragment, and its input from the invocation parameters, runs
+the execution engine, and posts a success or error message to the SQS result
+queue from which the driver polls.  First-generation workers additionally
+invoke their second-generation children (the tree invocation of §4.2) before
+starting their own fragment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.lambda_service import InvocationContext
+from repro.config import INVOCATION_RATE_INTRA_REGION
+from repro.engine.pipeline import execute_worker_plan
+from repro.plan.physical import WorkerPlan
+
+#: Name under which the worker function is deployed at installation time.
+WORKER_FUNCTION_NAME = "lambada-worker"
+
+#: Cold runs are about 20 % slower end to end (paper §5.2), partly because of
+#: loading code from the dependency layer; we model it as slower execution.
+COLD_EXECUTION_PENALTY = 1.15
+
+#: Results larger than this are staged through S3 instead of the SQS message
+#: (SQS messages are limited to 256 KiB); the message then carries a pointer.
+RESULT_SPILL_BYTES = 200 * 1024
+
+#: Bucket used for spilled worker results.
+RESULT_BUCKET = "lambada-results"
+
+
+def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], InvocationContext], Dict]:
+    """Create the worker event handler bound to a cloud environment.
+
+    The returned callable is deployed into the
+    :class:`~repro.cloud.lambda_service.LambdaService` as the Lambada worker
+    function.
+    """
+
+    def handler(event: Dict[str, Any], context: InvocationContext) -> Dict[str, Any]:
+        worker_id = event["worker_id"]
+        result_queue: Optional[str] = event.get("result_queue")
+        query_id = event.get("query_id", "query")
+        function_name = event.get("function_name", WORKER_FUNCTION_NAME)
+
+        # 1. Invoke second-generation children first so the whole fleet starts
+        #    as quickly as possible (tree invocation, §4.2).
+        children = event.get("children") or []
+        for child in children:
+            child_event = dict(child)
+            child_event.setdefault("result_queue", result_queue)
+            child_event.setdefault("query_id", query_id)
+            child_event.setdefault("function_name", function_name)
+            child_event.pop("children", None)
+            env.lambda_service.invoke(function_name, child_event, from_driver=False)
+        if children:
+            rate = INVOCATION_RATE_INTRA_REGION.get(env.region, 80.0)
+            context.charge(len(children) / rate)
+
+        # 2. Execute the query fragment and report the outcome.
+        try:
+            plan = WorkerPlan.from_dict(event["plan"])
+            result = execute_worker_plan(
+                plan,
+                env.s3,
+                memory_mib=context.memory_mib,
+                threads=event.get("threads", 2),
+                bandwidth=env.bandwidth,
+            )
+            duration = result.duration_seconds
+            if context.cold_start:
+                duration *= COLD_EXECUTION_PENALTY
+                result.duration_seconds = duration
+            context.charge(duration)
+            message = {
+                "query_id": query_id,
+                "worker_id": worker_id,
+                "status": "ok",
+                "result": result.to_payload(),
+            }
+        except Exception as exc:  # noqa: BLE001 - report, never die silently
+            message = {
+                "query_id": query_id,
+                "worker_id": worker_id,
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+        if result_queue:
+            encoded = json.dumps(message)
+            if len(encoded.encode("utf-8")) > RESULT_SPILL_BYTES:
+                # Stage large results through S3 and send only a pointer.
+                env.s3.ensure_bucket(RESULT_BUCKET)
+                key = f"{query_id}/worker-{worker_id}.json"
+                env.s3.put_object(RESULT_BUCKET, key, encoded.encode("utf-8"))
+                pointer = {
+                    "query_id": query_id,
+                    "worker_id": worker_id,
+                    "status": message["status"],
+                    "result_s3": f"s3://{RESULT_BUCKET}/{key}",
+                }
+                env.sqs.send_json(result_queue, pointer)
+            else:
+                env.sqs.send_json(result_queue, message)
+        return message
+
+    return handler

@@ -1,0 +1,142 @@
+"""Grouped and scalar aggregation.
+
+The workers compute *partial* aggregates over their table chunks; the driver
+*merges* the partials and *finalises* derived aggregates (``avg``).  All three
+steps operate on tables (dicts of NumPy arrays) and are implemented with
+vectorised NumPy group-by kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.plan.expressions import evaluate
+from repro.plan.logical import AggregateSpec
+from repro.engine.table import Table, concat_tables, table_num_rows
+
+
+def _group_indices(table: Table, group_by: Sequence[str]) -> Tuple[Table, np.ndarray, int]:
+    """Compute group keys and per-row group indices.
+
+    Returns ``(key_table, inverse, num_groups)`` where ``key_table`` holds the
+    distinct key combinations in sorted order and ``inverse[i]`` is the group
+    index of row ``i``.
+    """
+    num_rows = table_num_rows(table)
+    if not group_by:
+        return {}, np.zeros(num_rows, dtype=np.int64), 1 if num_rows else 1
+    keys = [np.asarray(table[name]) for name in group_by]
+    stacked = np.rec.fromarrays(keys, names=[f"k{i}" for i in range(len(keys))])
+    unique, inverse = np.unique(stacked, return_inverse=True)
+    key_table = {
+        name: np.asarray(unique[f"k{i}"]) for i, name in enumerate(group_by)
+    }
+    return key_table, inverse, len(unique)
+
+
+def _aggregate_column(
+    values: np.ndarray, inverse: np.ndarray, num_groups: int, function: str
+) -> np.ndarray:
+    """Aggregate ``values`` per group index."""
+    if function == "sum":
+        return np.bincount(inverse, weights=values, minlength=num_groups)
+    if function == "count":
+        return np.bincount(inverse, minlength=num_groups).astype(np.float64)
+    if function in ("min", "max"):
+        result = np.full(num_groups, np.inf if function == "min" else -np.inf)
+        reducer = np.minimum if function == "min" else np.maximum
+        np_func = reducer.at
+        np_func(result, inverse, values)
+        return result
+    raise ExecutionError(f"unsupported partial aggregate {function!r}")
+
+
+def partial_aggregate(
+    table: Table,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Compute partial aggregates of one table chunk.
+
+    The result has the group-by columns followed by one column per aggregate
+    alias.  An empty input yields an empty result table with the right
+    columns.
+    """
+    num_rows = table_num_rows(table)
+    aliases = [spec.alias for spec in aggregates]
+    if num_rows == 0:
+        empty = {name: np.zeros(0, dtype=np.float64) for name in list(group_by) + aliases}
+        return empty
+
+    key_table, inverse, num_groups = _group_indices(table, group_by)
+    result: Table = dict(key_table)
+    for spec in aggregates:
+        if spec.function == "count" and spec.expression is None:
+            values = np.ones(num_rows, dtype=np.float64)
+        else:
+            values = np.asarray(evaluate(spec.expression, table), dtype=np.float64)
+        result[spec.alias] = _aggregate_column(values, inverse, num_groups, spec.function)
+    return result
+
+
+def merge_partials(
+    partials: Sequence[Table],
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Merge per-worker partial aggregate tables into one.
+
+    Partial sums and counts add up; partial mins/maxes combine with min/max.
+    """
+    non_empty = [table for table in partials if table_num_rows(table) > 0]
+    if not non_empty:
+        return partial_aggregate({}, group_by, aggregates)
+    combined = concat_tables(non_empty)
+    merge_specs = []
+    for spec in aggregates:
+        merge_function = "sum" if spec.function in ("sum", "count") else spec.function
+        merge_specs.append(
+            AggregateSpec(merge_function, _column_expr(spec.alias), spec.alias)
+        )
+    return partial_aggregate(combined, group_by, merge_specs)
+
+
+def _column_expr(name: str):
+    from repro.plan.expressions import col
+
+    return col(name)
+
+
+def finalize_aggregates(
+    merged: Table,
+    group_by: Sequence[str],
+    final_aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Produce the user-facing result from merged partials.
+
+    ``avg`` aggregates are finalised as ``sum / count`` from their partial
+    columns (named ``__<alias>_sum`` / ``__<alias>_count``); the other
+    functions pass through under their alias.
+    """
+    result: Table = {name: np.asarray(merged[name]) for name in group_by}
+    for spec in final_aggregates:
+        if spec.function == "avg":
+            sum_alias = f"__{spec.alias}_sum"
+            count_alias = f"__{spec.alias}_count"
+            if sum_alias not in merged or count_alias not in merged:
+                raise ExecutionError(f"missing partials for avg aggregate {spec.alias!r}")
+            counts = np.asarray(merged[count_alias], dtype=np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                result[spec.alias] = np.where(
+                    counts > 0,
+                    np.asarray(merged[sum_alias], dtype=np.float64) / np.where(counts > 0, counts, 1.0),
+                    np.nan,
+                )
+        else:
+            if spec.alias not in merged:
+                raise ExecutionError(f"missing merged column for aggregate {spec.alias!r}")
+            result[spec.alias] = np.asarray(merged[spec.alias])
+    return result

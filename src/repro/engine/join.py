@@ -1,0 +1,76 @@
+"""Hash equi-join of two in-memory tables.
+
+Joins are not part of the paper's evaluation, but the exchange operator is
+explicitly motivated as the building block for repartitioning joins; this
+module provides the in-memory probe/build kernel so that a repartitioned join
+can be expressed as ``exchange(left) + exchange(right) + hash_join`` on each
+worker (see :mod:`repro.exchange`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.engine.table import Table, table_num_rows, take_rows
+from repro.errors import ExecutionError, UnknownColumnError
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    suffix: str = "_right",
+) -> Table:
+    """Inner hash join of two tables on a single key column.
+
+    The right side is used as the build side.  Columns of the right table
+    whose names collide with left columns are renamed with ``suffix``; the
+    right key column is dropped (it equals the left key in the output).
+    """
+    if left_key not in left:
+        raise UnknownColumnError(left_key)
+    if right_key not in right:
+        raise UnknownColumnError(right_key)
+
+    left_rows = table_num_rows(left)
+    right_rows = table_num_rows(right)
+    if left_rows == 0 or right_rows == 0:
+        columns = list(left.keys()) + [
+            name if name not in left else name + suffix
+            for name in right
+            if name != right_key
+        ]
+        return {name: np.zeros(0, dtype=np.float64) for name in columns}
+
+    # Build phase: key -> list of row indices on the right.
+    build: Dict[float, list] = {}
+    right_keys = np.asarray(right[right_key])
+    for index, key in enumerate(right_keys.tolist()):
+        build.setdefault(key, []).append(index)
+
+    # Probe phase.
+    left_keys = np.asarray(left[left_key])
+    left_indices = []
+    right_indices = []
+    for index, key in enumerate(left_keys.tolist()):
+        matches = build.get(key)
+        if not matches:
+            continue
+        left_indices.extend([index] * len(matches))
+        right_indices.extend(matches)
+
+    left_idx = np.asarray(left_indices, dtype=np.int64)
+    right_idx = np.asarray(right_indices, dtype=np.int64)
+
+    result: Table = take_rows(left, left_idx)
+    for name, column in right.items():
+        if name == right_key:
+            continue
+        out_name = name if name not in left else name + suffix
+        if out_name in result:
+            raise ExecutionError(f"column name collision on {out_name!r}")
+        result[out_name] = np.asarray(column)[right_idx]
+    return result

@@ -1,0 +1,210 @@
+"""Worker pipeline execution.
+
+:func:`execute_worker_plan` is what the serverless worker's event handler
+calls: it executes one :class:`~repro.plan.physical.WorkerPlan` against the
+object store — scan (with pruning and push-downs), filter, map, partial
+aggregation or row collection — and returns a :class:`WorkerResult` holding
+the partial result plus the statistics and modelled timings that the driver
+and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.network import BandwidthModel
+from repro.cloud.s3 import ObjectStore
+from repro.engine.aggregates import merge_partials, partial_aggregate
+from repro.engine.scan import S3ScanOperator, ScanConfig
+from repro.engine.table import (
+    Table,
+    concat_tables,
+    filter_table,
+    select_columns,
+    table_num_rows,
+    table_to_payload,
+)
+from repro.errors import ExecutionError
+from repro.plan.expressions import evaluate
+from repro.plan.physical import WorkerPlan, resolve_udf
+
+
+@dataclass
+class WorkerResult:
+    """Result and statistics of executing one worker plan fragment."""
+
+    #: Partial aggregate table (or collected rows) as a JSON-compatible payload.
+    partial: Dict[str, List]
+    #: Result of a UDF reduce, if the plan used one.
+    reduce_value: Optional[Any] = None
+    #: Rows decoded from the scanned row groups.
+    rows_scanned: int = 0
+    #: Rows remaining after the filter.
+    rows_after_filter: int = 0
+    #: Rows in the partial result.
+    rows_output: int = 0
+    row_groups_total: int = 0
+    row_groups_pruned: int = 0
+    get_requests: int = 0
+    bytes_read: int = 0
+    #: Modelled time breakdown, seconds.
+    metadata_seconds: float = 0.0
+    download_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    duration_seconds: float = 0.0
+
+    def to_payload(self) -> Dict:
+        """Serialise for the SQS result message / invocation response."""
+        return {
+            "partial": self.partial,
+            "reduce_value": self.reduce_value,
+            "rows_scanned": self.rows_scanned,
+            "rows_after_filter": self.rows_after_filter,
+            "rows_output": self.rows_output,
+            "row_groups_total": self.row_groups_total,
+            "row_groups_pruned": self.row_groups_pruned,
+            "get_requests": self.get_requests,
+            "bytes_read": self.bytes_read,
+            "metadata_seconds": self.metadata_seconds,
+            "download_seconds": self.download_seconds,
+            "compute_seconds": self.compute_seconds,
+            "duration_seconds": self.duration_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "WorkerResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(**payload)
+
+
+def _rows_as_tuples(table: Table, column_order: Sequence[str]) -> List[tuple]:
+    """Materialise a table chunk as a list of row tuples (for opaque UDFs)."""
+    columns = [np.asarray(table[name]) for name in column_order]
+    return list(zip(*columns)) if columns else []
+
+
+def _apply_filter(plan: WorkerPlan, chunk: Table, column_order: Sequence[str]) -> Table:
+    """Apply the plan's predicate (expression or UDF) to a chunk."""
+    if plan.predicate is not None:
+        mask = np.asarray(evaluate(plan.predicate, chunk), dtype=bool)
+        return filter_table(chunk, mask)
+    if plan.predicate_udf is not None:
+        udf = resolve_udf(plan.predicate_udf)
+        rows = _rows_as_tuples(chunk, column_order)
+        mask = np.array([bool(udf(row)) for row in rows], dtype=bool)
+        return filter_table(chunk, mask)
+    return chunk
+
+
+def _apply_map(plan: WorkerPlan, chunk: Table, column_order: Sequence[str]) -> Table:
+    """Apply the plan's computed columns (expressions or a UDF) to a chunk."""
+    if plan.map_udf is not None:
+        udf = resolve_udf(plan.map_udf)
+        rows = _rows_as_tuples(chunk, column_order)
+        values = np.array([udf(row) for row in rows], dtype=np.float64)
+        mapped = {"value": values}
+        if plan.map_replace:
+            return mapped
+        combined = dict(chunk)
+        combined.update(mapped)
+        return combined
+    if plan.map_outputs:
+        outputs = {
+            alias: np.asarray(evaluate(expression, chunk))
+            for alias, expression in plan.map_outputs
+        }
+        if plan.map_replace:
+            return outputs
+        combined = dict(chunk)
+        combined.update(outputs)
+        return combined
+    return chunk
+
+
+def execute_worker_plan(
+    plan: WorkerPlan,
+    store: ObjectStore,
+    memory_mib: int = 2048,
+    threads: int = 2,
+    bandwidth: Optional[BandwidthModel] = None,
+) -> WorkerResult:
+    """Execute a worker plan fragment and return its partial result."""
+    config = ScanConfig(
+        chunk_bytes=plan.scan_chunk_bytes,
+        connections=plan.scan_connections,
+        memory_mib=memory_mib,
+        threads=threads,
+    )
+    scan = S3ScanOperator(
+        store,
+        files=plan.files,
+        columns=plan.columns or None,
+        prune_ranges=plan.prune_ranges,
+        config=config,
+        bandwidth=bandwidth,
+    )
+
+    partials: List[Table] = []
+    collected: List[Table] = []
+    reduce_values: List[Any] = []
+    reduce_fn = resolve_udf(plan.reduce_udf) if plan.reduce_udf else None
+    rows_after_filter = 0
+
+    column_order: List[str] = list(plan.columns)
+    for chunk in scan.scan():
+        if not column_order:
+            column_order = list(chunk.keys())
+        filtered = _apply_filter(plan, chunk, column_order)
+        rows_after_filter += table_num_rows(filtered)
+        mapped = _apply_map(plan, filtered, column_order)
+        if plan.aggregates:
+            partials.append(partial_aggregate(mapped, plan.group_by, plan.aggregates))
+        elif reduce_fn is not None:
+            values = mapped.get("value")
+            if values is None:
+                if len(mapped) != 1:
+                    raise ExecutionError("reduce requires a single value column")
+                values = next(iter(mapped.values()))
+            if len(values):
+                reduce_values.append(functools.reduce(reduce_fn, values.tolist()))
+        else:
+            collected.append(mapped)
+
+    if plan.aggregates:
+        merged = merge_partials(partials, plan.group_by, plan.aggregates)
+        partial_payload = table_to_payload(merged)
+        rows_output = table_num_rows(merged)
+        reduce_value = None
+    elif reduce_fn is not None:
+        reduce_value = (
+            functools.reduce(reduce_fn, reduce_values) if reduce_values else None
+        )
+        partial_payload = {}
+        rows_output = 0 if reduce_value is None else 1
+    else:
+        rows = concat_tables(collected)
+        partial_payload = table_to_payload(rows)
+        rows_output = table_num_rows(rows)
+        reduce_value = None
+
+    counters = scan.counters
+    duration = scan.modelled_seconds()
+    return WorkerResult(
+        partial=partial_payload,
+        reduce_value=reduce_value,
+        rows_scanned=counters.rows_scanned,
+        rows_after_filter=rows_after_filter,
+        rows_output=rows_output,
+        row_groups_total=counters.row_groups_total,
+        row_groups_pruned=counters.row_groups_pruned,
+        get_requests=scan.statistics.get_requests,
+        bytes_read=scan.statistics.bytes_read,
+        metadata_seconds=counters.metadata_seconds,
+        download_seconds=counters.download_seconds,
+        compute_seconds=counters.decode_seconds,
+        duration_seconds=duration,
+    )

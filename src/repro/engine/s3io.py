@@ -1,0 +1,109 @@
+"""S3-backed random-access source with request accounting and a timing model.
+
+This is the reproduction of the "S3 file system" layer of the paper's scan
+operator (Figure 8): it implements the reader-facing random-access interface
+(:meth:`read_at`) on top of the object store's ranged GETs, splitting large
+reads into chunk-sized requests that would be issued over several concurrent
+connections, and it records the statistics needed to model scan bandwidth and
+request cost (Figures 6 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cloud.network import BandwidthModel, TransferPlan
+from repro.cloud.s3 import ObjectStore, parse_s3_path
+from repro.config import DEFAULT_SCAN_CHUNK_BYTES, DEFAULT_SCAN_CONNECTIONS
+from repro.formats.source import RandomAccessSource
+
+
+@dataclass
+class ScanStatistics:
+    """Accumulated I/O statistics of one worker's scan activity."""
+
+    get_requests: int = 0
+    bytes_read: int = 0
+    #: Modelled wall-clock seconds spent transferring data (latency + stream).
+    transfer_seconds: float = 0.0
+    #: Individual transfers as (bytes, seconds) pairs for detailed analysis.
+    transfers: List[Tuple[int, float]] = field(default_factory=list)
+
+    def merge(self, other: "ScanStatistics") -> None:
+        """Fold another statistics object into this one."""
+        self.get_requests += other.get_requests
+        self.bytes_read += other.bytes_read
+        self.transfer_seconds += other.transfer_seconds
+        self.transfers.extend(other.transfers)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Average achieved bandwidth in bytes/second (0 if nothing was read)."""
+        if self.transfer_seconds <= 0:
+            return 0.0
+        return self.bytes_read / self.transfer_seconds
+
+
+class S3ObjectSource(RandomAccessSource):
+    """Random-access reads of one object, issued as chunked ranged GETs."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        path: str,
+        chunk_bytes: int = DEFAULT_SCAN_CHUNK_BYTES,
+        connections: int = DEFAULT_SCAN_CONNECTIONS,
+        memory_mib: int = 2048,
+        bandwidth: Optional[BandwidthModel] = None,
+        statistics: Optional[ScanStatistics] = None,
+    ):
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if connections < 1:
+            raise ValueError("connections must be at least 1")
+        self.store = store
+        self.bucket, self.key = parse_s3_path(path)
+        self.path = path
+        self.chunk_bytes = chunk_bytes
+        self.connections = connections
+        self.memory_mib = memory_mib
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.statistics = statistics if statistics is not None else ScanStatistics()
+        self._size = self.store.head_object(self.bucket, self.key).size
+        self.statistics.get_requests += 1  # the HEAD/metadata request
+
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` using chunked ranged GETs."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        end = min(offset + length, self._size)
+        if end <= offset:
+            return b""
+        pieces: List[bytes] = []
+        request_count = 0
+        position = offset
+        while position < end:
+            chunk_end = min(position + self.chunk_bytes, end)
+            result = self.store.get_object(self.bucket, self.key, position, chunk_end)
+            pieces.append(result.data)
+            request_count += 1
+            position = chunk_end
+        data = b"".join(pieces)
+
+        # Model the transfer time of this read as one pipelined download.
+        plan = TransferPlan(
+            total_bytes=len(data),
+            chunk_bytes=self.chunk_bytes,
+            connections=self.connections,
+            memory_mib=self.memory_mib,
+        )
+        seconds = self.bandwidth.transfer_seconds(plan)
+        self.statistics.get_requests += request_count
+        self.statistics.bytes_read += len(data)
+        self.statistics.transfer_seconds += seconds
+        self.statistics.transfers.append((len(data), seconds))
+        return data

@@ -1,0 +1,138 @@
+"""Exception hierarchy for the Lambada reproduction.
+
+Every error raised by the library derives from :class:`LambadaError` so that
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: the simulated cloud services, the columnar file format, query
+planning, and query execution.
+"""
+
+from __future__ import annotations
+
+
+class LambadaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Cloud substrate errors
+# ---------------------------------------------------------------------------
+
+class CloudError(LambadaError):
+    """Base class for errors raised by the simulated cloud services."""
+
+
+class NoSuchBucketError(CloudError):
+    """A request referenced a bucket that does not exist."""
+
+
+class NoSuchKeyError(CloudError):
+    """A GET/HEAD request referenced an object key that does not exist."""
+
+
+class BucketAlreadyExistsError(CloudError):
+    """A bucket with the requested name already exists."""
+
+
+class InvalidRangeError(CloudError):
+    """A ranged GET requested bytes outside of the object."""
+
+
+class SlowDownError(CloudError):
+    """The object store throttled the request (HTTP 503 SlowDown on AWS).
+
+    Raised when the per-bucket request rate limit is exceeded.  Callers are
+    expected to back off and retry, exactly as against the real service.
+    """
+
+
+class NoSuchQueueError(CloudError):
+    """A queue operation referenced a queue that does not exist."""
+
+
+class NoSuchTableError(CloudError):
+    """A key-value operation referenced a table that does not exist."""
+
+
+class ConditionalCheckFailedError(CloudError):
+    """A conditional put on the key-value store failed its precondition."""
+
+
+class FunctionNotFoundError(CloudError):
+    """An invocation referenced a Lambda function that was never deployed."""
+
+
+class TooManyRequestsError(CloudError):
+    """The function service rejected an invocation (concurrency limit)."""
+
+
+class FunctionTimeoutError(CloudError):
+    """A function invocation exceeded its configured timeout."""
+
+
+class FunctionOutOfMemoryError(CloudError):
+    """A function invocation exceeded its configured memory limit."""
+
+
+class PayloadTooLargeError(CloudError):
+    """An invocation payload or message exceeded the service limit."""
+
+
+# ---------------------------------------------------------------------------
+# File format errors
+# ---------------------------------------------------------------------------
+
+class FormatError(LambadaError):
+    """Base class for errors in the columnar file format."""
+
+
+class CorruptFileError(FormatError):
+    """The file footer or a page failed validation."""
+
+
+class UnsupportedTypeError(FormatError):
+    """A column type is not supported by the format or an encoding."""
+
+
+class SchemaMismatchError(FormatError):
+    """Data supplied to a writer does not match the declared schema."""
+
+
+# ---------------------------------------------------------------------------
+# Planning and execution errors
+# ---------------------------------------------------------------------------
+
+class PlanError(LambadaError):
+    """Base class for query planning errors."""
+
+
+class UnknownColumnError(PlanError):
+    """An expression referenced a column that is not in scope."""
+
+
+class InvalidPlanError(PlanError):
+    """A plan failed structural validation."""
+
+
+class SqlSyntaxError(PlanError):
+    """The mini-SQL frontend could not parse a statement."""
+
+
+class ExecutionError(LambadaError):
+    """Base class for runtime execution errors."""
+
+
+class WorkerFailedError(ExecutionError):
+    """A serverless worker reported a failure to the driver."""
+
+    def __init__(self, worker_id: int, message: str):
+        super().__init__(f"worker {worker_id} failed: {message}")
+        self.worker_id = worker_id
+        self.message = message
+
+
+class QueryTimeoutError(ExecutionError):
+    """The driver gave up waiting for worker results."""
+
+
+class ExchangeError(ExecutionError):
+    """An exchange operator failed (missing partition files, bad offsets...)."""

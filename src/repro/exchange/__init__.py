@@ -1,0 +1,58 @@
+"""Purely serverless exchange (shuffle) operators.
+
+Serverless workers cannot accept incoming connections, so all data exchange
+goes through the object store (paper §4.4).  This package implements the full
+family of exchange algorithms the paper analyses:
+
+* :class:`~repro.exchange.basic.BasicExchange` — the one-level baseline with
+  O(P²) requests;
+* :class:`~repro.exchange.multilevel.MultiLevelExchange` — the two- and
+  k-level variants with O(P·P^(1/k)) requests, built on
+  ``BasicGroupExchange``;
+* *write combining* — all partitions of one sender go into a single object,
+  with the part offsets either in a companion index object or encoded in the
+  object key (discovered via LIST);
+* :mod:`~repro.exchange.cost_model` — the request-count formulas of Table 2
+  and their dollar costs (Figure 9);
+* :mod:`~repro.exchange.simulator` — the timing model with stragglers and
+  wait propagation used for Table 3 and Figure 13.
+"""
+
+from repro.exchange.partition import hash_partition, partition_assignments
+from repro.exchange.naming import (
+    FileNaming,
+    SingleBucketNaming,
+    MultiBucketNaming,
+    WriteCombiningNaming,
+)
+from repro.exchange.basic import BasicExchange, BasicGroupExchange, ExchangeConfig
+from repro.exchange.multilevel import MultiLevelExchange, grid_coordinates, grid_side
+from repro.exchange.cost_model import (
+    ExchangeCostModel,
+    EXCHANGE_VARIANTS,
+    request_counts,
+    exchange_cost,
+)
+from repro.exchange.simulator import ExchangeSimulator, ExchangeTimings, PhaseBreakdown
+
+__all__ = [
+    "hash_partition",
+    "partition_assignments",
+    "FileNaming",
+    "SingleBucketNaming",
+    "MultiBucketNaming",
+    "WriteCombiningNaming",
+    "BasicExchange",
+    "BasicGroupExchange",
+    "ExchangeConfig",
+    "MultiLevelExchange",
+    "grid_coordinates",
+    "grid_side",
+    "ExchangeCostModel",
+    "EXCHANGE_VARIANTS",
+    "request_counts",
+    "exchange_cost",
+    "ExchangeSimulator",
+    "ExchangeTimings",
+    "PhaseBreakdown",
+]

@@ -1,0 +1,316 @@
+"""Basic (one-level) S3 exchange and the group-exchange building block.
+
+``BasicGroupExchange`` implements the paper's Algorithm 1 generalised with a
+routing function (Algorithm 2's ``BasicGroupExchange``): every sender
+partitions its rows by the hash of the key columns, maps each row's *target
+partition* to a receiver inside the group, writes one object per receiver
+(or, with write combining, a single combined object), and every receiver
+polls for and reads the objects addressed to it.
+
+``BasicExchange`` is the one-level special case where the group is the whole
+worker set and the routing is the identity, i.e. the O(P²)-request baseline
+of the paper's cost analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.s3 import ObjectStore, parse_s3_path
+from repro.engine.table import Table, concat_tables, take_rows, table_num_rows
+from repro.errors import ExchangeError, NoSuchKeyError
+from repro.exchange.naming import FileNaming, MultiBucketNaming, WriteCombiningNaming
+from repro.exchange.partition import partition_assignments
+from repro.formats.compression import Compression
+from repro.formats.parquet import ColumnarFile, write_table
+
+
+@dataclass
+class ExchangeConfig:
+    """Configuration of an exchange operation."""
+
+    #: Key columns whose hash determines the target partition.
+    keys: List[str] = field(default_factory=list)
+    #: Combine all partitions of one sender into a single object.
+    write_combining: bool = False
+    #: Number of buckets to spread files over (rate-limit bypass, §4.4.1).
+    num_buckets: int = 10
+    #: Compression of the partition files (FAST keeps CPU cost low).
+    compression: Compression = Compression.FAST
+    #: How often a receiver re-checks for a missing sender file before failing.
+    max_poll_attempts: int = 100
+
+
+@dataclass
+class ExchangeStats:
+    """Request and byte counters accumulated by an exchange."""
+
+    put_requests: int = 0
+    get_requests: int = 0
+    list_requests: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def merge(self, other: "ExchangeStats") -> None:
+        """Fold another counter set into this one."""
+        self.put_requests += other.put_requests
+        self.get_requests += other.get_requests
+        self.list_requests += other.list_requests
+        self.bytes_written += other.bytes_written
+        self.bytes_read += other.bytes_read
+
+    @property
+    def total_requests(self) -> int:
+        """All requests issued by the exchange."""
+        return self.put_requests + self.get_requests + self.list_requests
+
+
+def serialize_partition(table: Table, compression: Compression = Compression.FAST) -> bytes:
+    """Serialise a partition table into bytes (LPQ with light compression)."""
+    if table_num_rows(table) == 0:
+        return b""
+    return write_table(table, compression=compression)
+
+
+def deserialize_partition(data: bytes) -> Table:
+    """Inverse of :func:`serialize_partition` (empty bytes -> empty table)."""
+    if not data:
+        return {}
+    return ColumnarFile.from_bytes(data).read_table()
+
+
+class BasicGroupExchange:
+    """One exchange round among a group of workers.
+
+    Parameters
+    ----------
+    store:
+        The shared object store.
+    group:
+        Global worker ids participating in this round, in a fixed order that
+        all participants agree on (receiver slots in combined objects follow
+        this order).
+    total_partitions:
+        Number of global partitions ``P`` (the total worker count).
+    route:
+        Maps an array of global target-partition ids to an array of global
+        worker ids *within the group* that should receive those rows in this
+        round.
+    naming:
+        File naming scheme.
+    config:
+        Exchange configuration.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        group: Sequence[int],
+        total_partitions: int,
+        route: Callable[[np.ndarray], np.ndarray],
+        naming: FileNaming,
+        config: ExchangeConfig,
+    ):
+        if not group:
+            raise ExchangeError("exchange group cannot be empty")
+        self.store = store
+        self.group = list(group)
+        self.group_index = {worker: position for position, worker in enumerate(self.group)}
+        self.total_partitions = total_partitions
+        self.route = route
+        self.naming = naming
+        self.config = config
+        self.stats_per_worker: Dict[int, ExchangeStats] = {}
+        for bucket in naming.buckets():
+            store.ensure_bucket(bucket)
+
+    def _stats(self, worker: int) -> ExchangeStats:
+        return self.stats_per_worker.setdefault(worker, ExchangeStats())
+
+    # -- write phase -----------------------------------------------------------
+
+    def write(self, worker: int, table: Table) -> None:
+        """Partition ``table`` and write this sender's exchange objects."""
+        if worker not in self.group_index:
+            raise ExchangeError(f"worker {worker} is not part of this exchange group")
+        stats = self._stats(worker)
+        targets = partition_assignments(table, self.config.keys, self.total_partitions)
+        receivers = self.route(targets) if len(targets) else targets
+        parts: Dict[int, Table] = {}
+        for receiver in self.group:
+            mask = receivers == receiver if len(receivers) else np.zeros(0, dtype=bool)
+            parts[receiver] = take_rows(table, np.flatnonzero(mask))
+
+        if self.config.write_combining:
+            self._write_combined(worker, parts, stats)
+        else:
+            for receiver in self.group:
+                data = serialize_partition(parts[receiver], self.config.compression)
+                path = self.naming.path(worker, receiver)
+                self.store.put_path(path, data)
+                stats.put_requests += 1
+                stats.bytes_written += len(data)
+
+    def _write_combined(self, worker: int, parts: Dict[int, Table], stats: ExchangeStats) -> None:
+        if not isinstance(self.naming, WriteCombiningNaming):
+            raise ExchangeError("write combining requires WriteCombiningNaming")
+        blobs = [
+            serialize_partition(parts[receiver], self.config.compression)
+            for receiver in self.group
+        ]
+        offsets = [0]
+        for blob in blobs:
+            offsets.append(offsets[-1] + len(blob))
+        payload = b"".join(blobs)
+        path = self.naming.combined_path(worker, offsets)
+        self.store.put_path(path, payload)
+        stats.put_requests += 1
+        stats.bytes_written += len(payload)
+
+    # -- read phase -------------------------------------------------------------
+
+    def read(self, worker: int) -> Table:
+        """Read and concatenate all parts addressed to ``worker``."""
+        if worker not in self.group_index:
+            raise ExchangeError(f"worker {worker} is not part of this exchange group")
+        stats = self._stats(worker)
+        if self.config.write_combining:
+            return self._read_combined(worker, stats)
+
+        pieces: List[Table] = []
+        for sender in self.group:
+            path = self.naming.path(sender, worker)
+            data = self._poll_get(path, stats)
+            stats.get_requests += 1
+            stats.bytes_read += len(data)
+            piece = deserialize_partition(data)
+            if table_num_rows(piece):
+                pieces.append(piece)
+        return concat_tables(pieces)
+
+    def _read_combined(self, worker: int, stats: ExchangeStats) -> Table:
+        naming = self.naming
+        assert isinstance(naming, WriteCombiningNaming)
+        my_slot = self.group_index[worker]
+        # Discover all senders' combined objects with LIST requests, repeating
+        # until every sender's object is visible.
+        found: Dict[int, str] = {}
+        attempts = 0
+        senders = set(self.group)
+        while len(found) < len(senders):
+            attempts += 1
+            if attempts > self.config.max_poll_attempts:
+                missing = sorted(senders - set(found))
+                raise ExchangeError(f"missing combined objects from senders {missing}")
+            stats.list_requests += 1
+            for bucket in naming.buckets():
+                for meta in self.store.list_objects(bucket, naming.prefix):
+                    try:
+                        sender, _ = WriteCombiningNaming.parse_offsets(meta.key)
+                    except ExchangeError:
+                        continue
+                    if sender in senders:
+                        found[sender] = f"s3://{meta.bucket}/{meta.key}"
+
+        pieces: List[Table] = []
+        for sender in self.group:
+            path = found[sender]
+            _, key = parse_s3_path(path)
+            _, offsets = WriteCombiningNaming.parse_offsets(key)
+            if len(offsets) != len(self.group) + 1:
+                raise ExchangeError(
+                    f"combined object {path!r} has {len(offsets) - 1} parts, "
+                    f"expected {len(self.group)}"
+                )
+            start, end = offsets[my_slot], offsets[my_slot + 1]
+            if end > start:
+                result = self.store.get_path(path, start, end)
+                stats.get_requests += 1
+                stats.bytes_read += len(result.data)
+                piece = deserialize_partition(result.data)
+                if table_num_rows(piece):
+                    pieces.append(piece)
+            else:
+                # Zero-length part: no request needed.
+                pass
+        return concat_tables(pieces)
+
+    def _poll_get(self, path: str, stats: ExchangeStats) -> bytes:
+        """GET with retries: the sender may not have written the file yet."""
+        for _ in range(self.config.max_poll_attempts):
+            try:
+                return self.store.get_path(path).data
+            except NoSuchKeyError:
+                stats.get_requests += 1  # failed polls are billed too
+                continue
+        raise ExchangeError(f"gave up waiting for exchange file {path!r}")
+
+    # -- aggregate statistics -----------------------------------------------------
+
+    def total_stats(self) -> ExchangeStats:
+        """Sum of the per-worker request counters."""
+        total = ExchangeStats()
+        for stats in self.stats_per_worker.values():
+            total.merge(stats)
+        return total
+
+
+class BasicExchange:
+    """The one-level exchange: every worker exchanges with every other worker."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        num_workers: int,
+        config: Optional[ExchangeConfig] = None,
+        naming: Optional[FileNaming] = None,
+        tag: str = "exchange",
+    ):
+        if num_workers <= 0:
+            raise ExchangeError("num_workers must be positive")
+        self.num_workers = num_workers
+        self.config = config or ExchangeConfig()
+        if naming is None:
+            if self.config.write_combining:
+                naming = WriteCombiningNaming(bucket=tag, prefix="r0/")
+            else:
+                naming = MultiBucketNaming(
+                    num_buckets=self.config.num_buckets, bucket_prefix=f"{tag}-b", prefix="r0/"
+                )
+        self._round = BasicGroupExchange(
+            store=store,
+            group=list(range(num_workers)),
+            total_partitions=num_workers,
+            route=lambda targets: targets,
+            naming=naming,
+            config=self.config,
+        )
+
+    def write(self, worker: int, table: Table) -> None:
+        """Write phase for one worker."""
+        self._round.write(worker, table)
+
+    def read(self, worker: int) -> Table:
+        """Read phase for one worker."""
+        return self._round.read(worker)
+
+    def run(self, tables: Sequence[Table]) -> List[Table]:
+        """Run the full exchange for all workers (write all, then read all)."""
+        if len(tables) != self.num_workers:
+            raise ExchangeError(
+                f"expected {self.num_workers} input tables, got {len(tables)}"
+            )
+        for worker, table in enumerate(tables):
+            self.write(worker, table)
+        return [self.read(worker) for worker in range(self.num_workers)]
+
+    def total_stats(self) -> ExchangeStats:
+        """Request counters summed over all workers."""
+        return self._round.total_stats()
+
+    def stats_per_worker(self) -> Dict[int, ExchangeStats]:
+        """Per-worker request counters."""
+        return dict(self._round.stats_per_worker)

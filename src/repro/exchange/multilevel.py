@@ -1,0 +1,212 @@
+"""Multi-level (two- and k-level) serverless exchange.
+
+The paper's key optimisation (§4.4.2): instead of every worker exchanging
+with every other worker (O(P²) requests), workers are arranged on a grid and
+exchange once per grid dimension, only with the workers that share all other
+coordinates.  For a k-dimensional grid with side length P^(1/k) this brings
+the request count down to k·P·P^(1/k) at the cost of reading and writing the
+data k times.
+
+The functional implementation requires the worker count to factor exactly
+into the grid dimensions (the analytic cost models in
+:mod:`repro.exchange.cost_model` handle arbitrary P).  The default
+factorisation picks divisors as close to P^(1/k) as possible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.s3 import ObjectStore
+from repro.engine.table import Table
+from repro.errors import ExchangeError
+from repro.exchange.basic import BasicGroupExchange, ExchangeConfig, ExchangeStats
+from repro.exchange.naming import MultiBucketNaming, WriteCombiningNaming
+
+
+def grid_side(num_workers: int, levels: int) -> List[int]:
+    """Factor ``num_workers`` into ``levels`` dimensions as evenly as possible.
+
+    Returns a list of ``levels`` factors whose product is ``num_workers``.
+    Raises :class:`~repro.errors.ExchangeError` if no such factorisation
+    exists with every factor > 1, except that trailing factors of 1 are
+    allowed when the worker count is too small (e.g. 2 workers on 2 levels).
+    """
+    if num_workers <= 0:
+        raise ExchangeError("num_workers must be positive")
+    if levels <= 0:
+        raise ExchangeError("levels must be positive")
+    if levels == 1:
+        return [num_workers]
+
+    dims: List[int] = []
+    remaining = num_workers
+    for level in range(levels, 1, -1):
+        ideal = remaining ** (1.0 / level)
+        # Find the divisor of ``remaining`` closest to the ideal side length.
+        best: Optional[int] = None
+        for candidate in range(1, remaining + 1):
+            if remaining % candidate != 0:
+                continue
+            if best is None or abs(candidate - ideal) < abs(best - ideal):
+                best = candidate
+        assert best is not None
+        dims.append(best)
+        remaining //= best
+    dims.append(remaining)
+    if math.prod(dims) != num_workers:
+        raise ExchangeError(
+            f"internal error factorising {num_workers} into {levels} dimensions"
+        )
+    return dims
+
+
+def grid_coordinates(worker: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    """Mixed-radix coordinates of ``worker`` on a grid with side lengths ``dims``."""
+    coords = []
+    remainder = worker
+    for dim in dims:
+        coords.append(remainder % dim)
+        remainder //= dim
+    return tuple(coords)
+
+
+def worker_from_coordinates(coords: Sequence[int], dims: Sequence[int]) -> int:
+    """Inverse of :func:`grid_coordinates`."""
+    worker = 0
+    stride = 1
+    for coord, dim in zip(coords, dims):
+        worker += coord * stride
+        stride *= dim
+    return worker
+
+
+class MultiLevelExchange:
+    """k-level exchange over a grid of workers."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        num_workers: int,
+        keys: Sequence[str],
+        levels: int = 2,
+        dims: Optional[Sequence[int]] = None,
+        write_combining: bool = False,
+        num_buckets: int = 10,
+        compression=None,
+        tag: str = "mlx",
+    ):
+        if num_workers <= 0:
+            raise ExchangeError("num_workers must be positive")
+        self.store = store
+        self.num_workers = num_workers
+        self.levels = levels
+        self.dims = list(dims) if dims is not None else grid_side(num_workers, levels)
+        if math.prod(self.dims) != num_workers:
+            raise ExchangeError(
+                f"grid dimensions {self.dims} do not multiply to {num_workers} workers"
+            )
+        if len(self.dims) != levels:
+            raise ExchangeError(f"expected {levels} dimensions, got {self.dims}")
+        config_kwargs = {"keys": list(keys), "write_combining": write_combining,
+                         "num_buckets": num_buckets}
+        if compression is not None:
+            config_kwargs["compression"] = compression
+        self.config = ExchangeConfig(**config_kwargs)
+        self.tag = tag
+        self.stats = ExchangeStats()
+        #: Per-round, per-worker statistics for detailed analysis.
+        self.round_stats: List[Dict[int, ExchangeStats]] = []
+
+    # -- group construction ------------------------------------------------------
+
+    def _groups_for_round(self, dimension: int) -> List[List[int]]:
+        """Worker groups for the exchange along ``dimension``.
+
+        Each group contains the workers that share all coordinates except the
+        round's dimension; its size is ``dims[dimension]``.
+        """
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for worker in range(self.num_workers):
+            coords = list(grid_coordinates(worker, self.dims))
+            coords[dimension] = -1
+            groups.setdefault(tuple(coords), []).append(worker)
+        return [sorted(members) for members in groups.values()]
+
+    def _route_for_round(self, dimension: int, group: Sequence[int]) -> Callable:
+        """Routing function of one group in one round.
+
+        A row with global target partition ``t`` goes to the group member
+        whose coordinate along the round's dimension equals ``t``'s
+        coordinate along that dimension.
+        """
+        dims = self.dims
+        member_by_coord = {
+            grid_coordinates(worker, dims)[dimension]: worker for worker in group
+        }
+
+        def route(targets: np.ndarray) -> np.ndarray:
+            coords = (targets // int(np.prod(dims[:dimension], dtype=np.int64))) % dims[dimension] \
+                if dimension > 0 else targets % dims[0]
+            lookup = np.vectorize(member_by_coord.__getitem__, otypes=[np.int64])
+            return lookup(coords) if len(coords) else coords.astype(np.int64)
+
+        return route
+
+    def _naming_for_round(self, dimension: int, group_id: int):
+        prefix = f"r{dimension}/g{group_id}/"
+        if self.config.write_combining:
+            return WriteCombiningNaming(
+                bucket=f"{self.tag}-wc",
+                prefix=prefix,
+                num_buckets=self.config.num_buckets,
+            )
+        return MultiBucketNaming(
+            num_buckets=self.config.num_buckets,
+            bucket_prefix=f"{self.tag}-b",
+            prefix=prefix,
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, tables: Sequence[Table]) -> List[Table]:
+        """Run all exchange rounds, returning the final per-worker tables.
+
+        ``tables[p]`` is worker ``p``'s share of the input; the result's entry
+        ``p`` contains exactly the rows whose key hashes to partition ``p``.
+        """
+        if len(tables) != self.num_workers:
+            raise ExchangeError(
+                f"expected {self.num_workers} input tables, got {len(tables)}"
+            )
+        current: List[Table] = list(tables)
+        for dimension in range(self.levels):
+            current = self._run_round(dimension, current)
+        return current
+
+    def _run_round(self, dimension: int, tables: List[Table]) -> List[Table]:
+        groups = self._groups_for_round(dimension)
+        next_tables: List[Optional[Table]] = [None] * self.num_workers
+        round_stats: Dict[int, ExchangeStats] = {}
+        for group_id, group in enumerate(groups):
+            naming = self._naming_for_round(dimension, group_id)
+            exchange = BasicGroupExchange(
+                store=self.store,
+                group=group,
+                total_partitions=self.num_workers,
+                route=self._route_for_round(dimension, group),
+                naming=naming,
+                config=self.config,
+            )
+            for worker in group:
+                exchange.write(worker, tables[worker])
+            for worker in group:
+                next_tables[worker] = exchange.read(worker)
+            for worker, stats in exchange.stats_per_worker.items():
+                round_stats.setdefault(worker, ExchangeStats()).merge(stats)
+                self.stats.merge(stats)
+        self.round_stats.append(round_stats)
+        return [table if table is not None else {} for table in next_tables]

@@ -1,0 +1,143 @@
+"""File naming schemes for S3-based exchange.
+
+The ``FormatFileName`` function of the paper's Algorithm 1 decides where a
+sender writes the partition destined for a receiver.  Three schemes are
+provided:
+
+* :class:`SingleBucketNaming` — everything in one bucket (the naive baseline,
+  subject to per-bucket rate limits);
+* :class:`MultiBucketNaming` — the receiver id selects one of B buckets,
+  multiplying the aggregate rate limit by B (the paper's
+  ``s3://bucket-{r%10}/...`` trick);
+* :class:`WriteCombiningNaming` — all partitions of a sender go into a single
+  object; the per-receiver offsets are encoded into the object key so that
+  receivers discover them with a LIST request instead of extra GETs.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import S3_MAX_KEY_LENGTH
+from repro.errors import ExchangeError
+
+
+class FileNaming(abc.ABC):
+    """Maps (sender, receiver) pairs to object-store paths."""
+
+    @abc.abstractmethod
+    def path(self, sender: int, receiver: int) -> str:
+        """Path of the object carrying data from ``sender`` to ``receiver``."""
+
+    @abc.abstractmethod
+    def buckets(self) -> List[str]:
+        """All bucket names this scheme can produce (created at install time)."""
+
+
+class SingleBucketNaming(FileNaming):
+    """All exchange files in one bucket."""
+
+    def __init__(self, bucket: str = "exchange", prefix: str = ""):
+        self.bucket = bucket
+        self.prefix = prefix
+
+    def path(self, sender: int, receiver: int) -> str:
+        return f"s3://{self.bucket}/{self.prefix}sender-{sender}/receiver-{receiver}"
+
+    def buckets(self) -> List[str]:
+        return [self.bucket]
+
+
+class MultiBucketNaming(FileNaming):
+    """Spread receivers over ``num_buckets`` buckets to multiply rate limits."""
+
+    def __init__(self, num_buckets: int = 10, bucket_prefix: str = "exchange-b", prefix: str = ""):
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be at least 1")
+        self.num_buckets = num_buckets
+        self.bucket_prefix = bucket_prefix
+        self.prefix = prefix
+
+    def bucket_for(self, receiver: int) -> str:
+        """Bucket that holds all files destined for ``receiver``."""
+        return f"{self.bucket_prefix}{receiver % self.num_buckets}"
+
+    def path(self, sender: int, receiver: int) -> str:
+        return (
+            f"s3://{self.bucket_for(receiver)}/"
+            f"{self.prefix}sender-{sender}/receiver-{receiver}"
+        )
+
+    def buckets(self) -> List[str]:
+        return [f"{self.bucket_prefix}{index}" for index in range(self.num_buckets)]
+
+
+class WriteCombiningNaming(FileNaming):
+    """One combined object per sender, offsets encoded in the key.
+
+    The combined object concatenates the partitions for all receivers in
+    receiver order; the key ends with an encoded offset list, so receivers
+    obtain every sender's offsets from a single LIST request.  Keys are
+    limited to :data:`~repro.config.S3_MAX_KEY_LENGTH` bytes, which bounds the
+    number of receivers this scheme supports — enough for the group sizes of
+    the multi-level exchange (paper §4.4.3).
+    """
+
+    def __init__(self, bucket: str = "exchange", prefix: str = "", num_buckets: int = 1):
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be at least 1")
+        self.bucket = bucket
+        self.prefix = prefix
+        self.num_buckets = num_buckets
+
+    def bucket_for(self, sender: int) -> str:
+        """Bucket that holds the combined object written by ``sender``."""
+        if self.num_buckets == 1:
+            return self.bucket
+        return f"{self.bucket}-{sender % self.num_buckets}"
+
+    # The combined key ignores the receiver (all receivers share the object).
+    def path(self, sender: int, receiver: int) -> str:
+        return f"s3://{self.bucket_for(sender)}/{self.prefix}sender-{sender}"
+
+    def combined_key(self, sender: int, offsets: Sequence[int]) -> str:
+        """Key for the combined object, with ``offsets`` encoded at the end.
+
+        ``offsets`` has one entry per receiver slot plus a final total length,
+        i.e. ``offsets[r]`` is the first byte of receiver ``r``'s part and
+        ``offsets[r+1]`` its end.
+        """
+        encoded = "-".join(str(value) for value in offsets)
+        key = f"{self.prefix}sender-{sender}.off-{encoded}"
+        if len(key) > S3_MAX_KEY_LENGTH:
+            raise ExchangeError(
+                f"encoded offsets of {len(offsets)} receivers exceed the "
+                f"{S3_MAX_KEY_LENGTH}-byte key limit; use fewer receivers per group"
+            )
+        return key
+
+    def combined_path(self, sender: int, offsets: Sequence[int]) -> str:
+        """Full path of the combined object."""
+        return f"s3://{self.bucket_for(sender)}/{self.combined_key(sender, offsets)}"
+
+    def list_prefix(self, sender: int) -> str:
+        """Prefix that matches the combined object of ``sender``."""
+        return f"{self.prefix}sender-{sender}.off-"
+
+    @staticmethod
+    def parse_offsets(key: str) -> Tuple[int, List[int]]:
+        """Extract ``(sender, offsets)`` from a combined-object key."""
+        try:
+            head, encoded = key.rsplit(".off-", 1)
+            sender = int(head.rsplit("sender-", 1)[1])
+            offsets = [int(value) for value in encoded.split("-")]
+        except (ValueError, IndexError) as exc:
+            raise ExchangeError(f"cannot parse combined key {key!r}") from exc
+        return sender, offsets
+
+    def buckets(self) -> List[str]:
+        if self.num_buckets == 1:
+            return [self.bucket]
+        return [f"{self.bucket}-{index}" for index in range(self.num_buckets)]

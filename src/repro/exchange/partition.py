@@ -1,0 +1,65 @@
+"""In-memory (DRAM) partitioning of tables.
+
+Each worker splits its share of the relation into P partitions by hashing the
+key column(s) — the ``DramPartitioning`` routine of the paper's Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.engine.table import Table, table_num_rows, take_rows
+from repro.errors import UnknownColumnError
+
+#: Multiplier of the Knuth/Fibonacci multiplicative hash for 64-bit keys.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def hash_values(values: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit hash of a numeric column."""
+    as_int = np.asarray(values).astype(np.float64).view(np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = as_int * _HASH_MULTIPLIER
+        mixed ^= mixed >> np.uint64(29)
+        mixed = mixed * _HASH_MULTIPLIER
+        mixed ^= mixed >> np.uint64(32)
+    return mixed
+
+
+def partition_assignments(
+    table: Table, keys: Sequence[str], num_partitions: int
+) -> np.ndarray:
+    """Partition index (0..P-1) of every row, by hash of the key columns."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    num_rows = table_num_rows(table)
+    if num_rows == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not keys:
+        # Round-robin partitioning when no keys are given.
+        return np.arange(num_rows, dtype=np.int64) % num_partitions
+    missing = [key for key in keys if key not in table]
+    if missing:
+        raise UnknownColumnError(", ".join(missing))
+    combined = np.zeros(num_rows, dtype=np.uint64)
+    for key in keys:
+        combined ^= hash_values(table[key])
+    return (combined % np.uint64(num_partitions)).astype(np.int64)
+
+
+def hash_partition(
+    table: Table, keys: Sequence[str], num_partitions: int
+) -> Dict[int, Table]:
+    """Split a table into per-partition tables.
+
+    Only non-empty partitions appear in the result, mirroring the fact that a
+    sender only writes files for receivers it has data for.
+    """
+    assignment = partition_assignments(table, keys, num_partitions)
+    partitions: Dict[int, Table] = {}
+    for partition in np.unique(assignment):
+        mask = assignment == partition
+        partitions[int(partition)] = take_rows(table, np.flatnonzero(mask))
+    return partitions

@@ -1,0 +1,51 @@
+"""Column chunk compression codecs.
+
+The paper's dataset uses GZIP-compressed Parquet, and the scan operator's
+design explicitly distinguishes between light-weight and heavy-weight
+compression (decompression of heavy-weight codecs can be slower than the
+download and is therefore worth parallelising, §4.3.2).  We provide:
+
+* ``NONE`` — no compression;
+* ``FAST`` — zlib at level 1, standing in for light-weight codecs (Snappy);
+* ``GZIP`` — zlib at level 6, standing in for the heavy-weight default.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+
+from repro.errors import CorruptFileError
+
+
+class Compression(enum.Enum):
+    """Supported compression codecs."""
+
+    NONE = "none"
+    FAST = "fast"
+    GZIP = "gzip"
+
+    @property
+    def is_heavyweight(self) -> bool:
+        """Whether decompression is expensive enough to bound the scan."""
+        return self is Compression.GZIP
+
+
+_LEVELS = {Compression.FAST: 1, Compression.GZIP: 6}
+
+
+def compress(data: bytes, codec: Compression) -> bytes:
+    """Compress ``data`` with ``codec``."""
+    if codec is Compression.NONE:
+        return bytes(data)
+    return zlib.compress(bytes(data), _LEVELS[codec])
+
+
+def decompress(data: bytes, codec: Compression) -> bytes:
+    """Decompress data produced by :func:`compress`."""
+    if codec is Compression.NONE:
+        return bytes(data)
+    try:
+        return zlib.decompress(bytes(data))
+    except zlib.error as exc:
+        raise CorruptFileError(f"failed to decompress column chunk: {exc}") from exc

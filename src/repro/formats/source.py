@@ -1,0 +1,72 @@
+"""Random-access byte sources for the columnar reader.
+
+The paper's scan operator (Figure 8) implements the Parquet library's
+user-level filesystem interface on top of S3, exposing a random-access
+``ReadAt`` method so that several column chunks can be fetched concurrently.
+The reader in this package consumes the same abstraction:
+:class:`RandomAccessSource` with :meth:`read_at` and :meth:`size`.
+
+Two implementations are provided here (a local in-memory source and a local
+file source); the S3-backed source with request accounting and chunked
+reads lives in :mod:`repro.engine.s3io` because it depends on the cloud
+substrate.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Optional
+
+
+class RandomAccessSource(abc.ABC):
+    """Abstract random-access byte source."""
+
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Total size in bytes."""
+
+    @abc.abstractmethod
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset``.
+
+        Reading past the end returns the available suffix (like a ranged HTTP
+        GET clamped to the object size).
+        """
+
+    def read_all(self) -> bytes:
+        """Read the entire source."""
+        return self.read_at(0, self.size())
+
+
+class BytesSource(RandomAccessSource):
+    """A source over an in-memory bytes object."""
+
+    def __init__(self, data: bytes):
+        self._data = bytes(data)
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        return self._data[offset:offset + length]
+
+
+class LocalFileSource(RandomAccessSource):
+    """A source over a file on the local filesystem."""
+
+    def __init__(self, path: str):
+        self._path = path
+        self._size = os.path.getsize(path)
+
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)

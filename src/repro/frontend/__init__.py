@@ -1,0 +1,22 @@
+"""Query frontends.
+
+Two frontends build logical plans:
+
+* :class:`~repro.frontend.dataframe.DataFlow` — the UDF-based Python library
+  interface of the paper's Listing 1
+  (``from_parquet(...).filter(...).map(...).reduce(...)``);
+* :func:`~repro.frontend.sql.parse_sql` — a mini-SQL dialect sufficient for
+  the TPC-H queries used in the evaluation (SELECT / WHERE / GROUP BY /
+  ORDER BY / LIMIT over one table).
+"""
+
+from repro.frontend.dataframe import DataFlow, LambadaSession, from_files
+from repro.frontend.sql import parse_sql, SqlCatalog
+
+__all__ = [
+    "DataFlow",
+    "LambadaSession",
+    "from_files",
+    "parse_sql",
+    "SqlCatalog",
+]

@@ -1,0 +1,368 @@
+"""Mini-SQL frontend.
+
+Supports the single-table analytical subset needed for the paper's evaluation
+queries (TPC-H Q1 and Q6 and similar scan-heavy queries)::
+
+    SELECT <exprs and aggregates> FROM <table>
+    [WHERE <conjunctions/disjunctions of comparisons, BETWEEN>]
+    [GROUP BY <columns>] [ORDER BY <columns> [DESC]] [LIMIT <n>]
+
+Aggregates: ``SUM``, ``COUNT(*)``, ``AVG``, ``MIN``, ``MAX``.  ``DATE
+'YYYY-MM-DD'`` literals are converted to integer days since 1970-01-01, the
+encoding used by the numeric TPC-H generator.  Table names resolve to object
+store paths through a :class:`SqlCatalog`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.plan.expressions import BooleanExpr, Column, Expression, Literal, col, lit
+from repro.plan.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    LimitNode,
+    LogicalPlan,
+    OrderByNode,
+    ProjectNode,
+    ScanNode,
+)
+
+_AGGREGATE_NAMES = {"sum", "count", "avg", "min", "max"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<date>date\s*'(\d{4})-(\d{2})-(\d{2})')
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|\(|\)|,|\.)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+
+
+def _tokenize(statement: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(statement):
+        match = _TOKEN_RE.match(statement, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {statement[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "date":
+            date_match = re.search(r"(\d{4})-(\d{2})-(\d{2})", match.group("date"))
+            assert date_match is not None
+            year, month, day = date_match.groups()
+            days = (_dt.date(int(year), int(month), int(day)) - _dt.date(1970, 1, 1)).days
+            tokens.append(_Token("number", str(days)))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("number", match.group("number")))
+        elif match.lastgroup == "ident":
+            tokens.append(_Token("ident", match.group("ident")))
+        else:
+            tokens.append(_Token("op", match.group("op")))
+    return tokens
+
+
+def date_to_days(year: int, month: int, day: int) -> int:
+    """Days since 1970-01-01 of a calendar date (the ``l_shipdate`` encoding)."""
+    return (_dt.date(year, month, day) - _dt.date(1970, 1, 1)).days
+
+
+@dataclass
+class SqlCatalog:
+    """Maps table names to the object-store paths (or globs) of their files."""
+
+    tables: Dict[str, Sequence[str]] = field(default_factory=dict)
+
+    def register(self, name: str, paths: Sequence[str]) -> None:
+        """Register (or replace) a table."""
+        self.tables[name.lower()] = list(paths)
+
+    def paths_of(self, name: str) -> Tuple[str, ...]:
+        """Paths of a registered table."""
+        key = name.lower()
+        if key not in self.tables:
+            raise SqlSyntaxError(f"unknown table {name!r}")
+        paths = self.tables[key]
+        if isinstance(paths, str):
+            return (paths,)
+        return tuple(paths)
+
+
+@dataclass
+class _SelectItem:
+    expression: Optional[Expression]
+    aggregate: Optional[AggregateSpec]
+    alias: str
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.value.lower() in keywords:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise SqlSyntaxError(f"expected {keyword.upper()}, found {token}")
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == op:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            token = self._peek()
+            raise SqlSyntaxError(f"expected {op!r}, found {token}")
+
+    # -- expression grammar ---------------------------------------------------------
+
+    def parse_scalar(self) -> Expression:
+        """additive := term (('+'|'-') term)*"""
+        left = self._parse_term()
+        while True:
+            if self._accept_op("+"):
+                left = left + self._parse_term()
+            elif self._accept_op("-"):
+                left = left - self._parse_term()
+            else:
+                return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while True:
+            if self._accept_op("*"):
+                left = left * self._parse_factor()
+            elif self._accept_op("/"):
+                left = left / self._parse_factor()
+            else:
+                return left
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of expression")
+        if token.kind == "op" and token.value == "(":
+            self._next()
+            inner = self.parse_scalar()
+            self._expect_op(")")
+            return inner
+        if token.kind == "op" and token.value == "-":
+            self._next()
+            return lit(0) - self._parse_factor()
+        if token.kind == "number":
+            self._next()
+            value = float(token.value)
+            return lit(int(value)) if value.is_integer() and "." not in token.value else lit(value)
+        if token.kind == "ident":
+            self._next()
+            return col(token.value.lower())
+        raise SqlSyntaxError(f"unexpected token {token}")
+
+    def parse_predicate(self) -> Expression:
+        """or_expr := and_expr (OR and_expr)*"""
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = left | self._parse_and()
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        while self._accept_keyword("and"):
+            left = left & self._parse_comparison()
+        return left
+
+    def _parse_comparison(self) -> Expression:
+        if self._accept_keyword("not"):
+            return ~self._parse_comparison()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == "(":
+            # Could be a parenthesised predicate; try it, fall back to scalar.
+            saved = self.position
+            self._next()
+            try:
+                inner = self.parse_predicate()
+                self._expect_op(")")
+                return inner
+            except SqlSyntaxError:
+                self.position = saved
+        left = self.parse_scalar()
+        if self._accept_keyword("between"):
+            low = self.parse_scalar()
+            self._expect_keyword("and")
+            high = self.parse_scalar()
+            return (left >= low) & (left <= high)
+        operators = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in operators:
+            self._next()
+            right = self.parse_scalar()
+            mapped = operators[token.value]
+            return getattr(left, {"==": "__eq__", "!=": "__ne__", "<": "__lt__",
+                                  "<=": "__le__", ">": "__gt__", ">=": "__ge__"}[mapped])(right)
+        raise SqlSyntaxError(f"expected a comparison operator, found {token}")
+
+    # -- select list ---------------------------------------------------------------------
+
+    def parse_select_item(self, index: int) -> _SelectItem:
+        token = self._peek()
+        aggregate: Optional[AggregateSpec] = None
+        expression: Optional[Expression] = None
+        default_alias = f"col{index}"
+        if (
+            token is not None
+            and token.kind == "ident"
+            and token.value.lower() in _AGGREGATE_NAMES
+            and self.position + 1 < len(self.tokens)
+            and self.tokens[self.position + 1].value == "("
+        ):
+            function = self._next().value.lower()
+            self._expect_op("(")
+            if function == "count" and self._accept_op("*"):
+                argument: Optional[Expression] = None
+            else:
+                argument = self.parse_scalar()
+            self._expect_op(")")
+            aggregate = AggregateSpec(function, argument, default_alias)
+        else:
+            expression = self.parse_scalar()
+            if isinstance(expression, Column):
+                default_alias = expression.name
+        alias = default_alias
+        if self._accept_keyword("as"):
+            alias_token = self._next()
+            if alias_token.kind != "ident":
+                raise SqlSyntaxError(f"expected an alias, found {alias_token}")
+            alias = alias_token.value.lower()
+        if aggregate is not None:
+            aggregate = AggregateSpec(aggregate.function, aggregate.expression, alias)
+        return _SelectItem(expression=expression, aggregate=aggregate, alias=alias)
+
+
+def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
+    """Parse a SQL statement into a logical plan."""
+    parser = _Parser(_tokenize(statement))
+    parser._expect_keyword("select")
+
+    items: List[_SelectItem] = [parser.parse_select_item(0)]
+    while parser._accept_op(","):
+        items.append(parser.parse_select_item(len(items)))
+
+    parser._expect_keyword("from")
+    table_token = parser._next()
+    if table_token.kind != "ident":
+        raise SqlSyntaxError(f"expected a table name, found {table_token}")
+    paths = catalog.paths_of(table_token.value)
+
+    predicate: Optional[Expression] = None
+    if parser._accept_keyword("where"):
+        predicate = parser.parse_predicate()
+
+    group_by: List[str] = []
+    if parser._accept_keyword("group"):
+        parser._expect_keyword("by")
+        group_by.append(_expect_column(parser))
+        while parser._accept_op(","):
+            group_by.append(_expect_column(parser))
+
+    order_by: List[str] = []
+    descending = False
+    if parser._accept_keyword("order"):
+        parser._expect_keyword("by")
+        order_by.append(_expect_column(parser))
+        while parser._accept_op(","):
+            order_by.append(_expect_column(parser))
+        if parser._accept_keyword("desc"):
+            descending = True
+        else:
+            parser._accept_keyword("asc")
+
+    limit: Optional[int] = None
+    if parser._accept_keyword("limit"):
+        limit_token = parser._next()
+        if limit_token.kind != "number":
+            raise SqlSyntaxError(f"expected a number after LIMIT, found {limit_token}")
+        limit = int(float(limit_token.value))
+
+    if parser._peek() is not None:
+        raise SqlSyntaxError(f"unexpected trailing tokens starting at {parser._peek()}")
+
+    # -- build the logical plan -------------------------------------------------------
+    plan: LogicalPlan = ScanNode(paths=paths)
+    if predicate is not None:
+        plan = FilterNode(child=plan, predicate=predicate)
+
+    aggregates = [item.aggregate for item in items if item.aggregate is not None]
+    plain = [item for item in items if item.aggregate is None]
+    if aggregates:
+        for item in plain:
+            if not isinstance(item.expression, Column) or item.expression.name not in group_by:
+                raise SqlSyntaxError(
+                    f"non-aggregated select item {item.alias!r} must be a GROUP BY column"
+                )
+        plan = AggregateNode(child=plan, group_by=tuple(group_by), aggregates=tuple(aggregates))
+    else:
+        if group_by:
+            raise SqlSyntaxError("GROUP BY without aggregates is not supported")
+        columns = []
+        for item in plain:
+            if not isinstance(item.expression, Column):
+                raise SqlSyntaxError("computed select items require an aggregate or a plain column")
+            columns.append(item.expression.name)
+        plan = ProjectNode(child=plan, columns=tuple(columns))
+
+    if order_by:
+        plan = OrderByNode(child=plan, keys=tuple(order_by), descending=descending)
+    if limit is not None:
+        plan = LimitNode(child=plan, count=limit)
+    return plan
+
+
+def _expect_column(parser: _Parser) -> str:
+    token = parser._next()
+    if token.kind != "ident":
+        raise SqlSyntaxError(f"expected a column name, found {token}")
+    return token.value.lower()

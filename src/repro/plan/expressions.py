@@ -1,0 +1,358 @@
+"""Scalar expression IR.
+
+Expressions are small immutable trees over column references, literals,
+arithmetic, comparisons, and boolean connectives.  They are:
+
+* **evaluated vectorised** over table chunks (dicts of NumPy arrays), which is
+  the reproduction's stand-in for the paper's JIT-compiled tight loops;
+* **serialisable to/from plain dicts**, so that worker plan fragments can be
+  shipped in invocation payloads;
+* **analysable**: :func:`referenced_columns` drives projection push-down and
+  :func:`extract_column_ranges` derives per-column ``[lower, upper]`` ranges
+  from conjunctive predicates, which the scan operator uses for min/max
+  row-group pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PlanError, UnknownColumnError
+
+Number = Union[int, float]
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    # -- operator overloads so expressions compose naturally -------------------
+
+    def _binary(self, op: str, other: "ExpressionLike") -> "Arithmetic":
+        return Arithmetic(op, self, _wrap(other))
+
+    def _compare(self, op: str, other: "ExpressionLike") -> "Comparison":
+        return Comparison(op, self, _wrap(other))
+
+    def __add__(self, other): return self._binary("+", other)
+    def __radd__(self, other): return Arithmetic("+", _wrap(other), self)
+    def __sub__(self, other): return self._binary("-", other)
+    def __rsub__(self, other): return Arithmetic("-", _wrap(other), self)
+    def __mul__(self, other): return self._binary("*", other)
+    def __rmul__(self, other): return Arithmetic("*", _wrap(other), self)
+    def __truediv__(self, other): return self._binary("/", other)
+    def __rtruediv__(self, other): return Arithmetic("/", _wrap(other), self)
+
+    def __eq__(self, other): return self._compare("==", other)  # type: ignore[override]
+    def __ne__(self, other): return self._compare("!=", other)  # type: ignore[override]
+    def __lt__(self, other): return self._compare("<", other)
+    def __le__(self, other): return self._compare("<=", other)
+    def __gt__(self, other): return self._compare(">", other)
+    def __ge__(self, other): return self._compare(">=", other)
+
+    def __and__(self, other): return BooleanExpr("and", (self, _wrap(other)))
+    def __or__(self, other): return BooleanExpr("or", (self, _wrap(other)))
+    def __invert__(self): return BooleanExpr("not", (self,))
+
+    # Expressions are identity-hashable; __eq__ builds comparisons instead of
+    # testing equality, so structural equality is provided separately.
+    __hash__ = object.__hash__
+
+    def equals(self, other: "Expression") -> bool:
+        """Structural equality (``==`` is overloaded to build comparisons)."""
+        return expression_to_dict(self) == expression_to_dict(other)
+
+    def __bool__(self):
+        raise PlanError(
+            "expressions cannot be used in boolean context; "
+            "use & / | / ~ to combine predicates"
+        )
+
+
+ExpressionLike = Union[Expression, Number]
+
+
+def _wrap(value: ExpressionLike) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return Literal(float(value) if isinstance(value, (float, np.floating)) else int(value))
+    raise PlanError(f"cannot use {type(value).__name__} as an expression")
+
+
+@dataclass(frozen=True, eq=False)
+class Column(Expression):
+    """Reference to a column by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expression):
+    """A numeric constant."""
+
+    value: Number
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_ARITHMETIC_OPS = {"+", "-", "*", "/"}
+
+
+@dataclass(frozen=True, eq=False)
+class Arithmetic(Expression):
+    """Binary arithmetic over two expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _ARITHMETIC_OPS:
+            raise PlanError(f"unknown arithmetic operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expression):
+    """Binary comparison producing a boolean column."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _COMPARISON_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_BOOLEAN_OPS = {"and", "or", "not"}
+
+
+@dataclass(frozen=True, eq=False)
+class BooleanExpr(Expression):
+    """Boolean connective over one or two operands."""
+
+    op: str
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self):
+        if self.op not in _BOOLEAN_OPS:
+            raise PlanError(f"unknown boolean operator {self.op!r}")
+        if self.op == "not" and len(self.operands) != 1:
+            raise PlanError("'not' takes exactly one operand")
+        if self.op in ("and", "or") and len(self.operands) < 2:
+            raise PlanError(f"'{self.op}' takes at least two operands")
+
+    def __repr__(self) -> str:
+        if self.op == "not":
+            return f"~({self.operands[0]!r})"
+        joiner = f" {self.op} "
+        return "(" + joiner.join(repr(operand) for operand in self.operands) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def col(name: str) -> Column:
+    """Create a column reference."""
+    return Column(name)
+
+
+def lit(value: Number) -> Literal:
+    """Create a literal."""
+    return Literal(value)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate(expression: Expression, table: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate ``expression`` over a table chunk, returning a NumPy array."""
+    if isinstance(expression, Column):
+        if expression.name not in table:
+            raise UnknownColumnError(expression.name)
+        return table[expression.name]
+    if isinstance(expression, Literal):
+        length = len(next(iter(table.values()))) if table else 0
+        return np.full(length, expression.value)
+    if isinstance(expression, Arithmetic):
+        left = evaluate(expression.left, table)
+        right = evaluate(expression.right, table)
+        if expression.op == "+":
+            return left + right
+        if expression.op == "-":
+            return left - right
+        if expression.op == "*":
+            return left * right
+        return np.divide(left, right)
+    if isinstance(expression, Comparison):
+        left = evaluate(expression.left, table)
+        right = evaluate(expression.right, table)
+        ops = {
+            "==": np.equal, "!=": np.not_equal,
+            "<": np.less, "<=": np.less_equal,
+            ">": np.greater, ">=": np.greater_equal,
+        }
+        return ops[expression.op](left, right)
+    if isinstance(expression, BooleanExpr):
+        operands = [evaluate(operand, table).astype(bool) for operand in expression.operands]
+        if expression.op == "not":
+            return ~operands[0]
+        result = operands[0]
+        for operand in operands[1:]:
+            result = (result & operand) if expression.op == "and" else (result | operand)
+        return result
+    raise PlanError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+def referenced_columns(expression: Expression) -> Set[str]:
+    """All column names referenced anywhere in ``expression``."""
+    if isinstance(expression, Column):
+        return {expression.name}
+    if isinstance(expression, Literal):
+        return set()
+    if isinstance(expression, (Arithmetic, Comparison)):
+        return referenced_columns(expression.left) | referenced_columns(expression.right)
+    if isinstance(expression, BooleanExpr):
+        names: Set[str] = set()
+        for operand in expression.operands:
+            names |= referenced_columns(operand)
+        return names
+    raise PlanError(f"cannot analyse expression of type {type(expression).__name__}")
+
+
+def extract_column_ranges(
+    predicate: Optional[Expression],
+) -> Dict[str, Tuple[float, float]]:
+    """Derive per-column ``[lower, upper]`` bounds implied by a predicate.
+
+    Only constraints that are certain to hold for every satisfying row are
+    extracted: single-column comparisons against literals inside a top-level
+    conjunction.  Disjunctions and NOT contribute no constraints (they might
+    widen, never narrow, the satisfying set).  The result maps column name to
+    an inclusive ``(lower, upper)`` interval, which the scan operator compares
+    against row-group min/max statistics.
+    """
+    ranges: Dict[str, Tuple[float, float]] = {}
+    if predicate is None:
+        return ranges
+
+    def merge(name: str, lower: float, upper: float) -> None:
+        existing_lower, existing_upper = ranges.get(name, (-math.inf, math.inf))
+        ranges[name] = (max(existing_lower, lower), min(existing_upper, upper))
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, BooleanExpr) and node.op == "and":
+            for operand in node.operands:
+                visit(operand)
+            return
+        if not isinstance(node, Comparison):
+            return
+        left, right, op = node.left, node.right, node.op
+        if isinstance(left, Literal) and isinstance(right, Column):
+            # Normalise to column-on-the-left.
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+            left, right, op = right, left, flipped[op]
+        if not (isinstance(left, Column) and isinstance(right, Literal)):
+            return
+        value = float(right.value)
+        if op == "==":
+            merge(left.name, value, value)
+        elif op == "<":
+            merge(left.name, -math.inf, value)
+        elif op == "<=":
+            merge(left.name, -math.inf, value)
+        elif op == ">":
+            merge(left.name, value, math.inf)
+        elif op == ">=":
+            merge(left.name, value, math.inf)
+        # "!=" yields no useful range.
+
+    visit(predicate)
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+def expression_to_dict(expression: Optional[Expression]) -> Optional[Dict]:
+    """Serialise an expression tree to plain dicts (JSON-compatible)."""
+    if expression is None:
+        return None
+    if isinstance(expression, Column):
+        return {"kind": "column", "name": expression.name}
+    if isinstance(expression, Literal):
+        return {"kind": "literal", "value": expression.value}
+    if isinstance(expression, Arithmetic):
+        return {
+            "kind": "arithmetic",
+            "op": expression.op,
+            "left": expression_to_dict(expression.left),
+            "right": expression_to_dict(expression.right),
+        }
+    if isinstance(expression, Comparison):
+        return {
+            "kind": "comparison",
+            "op": expression.op,
+            "left": expression_to_dict(expression.left),
+            "right": expression_to_dict(expression.right),
+        }
+    if isinstance(expression, BooleanExpr):
+        return {
+            "kind": "boolean",
+            "op": expression.op,
+            "operands": [expression_to_dict(operand) for operand in expression.operands],
+        }
+    raise PlanError(f"cannot serialise expression of type {type(expression).__name__}")
+
+
+def expression_from_dict(data: Optional[Dict]) -> Optional[Expression]:
+    """Inverse of :func:`expression_to_dict`."""
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "column":
+        return Column(data["name"])
+    if kind == "literal":
+        return Literal(data["value"])
+    if kind == "arithmetic":
+        return Arithmetic(
+            data["op"],
+            expression_from_dict(data["left"]),
+            expression_from_dict(data["right"]),
+        )
+    if kind == "comparison":
+        return Comparison(
+            data["op"],
+            expression_from_dict(data["left"]),
+            expression_from_dict(data["right"]),
+        )
+    if kind == "boolean":
+        return BooleanExpr(
+            data["op"],
+            tuple(expression_from_dict(operand) for operand in data["operands"]),
+        )
+    raise PlanError(f"cannot deserialise expression kind {kind!r}")

@@ -1,0 +1,240 @@
+"""Logical-to-physical optimizer.
+
+Applies the rewrites described in the paper (§3.2) and lowers the logical plan
+into a :class:`~repro.plan.physical.PhysicalPlan`:
+
+1. **Selection push-down** — filter predicates move into the scan fragment;
+   conjunctive single-column comparisons additionally yield
+   :class:`~repro.plan.physical.PruneRange` entries for min/max row-group
+   pruning.
+2. **Projection push-down** — the scan only reads the base columns referenced
+   anywhere downstream (predicates, maps, aggregates, group-by keys).  Plans
+   that use opaque Python UDFs fall back to reading all columns.
+3. **Two-phase aggregation** — every aggregate is decomposed into a partial
+   aggregate computed by the workers and a final merge computed on the driver
+   (``avg`` becomes a partial ``sum`` + ``count`` pair).
+4. **Scope assignment** — scan/filter/map/partial-aggregate run in the
+   serverless scope; final merge, ordering, and limits run in the driver
+   scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidPlanError
+from repro.plan.expressions import (
+    Expression,
+    extract_column_ranges,
+    referenced_columns,
+)
+from repro.plan.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    MapNode,
+    OrderByNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.plan.physical import (
+    DriverPlan,
+    PhysicalPlan,
+    PruneRange,
+    WorkerPlan,
+    register_udf,
+)
+
+
+@dataclass
+class OptimizerReport:
+    """Diagnostics describing what the optimizer did (used by tests/benchmarks)."""
+
+    pushed_columns: List[str] = field(default_factory=list)
+    read_all_columns: bool = False
+    prune_ranges: List[PruneRange] = field(default_factory=list)
+    partial_aggregates: List[str] = field(default_factory=list)
+    has_udf: bool = False
+
+
+def _combine_predicates(predicates: List[Expression]) -> Optional[Expression]:
+    """AND-combine a list of predicates (None for an empty list)."""
+    if not predicates:
+        return None
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = combined & predicate
+    return combined
+
+
+def _decompose_aggregates(
+    aggregates: List[AggregateSpec],
+) -> Tuple[List[AggregateSpec], List[AggregateSpec]]:
+    """Split user aggregates into worker partials and driver finals.
+
+    Returns ``(partials, finals)``.  Finals reference the partial aliases:
+    ``avg`` is finalised as ``sum_alias / count_alias``; the other functions
+    merge with themselves (sum of sums, min of mins, ...).  ``count`` merges
+    as a sum of partial counts.
+    """
+    partials: List[AggregateSpec] = []
+    finals: List[AggregateSpec] = []
+    partial_aliases: Dict[str, str] = {}
+
+    def add_partial(function: str, expression: Optional[Expression], alias: str) -> None:
+        if alias not in partial_aliases:
+            partials.append(AggregateSpec(function, expression, alias))
+            partial_aliases[alias] = function
+
+    for spec in aggregates:
+        if spec.function == "avg":
+            sum_alias = f"__{spec.alias}_sum"
+            count_alias = f"__{spec.alias}_count"
+            add_partial("sum", spec.expression, sum_alias)
+            add_partial("count", spec.expression, count_alias)
+            finals.append(AggregateSpec("avg", spec.expression, spec.alias))
+        else:
+            add_partial(spec.function, spec.expression, spec.alias)
+            finals.append(spec)
+    return partials, finals
+
+
+def optimize(
+    plan: LogicalPlan,
+    scan_connections: int = 4,
+    scan_chunk_bytes: int = 16 * 1024 * 1024,
+) -> Tuple[PhysicalPlan, OptimizerReport]:
+    """Lower a logical plan into a physical plan, applying all rewrites."""
+    report = OptimizerReport()
+    chain = plan.chain()
+    if not chain or not isinstance(chain[0], ScanNode):
+        raise InvalidPlanError("plan must start with a scan")
+    scan = chain[0]
+
+    predicates: List[Expression] = []
+    predicate_udf: Optional[str] = None
+    project_columns: Optional[List[str]] = None
+    map_outputs: List[Tuple[str, Expression]] = []
+    map_udf: Optional[str] = None
+    map_replace = True
+    aggregate: Optional[AggregateNode] = None
+    reduce_udf: Optional[str] = None
+    order_by: List[str] = []
+    descending = False
+    limit: Optional[int] = None
+
+    for node in chain[1:]:
+        if isinstance(node, FilterNode):
+            if aggregate is not None:
+                raise InvalidPlanError("filters after aggregation are not supported")
+            if node.predicate is not None:
+                predicates.append(node.predicate)
+            else:
+                predicate_udf = register_udf(node.udf)
+                report.has_udf = True
+        elif isinstance(node, ProjectNode):
+            project_columns = list(node.columns)
+        elif isinstance(node, MapNode):
+            if node.udf is not None:
+                map_udf = register_udf(node.udf)
+                report.has_udf = True
+            map_outputs = list(node.outputs)
+            map_replace = node.replace
+        elif isinstance(node, AggregateNode):
+            if aggregate is not None:
+                raise InvalidPlanError("only one aggregation per query is supported")
+            aggregate = node
+        elif isinstance(node, OrderByNode):
+            order_by = list(node.keys)
+            descending = node.descending
+        elif isinstance(node, LimitNode):
+            limit = node.count
+        elif isinstance(node, JoinNode):
+            raise InvalidPlanError(
+                "joins are executed through the exchange engine; "
+                "use repro.engine.join or the dataflow join API"
+            )
+        else:
+            raise InvalidPlanError(f"unsupported node {type(node).__name__}")
+
+    # -- selection push-down ----------------------------------------------------
+    predicate = _combine_predicates(predicates)
+    ranges = extract_column_ranges(predicate)
+    prune_ranges = [
+        PruneRange(column=name, lower=lower, upper=upper)
+        for name, (lower, upper) in sorted(ranges.items())
+        if not (math.isinf(lower) and lower < 0 and math.isinf(upper) and upper > 0)
+    ]
+    report.prune_ranges = prune_ranges
+
+    # -- projection push-down ----------------------------------------------------
+    map_aliases = {alias for alias, _ in map_outputs}
+    needed: set = set()
+    if predicate is not None:
+        needed |= referenced_columns(predicate)
+    for _, expression in map_outputs:
+        needed |= referenced_columns(expression)
+    if aggregate is not None:
+        needed |= set(aggregate.group_by)
+        for spec in aggregate.aggregates:
+            if spec.expression is not None:
+                needed |= referenced_columns(spec.expression)
+    if project_columns is not None:
+        needed |= set(project_columns)
+    needed -= map_aliases
+
+    has_opaque_udf = predicate_udf is not None or map_udf is not None
+    if has_opaque_udf or (not needed and aggregate is None):
+        # Opaque UDFs may touch any column; plans that just collect rows
+        # also need every column.
+        columns: List[str] = []
+        report.read_all_columns = True
+    else:
+        columns = sorted(needed)
+        report.pushed_columns = columns
+
+    # -- aggregation decomposition ------------------------------------------------
+    group_by: List[str] = []
+    partials: List[AggregateSpec] = []
+    finals: List[AggregateSpec] = []
+    if aggregate is not None:
+        group_by = list(aggregate.group_by)
+        partials, finals = _decompose_aggregates(list(aggregate.aggregates))
+        report.partial_aggregates = [spec.alias for spec in partials]
+
+    worker = WorkerPlan(
+        files=[],
+        columns=columns,
+        predicate=predicate,
+        predicate_udf=predicate_udf,
+        prune_ranges=prune_ranges,
+        map_outputs=map_outputs,
+        map_udf=map_udf,
+        map_replace=map_replace,
+        group_by=group_by,
+        aggregates=partials,
+        reduce_udf=reduce_udf,
+        scan_connections=scan_connections,
+        scan_chunk_bytes=scan_chunk_bytes,
+    )
+    driver = DriverPlan(
+        group_by=group_by,
+        final_aggregates=finals,
+        partial_aliases=[spec.alias for spec in partials],
+        order_by=order_by,
+        descending=descending,
+        limit=limit,
+        collect_rows=aggregate is None,
+        reduce_udf=reduce_udf,
+    )
+    physical = PhysicalPlan(
+        worker_template=worker,
+        driver=driver,
+        input_files=list(scan.paths),
+    )
+    return physical, report

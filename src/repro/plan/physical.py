@@ -1,0 +1,219 @@
+"""Physical plan: driver scope + serverless worker fragments.
+
+The physical plan separates the query into the two scopes described in the
+paper (§3.2): a **serverless scope** executed data-parallel by the workers and
+a **driver scope** that merges the partial results locally.  The per-worker
+fragment (:class:`WorkerPlan`) is fully serialisable so it can travel inside
+an invocation payload, with the exception of Python UDFs, which are shipped by
+reference through a registry (standing in for the paper's dependency layer,
+which contains the compiled UDF code).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidPlanError
+from repro.plan.expressions import (
+    Expression,
+    expression_from_dict,
+    expression_to_dict,
+)
+from repro.plan.logical import AggregateSpec
+
+# ---------------------------------------------------------------------------
+# UDF registry ("dependency layer")
+# ---------------------------------------------------------------------------
+
+_UDF_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_udf(udf: Callable) -> str:
+    """Register a Python callable and return its reference id.
+
+    The registry plays the role of the Lambda *dependency layer*: code is
+    deployed once at installation time and referenced by id at query time.
+    """
+    ref = f"udf-{id(udf):x}-{len(_UDF_REGISTRY)}"
+    _UDF_REGISTRY[ref] = udf
+    return ref
+
+
+def resolve_udf(ref: str) -> Callable:
+    """Look up a callable registered with :func:`register_udf`."""
+    if ref not in _UDF_REGISTRY:
+        raise InvalidPlanError(f"unknown UDF reference {ref!r}")
+    return _UDF_REGISTRY[ref]
+
+
+def clear_udf_registry() -> None:
+    """Remove all registered UDFs (used by tests)."""
+    _UDF_REGISTRY.clear()
+
+
+# ---------------------------------------------------------------------------
+# Plan fragments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PruneRange:
+    """An inclusive min/max constraint on one column, used for row-group pruning."""
+
+    column: str
+    lower: float
+    upper: float
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation (infinities become None)."""
+        return {
+            "column": self.column,
+            "lower": None if math.isinf(self.lower) and self.lower < 0 else self.lower,
+            "upper": None if math.isinf(self.upper) and self.upper > 0 else self.upper,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PruneRange":
+        """Inverse of :meth:`to_dict`."""
+        lower = data["lower"]
+        upper = data["upper"]
+        return cls(
+            column=data["column"],
+            lower=-math.inf if lower is None else float(lower),
+            upper=math.inf if upper is None else float(upper),
+        )
+
+
+@dataclass
+class WorkerPlan:
+    """Serialisable plan fragment executed by one serverless worker."""
+
+    #: Object-store paths of the files this worker scans.
+    files: List[str]
+    #: Columns to read from the files (projection push-down result).
+    columns: List[str]
+    #: Residual filter predicate applied after the scan (may be None).
+    predicate: Optional[Expression] = None
+    #: Predicate UDF reference (mutually exclusive with ``predicate``).
+    predicate_udf: Optional[str] = None
+    #: Per-column ranges used to prune row groups via footer min/max statistics.
+    prune_ranges: List[PruneRange] = field(default_factory=list)
+    #: Computed columns applied after filtering: list of (alias, expression).
+    map_outputs: List[Tuple[str, Expression]] = field(default_factory=list)
+    #: Map UDF reference (applied to each record as a tuple).
+    map_udf: Optional[str] = None
+    #: Whether map outputs replace the input columns.
+    map_replace: bool = True
+    #: Group-by keys of the partial aggregation ([] for scalar aggregation).
+    group_by: List[str] = field(default_factory=list)
+    #: Partial aggregates to compute (already decomposed, e.g. avg -> sum+count).
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+    #: Reference to a binary reduce UDF (the frontend ``reduce(fn)``); the
+    #: worker folds its values with it and the driver folds the partials.
+    reduce_udf: Optional[str] = None
+    #: Scan configuration knobs.
+    scan_connections: int = 4
+    scan_chunk_bytes: int = 16 * 1024 * 1024
+    #: Optional exchange specification (set for repartitioning queries).
+    exchange: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        """Serialise to a JSON-compatible dict for the invocation payload."""
+        return {
+            "files": list(self.files),
+            "columns": list(self.columns),
+            "predicate": expression_to_dict(self.predicate),
+            "predicate_udf": self.predicate_udf,
+            "prune_ranges": [item.to_dict() for item in self.prune_ranges],
+            "map_outputs": [
+                {"alias": alias, "expression": expression_to_dict(expr)}
+                for alias, expr in self.map_outputs
+            ],
+            "map_udf": self.map_udf,
+            "map_replace": self.map_replace,
+            "group_by": list(self.group_by),
+            "aggregates": [spec.to_dict() for spec in self.aggregates],
+            "reduce_udf": self.reduce_udf,
+            "scan_connections": self.scan_connections,
+            "scan_chunk_bytes": self.scan_chunk_bytes,
+            "exchange": self.exchange,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkerPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            files=list(data["files"]),
+            columns=list(data["columns"]),
+            predicate=expression_from_dict(data.get("predicate")),
+            predicate_udf=data.get("predicate_udf"),
+            prune_ranges=[PruneRange.from_dict(item) for item in data.get("prune_ranges", [])],
+            map_outputs=[
+                (item["alias"], expression_from_dict(item["expression"]))
+                for item in data.get("map_outputs", [])
+            ],
+            map_udf=data.get("map_udf"),
+            map_replace=data.get("map_replace", True),
+            group_by=list(data.get("group_by", [])),
+            aggregates=[AggregateSpec.from_dict(item) for item in data.get("aggregates", [])],
+            reduce_udf=data.get("reduce_udf"),
+            scan_connections=data.get("scan_connections", 4),
+            scan_chunk_bytes=data.get("scan_chunk_bytes", 16 * 1024 * 1024),
+            exchange=data.get("exchange"),
+        )
+
+    def with_files(self, files: Sequence[str]) -> "WorkerPlan":
+        """Copy of this fragment assigned a different set of files."""
+        clone = WorkerPlan.from_dict(self.to_dict())
+        clone.files = list(files)
+        return clone
+
+
+@dataclass
+class DriverPlan:
+    """Driver-side final phase: merge partial aggregates, sort, limit."""
+
+    group_by: List[str] = field(default_factory=list)
+    #: The original (user-facing) aggregates, used to finalise avg etc.
+    final_aggregates: List[AggregateSpec] = field(default_factory=list)
+    #: The partial aggregate aliases produced by the workers, in order.
+    partial_aliases: List[str] = field(default_factory=list)
+    order_by: List[str] = field(default_factory=list)
+    descending: bool = False
+    limit: Optional[int] = None
+    #: True when the query has no aggregation and the workers return raw rows.
+    collect_rows: bool = False
+    #: Reference to a binary reduce UDF used to fold the worker partials.
+    reduce_udf: Optional[str] = None
+
+
+@dataclass
+class PhysicalPlan:
+    """Complete physical plan: one worker fragment template + the driver plan."""
+
+    worker_template: WorkerPlan
+    driver: DriverPlan
+    #: All input files of the query, before assignment to workers.
+    input_files: List[str] = field(default_factory=list)
+
+    def partition_files(self, num_workers: int) -> List[List[str]]:
+        """Split the input files into ``num_workers`` balanced assignments.
+
+        Files are dealt round-robin, matching the paper's one-or-more files
+        per worker model (``F = files per worker``, ``W = 320 / F``).
+        Workers that would receive no files are dropped.
+        """
+        if num_workers <= 0:
+            raise InvalidPlanError("num_workers must be positive")
+        assignments: List[List[str]] = [[] for _ in range(num_workers)]
+        for index, path in enumerate(self.input_files):
+            assignments[index % num_workers].append(path)
+        return [files for files in assignments if files]
+
+    def worker_plans(self, num_workers: int) -> List[WorkerPlan]:
+        """Materialise per-worker fragments for ``num_workers`` workers."""
+        return [
+            self.worker_template.with_files(files)
+            for files in self.partition_files(num_workers)
+        ]

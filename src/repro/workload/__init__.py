@@ -1,0 +1,44 @@
+"""Workloads: TPC-H-style data generation and the evaluation queries.
+
+The paper evaluates on the TPC-H ``LINEITEM`` relation generated at scale
+factor 1000, modified to contain only numbers (no strings) and sorted by
+``l_shipdate``.  This package reproduces that generator at arbitrary (small)
+scale factors, writes datasets into the simulated object store, and provides
+the logical plans and NumPy reference implementations of TPC-H Q1 and Q6.
+"""
+
+from repro.workload.tpch import (
+    LINEITEM_SCHEMA,
+    LineitemGenerator,
+    DatasetInfo,
+    generate_lineitem_dataset,
+    replicate_dataset,
+)
+from repro.workload.queries import (
+    q1_plan,
+    q6_plan,
+    q1_sql,
+    q6_sql,
+    reference_q1,
+    reference_q6,
+    Q1_SHIPDATE_CUTOFF_DAYS,
+    Q6_SHIPDATE_LOWER_DAYS,
+    Q6_SHIPDATE_UPPER_DAYS,
+)
+
+__all__ = [
+    "LINEITEM_SCHEMA",
+    "LineitemGenerator",
+    "DatasetInfo",
+    "generate_lineitem_dataset",
+    "replicate_dataset",
+    "q1_plan",
+    "q6_plan",
+    "q1_sql",
+    "q6_sql",
+    "reference_q1",
+    "reference_q6",
+    "Q1_SHIPDATE_CUTOFF_DAYS",
+    "Q6_SHIPDATE_LOWER_DAYS",
+    "Q6_SHIPDATE_UPPER_DAYS",
+]

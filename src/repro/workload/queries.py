@@ -1,0 +1,172 @@
+"""TPC-H queries 1 and 6: plans, SQL, and NumPy reference implementations.
+
+The paper evaluates the two most scan-bound TPC-H queries:
+
+* **Q1** selects ~98 % of LINEITEM (``l_shipdate <= 1998-12-01 - 90 days``),
+  touches seven attributes, and aggregates into a handful of groups;
+* **Q6** selects ~2 % (one shipdate year, a discount band, a quantity cap),
+  touches four attributes, and computes a single scalar sum.
+
+Both are provided as logical plans for the Lambada frontend, as SQL strings
+for the mini-SQL frontend, and as NumPy reference implementations used by the
+tests to verify that the distributed execution returns the correct answer.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.plan.expressions import col, lit
+from repro.plan.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    LogicalPlan,
+    OrderByNode,
+    ScanNode,
+)
+
+
+def _days(year: int, month: int, day: int) -> int:
+    return (_dt.date(year, month, day) - _dt.date(1970, 1, 1)).days
+
+
+#: Q1 predicate: l_shipdate <= date '1998-12-01' - interval '90' day.
+Q1_SHIPDATE_CUTOFF_DAYS = _days(1998, 12, 1) - 90
+
+#: Q6 predicate bounds: shipdate in [1994-01-01, 1995-01-01).
+Q6_SHIPDATE_LOWER_DAYS = _days(1994, 1, 1)
+Q6_SHIPDATE_UPPER_DAYS = _days(1995, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Query 1
+# ---------------------------------------------------------------------------
+
+def q1_plan(paths: Sequence[str]) -> LogicalPlan:
+    """TPC-H Query 1 as a logical plan over ``paths``."""
+    scan = ScanNode(paths=tuple(paths))
+    filtered = FilterNode(
+        child=scan, predicate=col("l_shipdate") <= lit(Q1_SHIPDATE_CUTOFF_DAYS)
+    )
+    disc_price = col("l_extendedprice") * (lit(1) - col("l_discount"))
+    charge = disc_price * (lit(1) + col("l_tax"))
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("l_returnflag", "l_linestatus"),
+        aggregates=(
+            AggregateSpec("sum", col("l_quantity"), "sum_qty"),
+            AggregateSpec("sum", col("l_extendedprice"), "sum_base_price"),
+            AggregateSpec("sum", disc_price, "sum_disc_price"),
+            AggregateSpec("sum", charge, "sum_charge"),
+            AggregateSpec("avg", col("l_quantity"), "avg_qty"),
+            AggregateSpec("avg", col("l_extendedprice"), "avg_price"),
+            AggregateSpec("avg", col("l_discount"), "avg_disc"),
+            AggregateSpec("count", None, "count_order"),
+        ),
+    )
+    return OrderByNode(child=aggregate, keys=("l_returnflag", "l_linestatus"))
+
+
+def q1_sql(table_name: str = "lineitem") -> str:
+    """TPC-H Query 1 in the mini-SQL dialect."""
+    return (
+        "SELECT l_returnflag, l_linestatus, "
+        "sum(l_quantity) AS sum_qty, "
+        "sum(l_extendedprice) AS sum_base_price, "
+        "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+        "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+        "avg(l_quantity) AS avg_qty, "
+        "avg(l_extendedprice) AS avg_price, "
+        "avg(l_discount) AS avg_disc, "
+        "count(*) AS count_order "
+        f"FROM {table_name} "
+        f"WHERE l_shipdate <= {Q1_SHIPDATE_CUTOFF_DAYS} "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+
+
+def reference_q1(table: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q1 (used to verify results)."""
+    mask = table["l_shipdate"] <= Q1_SHIPDATE_CUTOFF_DAYS
+    selected = {name: column[mask] for name, column in table.items()}
+    keys = np.rec.fromarrays(
+        [selected["l_returnflag"], selected["l_linestatus"]], names=["rf", "ls"]
+    )
+    unique, inverse = np.unique(keys, return_inverse=True)
+    num_groups = len(unique)
+
+    def group_sum(values: np.ndarray) -> np.ndarray:
+        return np.bincount(inverse, weights=values, minlength=num_groups)
+
+    quantity = selected["l_quantity"]
+    price = selected["l_extendedprice"]
+    discount = selected["l_discount"]
+    tax = selected["l_tax"]
+    disc_price = price * (1 - discount)
+    charge = disc_price * (1 + tax)
+    counts = np.bincount(inverse, minlength=num_groups).astype(np.float64)
+    return {
+        "l_returnflag": np.asarray(unique["rf"]),
+        "l_linestatus": np.asarray(unique["ls"]),
+        "sum_qty": group_sum(quantity),
+        "sum_base_price": group_sum(price),
+        "sum_disc_price": group_sum(disc_price),
+        "sum_charge": group_sum(charge),
+        "avg_qty": group_sum(quantity) / counts,
+        "avg_price": group_sum(price) / counts,
+        "avg_disc": group_sum(discount) / counts,
+        "count_order": counts,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Query 6
+# ---------------------------------------------------------------------------
+
+def q6_plan(paths: Sequence[str]) -> LogicalPlan:
+    """TPC-H Query 6 as a logical plan over ``paths``."""
+    scan = ScanNode(paths=tuple(paths))
+    predicate = (
+        (col("l_shipdate") >= lit(Q6_SHIPDATE_LOWER_DAYS))
+        & (col("l_shipdate") < lit(Q6_SHIPDATE_UPPER_DAYS))
+        & (col("l_discount") >= lit(0.05))
+        & (col("l_discount") <= lit(0.07))
+        & (col("l_quantity") < lit(24))
+    )
+    filtered = FilterNode(child=scan, predicate=predicate)
+    return AggregateNode(
+        child=filtered,
+        group_by=(),
+        aggregates=(
+            AggregateSpec("sum", col("l_extendedprice") * col("l_discount"), "revenue"),
+        ),
+    )
+
+
+def q6_sql(table_name: str = "lineitem") -> str:
+    """TPC-H Query 6 in the mini-SQL dialect."""
+    return (
+        "SELECT sum(l_extendedprice * l_discount) AS revenue "
+        f"FROM {table_name} "
+        f"WHERE l_shipdate >= {Q6_SHIPDATE_LOWER_DAYS} "
+        f"AND l_shipdate < {Q6_SHIPDATE_UPPER_DAYS} "
+        "AND l_discount BETWEEN 0.05 AND 0.07 "
+        "AND l_quantity < 24"
+    )
+
+
+def reference_q6(table: Dict[str, np.ndarray]) -> float:
+    """NumPy reference implementation of Q6."""
+    mask = (
+        (table["l_shipdate"] >= Q6_SHIPDATE_LOWER_DAYS)
+        & (table["l_shipdate"] < Q6_SHIPDATE_UPPER_DAYS)
+        & (table["l_discount"] >= 0.05)
+        & (table["l_discount"] <= 0.07)
+        & (table["l_quantity"] < 24)
+    )
+    return float(np.sum(table["l_extendedprice"][mask] * table["l_discount"][mask]))

@@ -1,0 +1,238 @@
+"""Numeric TPC-H LINEITEM generator and dataset writer.
+
+The paper modifies ``dbgen`` to emit numbers instead of strings and sorts the
+relation by ``l_shipdate`` (to make min/max pruning on that attribute
+effective).  This generator reproduces that schema and the value
+distributions relevant to Q1 and Q6:
+
+* ``l_quantity`` uniform in [1, 50]
+* ``l_discount`` uniform in {0.00, 0.01, ..., 0.10}
+* ``l_tax`` uniform in {0.00, ..., 0.08}
+* ``l_shipdate`` uniform over 1992-01-02 .. 1998-12-01 (stored as integer
+  days since 1970-01-01), globally sorted
+* ``l_returnflag``/``l_linestatus`` encoded as small integers with the
+  correlation to ``l_shipdate`` that TPC-H prescribes (flags depend on
+  whether the shipdate is before/after 1995-06-17)
+
+Rows per scale factor follow TPC-H (about 6M rows per SF).  Datasets are
+written into the simulated object store as multiple columnar files, matching
+the paper's layout of ~500 MB files; larger scale factors can be emulated by
+replicating files, exactly as the paper does for SF 10 000.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.s3 import ObjectStore
+from repro.config import LINEITEM_ROWS_PER_SF
+from repro.formats.compression import Compression
+from repro.formats.parquet import write_table
+from repro.formats.schema import ColumnType, Schema
+
+#: Schema of the numeric LINEITEM relation (strings replaced by integer codes).
+LINEITEM_SCHEMA = Schema.from_pairs(
+    [
+        ("l_orderkey", ColumnType.INT64),
+        ("l_partkey", ColumnType.INT64),
+        ("l_suppkey", ColumnType.INT64),
+        ("l_linenumber", ColumnType.INT32),
+        ("l_quantity", ColumnType.FLOAT64),
+        ("l_extendedprice", ColumnType.FLOAT64),
+        ("l_discount", ColumnType.FLOAT64),
+        ("l_tax", ColumnType.FLOAT64),
+        ("l_returnflag", ColumnType.INT32),
+        ("l_linestatus", ColumnType.INT32),
+        ("l_shipdate", ColumnType.INT32),
+        ("l_commitdate", ColumnType.INT32),
+        ("l_receiptdate", ColumnType.INT32),
+        ("l_shipinstruct", ColumnType.INT32),
+        ("l_shipmode", ColumnType.INT32),
+    ]
+)
+
+
+def _days(year: int, month: int, day: int) -> int:
+    return (_dt.date(year, month, day) - _dt.date(1970, 1, 1)).days
+
+
+#: Date range of l_shipdate in TPC-H.
+SHIPDATE_MIN_DAYS = _days(1992, 1, 2)
+SHIPDATE_MAX_DAYS = _days(1998, 12, 1)
+#: The "current date" used by dbgen to derive return flags.
+CURRENTDATE_DAYS = _days(1995, 6, 17)
+
+
+class LineitemGenerator:
+    """Deterministic generator of the numeric LINEITEM relation."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows at this scale factor."""
+        return max(1, int(round(LINEITEM_ROWS_PER_SF * self.scale_factor)))
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``l_shipdate``)."""
+        rows = num_rows if num_rows is not None else self.num_rows
+        rng = np.random.default_rng(self.seed)
+
+        orderkey = rng.integers(1, max(2, rows // 4 * 4), size=rows, dtype=np.int64)
+        partkey = rng.integers(1, max(2, int(200_000 * self.scale_factor) + 2), size=rows, dtype=np.int64)
+        suppkey = rng.integers(1, max(2, int(10_000 * self.scale_factor) + 2), size=rows, dtype=np.int64)
+        linenumber = rng.integers(1, 8, size=rows, dtype=np.int32)
+        quantity = rng.integers(1, 51, size=rows).astype(np.float64)
+        extendedprice = np.round(quantity * rng.uniform(900.0, 105_000.0 / 50, size=rows), 2)
+        discount = rng.integers(0, 11, size=rows).astype(np.float64) / 100.0
+        tax = rng.integers(0, 9, size=rows).astype(np.float64) / 100.0
+        shipdate = rng.integers(SHIPDATE_MIN_DAYS, SHIPDATE_MAX_DAYS + 1, size=rows).astype(np.int32)
+        commitdate = shipdate + rng.integers(-30, 31, size=rows).astype(np.int32)
+        receiptdate = shipdate + rng.integers(1, 31, size=rows).astype(np.int32)
+        shipinstruct = rng.integers(0, 4, size=rows, dtype=np.int32)
+        shipmode = rng.integers(0, 7, size=rows, dtype=np.int32)
+
+        # Return flag correlates with shipdate as in dbgen: items shipped after
+        # the "current date" have flag N (encoded 2); older ones are A/R.
+        returnflag = np.where(
+            shipdate > CURRENTDATE_DAYS,
+            2,
+            rng.integers(0, 2, size=rows),
+        ).astype(np.int32)
+        # Line status: O (encoded 1) for recent shipments, F (0) otherwise.
+        linestatus = np.where(shipdate > CURRENTDATE_DAYS, 1, 0).astype(np.int32)
+
+        table = {
+            "l_orderkey": orderkey,
+            "l_partkey": partkey,
+            "l_suppkey": suppkey,
+            "l_linenumber": linenumber,
+            "l_quantity": quantity,
+            "l_extendedprice": extendedprice,
+            "l_discount": discount,
+            "l_tax": tax,
+            "l_returnflag": returnflag,
+            "l_linestatus": linestatus,
+            "l_shipdate": shipdate,
+            "l_commitdate": commitdate,
+            "l_receiptdate": receiptdate,
+            "l_shipinstruct": shipinstruct,
+            "l_shipmode": shipmode,
+        }
+
+        # Sort globally by l_shipdate (paper §5.1) to enable pruning.
+        order = np.argsort(shipdate, kind="stable")
+        return {name: column[order] for name, column in table.items()}
+
+
+@dataclass
+class DatasetInfo:
+    """Catalog entry of a generated dataset."""
+
+    name: str
+    paths: List[str]
+    total_rows: int
+    total_bytes: int
+    scale_factor: float
+    schema: Schema = field(default_factory=lambda: LINEITEM_SCHEMA)
+
+    @property
+    def num_files(self) -> int:
+        """Number of files the dataset is split into."""
+        return len(self.paths)
+
+    @property
+    def glob(self) -> str:
+        """A glob pattern matching all files of the dataset."""
+        prefix = self.paths[0].rsplit("/", 1)[0]
+        return f"{prefix}/*.lpq"
+
+
+def generate_lineitem_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "lineitem",
+    scale_factor: float = 0.001,
+    num_files: int = 4,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate LINEITEM and write it to the object store as columnar files.
+
+    The relation is generated fully, sorted by ``l_shipdate``, and split into
+    ``num_files`` contiguous ranges so that each file covers a distinct
+    shipdate interval (which is what makes per-file min/max pruning
+    effective, as in the paper's sorted SF-1000 dataset).
+    """
+    if num_files <= 0:
+        raise ValueError("num_files must be positive")
+    generator = LineitemGenerator(scale_factor=scale_factor, seed=seed)
+    table = generator.generate()
+    total_rows = len(table["l_orderkey"])
+
+    store.ensure_bucket(bucket)
+    paths: List[str] = []
+    total_bytes = 0
+    boundaries = np.linspace(0, total_rows, num_files + 1, dtype=np.int64)
+    for index in range(num_files):
+        start, end = int(boundaries[index]), int(boundaries[index + 1])
+        part = {name: column[start:end] for name, column in table.items()}
+        data = write_table(part, schema=LINEITEM_SCHEMA, row_group_rows=row_group_rows,
+                           compression=compression)
+        key = f"{prefix}/part-{index:05d}.lpq"
+        store.put_object(bucket, key, data)
+        paths.append(f"s3://{bucket}/{key}")
+        total_bytes += len(data)
+
+    return DatasetInfo(
+        name=prefix,
+        paths=paths,
+        total_rows=total_rows,
+        total_bytes=total_bytes,
+        scale_factor=scale_factor,
+    )
+
+
+def replicate_dataset(
+    store: ObjectStore,
+    dataset: DatasetInfo,
+    factor: int,
+    prefix: Optional[str] = None,
+) -> DatasetInfo:
+    """Replicate a dataset's files ``factor`` times (the paper's SF-10k trick).
+
+    Each original file is copied ``factor - 1`` additional times under new
+    keys; query properties are preserved while the data volume scales.
+    """
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    if factor == 1:
+        return dataset
+    prefix = prefix or f"{dataset.name}-x{factor}"
+    new_paths: List[str] = []
+    total_bytes = 0
+    for copy in range(factor):
+        for index, path in enumerate(dataset.paths):
+            bucket = path[len("s3://"):].split("/", 1)[0]
+            key = path[len("s3://") + len(bucket) + 1:]
+            data = store.get_object(bucket, key).data
+            new_key = f"{prefix}/copy-{copy:03d}-part-{index:05d}.lpq"
+            store.put_object(bucket, new_key, data)
+            new_paths.append(f"s3://{bucket}/{new_key}")
+            total_bytes += len(data)
+    return DatasetInfo(
+        name=prefix,
+        paths=new_paths,
+        total_rows=dataset.total_rows * factor,
+        total_bytes=total_bytes,
+        scale_factor=dataset.scale_factor * factor,
+    )

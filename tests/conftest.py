@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.environment import CloudEnvironment
+from repro.driver.driver import LambadaDriver
+from repro.workload.tpch import LineitemGenerator, generate_lineitem_dataset
+
+
+@pytest.fixture
+def env() -> CloudEnvironment:
+    """A fresh cloud environment (clock, ledger, S3, SQS, DynamoDB, Lambda)."""
+    return CloudEnvironment.create(region="eu")
+
+
+@pytest.fixture
+def small_table() -> dict:
+    """A tiny in-memory table used by engine-level tests."""
+    return {
+        "key": np.array([1, 2, 3, 4, 5], dtype=np.int64),
+        "value": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+        "flag": np.array([0, 1, 0, 1, 0], dtype=np.int32),
+    }
+
+
+@pytest.fixture(scope="session")
+def lineitem_table() -> dict:
+    """The generated LINEITEM relation at a tiny scale factor (in memory)."""
+    return LineitemGenerator(scale_factor=0.001, seed=7).generate()
+
+
+@pytest.fixture
+def dataset(env):
+    """A LINEITEM dataset written into the environment's object store."""
+    return generate_lineitem_dataset(
+        env.s3, scale_factor=0.001, num_files=4, row_group_rows=512, seed=7
+    )
+
+
+@pytest.fixture
+def driver(env) -> LambadaDriver:
+    """A driver installed into the environment."""
+    return LambadaDriver(env, memory_mib=2048)

@@ -1,0 +1,179 @@
+"""Tests for partial/merge/finalize aggregation, checked against NumPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
+from repro.engine.table import table_num_rows
+from repro.errors import ExecutionError
+from repro.plan.expressions import col
+from repro.plan.logical import AggregateSpec
+
+
+@pytest.fixture
+def grouped_table():
+    return {
+        "g": np.array([0, 1, 0, 1, 2], dtype=np.int64),
+        "v": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+    }
+
+
+def test_scalar_sum(grouped_table):
+    result = partial_aggregate(grouped_table, [], [AggregateSpec("sum", col("v"), "s")])
+    assert result["s"][0] == pytest.approx(15.0)
+    assert table_num_rows(result) == 1
+
+
+def test_grouped_sum_and_count(grouped_table):
+    result = partial_aggregate(
+        grouped_table,
+        ["g"],
+        [AggregateSpec("sum", col("v"), "s"), AggregateSpec("count", None, "n")],
+    )
+    order = np.argsort(result["g"])
+    np.testing.assert_array_equal(result["g"][order], [0, 1, 2])
+    np.testing.assert_allclose(result["s"][order], [4.0, 6.0, 5.0])
+    np.testing.assert_allclose(result["n"][order], [2, 2, 1])
+
+
+def test_min_max(grouped_table):
+    result = partial_aggregate(
+        grouped_table,
+        ["g"],
+        [AggregateSpec("min", col("v"), "lo"), AggregateSpec("max", col("v"), "hi")],
+    )
+    order = np.argsort(result["g"])
+    np.testing.assert_allclose(result["lo"][order], [1.0, 2.0, 5.0])
+    np.testing.assert_allclose(result["hi"][order], [3.0, 4.0, 5.0])
+
+
+def test_aggregate_over_expression(grouped_table):
+    result = partial_aggregate(
+        grouped_table, [], [AggregateSpec("sum", col("v") * 2, "s")]
+    )
+    assert result["s"][0] == pytest.approx(30.0)
+
+
+def test_empty_input_produces_empty_result():
+    result = partial_aggregate({}, ["g"], [AggregateSpec("sum", col("v"), "s")])
+    assert table_num_rows(result) == 0
+    assert set(result.keys()) == {"g", "s"}
+
+
+def test_multiple_group_keys():
+    table = {
+        "a": np.array([0, 0, 1, 1]),
+        "b": np.array([0, 1, 0, 1]),
+        "v": np.array([1.0, 2.0, 3.0, 4.0]),
+    }
+    result = partial_aggregate(table, ["a", "b"], [AggregateSpec("sum", col("v"), "s")])
+    assert table_num_rows(result) == 4
+
+
+def test_merge_partials_sums_and_mins(grouped_table):
+    specs = [
+        AggregateSpec("sum", col("v"), "s"),
+        AggregateSpec("count", None, "n"),
+        AggregateSpec("min", col("v"), "lo"),
+    ]
+    part = partial_aggregate(grouped_table, ["g"], specs)
+    merged = merge_partials([part, part], ["g"], specs)
+    order = np.argsort(merged["g"])
+    np.testing.assert_allclose(merged["s"][order], [8.0, 12.0, 10.0])
+    np.testing.assert_allclose(merged["n"][order], [4, 4, 2])
+    np.testing.assert_allclose(merged["lo"][order], [1.0, 2.0, 5.0])
+
+
+def test_merge_with_empty_partials(grouped_table):
+    specs = [AggregateSpec("sum", col("v"), "s")]
+    part = partial_aggregate(grouped_table, ["g"], specs)
+    empty = partial_aggregate({}, ["g"], specs)
+    merged = merge_partials([empty, part, empty], ["g"], specs)
+    assert table_num_rows(merged) == 3
+
+
+def test_merge_all_empty():
+    specs = [AggregateSpec("sum", col("v"), "s")]
+    merged = merge_partials([], ["g"], specs)
+    assert table_num_rows(merged) == 0
+
+
+def test_finalize_avg():
+    merged = {
+        "g": np.array([0, 1]),
+        "__m_sum": np.array([10.0, 6.0]),
+        "__m_count": np.array([2.0, 3.0]),
+    }
+    result = finalize_aggregates(merged, ["g"], [AggregateSpec("avg", col("v"), "m")])
+    np.testing.assert_allclose(result["m"], [5.0, 2.0])
+
+
+def test_finalize_avg_missing_partials_raises():
+    with pytest.raises(ExecutionError):
+        finalize_aggregates({"g": np.array([0])}, ["g"], [AggregateSpec("avg", col("v"), "m")])
+
+
+def test_finalize_passthrough_missing_column_raises():
+    with pytest.raises(ExecutionError):
+        finalize_aggregates({"g": np.array([0])}, ["g"], [AggregateSpec("sum", col("v"), "s")])
+
+
+def test_finalize_preserves_group_columns():
+    merged = {"g": np.array([7, 8]), "s": np.array([1.0, 2.0])}
+    result = finalize_aggregates(merged, ["g"], [AggregateSpec("sum", col("v"), "s")])
+    np.testing.assert_array_equal(result["g"], [7, 8])
+
+
+# -- property-based: distributed aggregation equals single-node aggregation -----------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    groups=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=200),
+    num_splits=st.integers(min_value=1, max_value=5),
+)
+def test_partial_merge_equals_global_sum(groups, num_splits):
+    """Splitting the data over workers never changes the aggregate result."""
+    rng = np.random.default_rng(42)
+    values = rng.random(len(groups))
+    table = {"g": np.array(groups, dtype=np.int64), "v": values}
+    specs = [
+        AggregateSpec("sum", col("v"), "s"),
+        AggregateSpec("count", None, "n"),
+        AggregateSpec("min", col("v"), "lo"),
+        AggregateSpec("max", col("v"), "hi"),
+    ]
+    # Global (single-node) aggregation.
+    expected = partial_aggregate(table, ["g"], specs)
+    # Distributed: split into chunks, partial per chunk, merge.
+    boundaries = np.linspace(0, len(groups), num_splits + 1, dtype=int)
+    partials = [
+        partial_aggregate(
+            {name: column[start:end] for name, column in table.items()}, ["g"], specs
+        )
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+    ]
+    merged = merge_partials(partials, ["g"], specs)
+    expected_order = np.argsort(expected["g"])
+    merged_order = np.argsort(merged["g"])
+    for alias in ("s", "n", "lo", "hi"):
+        np.testing.assert_allclose(
+            merged[alias][merged_order], expected[alias][expected_order], rtol=1e-9
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+def test_avg_finalisation_matches_numpy(values):
+    table = {"v": np.array(values)}
+    partial = partial_aggregate(
+        table,
+        [],
+        [
+            AggregateSpec("sum", col("v"), "__m_sum"),
+            AggregateSpec("count", col("v"), "__m_count"),
+        ],
+    )
+    result = finalize_aggregates(partial, [], [AggregateSpec("avg", col("v"), "m")])
+    assert result["m"][0] == pytest.approx(float(np.mean(values)), rel=1e-9)

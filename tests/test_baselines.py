@@ -1,0 +1,166 @@
+"""Tests for the IaaS and QaaS baseline models (Figures 1 and 12)."""
+
+import pytest
+
+from repro.baselines.external import LAMBADA_PAPER_RESULTS, LOCUS_RESULTS, POCKET_RESULTS
+from repro.baselines.iaas import (
+    ALWAYS_ON_CONFIGURATIONS,
+    AlwaysOnIaasModel,
+    JobScopedFaasModel,
+    JobScopedIaasModel,
+)
+from repro.baselines.qaas import AthenaModel, BigQueryModel
+from repro.config import TB
+
+
+# -- Figure 1a: job-scoped resources -----------------------------------------------------
+
+def test_iaas_more_instances_faster_but_not_cheaper():
+    model = JobScopedIaasModel()
+    few = model.point(4)
+    many = model.point(64)
+    assert many.running_time_seconds < few.running_time_seconds
+    assert many.cost_dollars >= few.cost_dollars * 0.9
+
+
+def test_iaas_latency_floor_is_startup_time():
+    model = JobScopedIaasModel()
+    assert model.point(256).running_time_seconds > 120.0
+
+
+def test_faas_reaches_interactive_latencies():
+    model = JobScopedFaasModel()
+    assert model.point(4096).running_time_seconds < 10.0
+    assert model.point(8).running_time_seconds > 100.0
+
+
+def test_faas_never_below_its_startup_floor():
+    model = JobScopedFaasModel()
+    assert model.point(100_000).running_time_seconds >= 4.0
+
+
+def test_iaas_cheapest_configuration_cheaper_than_faas():
+    """Figure 1a: at the low-cost end, IaaS is up to an order of magnitude cheaper."""
+    iaas = min(p.cost_dollars for p in JobScopedIaasModel().sweep([1, 4, 16, 64, 256]))
+    faas = min(p.cost_dollars for p in JobScopedFaasModel().sweep([8, 64, 512, 4096]))
+    assert iaas < faas
+
+
+def test_faas_interactive_point_faster_than_any_iaas_point():
+    """Figure 1a: FaaS can reach latencies job-scoped IaaS cannot (startup-bound)."""
+    fastest_iaas = min(
+        p.running_time_seconds for p in JobScopedIaasModel().sweep([1, 4, 16, 64, 256])
+    )
+    fastest_faas = min(
+        p.running_time_seconds for p in JobScopedFaasModel().sweep([8, 64, 512, 4096])
+    )
+    assert fastest_faas < fastest_iaas / 10
+
+
+def test_sweep_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        JobScopedIaasModel().point(0)
+    with pytest.raises(ValueError):
+        JobScopedFaasModel().point(0)
+
+
+# -- Figure 1b: always-on resources -------------------------------------------------------
+
+def test_always_on_configurations_meet_latency_target():
+    model = AlwaysOnIaasModel()
+    for configuration in ALWAYS_ON_CONFIGURATIONS:
+        assert model.scan_seconds(configuration, TB) <= 11.0
+
+
+def test_always_on_cost_independent_of_query_rate():
+    model = AlwaysOnIaasModel()
+    config = ALWAYS_ON_CONFIGURATIONS[0]
+    assert model.hourly_cost(config, 1) == model.hourly_cost(config, 64)
+
+
+def test_usage_based_costs_grow_linearly():
+    model = AlwaysOnIaasModel()
+    assert model.faas_hourly_cost(16) == pytest.approx(2 * model.faas_hourly_cost(8))
+    assert model.qaas_hourly_cost(16) == pytest.approx(2 * model.qaas_hourly_cost(8))
+
+
+def test_faas_cheaper_than_qaas_per_query():
+    model = AlwaysOnIaasModel()
+    assert model.faas_hourly_cost(1) < model.qaas_hourly_cost(1)
+
+
+def test_crossover_exists_with_moderate_query_rate():
+    """Figure 1b: at a moderate query rate the always-on cluster becomes cheaper
+    than the usage-based alternatives."""
+    model = AlwaysOnIaasModel()
+    cheapest_cluster = min(model.hourly_cost(c) for c in ALWAYS_ON_CONFIGURATIONS)
+    assert model.qaas_hourly_cost(1) < cheapest_cluster
+    assert model.qaas_hourly_cost(64) > cheapest_cluster
+    assert model.faas_hourly_cost(64) > cheapest_cluster
+
+
+# -- Figure 12: QaaS comparison ---------------------------------------------------------------
+
+def test_athena_cost_reflects_selectivity():
+    athena = AthenaModel()
+    assert athena.estimate("q6").cost_dollars < athena.estimate("q1").cost_dollars / 10
+
+
+def test_bigquery_cost_ignores_selectivity():
+    bigquery = BigQueryModel()
+    q1 = bigquery.estimate("q1").cost_dollars
+    q6 = bigquery.estimate("q6").cost_dollars
+    assert q6 > q1 / 3  # only the column fraction differs, not the selectivity
+
+
+def test_bigquery_more_expensive_than_athena_for_q1():
+    """§5.4.3: BigQuery's loaded format is >5x larger, so Q1 costs much more."""
+    assert (
+        BigQueryModel().estimate("q1").cost_dollars
+        > 3 * AthenaModel().estimate("q1").cost_dollars
+    )
+
+
+def test_athena_latency_scales_linearly_with_sf():
+    athena = AthenaModel()
+    assert athena.estimate("q1", 10000).latency_seconds == pytest.approx(
+        10 * athena.estimate("q1", 1000).latency_seconds
+    )
+
+
+def test_bigquery_latency_scales_sublinearly():
+    bigquery = BigQueryModel()
+    ratio = (
+        bigquery.estimate("q1", 10000).latency_seconds
+        / bigquery.estimate("q1", 1000).latency_seconds
+    )
+    assert 1 < ratio < 10
+
+
+def test_bigquery_cold_includes_load_time():
+    bigquery = BigQueryModel()
+    cold = bigquery.estimate("q1", 1000, cold=True)
+    hot = bigquery.estimate("q1", 1000, cold=False)
+    assert cold.cold_latency_seconds > 2000  # 40 min load
+    assert hot.cold_latency_seconds == hot.latency_seconds
+
+
+def test_bigquery_load_time_anchors():
+    bigquery = BigQueryModel()
+    assert bigquery.load_seconds(1000) == pytest.approx(40 * 60)
+    assert bigquery.load_seconds(10000) == pytest.approx(6.7 * 3600)
+
+
+def test_unknown_query_rejected():
+    with pytest.raises(ValueError):
+        AthenaModel().estimate("q99")
+    with pytest.raises(ValueError):
+        BigQueryModel().estimate("q99")
+
+
+# -- external reference numbers -----------------------------------------------------------------
+
+def test_published_numbers_present_and_sane():
+    assert {r.workers for r in POCKET_RESULTS if r.system == "pocket"} == {250, 500, 1000}
+    assert all(r.running_time_seconds > 0 for r in POCKET_RESULTS + LOCUS_RESULTS)
+    assert LAMBADA_PAPER_RESULTS[250] > LAMBADA_PAPER_RESULTS[1000]

@@ -1,0 +1,142 @@
+"""Tests for the one-level (basic) exchange operator."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.s3 import ObjectStore
+from repro.engine.table import table_num_rows
+from repro.errors import ExchangeError
+from repro.exchange.basic import (
+    BasicExchange,
+    ExchangeConfig,
+    deserialize_partition,
+    serialize_partition,
+)
+from repro.exchange.partition import partition_assignments
+
+
+def _make_tables(num_workers: int, rows_per_worker: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "key": rng.integers(0, 10_000, rows_per_worker).astype(np.int64),
+            "value": rng.random(rows_per_worker),
+        }
+        for _ in range(num_workers)
+    ]
+
+
+@pytest.fixture
+def store():
+    return ObjectStore()
+
+
+def test_serialize_roundtrip():
+    table = {"a": np.arange(10, dtype=np.int64), "b": np.random.default_rng(0).random(10)}
+    restored = deserialize_partition(serialize_partition(table))
+    np.testing.assert_array_equal(restored["a"], table["a"])
+    np.testing.assert_allclose(restored["b"], table["b"])
+
+
+def test_serialize_empty_is_empty_bytes():
+    assert serialize_partition({}) == b""
+    assert deserialize_partition(b"") == {}
+
+
+def test_exchange_preserves_all_rows(store):
+    P = 4
+    tables = _make_tables(P)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    result = exchange.run(tables)
+    total_in = sum(table_num_rows(t) for t in tables)
+    total_out = sum(table_num_rows(t) for t in result)
+    assert total_in == total_out
+
+
+def test_exchange_places_rows_on_their_partition(store):
+    P = 5
+    tables = _make_tables(P)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    result = exchange.run(tables)
+    for worker, table in enumerate(result):
+        if not table:
+            continue
+        assignment = partition_assignments(table, ["key"], P)
+        assert np.all(assignment == worker)
+
+
+def test_exchange_request_counts_are_quadratic(store):
+    P = 6
+    tables = _make_tables(P, rows_per_worker=50)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    exchange.run(tables)
+    stats = exchange.total_stats()
+    # Algorithm 1: every worker writes P files and reads P files.
+    assert stats.put_requests == P * P
+    assert stats.get_requests >= P * P
+
+
+def test_exchange_with_write_combining_reduces_writes(store):
+    P = 6
+    tables = _make_tables(P, rows_per_worker=50)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"], write_combining=True))
+    result = exchange.run(tables)
+    stats = exchange.total_stats()
+    assert stats.put_requests == P  # one combined object per sender
+    assert stats.list_requests >= P
+    assert sum(table_num_rows(t) for t in result) == sum(table_num_rows(t) for t in tables)
+
+
+def test_write_combining_preserves_placement(store):
+    P = 4
+    tables = _make_tables(P)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"], write_combining=True))
+    result = exchange.run(tables)
+    for worker, table in enumerate(result):
+        if not table:
+            continue
+        assignment = partition_assignments(table, ["key"], P)
+        assert np.all(assignment == worker)
+
+
+def test_exchange_files_spread_over_buckets(store):
+    P = 8
+    tables = _make_tables(P, rows_per_worker=20)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"], num_buckets=4))
+    exchange.run(tables)
+    buckets_used = [b for b in store.list_buckets() if store.object_count(b) > 0]
+    assert len(buckets_used) == 4
+
+
+def test_exchange_empty_input_tables(store):
+    P = 3
+    tables = [{"key": np.zeros(0, dtype=np.int64), "value": np.zeros(0)} for _ in range(P)]
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    result = exchange.run(tables)
+    assert all(table_num_rows(t) == 0 for t in result)
+
+
+def test_exchange_wrong_table_count_raises(store):
+    exchange = BasicExchange(store, 4, ExchangeConfig(keys=["key"]))
+    with pytest.raises(ExchangeError):
+        exchange.run(_make_tables(3))
+
+
+def test_exchange_rejects_nonpositive_worker_count(store):
+    with pytest.raises(ExchangeError):
+        BasicExchange(store, 0)
+
+
+def test_read_before_write_eventually_fails(store):
+    exchange = BasicExchange(store, 2, ExchangeConfig(keys=["key"], max_poll_attempts=3))
+    with pytest.raises(ExchangeError):
+        exchange.read(0)
+
+
+def test_per_worker_stats_available(store):
+    P = 3
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    exchange.run(_make_tables(P, rows_per_worker=30))
+    per_worker = exchange.stats_per_worker()
+    assert set(per_worker.keys()) == {0, 1, 2}
+    assert all(stats.put_requests == P for stats in per_worker.values())

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def test_demo_query_default_q6():
+    output = _run("demo-query", "--scale-factor", "0.0005", "--files", "4")
+    assert "revenue" in output
+    assert "workers:" in output
+    assert "cost breakdown:" in output
+
+
+def test_demo_query_custom_sql():
+    output = _run(
+        "demo-query",
+        "--scale-factor", "0.0005",
+        "--files", "2",
+        "--sql", "SELECT count(*) AS n FROM lineitem",
+    )
+    assert " n" in output
+    assert "result (1 rows)" in output
+
+
+def test_demo_query_with_catalog_and_cold():
+    output = _run(
+        "demo-query",
+        "--scale-factor", "0.0005",
+        "--files", "4",
+        "--use-catalog",
+        "--cold",
+    )
+    assert "workers:" in output
+
+
+def test_exchange_cost_lists_all_variants():
+    output = _run("exchange-cost", "--workers", "256")
+    for variant in ("1l", "1l-wc", "2l", "2l-wc", "3l", "3l-wc"):
+        assert variant in output
+
+
+def test_invocation_compares_flat_and_tree():
+    output = _run("invocation", "--workers", "4096")
+    assert "flat (driver only)" in output
+    assert "two-level tree" in output
+    assert "first generation:     64 workers" in output
+
+
+def test_qaas_comparison_output():
+    output = _run("qaas", "--query", "q1", "--scale-factor", "1000")
+    assert "lambada (hot)" in output
+    assert "athena" in output
+    assert "bigquery (cold)" in output
+
+
+def test_unknown_command_exits_with_error():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_missing_command_exits_with_error():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,65 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.cloud.clock import VirtualClock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.now == 2.5
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.0)
+    clock.advance(2.0)
+    assert clock.now == pytest.approx(3.0)
+
+
+def test_advance_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_future():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_past_is_noop():
+    clock = VirtualClock(10.0)
+    clock.advance_to(3.0)
+    assert clock.now == 10.0
+
+
+def test_reset():
+    clock = VirtualClock(7.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.reset(-5.0)
+
+
+def test_repr_mentions_time():
+    assert "3.5" in repr(VirtualClock(3.5))

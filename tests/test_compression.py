@@ -1,0 +1,51 @@
+"""Tests for the compression codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptFileError
+from repro.formats.compression import Compression, compress, decompress
+
+
+@pytest.mark.parametrize("codec", list(Compression))
+def test_roundtrip(codec):
+    payload = b"lambada " * 100
+    assert decompress(compress(payload, codec), codec) == payload
+
+
+@pytest.mark.parametrize("codec", list(Compression))
+def test_roundtrip_empty(codec):
+    assert decompress(compress(b"", codec), codec) == b""
+
+
+def test_none_is_identity():
+    payload = b"\x00\x01\x02" * 10
+    assert compress(payload, Compression.NONE) == payload
+
+
+def test_gzip_compresses_repetitive_data():
+    payload = b"a" * 10_000
+    assert len(compress(payload, Compression.GZIP)) < len(payload) / 10
+
+
+def test_gzip_tighter_than_fast_on_text():
+    payload = (b"the quick brown fox jumps over the lazy dog " * 500)
+    assert len(compress(payload, Compression.GZIP)) <= len(compress(payload, Compression.FAST))
+
+
+def test_heavyweight_flag():
+    assert Compression.GZIP.is_heavyweight
+    assert not Compression.FAST.is_heavyweight
+    assert not Compression.NONE.is_heavyweight
+
+
+def test_corrupt_data_raises():
+    with pytest.raises(CorruptFileError):
+        decompress(b"not-compressed-data", Compression.GZIP)
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(max_size=4096), codec=st.sampled_from(list(Compression)))
+def test_roundtrip_property(payload, codec):
+    assert decompress(compress(payload, codec), codec) == payload

@@ -1,0 +1,52 @@
+"""Tests for the numeric CSV reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaMismatchError
+from repro.formats.csvfmt import read_csv, write_csv
+from repro.formats.schema import ColumnType, Schema
+
+
+def test_roundtrip_with_schema():
+    schema = Schema.from_pairs([("a", ColumnType.INT64), ("b", ColumnType.FLOAT64)])
+    table = {"a": np.array([1, 2, 3], dtype=np.int64), "b": np.array([0.5, 1.5, 2.5])}
+    data = write_csv(table, schema)
+    result = read_csv(data, schema)
+    np.testing.assert_array_equal(result["a"], table["a"])
+    np.testing.assert_allclose(result["b"], table["b"])
+    assert result["a"].dtype == np.dtype("int64")
+
+
+def test_roundtrip_without_schema_reads_floats():
+    table = {"x": np.array([1.25, 2.5])}
+    result = read_csv(write_csv(table))
+    np.testing.assert_allclose(result["x"], table["x"])
+
+
+def test_header_row_present():
+    table = {"alpha": np.array([1], dtype=np.int64)}
+    text = write_csv(table).decode("utf-8")
+    assert text.splitlines()[0] == "alpha"
+
+
+def test_empty_input_returns_empty_dict():
+    assert read_csv(b"") == {}
+
+
+def test_unknown_csv_column_raises():
+    schema = Schema.from_pairs([("a", ColumnType.INT64)])
+    with pytest.raises(SchemaMismatchError):
+        read_csv(b"a,b\n1,2\n", schema)
+
+
+def test_float_precision_preserved():
+    table = {"v": np.array([0.1234567890123456])}
+    result = read_csv(write_csv(table))
+    assert result["v"][0] == pytest.approx(0.1234567890123456, abs=0)
+
+
+def test_write_validates_against_schema():
+    schema = Schema.from_pairs([("a", ColumnType.INT64), ("b", ColumnType.INT64)])
+    with pytest.raises(SchemaMismatchError):
+        write_csv({"a": np.array([1])}, schema)

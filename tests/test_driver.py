@@ -1,0 +1,204 @@
+"""Tests for the Lambada driver (end-to-end query coordination)."""
+
+import numpy as np
+import pytest
+
+from repro.driver.driver import LambadaDriver
+from repro.errors import ExecutionError, WorkerFailedError
+from repro.plan.expressions import col, lit
+from repro.plan.logical import (
+    AggregateNode,
+    AggregateSpec,
+    FilterNode,
+    LimitNode,
+    OrderByNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.workload.queries import reference_q1, reference_q6, q1_plan, q6_plan
+
+
+def test_install_deploys_function_and_queue(env, driver):
+    assert driver.function_name in env.lambda_service.list_functions()
+    assert driver.result_queue in env.sqs.list_queues()
+
+
+def test_scalar_aggregate_query(env, driver, dataset, lineitem_table):
+    plan = AggregateNode(
+        child=ScanNode(paths=tuple(dataset.paths)),
+        aggregates=(AggregateSpec("sum", col("l_quantity"), "total_qty"),),
+    )
+    result = driver.execute(plan)
+    assert result.scalar() == pytest.approx(float(lineitem_table["l_quantity"].sum()))
+
+
+def test_one_worker_per_file_by_default(driver, dataset):
+    plan = AggregateNode(
+        child=ScanNode(paths=tuple(dataset.paths)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    result = driver.execute(plan)
+    assert result.statistics.num_workers == dataset.num_files
+    assert len(result.worker_results) == dataset.num_files
+
+
+def test_files_per_worker_controls_fleet_size(driver, dataset):
+    plan = AggregateNode(
+        child=ScanNode(paths=tuple(dataset.paths)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    result = driver.execute(plan, files_per_worker=2)
+    assert result.statistics.num_workers == dataset.num_files // 2
+
+
+def test_num_workers_capped_by_files(driver, dataset):
+    plan = AggregateNode(
+        child=ScanNode(paths=tuple(dataset.paths)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    result = driver.execute(plan, num_workers=1000)
+    assert result.statistics.num_workers == dataset.num_files
+
+
+def test_glob_expansion(driver, dataset):
+    plan = AggregateNode(
+        child=ScanNode(paths=(dataset.glob,)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    result = driver.execute(plan)
+    assert result.scalar() == pytest.approx(dataset.total_rows)
+
+
+def test_missing_input_raises(driver):
+    plan = AggregateNode(
+        child=ScanNode(paths=("s3://tpch/nothing/*.lpq",)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    with pytest.raises(ExecutionError):
+        driver.execute(plan)
+
+
+def test_worker_failure_is_surfaced(driver, dataset, env):
+    # Point one file at a corrupt object to make a worker fail.
+    env.s3.put_object("tpch", "lineitem/part-00000.lpq", b"corrupt bytes")
+    plan = AggregateNode(
+        child=ScanNode(paths=tuple(dataset.paths)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+    with pytest.raises(WorkerFailedError):
+        driver.execute(plan)
+
+
+def test_collect_rows_query(driver, dataset, lineitem_table):
+    plan = ProjectNode(
+        child=FilterNode(
+            child=ScanNode(paths=tuple(dataset.paths)),
+            predicate=col("l_quantity") >= 49,
+        ),
+        columns=("l_quantity", "l_discount"),
+    )
+    result = driver.execute(plan)
+    expected = int((lineitem_table["l_quantity"] >= 49).sum())
+    assert result.num_rows == expected
+    assert set(result.table.keys()) == {"l_quantity", "l_discount"}
+
+
+def test_order_by_and_limit(driver, dataset):
+    plan = LimitNode(
+        child=OrderByNode(
+            child=AggregateNode(
+                child=ScanNode(paths=tuple(dataset.paths)),
+                group_by=("l_returnflag",),
+                aggregates=(AggregateSpec("count", None, "n"),),
+            ),
+            keys=("n",),
+            descending=True,
+        ),
+        count=2,
+    )
+    result = driver.execute(plan)
+    assert result.num_rows == 2
+    counts = result.column("n")
+    assert counts[0] >= counts[1]
+
+
+def test_q1_matches_reference(driver, dataset, lineitem_table):
+    result = driver.execute(q1_plan(dataset.paths))
+    expected = reference_q1(lineitem_table)
+    assert result.num_rows == len(expected["sum_qty"])
+    for alias in ("sum_qty", "sum_base_price", "sum_disc_price", "sum_charge",
+                  "avg_qty", "avg_price", "avg_disc", "count_order"):
+        np.testing.assert_allclose(result.column(alias), expected[alias], rtol=1e-9)
+
+
+def test_q6_matches_reference(driver, dataset, lineitem_table):
+    result = driver.execute(q6_plan(dataset.paths))
+    assert result.scalar() == pytest.approx(reference_q6(lineitem_table), rel=1e-9)
+
+
+def test_q6_prunes_most_row_groups(driver, dataset):
+    result = driver.execute(q6_plan(dataset.paths))
+    total_groups = sum(r.row_groups_total for r in result.worker_results)
+    pruned = sum(r.row_groups_pruned for r in result.worker_results)
+    # Q6 touches one year out of seven; most row groups are pruned (§5.3).
+    assert pruned > 0.5 * total_groups
+
+
+def test_q1_prunes_little(driver, dataset):
+    result = driver.execute(q1_plan(dataset.paths))
+    total_groups = sum(r.row_groups_total for r in result.worker_results)
+    pruned = sum(r.row_groups_pruned for r in result.worker_results)
+    assert pruned < 0.2 * total_groups
+
+
+def test_statistics_populated(driver, dataset):
+    result = driver.execute(q6_plan(dataset.paths))
+    stats = result.statistics
+    assert stats.latency_seconds > 0
+    assert stats.invocation_seconds > 0
+    assert stats.max_worker_seconds >= stats.median_worker_seconds
+    assert stats.cost_total > 0
+    assert stats.cost_total == pytest.approx(
+        stats.cost_lambda_duration
+        + stats.cost_lambda_requests
+        + stats.cost_s3_requests
+        + stats.cost_sqs_requests
+    )
+    assert stats.rows_scanned > 0
+    assert stats.bytes_read > 0
+    assert len(stats.worker_durations) == stats.num_workers
+
+
+def test_cold_execution_slower_and_pricier(driver, dataset):
+    hot = driver.execute(q1_plan(dataset.paths), cold=False)
+    cold = driver.execute(q1_plan(dataset.paths), cold=True)
+    assert cold.statistics.latency_seconds > hot.statistics.latency_seconds
+    assert cold.statistics.cost_lambda_duration >= hot.statistics.cost_lambda_duration
+    # Results are identical regardless of cold/hot.
+    np.testing.assert_allclose(cold.column("sum_qty"), hot.column("sum_qty"))
+
+
+def test_more_memory_lowers_latency_raises_cost(env, dataset):
+    small = LambadaDriver(env, memory_mib=512, result_queue="q-small")
+    large = LambadaDriver(env, memory_mib=1792, result_queue="q-large")
+    small_result = small.execute(q1_plan(dataset.paths))
+    large_result = large.execute(q1_plan(dataset.paths))
+    assert large_result.statistics.max_worker_seconds < small_result.statistics.max_worker_seconds
+
+
+def test_set_memory_redeploys(driver, env):
+    driver.set_memory(3008)
+    assert env.lambda_service.get_config(driver.function_name).memory_mib == 3008
+
+
+def test_tree_invocation_used(driver, dataset, env):
+    before = env.lambda_service.total_invocations()
+    driver.execute(q6_plan(dataset.paths))
+    after = env.lambda_service.total_invocations()
+    assert after - before == dataset.num_files
+
+
+def test_scalar_on_multirow_result_raises(driver, dataset):
+    result = driver.execute(q1_plan(dataset.paths))
+    with pytest.raises(ExecutionError):
+        result.scalar()

@@ -1,0 +1,56 @@
+"""Tests for driver-side retries of failed workers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkerFailedError
+from repro.plan.logical import AggregateNode, AggregateSpec, FilterNode, ScanNode
+from repro.plan.expressions import col
+from repro.workload.queries import reference_q6, q6_plan
+
+
+class FlakyPredicate:
+    """A predicate UDF that fails the first ``failures`` times it is called."""
+
+    def __init__(self, failures: int):
+        self.remaining_failures = failures
+
+    def __call__(self, row):
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise RuntimeError("transient failure injected by the test")
+        return True
+
+
+def _flaky_plan(dataset, failures: int):
+    return AggregateNode(
+        child=FilterNode(child=ScanNode(paths=tuple(dataset.paths)), udf=FlakyPredicate(failures)),
+        aggregates=(AggregateSpec("count", None, "n"),),
+    )
+
+
+def test_transient_worker_failure_is_retried(driver, dataset, lineitem_table):
+    result = driver.execute(_flaky_plan(dataset, failures=1), max_worker_retries=1)
+    assert result.column("n")[0] == pytest.approx(len(lineitem_table["l_quantity"]))
+
+
+def test_persistent_failure_raises_after_retries(driver, dataset):
+    with pytest.raises(WorkerFailedError):
+        driver.execute(_flaky_plan(dataset, failures=10_000), max_worker_retries=1)
+
+
+def test_no_retries_surfaces_first_failure(driver, dataset):
+    with pytest.raises(WorkerFailedError):
+        driver.execute(_flaky_plan(dataset, failures=1), max_worker_retries=0)
+
+
+def test_retry_does_not_duplicate_results(driver, dataset, lineitem_table):
+    """Retried workers replace their failed attempt; partials are not double-counted."""
+    result = driver.execute(_flaky_plan(dataset, failures=2), max_worker_retries=2)
+    assert result.column("n")[0] == pytest.approx(len(lineitem_table["l_quantity"]))
+    assert len(result.worker_results) == result.statistics.num_workers
+
+
+def test_retries_do_not_affect_healthy_queries(driver, dataset, lineitem_table):
+    result = driver.execute(q6_plan(dataset.paths), max_worker_retries=3)
+    assert result.scalar() == pytest.approx(reference_q6(lineitem_table), rel=1e-9)

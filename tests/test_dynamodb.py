@@ -1,0 +1,95 @@
+"""Tests for the simulated DynamoDB key-value store."""
+
+import pytest
+
+from repro.cloud.dynamodb import KeyValueStore
+from repro.errors import ConditionalCheckFailedError, NoSuchTableError
+
+
+@pytest.fixture
+def kv() -> KeyValueStore:
+    store = KeyValueStore()
+    store.create_table("state")
+    return store
+
+
+def test_put_and_get(kv):
+    kv.put_item("state", "worker-1", {"status": "running"})
+    assert kv.get_item("state", "worker-1") == {"status": "running"}
+
+
+def test_get_missing_returns_none(kv):
+    assert kv.get_item("state", "missing") is None
+
+
+def test_missing_table_raises(kv):
+    with pytest.raises(NoSuchTableError):
+        kv.get_item("nope", "a")
+
+
+def test_put_overwrites(kv):
+    kv.put_item("state", "k", {"v": 1})
+    kv.put_item("state", "k", {"v": 2})
+    assert kv.get_item("state", "k") == {"v": 2}
+
+
+def test_conditional_put_fails_if_exists(kv):
+    kv.put_item("state", "leader", {"id": 1}, if_not_exists=True)
+    with pytest.raises(ConditionalCheckFailedError):
+        kv.put_item("state", "leader", {"id": 2}, if_not_exists=True)
+    assert kv.get_item("state", "leader") == {"id": 1}
+
+
+def test_delete_item_and_missing_delete_is_noop(kv):
+    kv.put_item("state", "k", {"v": 1})
+    kv.delete_item("state", "k")
+    kv.delete_item("state", "k")
+    assert kv.get_item("state", "k") is None
+
+
+def test_scan_returns_copy(kv):
+    kv.put_item("state", "a", {"v": 1})
+    items = kv.scan("state")
+    items["a"]["v"] = 99
+    assert kv.get_item("state", "a") == {"v": 1}
+
+
+def test_get_returns_copy(kv):
+    kv.put_item("state", "a", {"v": [1, 2]})
+    item = kv.get_item("state", "a")
+    item["v"].append(3)
+    assert kv.get_item("state", "a") == {"v": [1, 2]}
+
+
+def test_increment_creates_and_adds(kv):
+    assert kv.increment("state", "counter", "n") == 1
+    assert kv.increment("state", "counter", "n", 4) == 5
+
+
+def test_item_count(kv):
+    kv.put_item("state", "a", {})
+    kv.put_item("state", "b", {})
+    assert kv.item_count("state") == 2
+
+
+def test_item_too_large_rejected(kv):
+    with pytest.raises(ValueError):
+        kv.put_item("state", "big", {"blob": "x" * 500_000})
+
+
+def test_create_table_idempotent(kv):
+    kv.put_item("state", "a", {"v": 1})
+    kv.create_table("state")
+    assert kv.get_item("state", "a") == {"v": 1}
+
+
+def test_delete_table(kv):
+    kv.delete_table("state")
+    assert "state" not in kv.list_tables()
+
+
+def test_requests_are_metered(kv):
+    kv.put_item("state", "a", {"v": 1})
+    kv.get_item("state", "a")
+    assert kv.ledger.total("dynamodb", "write_units") == 1
+    assert kv.ledger.total("dynamodb", "read_units") == 1

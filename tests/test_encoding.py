@@ -1,0 +1,152 @@
+"""Tests for column encodings, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptFileError
+from repro.formats.encoding import (
+    Encoding,
+    choose_encoding,
+    decode_column,
+    encode_column,
+)
+from repro.formats.schema import ColumnType
+
+
+def _roundtrip(values: np.ndarray, ctype: ColumnType, encoding: Encoding) -> np.ndarray:
+    encoded = encode_column(values, ctype, encoding)
+    return decode_column(encoded, ctype, encoding, len(values))
+
+
+# -- plain examples ------------------------------------------------------------------
+
+@pytest.mark.parametrize("encoding", list(Encoding))
+@pytest.mark.parametrize(
+    "ctype,values",
+    [
+        (ColumnType.INT64, np.array([1, 2, 3, 3, 3, -5], dtype=np.int64)),
+        (ColumnType.INT32, np.array([7, 7, 7, 0], dtype=np.int32)),
+        (ColumnType.FLOAT64, np.array([0.5, 0.5, 2.25, -1.75])),
+    ],
+)
+def test_roundtrip_examples(encoding, ctype, values):
+    decoded = _roundtrip(values, ctype, encoding)
+    np.testing.assert_array_equal(decoded, values)
+    assert decoded.dtype == ctype.numpy_dtype
+
+
+@pytest.mark.parametrize("encoding", list(Encoding))
+def test_roundtrip_empty(encoding):
+    values = np.zeros(0, dtype=np.int64)
+    decoded = _roundtrip(values, ColumnType.INT64, encoding)
+    assert len(decoded) == 0
+
+
+def test_rle_compresses_runs():
+    values = np.repeat(np.arange(10, dtype=np.int64), 1000)
+    plain = encode_column(values, ColumnType.INT64, Encoding.PLAIN)
+    rle = encode_column(values, ColumnType.INT64, Encoding.RLE)
+    assert len(rle) < len(plain) / 50
+
+
+def test_dictionary_compresses_low_cardinality():
+    values = np.array([3, 1, 3, 1, 3] * 1000, dtype=np.int64)
+    plain = encode_column(values, ColumnType.INT64, Encoding.PLAIN)
+    dictionary = encode_column(values, ColumnType.INT64, Encoding.DICTIONARY)
+    assert len(dictionary) < len(plain)
+
+
+# -- corruption handling --------------------------------------------------------------
+
+def test_plain_wrong_length_raises():
+    with pytest.raises(CorruptFileError):
+        decode_column(b"\x00" * 7, ColumnType.INT64, Encoding.PLAIN, 1)
+
+
+def test_rle_truncated_raises():
+    values = np.array([1, 1, 2, 2], dtype=np.int64)
+    encoded = encode_column(values, ColumnType.INT64, Encoding.RLE)
+    with pytest.raises(CorruptFileError):
+        decode_column(encoded[:-2], ColumnType.INT64, Encoding.RLE, 4)
+
+
+def test_rle_wrong_count_raises():
+    values = np.array([1, 1, 2], dtype=np.int64)
+    encoded = encode_column(values, ColumnType.INT64, Encoding.RLE)
+    with pytest.raises(CorruptFileError):
+        decode_column(encoded, ColumnType.INT64, Encoding.RLE, 5)
+
+
+def test_dictionary_truncated_raises():
+    values = np.array([1, 2, 1], dtype=np.int64)
+    encoded = encode_column(values, ColumnType.INT64, Encoding.DICTIONARY)
+    with pytest.raises(CorruptFileError):
+        decode_column(encoded[:-1], ColumnType.INT64, Encoding.DICTIONARY, 3)
+
+
+def test_too_short_headers_raise():
+    with pytest.raises(CorruptFileError):
+        decode_column(b"\x01", ColumnType.INT64, Encoding.RLE, 1)
+    with pytest.raises(CorruptFileError):
+        decode_column(b"\x01", ColumnType.INT64, Encoding.DICTIONARY, 1)
+
+
+# -- encoding choice heuristic ----------------------------------------------------------
+
+def test_choose_encoding_prefers_dictionary_for_low_cardinality():
+    values = np.array([1, 2, 3] * 10_000, dtype=np.int64)
+    assert choose_encoding(values) is Encoding.DICTIONARY
+
+
+def test_choose_encoding_prefers_rle_for_sorted_runs():
+    values = np.repeat(np.arange(2000, dtype=np.int64), 50)
+    assert choose_encoding(values) in (Encoding.RLE, Encoding.DICTIONARY)
+
+
+def test_choose_encoding_plain_for_random_floats():
+    rng = np.random.default_rng(0)
+    values = rng.random(10_000)
+    assert choose_encoding(values) is Encoding.PLAIN
+
+
+def test_choose_encoding_empty_is_plain():
+    assert choose_encoding(np.zeros(0)) is Encoding.PLAIN
+
+
+# -- property-based round trips ----------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-(2 ** 62), max_value=2 ** 62), max_size=300),
+    encoding=st.sampled_from(list(Encoding)),
+)
+def test_int64_roundtrip_property(values, encoding):
+    array = np.array(values, dtype=np.int64)
+    decoded = _roundtrip(array, ColumnType.INT64, encoding)
+    np.testing.assert_array_equal(decoded, array)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=300
+    ),
+    encoding=st.sampled_from([Encoding.PLAIN, Encoding.RLE, Encoding.DICTIONARY]),
+)
+def test_float64_roundtrip_property(values, encoding):
+    array = np.array(values, dtype=np.float64)
+    decoded = _roundtrip(array, ColumnType.FLOAT64, encoding)
+    np.testing.assert_array_equal(decoded, array)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=500),
+)
+def test_chosen_encoding_always_roundtrips(values):
+    array = np.array(values, dtype=np.int32)
+    encoding = choose_encoding(array)
+    decoded = _roundtrip(array, ColumnType.INT32, encoding)
+    np.testing.assert_array_equal(decoded, array)

@@ -1,0 +1,53 @@
+"""Tests for the bundled cloud environment."""
+
+import pytest
+
+from repro.cloud.environment import CloudEnvironment
+
+
+def test_create_wires_shared_clock_and_ledger():
+    env = CloudEnvironment.create()
+    assert env.s3.clock is env.clock
+    assert env.sqs.clock is env.clock
+    assert env.dynamodb.clock is env.clock
+    assert env.lambda_service.clock is env.clock
+    assert env.s3.ledger is env.ledger
+    assert env.lambda_service.ledger is env.ledger
+
+
+def test_create_rejects_unknown_region():
+    with pytest.raises(ValueError):
+        CloudEnvironment.create(region="moon")
+
+
+def test_total_cost_accumulates_across_services():
+    env = CloudEnvironment.create()
+    env.s3.ensure_bucket("b")
+    env.s3.put_object("b", "k", b"x" * 10)
+    env.s3.get_object("b", "k")
+    env.sqs.create_queue("q")
+    env.sqs.send_message("q", "hello")
+    assert env.total_cost() > 0
+    breakdown = env.cost_breakdown()
+    assert "s3.get_requests" in breakdown
+    assert "sqs.requests" in breakdown
+
+
+def test_reset_metering_clears_cost_and_clock():
+    env = CloudEnvironment.create()
+    env.s3.ensure_bucket("b")
+    env.s3.put_object("b", "k", b"x")
+    env.clock.advance(10)
+    env.reset_metering()
+    assert env.total_cost() == 0.0
+    assert env.clock.now == 0.0
+
+
+def test_concurrency_limit_is_passed_through():
+    env = CloudEnvironment.create(concurrency_limit=7)
+    assert env.lambda_service.concurrency_limit == 7
+
+
+def test_rate_limit_flag_is_passed_through():
+    env = CloudEnvironment.create(enforce_s3_rate_limits=True)
+    assert env.s3.enforce_rate_limits is True

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_lambada_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.LambadaError), name
+
+
+def test_cloud_errors_group():
+    for cls in (
+        errors.NoSuchBucketError,
+        errors.NoSuchKeyError,
+        errors.SlowDownError,
+        errors.TooManyRequestsError,
+        errors.FunctionNotFoundError,
+        errors.PayloadTooLargeError,
+    ):
+        assert issubclass(cls, errors.CloudError)
+
+
+def test_format_errors_group():
+    for cls in (errors.CorruptFileError, errors.UnsupportedTypeError, errors.SchemaMismatchError):
+        assert issubclass(cls, errors.FormatError)
+
+
+def test_plan_and_execution_errors_group():
+    assert issubclass(errors.UnknownColumnError, errors.PlanError)
+    assert issubclass(errors.SqlSyntaxError, errors.PlanError)
+    assert issubclass(errors.WorkerFailedError, errors.ExecutionError)
+    assert issubclass(errors.ExchangeError, errors.ExecutionError)
+
+
+def test_worker_failed_error_carries_worker_id():
+    error = errors.WorkerFailedError(7, "out of memory")
+    assert error.worker_id == 7
+    assert "7" in str(error)
+    assert "out of memory" in str(error)
+
+
+def test_catching_base_class_catches_everything():
+    with pytest.raises(errors.LambadaError):
+        raise errors.SlowDownError("throttled")
+    with pytest.raises(errors.LambadaError):
+        raise errors.SqlSyntaxError("bad sql")

@@ -1,0 +1,118 @@
+"""Tests for the exchange timing simulator (Table 3 / Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.external import LAMBADA_PAPER_RESULTS, POCKET_RESULTS
+from repro.exchange.simulator import ExchangeSimulator
+
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+
+@pytest.fixture
+def simulator() -> ExchangeSimulator:
+    return ExchangeSimulator()
+
+
+def test_simulation_is_deterministic(simulator):
+    first = simulator.simulate(100, 100 * GB)
+    second = simulator.simulate(100, 100 * GB)
+    assert first.total_seconds == second.total_seconds
+
+
+def test_more_workers_is_faster(simulator):
+    slow = simulator.simulate(250, 100 * GB)
+    fast = simulator.simulate(1000, 100 * GB)
+    assert fast.total_seconds < slow.total_seconds
+
+
+def test_more_data_takes_longer(simulator):
+    small = simulator.simulate(1250, 1 * TB)
+    large = simulator.simulate(2500, 3 * TB)
+    assert large.total_seconds > small.total_seconds
+
+
+def test_phase_breakdown_shapes(simulator):
+    timings = simulator.simulate(100, 100 * GB)
+    phases = timings.breakdown.phases()
+    assert set(phases.keys()) == {
+        "Read input",
+        "Round 1 write",
+        "Round 1 wait",
+        "Round 1 read",
+        "Round 2 write",
+        "Round 2 wait",
+        "Round 2 read",
+    }
+    for values in phases.values():
+        assert len(values) == 100
+        assert np.all(values >= 0)
+
+
+def test_total_is_max_of_per_worker_totals(simulator):
+    timings = simulator.simulate(64, 50 * GB)
+    assert timings.total_seconds == pytest.approx(
+        float(timings.breakdown.total_per_worker().max())
+    )
+    assert timings.fastest_worker_seconds <= timings.total_seconds
+
+
+def test_lower_bound_below_fastest_worker(simulator):
+    timings = simulator.simulate(100, 100 * GB)
+    assert timings.lower_bound_seconds <= timings.fastest_worker_seconds + 1e-9
+
+
+def test_straggler_tail_grows_with_scale(simulator):
+    """Figure 13: the 3 TB / 2500-worker run has a much heavier straggler tail
+    (slowest ~4x median) than the 1 TB / 1250-worker run (~1.3x median)."""
+    small = simulator.simulate(1250, 1 * TB)
+    large = simulator.simulate(2500, 3 * TB)
+    small_ratio = small.breakdown.round1_write.max() / np.median(small.breakdown.round1_write)
+    large_ratio = large.breakdown.round1_write.max() / np.median(large.breakdown.round1_write)
+    assert large_ratio > small_ratio
+    assert small_ratio < 2.0
+    assert large_ratio > 2.0
+
+
+def test_waiting_dominates_at_large_scale(simulator):
+    """Figure 13b: more than half of the 3 TB execution is waiting/stragglers,
+    i.e. the total is more than 2x the lower bound."""
+    large = simulator.simulate(2500, 3 * TB)
+    assert large.total_seconds > 1.8 * large.lower_bound_seconds
+    small = simulator.simulate(1250, 1 * TB)
+    assert small.fastest_worker_seconds > 0.6 * small.total_seconds
+
+
+def test_1tb_total_close_to_paper(simulator):
+    """§5.5: the 1 TB exchange takes 56 s with 1250 workers."""
+    timings = simulator.simulate(1250, 1 * TB)
+    assert 35 <= timings.total_seconds <= 80
+
+
+def test_table3_shape_against_published_numbers(simulator):
+    """Table 3: Lambada on S3 beats Pocket's S3 baseline by a large factor and
+    is faster than Pocket-on-VMs at every worker count; times shrink with P."""
+    pocket_s3_250 = next(
+        r.running_time_seconds for r in POCKET_RESULTS if r.system == "pocket-s3-baseline"
+    )
+    pocket_vms = {r.workers: r.running_time_seconds for r in POCKET_RESULTS if r.system == "pocket"}
+    previous = float("inf")
+    for workers in (250, 500, 1000):
+        seconds = simulator.table3_running_time(workers, 100 * GB)
+        assert seconds < pocket_s3_250 / 2
+        assert seconds < pocket_vms[workers]
+        assert seconds < previous
+        assert seconds == pytest.approx(LAMBADA_PAPER_RESULTS[workers], rel=1.0)
+        previous = seconds
+
+
+def test_invalid_arguments_rejected(simulator):
+    with pytest.raises(ValueError):
+        simulator.simulate(0, GB)
+    with pytest.raises(ValueError):
+        simulator.simulate(10, 0)
+    with pytest.raises(ValueError):
+        simulator.simulate(10, GB, dims=[3, 5])
+    with pytest.raises(ValueError):
+        ExchangeSimulator(bandwidth_bytes_per_s=0)

@@ -1,0 +1,194 @@
+"""Tests for the query-driven experiments (Figures 10-12) and the paper-scale model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    PaperScaleModel,
+    column_byte_fraction,
+    figure10_worker_configurations,
+    figure11_processing_time_distribution,
+    figure12_qaas_comparison,
+    run_tpch_query,
+    setup_functional_environment,
+    shipdate_prune_fraction,
+)
+from repro.workload.queries import reference_q1, reference_q6
+from repro.workload.tpch import LineitemGenerator
+
+
+# -- building blocks -----------------------------------------------------------------------
+
+def test_column_byte_fraction_q1_about_half():
+    from repro.analysis.experiments import QUERY_COLUMNS
+
+    q1 = column_byte_fraction(QUERY_COLUMNS["q1"])
+    q6 = column_byte_fraction(QUERY_COLUMNS["q6"])
+    assert 0.4 < q1 < 0.6
+    assert 0.25 < q6 < 0.4
+    assert q6 < q1
+
+
+def test_prune_fractions_match_selectivities():
+    # Q1 keeps ~96% of the files, Q6 keeps ~15%.
+    assert shipdate_prune_fraction("q1") < 0.1
+    assert 0.75 < shipdate_prune_fraction("q6") < 0.95
+    with pytest.raises(ValueError):
+        shipdate_prune_fraction("q9")
+
+
+# -- paper-scale model ------------------------------------------------------------------------
+
+def test_sf1000_geometry():
+    model = PaperScaleModel(query="q1", scale_factor=1000, files_per_worker=1)
+    assert model.num_files == 320
+    assert model.num_workers == 320
+    model10k = PaperScaleModel(query="q1", scale_factor=10000, files_per_worker=1)
+    assert model10k.num_workers == 3200
+
+
+def test_worker_duration_pruned_vs_full():
+    model = PaperScaleModel(query="q6", memory_mib=1792)
+    pruned = model.worker_duration_seconds(pruned=True)
+    full = model.worker_duration_seconds(pruned=False)
+    # Figure 11: pruned workers finish in ~0.1-0.2 s, others in ~2-3 s.
+    assert pruned < 0.5
+    assert 1.0 < full < 5.0
+
+
+def test_more_memory_faster_until_one_vcpu():
+    small = PaperScaleModel(query="q1", memory_mib=512).worker_duration_seconds(False)
+    medium = PaperScaleModel(query="q1", memory_mib=1792).worker_duration_seconds(False)
+    large = PaperScaleModel(query="q1", memory_mib=3008).worker_duration_seconds(False)
+    assert medium < small
+    # Beyond one vCPU the scan is download-bound, so little further gain.
+    assert large <= medium
+    assert large > 0.5 * medium
+
+
+def test_cold_runs_slower():
+    hot = PaperScaleModel(query="q1", cold=False)
+    cold = PaperScaleModel(query="q1", cold=True)
+    assert cold.latency_seconds() > hot.latency_seconds()
+
+
+def test_q1_latency_and_cost_at_sf1000_are_interactive():
+    """§5.2: both hot and cold Q1 runs return in well under 10 s and cost a few cents."""
+    for cold in (False, True):
+        model = PaperScaleModel(query="q1", memory_mib=1792, cold=cold)
+        assert model.latency_seconds() < 10.0
+        total = model.cost_dollars()["total"]
+        assert 0.005 < total < 0.10
+
+
+def test_latency_roughly_constant_across_scale_factors():
+    """§5.4.2: Lambada uses proportionally more workers, so latency grows only mildly."""
+    sf1k = PaperScaleModel(query="q1", scale_factor=1000).latency_seconds()
+    sf10k = PaperScaleModel(query="q1", scale_factor=10000).latency_seconds()
+    assert sf10k < 3 * sf1k
+
+
+def test_cost_scales_linearly_with_data():
+    sf1k = PaperScaleModel(query="q1", scale_factor=1000).cost_dollars()["total"]
+    sf10k = PaperScaleModel(query="q1", scale_factor=10000).cost_dollars()["total"]
+    assert sf10k == pytest.approx(10 * sf1k, rel=0.25)
+
+
+# -- figure builders ------------------------------------------------------------------------------
+
+def test_figure10_memory_sweep_shape():
+    data = figure10_worker_configurations(memory_sizes=(512, 1024, 1792, 3008))
+    hot = [row for row in data["varying_memory"] if not row["cold"]]
+    by_memory = {row["memory_mib"]: row for row in hot}
+    # Bigger workers are faster up to 1792 MiB...
+    assert by_memory[1792]["latency_seconds"] < by_memory[512]["latency_seconds"]
+    # ...but 3008 MiB only increases the price, not the speed (Figure 10a).
+    assert by_memory[3008]["cost_cents"] > by_memory[1792]["cost_cents"]
+    assert by_memory[3008]["latency_seconds"] >= 0.9 * by_memory[1792]["latency_seconds"]
+    cold = [row for row in data["varying_memory"] if row["cold"]]
+    assert all(
+        c["latency_seconds"] > h["latency_seconds"]
+        for c, h in zip(sorted(cold, key=lambda r: r["memory_mib"]),
+                        sorted(hot, key=lambda r: r["memory_mib"]))
+    )
+
+
+def test_figure10_files_sweep_shape():
+    data = figure10_worker_configurations(files_per_worker=(1, 2, 4))
+    hot = {row["files_per_worker"]: row for row in data["varying_files"] if not row["cold"]}
+    # More files per worker (fewer workers) is slower but cheaper (Figure 10b).
+    assert hot[1]["latency_seconds"] < hot[4]["latency_seconds"]
+    assert hot[1]["cost_cents"] >= hot[4]["cost_cents"] * 0.9
+
+
+def test_figure11_bimodal_distribution():
+    data = figure11_processing_time_distribution(num_workers=320)
+    q1 = np.array(data["q1"])
+    q6 = np.array(data["q6"])
+    assert len(q1) == 320 and len(q6) == 320
+    # Q6: ~80% of the workers prune everything and return almost immediately.
+    assert (q6 < 0.5).mean() > 0.6
+    # Q1: only a small fraction prunes; most workers take seconds.
+    assert (q1 > 1.0).mean() > 0.85
+    assert (q1 < 0.5).mean() < 0.15
+
+
+def test_figure12_lambada_cheaper_and_competitive():
+    rows = figure12_qaas_comparison(scale_factors=(1000,), memory_sizes=(1792,))
+    lambada_q1 = [r for r in rows if r["system"] == "lambada" and r["query"] == "q1" and not r["cold"]][0]
+    athena_q1 = [r for r in rows if r["system"] == "athena" and r["query"] == "q1"][0]
+    bigquery_q1 = [r for r in rows if r["system"] == "bigquery" and r["query"] == "q1" and not r["cold"]][0]
+    # §5.4.3: one to two orders of magnitude cheaper.
+    assert lambada_q1["cost_dollars"] < athena_q1["cost_dollars"] / 5
+    assert lambada_q1["cost_dollars"] < bigquery_q1["cost_dollars"] / 30
+    # §5.4.2: about 4x faster than Athena for Q1 at SF 1k.
+    assert lambada_q1["latency_seconds"] < athena_q1["latency_seconds"] / 2
+    # BigQuery hot is faster at SF 1k, but its cold run (including loading) is far slower.
+    bigquery_cold = [r for r in rows if r["system"] == "bigquery" and r["query"] == "q1" and r["cold"]][0]
+    assert bigquery_cold["latency_seconds"] > 100 * lambada_q1["latency_seconds"]
+
+    lambada_q6 = [r for r in rows if r["system"] == "lambada" and r["query"] == "q6" and not r["cold"]][0]
+    athena_q6 = [r for r in rows if r["system"] == "q6_placeholder"] or [
+        r for r in rows if r["system"] == "athena" and r["query"] == "q6"
+    ]
+    athena_q6 = athena_q6[0]
+    # §5.4.3: for Q6 the two systems are in the same ballpark (Athena's
+    # selectivity-aware pricing almost closes the gap), in contrast to the
+    # order-of-magnitude difference on Q1.
+    assert lambada_q6["cost_dollars"] < 2 * athena_q6["cost_dollars"]
+    assert lambada_q6["cost_dollars"] > athena_q6["cost_dollars"] / 20
+    assert (lambada_q6["cost_dollars"] / athena_q6["cost_dollars"]) > (
+        lambada_q1["cost_dollars"] / athena_q1["cost_dollars"]
+    )
+
+
+def test_figure12_scale_factor_trends():
+    rows = figure12_qaas_comparison(scale_factors=(1000, 10000), memory_sizes=(1792,))
+    athena = {
+        r["scale_factor"]: r["latency_seconds"]
+        for r in rows
+        if r["system"] == "athena" and r["query"] == "q1"
+    }
+    lambada = {
+        r["scale_factor"]: r["latency_seconds"]
+        for r in rows
+        if r["system"] == "lambada" and r["query"] == "q1" and not r["cold"]
+    }
+    # Athena slows down ~10x; Lambada stays roughly constant -> the gap widens
+    # from ~4x to ~26x (§5.4.2).
+    assert athena[10000] / athena[1000] > 5
+    assert lambada[10000] / lambada[1000] < 3
+    assert athena[10000] / lambada[10000] > athena[1000] / lambada[1000]
+
+
+# -- functional-scale execution ---------------------------------------------------------------------
+
+def test_functional_environment_runs_both_queries():
+    env, dataset, driver = setup_functional_environment(scale_factor=0.0005, num_files=4)
+    table = LineitemGenerator(scale_factor=0.0005).generate()
+    q1 = run_tpch_query(driver, dataset, "q1")
+    q6 = run_tpch_query(driver, dataset, "q6")
+    np.testing.assert_allclose(q1.column("sum_qty"), reference_q1(table)["sum_qty"], rtol=1e-9)
+    assert q6.scalar() == pytest.approx(reference_q6(table), rel=1e-9)
+    with pytest.raises(ValueError):
+        run_tpch_query(driver, dataset, "q3")

@@ -1,0 +1,237 @@
+"""Tests for the scalar expression IR, including property-based evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError, UnknownColumnError
+from repro.plan.expressions import (
+    Arithmetic,
+    BooleanExpr,
+    Column,
+    Comparison,
+    Literal,
+    col,
+    evaluate,
+    expression_from_dict,
+    expression_to_dict,
+    extract_column_ranges,
+    lit,
+    referenced_columns,
+)
+
+
+@pytest.fixture
+def table():
+    return {
+        "a": np.array([1.0, 2.0, 3.0, 4.0]),
+        "b": np.array([10.0, 20.0, 30.0, 40.0]),
+        "c": np.array([0, 1, 0, 1], dtype=np.int64),
+    }
+
+
+# -- construction --------------------------------------------------------------------
+
+def test_operator_overloads_build_trees():
+    expr = (col("a") + 1) * col("b")
+    assert isinstance(expr, Arithmetic)
+    assert expr.op == "*"
+    assert isinstance(expr.left, Arithmetic)
+
+
+def test_reverse_operators():
+    expr = 2 * col("a")
+    assert isinstance(expr, Arithmetic)
+    assert isinstance(expr.left, Literal)
+    assert expr.left.value == 2
+
+
+def test_comparison_operators():
+    expr = col("a") >= 5
+    assert isinstance(expr, Comparison)
+    assert expr.op == ">="
+
+
+def test_boolean_connectives():
+    expr = (col("a") > 1) & (col("b") < 2) | ~(col("c") == 0)
+    assert isinstance(expr, BooleanExpr)
+    assert expr.op == "or"
+
+
+def test_invalid_operand_type_rejected():
+    with pytest.raises(PlanError):
+        col("a") + "text"  # type: ignore[operator]
+
+
+def test_expressions_cannot_be_used_as_booleans():
+    with pytest.raises(PlanError):
+        bool(col("a") == 1)
+
+
+def test_invalid_operator_names_rejected():
+    with pytest.raises(PlanError):
+        Arithmetic("%", col("a"), lit(1))
+    with pytest.raises(PlanError):
+        Comparison("~=", col("a"), lit(1))
+    with pytest.raises(PlanError):
+        BooleanExpr("xor", (col("a") > 1, col("b") > 2))
+    with pytest.raises(PlanError):
+        BooleanExpr("not", (col("a") > 1, col("b") > 2))
+
+
+def test_structural_equality_helper():
+    assert (col("a") + 1).equals(col("a") + 1)
+    assert not (col("a") + 1).equals(col("a") + 2)
+
+
+# -- evaluation -------------------------------------------------------------------------
+
+def test_evaluate_column_and_literal(table):
+    np.testing.assert_array_equal(evaluate(col("a"), table), table["a"])
+    np.testing.assert_array_equal(evaluate(lit(7), table), np.full(4, 7))
+
+
+def test_evaluate_unknown_column(table):
+    with pytest.raises(UnknownColumnError):
+        evaluate(col("zzz"), table)
+
+
+def test_evaluate_arithmetic(table):
+    result = evaluate(col("a") * col("b") + 1, table)
+    np.testing.assert_allclose(result, table["a"] * table["b"] + 1)
+
+
+def test_evaluate_division(table):
+    result = evaluate(col("b") / col("a"), table)
+    np.testing.assert_allclose(result, table["b"] / table["a"])
+
+
+def test_evaluate_comparisons(table):
+    np.testing.assert_array_equal(
+        evaluate(col("a") >= 3, table), np.array([False, False, True, True])
+    )
+    np.testing.assert_array_equal(
+        evaluate(col("c") != 0, table), np.array([False, True, False, True])
+    )
+
+
+def test_evaluate_boolean_logic(table):
+    expr = (col("a") > 1) & (col("a") < 4)
+    np.testing.assert_array_equal(evaluate(expr, table), np.array([False, True, True, False]))
+    expr = (col("a") == 1) | (col("a") == 4)
+    np.testing.assert_array_equal(evaluate(expr, table), np.array([True, False, False, True]))
+    np.testing.assert_array_equal(
+        evaluate(~(col("c") == 0), table), np.array([False, True, False, True])
+    )
+
+
+# -- analysis -------------------------------------------------------------------------------
+
+def test_referenced_columns():
+    expr = (col("a") + col("b") * 2 > 1) & (col("c") == 0)
+    assert referenced_columns(expr) == {"a", "b", "c"}
+
+
+def test_referenced_columns_literal_only():
+    assert referenced_columns(lit(1) + 2) == set()
+
+
+def test_extract_ranges_simple_conjunction():
+    predicate = (col("x") >= 5) & (col("x") <= 10) & (col("y") < 3)
+    ranges = extract_column_ranges(predicate)
+    assert ranges["x"] == (5, 10)
+    assert ranges["y"][1] == 3
+    assert ranges["y"][0] == -math.inf
+
+
+def test_extract_ranges_equality():
+    ranges = extract_column_ranges(col("x") == 7)
+    assert ranges["x"] == (7, 7)
+
+
+def test_extract_ranges_flipped_literal_side():
+    ranges = extract_column_ranges(lit(5) <= col("x"))
+    assert ranges["x"] == (5, math.inf)
+
+
+def test_extract_ranges_ignores_disjunction():
+    predicate = (col("x") >= 5) | (col("x") <= 1)
+    assert extract_column_ranges(predicate) == {}
+
+
+def test_extract_ranges_ignores_column_to_column():
+    assert extract_column_ranges(col("x") >= col("y")) == {}
+
+
+def test_extract_ranges_none_predicate():
+    assert extract_column_ranges(None) == {}
+
+
+# -- serialisation -----------------------------------------------------------------------------
+
+def test_serialisation_roundtrip():
+    expr = ((col("a") * 2 + col("b")) >= 5) & ~(col("c") == 0)
+    restored = expression_from_dict(expression_to_dict(expr))
+    assert restored.equals(expr)
+
+
+def test_serialise_none():
+    assert expression_to_dict(None) is None
+    assert expression_from_dict(None) is None
+
+
+def test_deserialise_unknown_kind():
+    with pytest.raises(PlanError):
+        expression_from_dict({"kind": "mystery"})
+
+
+# -- property-based ------------------------------------------------------------------------------
+
+_SCALARS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def arithmetic_expressions(draw, depth=0):
+    """Random arithmetic expressions over columns a/b and literals."""
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return col(draw(st.sampled_from(["a", "b"]))), None
+        value = draw(_SCALARS)
+        return lit(value), None
+    left, _ = draw(arithmetic_expressions(depth=depth + 1))
+    right, _ = draw(arithmetic_expressions(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return Arithmetic(op, left, right), None
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr_and_none=arithmetic_expressions(), values=st.lists(_SCALARS, min_size=1, max_size=20))
+def test_serialisation_preserves_evaluation(expr_and_none, values):
+    expr, _ = expr_and_none
+    table = {
+        "a": np.array(values),
+        "b": np.array(values[::-1]),
+    }
+    restored = expression_from_dict(expression_to_dict(expr))
+    np.testing.assert_allclose(evaluate(restored, table), evaluate(expr, table))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lower=st.integers(min_value=-100, max_value=100),
+    upper=st.integers(min_value=-100, max_value=100),
+    values=st.lists(st.integers(min_value=-200, max_value=200), min_size=1, max_size=50),
+)
+def test_extracted_ranges_are_sound(lower, upper, values):
+    """Rows satisfying the predicate always lie inside the extracted range."""
+    predicate = (col("x") >= lower) & (col("x") <= upper)
+    ranges = extract_column_ranges(predicate)
+    table = {"x": np.array(values, dtype=np.float64)}
+    mask = evaluate(predicate, table)
+    satisfied = table["x"][mask]
+    range_lower, range_upper = ranges["x"]
+    assert np.all(satisfied >= range_lower)
+    assert np.all(satisfied <= range_upper)

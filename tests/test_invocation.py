@@ -1,0 +1,126 @@
+"""Tests for the invocation strategies (flat vs two-level tree, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.driver.invocation import (
+    FlatInvocationModel,
+    TreeInvocationModel,
+    build_invocation_tree,
+)
+
+
+def test_flat_invocation_time_matches_rates():
+    """§4.2: invoking 1000 workers from the driver alone takes 3.4-4.4 s
+    (plus the cold-start delay of the functions themselves)."""
+    for region in ("eu", "us", "sa", "ap"):
+        model = FlatInvocationModel(region=region)
+        initiation_seconds = 1000 / model.rate
+        assert 3.3 <= initiation_seconds <= 4.6
+        assert initiation_seconds <= model.time_to_start_all(1000) <= initiation_seconds + 1.5
+
+
+def test_flat_invocation_scales_linearly():
+    model = FlatInvocationModel()
+    assert model.time_to_start_all(4096) > 3.0 * model.time_to_start_all(1024)
+
+
+def test_tree_first_generation_is_sqrt():
+    assert TreeInvocationModel.first_generation_count(4096) == 64
+    assert TreeInvocationModel.first_generation_count(1000) == 32
+    assert TreeInvocationModel.first_generation_count(1) == 1
+
+
+def test_tree_starts_4k_workers_in_about_3_seconds():
+    """§4.2 / Figure 5: the last of 4096 workers is initiated after ~2.5 s and
+    the whole fleet is running in well under 4 s (vs 13-18 s flat)."""
+    tree = TreeInvocationModel(region="eu")
+    timeline = tree.timeline(4096)
+    assert timeline.all_started_at <= 3.5
+    assert tree.time_to_start_all(4096) <= 4.5
+    flat = FlatInvocationModel(region="eu").time_to_start_all(4096)
+    assert flat > 13.0
+    assert tree.time_to_start_all(4096) < flat / 3
+
+
+def test_tree_faster_than_flat_for_large_fleets():
+    """The tree wins for large fleets; for small fleets the extra level of
+    invocation latency makes the flat strategy competitive."""
+    tree = TreeInvocationModel()
+    flat = FlatInvocationModel()
+    for workers in (1024, 4096, 16384):
+        assert tree.time_to_start_all(workers) < flat.time_to_start_all(workers)
+
+
+def test_timeline_arrays_are_consistent():
+    timeline = TreeInvocationModel().timeline(1000)
+    first_gen = TreeInvocationModel.first_generation_count(1000)
+    assert len(timeline.before_own_invocation) == first_gen
+    assert len(timeline.own_invocation) == first_gen
+    assert len(timeline.invoking_workers) == first_gen
+    # The driver initiates invocations one after the other.
+    assert np.all(np.diff(timeline.before_own_invocation) > 0)
+
+
+def test_timeline_children_split_evenly():
+    timeline = TreeInvocationModel().timeline(4096)
+    invoking = timeline.invoking_workers
+    assert invoking.max() - invoking.min() <= 1.0 / 81.0 + 1e-9  # at most one child difference
+
+
+def test_worker_start_times_cover_all_workers():
+    model = TreeInvocationModel()
+    starts = model.worker_start_times(500)
+    assert len(starts) == 500
+    assert np.all(starts >= 0)
+    assert starts.max() <= model.time_to_start_all(500) + 1e-9
+
+
+def test_warm_starts_are_faster():
+    model = TreeInvocationModel()
+    assert model.time_to_start_all(1024, cold=False) < model.time_to_start_all(1024, cold=True)
+
+
+def test_invalid_worker_counts_rejected():
+    with pytest.raises(ValueError):
+        FlatInvocationModel().time_to_start_all(0)
+    with pytest.raises(ValueError):
+        TreeInvocationModel.first_generation_count(0)
+    with pytest.raises(ValueError):
+        FlatInvocationModel(region="nowhere")
+    with pytest.raises(ValueError):
+        TreeInvocationModel(region="nowhere")
+
+
+# -- functional tree builder ------------------------------------------------------------
+
+def test_build_tree_assigns_all_payloads_once():
+    payloads = [{"worker_id": i} for i in range(10)]
+    tree = build_invocation_tree(payloads)
+    assert len(tree) == 4  # ceil(sqrt(10))
+    seen = [parent["worker_id"] for parent in tree]
+    for parent in tree:
+        seen.extend(child["worker_id"] for child in parent["children"])
+    assert sorted(seen) == list(range(10))
+
+
+def test_build_tree_balanced_children():
+    tree = build_invocation_tree([{"worker_id": i} for i in range(100)])
+    child_counts = [len(parent["children"]) for parent in tree]
+    assert max(child_counts) - min(child_counts) <= 1
+
+
+def test_build_tree_single_worker():
+    tree = build_invocation_tree([{"worker_id": 0}])
+    assert len(tree) == 1
+    assert tree[0]["children"] == []
+
+
+def test_build_tree_empty():
+    assert build_invocation_tree([]) == []
+
+
+def test_build_tree_does_not_mutate_inputs():
+    payloads = [{"worker_id": i} for i in range(5)]
+    build_invocation_tree(payloads)
+    assert all("children" not in payload for payload in payloads)

@@ -1,0 +1,81 @@
+"""Tests for the hash join kernel."""
+
+import numpy as np
+import pytest
+
+from repro.engine.join import hash_join
+from repro.engine.table import table_num_rows
+from repro.errors import UnknownColumnError
+
+
+def test_inner_join_matches_expected_pairs():
+    left = {"k": np.array([1, 2, 3, 4]), "lv": np.array([10.0, 20.0, 30.0, 40.0])}
+    right = {"k": np.array([2, 4, 5]), "rv": np.array([200.0, 400.0, 500.0])}
+    result = hash_join(left, right, "k", "k")
+    order = np.argsort(result["k"])
+    np.testing.assert_array_equal(result["k"][order], [2, 4])
+    np.testing.assert_array_equal(result["lv"][order], [20.0, 40.0])
+    np.testing.assert_array_equal(result["rv"][order], [200.0, 400.0])
+
+
+def test_join_handles_duplicate_build_keys():
+    left = {"k": np.array([1]), "lv": np.array([1.0])}
+    right = {"k": np.array([1, 1, 1]), "rv": np.array([1.0, 2.0, 3.0])}
+    result = hash_join(left, right, "k", "k")
+    assert table_num_rows(result) == 3
+    np.testing.assert_array_equal(np.sort(result["rv"]), [1.0, 2.0, 3.0])
+
+
+def test_join_handles_duplicate_probe_keys():
+    left = {"k": np.array([7, 7]), "lv": np.array([1.0, 2.0])}
+    right = {"k": np.array([7]), "rv": np.array([70.0])}
+    result = hash_join(left, right, "k", "k")
+    assert table_num_rows(result) == 2
+
+
+def test_join_no_matches_returns_empty():
+    left = {"k": np.array([1, 2]), "lv": np.array([1.0, 2.0])}
+    right = {"k": np.array([3]), "rv": np.array([3.0])}
+    result = hash_join(left, right, "k", "k")
+    assert table_num_rows(result) == 0
+
+
+def test_join_empty_inputs_have_all_columns():
+    left = {"k": np.zeros(0), "lv": np.zeros(0)}
+    right = {"k": np.zeros(0), "rv": np.zeros(0)}
+    result = hash_join(left, right, "k", "k")
+    assert set(result.keys()) == {"k", "lv", "rv"}
+
+
+def test_join_different_key_names():
+    left = {"a": np.array([1, 2]), "lv": np.array([1.0, 2.0])}
+    right = {"b": np.array([2]), "rv": np.array([20.0])}
+    result = hash_join(left, right, "a", "b")
+    np.testing.assert_array_equal(result["a"], [2])
+    assert "b" not in result
+
+
+def test_join_renames_colliding_columns():
+    left = {"k": np.array([1]), "v": np.array([1.0])}
+    right = {"k": np.array([1]), "v": np.array([2.0])}
+    result = hash_join(left, right, "k", "k")
+    np.testing.assert_array_equal(result["v"], [1.0])
+    np.testing.assert_array_equal(result["v_right"], [2.0])
+
+
+def test_join_missing_key_raises():
+    with pytest.raises(UnknownColumnError):
+        hash_join({"a": np.array([1])}, {"b": np.array([1])}, "x", "b")
+    with pytest.raises(UnknownColumnError):
+        hash_join({"a": np.array([1])}, {"b": np.array([1])}, "a", "x")
+
+
+def test_join_matches_numpy_reference():
+    rng = np.random.default_rng(5)
+    left = {"k": rng.integers(0, 50, 300), "lv": rng.random(300)}
+    right = {"k": rng.integers(0, 50, 200), "rv": rng.random(200)}
+    result = hash_join(left, right, "k", "k")
+    expected = sum(
+        int((right["k"] == key).sum()) for key in left["k"]
+    )
+    assert table_num_rows(result) == expected

@@ -1,0 +1,184 @@
+"""Tests for the multi-level exchange operator, including placement properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.s3 import ObjectStore
+from repro.engine.table import table_num_rows
+from repro.errors import ExchangeError
+from repro.exchange.multilevel import (
+    MultiLevelExchange,
+    grid_coordinates,
+    grid_side,
+    worker_from_coordinates,
+)
+from repro.exchange.partition import partition_assignments
+
+
+def _make_tables(num_workers: int, rows_per_worker: int = 100, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "key": rng.integers(0, 5000, rows_per_worker).astype(np.int64),
+            "value": rng.random(rows_per_worker),
+        }
+        for _ in range(num_workers)
+    ]
+
+
+# -- grid helpers --------------------------------------------------------------------
+
+def test_grid_side_perfect_square():
+    assert grid_side(16, 2) == [4, 4]
+
+
+def test_grid_side_non_square_factors_exactly():
+    dims = grid_side(12, 2)
+    assert math.prod(dims) == 12
+
+
+def test_grid_side_three_levels():
+    assert math.prod(grid_side(64, 3)) == 64
+    assert grid_side(64, 3) == [4, 4, 4]
+
+
+def test_grid_side_one_level():
+    assert grid_side(7, 1) == [7]
+
+
+def test_grid_side_prime_degenerates():
+    dims = grid_side(7, 2)
+    assert math.prod(dims) == 7
+    assert 1 in dims
+
+
+def test_grid_side_rejects_bad_input():
+    with pytest.raises(ExchangeError):
+        grid_side(0, 2)
+    with pytest.raises(ExchangeError):
+        grid_side(4, 0)
+
+
+def test_grid_coordinates_roundtrip():
+    dims = [4, 5, 3]
+    for worker in range(math.prod(dims)):
+        coords = grid_coordinates(worker, dims)
+        assert worker_from_coordinates(coords, dims) == worker
+        assert all(0 <= c < d for c, d in zip(coords, dims))
+
+
+# -- functional exchange ---------------------------------------------------------------
+
+@pytest.mark.parametrize("num_workers,levels", [(16, 2), (12, 2), (8, 3), (27, 3)])
+def test_multilevel_places_every_row_correctly(num_workers, levels):
+    store = ObjectStore()
+    tables = _make_tables(num_workers)
+    exchange = MultiLevelExchange(store, num_workers, keys=["key"], levels=levels)
+    result = exchange.run(tables)
+    assert sum(table_num_rows(t) for t in result) == sum(table_num_rows(t) for t in tables)
+    for worker, table in enumerate(result):
+        if not table:
+            continue
+        assignment = partition_assignments(table, ["key"], num_workers)
+        assert np.all(assignment == worker)
+
+
+def test_two_level_request_complexity():
+    store = ObjectStore()
+    P = 16
+    exchange = MultiLevelExchange(store, P, keys=["key"], levels=2)
+    exchange.run(_make_tables(P, rows_per_worker=20))
+    # Table 2: 2·P·sqrt(P) writes and at least as many reads.
+    assert exchange.stats.put_requests == 2 * P * int(math.sqrt(P))
+    assert exchange.stats.get_requests >= 2 * P * int(math.sqrt(P))
+
+
+def test_two_level_write_combining_reduces_writes_to_2p():
+    store = ObjectStore()
+    P = 16
+    exchange = MultiLevelExchange(store, P, keys=["key"], levels=2, write_combining=True)
+    exchange.run(_make_tables(P, rows_per_worker=20))
+    assert exchange.stats.put_requests == 2 * P
+
+
+def test_multilevel_fewer_writes_than_basic_for_large_p():
+    from repro.exchange.basic import BasicExchange, ExchangeConfig
+
+    P = 25
+    store_a, store_b = ObjectStore(), ObjectStore()
+    tables = _make_tables(P, rows_per_worker=10)
+    basic = BasicExchange(store_a, P, ExchangeConfig(keys=["key"]))
+    basic.run(tables)
+    multi = MultiLevelExchange(store_b, P, keys=["key"], levels=2)
+    multi.run(tables)
+    assert multi.stats.put_requests < basic.total_stats().put_requests
+
+
+def test_round_stats_recorded_per_round():
+    store = ObjectStore()
+    P = 9
+    exchange = MultiLevelExchange(store, P, keys=["key"], levels=2)
+    exchange.run(_make_tables(P, rows_per_worker=10))
+    assert len(exchange.round_stats) == 2
+    assert all(len(round_stats) == P for round_stats in exchange.round_stats)
+
+
+def test_explicit_dims_validated():
+    store = ObjectStore()
+    with pytest.raises(ExchangeError):
+        MultiLevelExchange(store, 16, keys=["key"], levels=2, dims=[3, 4])
+    with pytest.raises(ExchangeError):
+        MultiLevelExchange(store, 16, keys=["key"], levels=2, dims=[16])
+
+
+def test_wrong_table_count_raises():
+    store = ObjectStore()
+    exchange = MultiLevelExchange(store, 4, keys=["key"], levels=2)
+    with pytest.raises(ExchangeError):
+        exchange.run(_make_tables(3))
+
+
+def test_exchange_of_empty_tables():
+    store = ObjectStore()
+    P = 4
+    tables = [{"key": np.zeros(0, dtype=np.int64), "value": np.zeros(0)} for _ in range(P)]
+    exchange = MultiLevelExchange(store, P, keys=["key"], levels=2)
+    result = exchange.run(tables)
+    assert all(table_num_rows(t) == 0 for t in result)
+
+
+def test_single_worker_exchange_is_identity_like():
+    store = ObjectStore()
+    tables = _make_tables(1, rows_per_worker=50)
+    exchange = MultiLevelExchange(store, 1, keys=["key"], levels=1)
+    result = exchange.run(tables)
+    assert table_num_rows(result[0]) == 50
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_workers=st.sampled_from([4, 6, 8, 9, 12, 16]),
+    seed=st.integers(min_value=0, max_value=1000),
+    write_combining=st.booleans(),
+)
+def test_exchange_placement_property(num_workers, seed, write_combining):
+    """Property: after the exchange, every row is on the worker its key hashes to,
+    and no row is lost or duplicated, regardless of P, seed, or write combining."""
+    store = ObjectStore()
+    tables = _make_tables(num_workers, rows_per_worker=30, seed=seed)
+    exchange = MultiLevelExchange(
+        store, num_workers, keys=["key"], levels=2, write_combining=write_combining
+    )
+    result = exchange.run(tables)
+    all_in = np.sort(np.concatenate([t["key"] for t in tables]))
+    all_out = np.sort(np.concatenate([t["key"] for t in result if t]))
+    np.testing.assert_array_equal(all_in, all_out)
+    for worker, table in enumerate(result):
+        if not table:
+            continue
+        assignment = partition_assignments(table, ["key"], num_workers)
+        assert np.all(assignment == worker)

@@ -1,0 +1,99 @@
+"""Tests for the S3 bandwidth model (Figures 6 and 7 behaviour)."""
+
+import pytest
+
+from repro.cloud.network import BandwidthModel, TransferPlan
+from repro.config import GB, MB, MiB, S3_STEADY_BANDWIDTH_BYTES_PER_S
+
+
+@pytest.fixture
+def model() -> BandwidthModel:
+    return BandwidthModel()
+
+
+def test_transfer_plan_request_count():
+    plan = TransferPlan(total_bytes=10 * MiB, chunk_bytes=4 * MiB)
+    assert plan.request_count == 3
+
+
+def test_transfer_plan_zero_bytes_zero_requests():
+    assert TransferPlan(total_bytes=0, chunk_bytes=MiB).request_count == 0
+
+
+def test_transfer_plan_validation():
+    with pytest.raises(ValueError):
+        TransferPlan(total_bytes=-1, chunk_bytes=MiB)
+    with pytest.raises(ValueError):
+        TransferPlan(total_bytes=1, chunk_bytes=0)
+    with pytest.raises(ValueError):
+        TransferPlan(total_bytes=1, chunk_bytes=1, connections=0)
+
+
+def test_model_rejects_bad_bandwidths():
+    with pytest.raises(ValueError):
+        BandwidthModel(steady_bandwidth=0)
+    with pytest.raises(ValueError):
+        BandwidthModel(steady_bandwidth=100, burst_bandwidth=50)
+
+
+def test_zero_transfer_takes_no_time(model):
+    assert model.transfer_seconds(TransferPlan(0, MiB)) == 0.0
+
+
+def test_large_files_limited_to_steady_bandwidth(model):
+    # Figure 6a: ~90 MiB/s regardless of connections for 1 GB objects.
+    for connections in (1, 2, 4):
+        bandwidth = model.scan_bandwidth(GB, 16 * MiB, connections, memory_mib=3008)
+        assert bandwidth <= 1.05 * S3_STEADY_BANDWIDTH_BYTES_PER_S
+        assert bandwidth >= 0.6 * S3_STEADY_BANDWIDTH_BYTES_PER_S
+
+
+def test_small_files_burst_with_multiple_connections(model):
+    # Figure 6b: small objects on large workers reach well above the steady
+    # limit, but only with several concurrent connections.
+    single = model.scan_bandwidth(100 * MB, 16 * MiB, 1, memory_mib=3008)
+    multi = model.scan_bandwidth(100 * MB, 16 * MiB, 4, memory_mib=3008)
+    assert multi > 1.5 * single
+    assert multi > S3_STEADY_BANDWIDTH_BYTES_PER_S
+
+
+def test_small_workers_see_lower_bandwidth(model):
+    small = model.scan_bandwidth(GB, 16 * MiB, 1, memory_mib=512)
+    large = model.scan_bandwidth(GB, 16 * MiB, 1, memory_mib=3008)
+    assert small < large
+
+
+def test_burst_limited_by_memory_size(model):
+    small_worker = model.scan_bandwidth(100 * MB, 16 * MiB, 4, memory_mib=1024)
+    large_worker = model.scan_bandwidth(100 * MB, 16 * MiB, 4, memory_mib=3008)
+    assert large_worker > small_worker
+
+
+def test_small_chunks_need_multiple_connections(model):
+    # Figure 7: with 1 MiB chunks, one connection is latency-bound while four
+    # connections reach (almost) the same throughput as 16 MiB chunks.
+    one_small = model.scan_bandwidth(GB, 1 * MiB, 1, memory_mib=3008)
+    four_small = model.scan_bandwidth(GB, 1 * MiB, 4, memory_mib=3008)
+    one_large = model.scan_bandwidth(GB, 16 * MiB, 1, memory_mib=3008)
+    assert four_small > one_small
+    assert four_small >= 0.8 * one_large
+
+
+def test_chunk_size_monotonicity_single_connection(model):
+    bandwidths = [
+        model.scan_bandwidth(GB, int(chunk * MiB), 1, memory_mib=3008)
+        for chunk in (0.5, 1, 2, 4, 8, 16)
+    ]
+    assert bandwidths == sorted(bandwidths)
+
+
+def test_effective_bandwidth_consistent_with_duration(model):
+    plan = TransferPlan(total_bytes=GB, chunk_bytes=8 * MiB, connections=2, memory_mib=2048)
+    seconds = model.transfer_seconds(plan)
+    assert model.effective_bandwidth(plan) == pytest.approx(GB / seconds)
+
+
+def test_link_bandwidth_never_exceeds_burst_ceiling(model):
+    for memory in (512, 1024, 2048, 3008):
+        for connections in (1, 2, 4, 8):
+            assert model.link_bandwidth(memory, connections) <= model.burst_bandwidth

@@ -1,0 +1,213 @@
+"""Tests for the LPQ columnar file format (writer, reader, pruning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptFileError, UnknownColumnError
+from repro.formats.compression import Compression
+from repro.formats.parquet import ColumnarFile, ColumnarWriter, FileMetadata, write_table
+from repro.formats.schema import ColumnType, Schema
+from repro.formats.source import BytesSource
+
+
+@pytest.fixture
+def sample_table():
+    rng = np.random.default_rng(3)
+    n = 5000
+    return {
+        "id": np.arange(n, dtype=np.int64),
+        "group": (np.arange(n, dtype=np.int32) // 100),
+        "value": rng.random(n),
+    }
+
+
+def test_roundtrip_all_columns(sample_table):
+    data = write_table(sample_table, row_group_rows=512)
+    reader = ColumnarFile.from_bytes(data)
+    result = reader.read_table()
+    for name, column in sample_table.items():
+        np.testing.assert_array_equal(result[name], column)
+
+
+def test_roundtrip_preserves_dtypes(sample_table):
+    data = write_table(sample_table, row_group_rows=512)
+    result = ColumnarFile.from_bytes(data).read_table()
+    assert result["id"].dtype == np.dtype("int64")
+    assert result["group"].dtype == np.dtype("int32")
+    assert result["value"].dtype == np.dtype("float64")
+
+
+def test_row_group_count_and_sizes(sample_table):
+    data = write_table(sample_table, row_group_rows=512)
+    reader = ColumnarFile.from_bytes(data)
+    assert reader.num_rows == 5000
+    assert len(reader.row_groups) == 10  # ceil(5000 / 512)
+    assert sum(group.num_rows for group in reader.row_groups) == 5000
+
+
+def test_projection_reads_only_requested_columns(sample_table):
+    data = write_table(sample_table, row_group_rows=1024)
+    reader = ColumnarFile.from_bytes(data)
+    result = reader.read_table(columns=["value"])
+    assert list(result.keys()) == ["value"]
+    np.testing.assert_array_equal(result["value"], sample_table["value"])
+
+
+def test_min_max_statistics_are_correct(sample_table):
+    data = write_table(sample_table, row_group_rows=1000)
+    reader = ColumnarFile.from_bytes(data)
+    for group in reader.row_groups:
+        start = group.index * 1000
+        end = start + group.num_rows
+        meta = group.column_meta("id")
+        assert meta.min_value == start
+        assert meta.max_value == end - 1
+
+
+def test_prune_row_groups_on_sorted_column(sample_table):
+    data = write_table(sample_table, row_group_rows=1000)
+    reader = ColumnarFile.from_bytes(data)
+    surviving = reader.prune_row_groups("id", lower=2500, upper=3200)
+    assert [group.index for group in surviving] == [2, 3]
+
+
+def test_prune_with_open_bounds(sample_table):
+    data = write_table(sample_table, row_group_rows=1000)
+    reader = ColumnarFile.from_bytes(data)
+    assert len(reader.prune_row_groups("id", lower=None, upper=None)) == 5
+    assert len(reader.prune_row_groups("id", lower=4500)) == 1
+    assert len(reader.prune_row_groups("id", upper=-1)) == 0
+    assert len(reader.prune_row_groups("id", lower=5000)) == 0
+
+
+def test_unknown_column_raises(sample_table):
+    data = write_table(sample_table)
+    reader = ColumnarFile.from_bytes(data)
+    with pytest.raises(UnknownColumnError):
+        reader.read_table(columns=["nope"])
+
+
+def test_compression_codecs_roundtrip(sample_table):
+    for codec in Compression:
+        data = write_table(sample_table, compression=codec, row_group_rows=2048)
+        result = ColumnarFile.from_bytes(data).read_table()
+        np.testing.assert_array_equal(result["id"], sample_table["id"])
+
+
+def test_gzip_smaller_than_uncompressed(sample_table):
+    uncompressed = write_table(sample_table, compression=Compression.NONE)
+    gzipped = write_table(sample_table, compression=Compression.GZIP)
+    assert len(gzipped) < len(uncompressed)
+
+
+def test_empty_table_roundtrip():
+    table = {"a": np.zeros(0, dtype=np.int64)}
+    data = write_table(table)
+    reader = ColumnarFile.from_bytes(data)
+    assert reader.num_rows == 0
+    assert len(reader.read_table()["a"]) == 0
+
+
+def test_footer_json_roundtrip(sample_table):
+    data = write_table(sample_table, row_group_rows=1024)
+    metadata = ColumnarFile.from_bytes(data).metadata
+    restored = FileMetadata.from_json(metadata.to_json())
+    assert restored.num_rows == metadata.num_rows
+    assert restored.schema == metadata.schema
+    assert len(restored.row_groups) == len(metadata.row_groups)
+
+
+def test_writer_rejects_bad_row_group_size():
+    schema = Schema.from_pairs([("a", ColumnType.INT64)])
+    with pytest.raises(ValueError):
+        ColumnarWriter(schema, row_group_rows=0)
+
+
+def test_corrupt_magic_raises(sample_table):
+    data = bytearray(write_table(sample_table))
+    data[-1] = 0x00  # clobber trailing magic
+    with pytest.raises(CorruptFileError):
+        ColumnarFile.from_bytes(bytes(data))
+
+
+def test_truncated_file_raises():
+    with pytest.raises(CorruptFileError):
+        ColumnarFile.from_bytes(b"LP")
+
+
+def test_corrupt_footer_raises(sample_table):
+    data = bytearray(write_table(sample_table))
+    # Overwrite part of the footer JSON with garbage.
+    data[len(data) // 2 + 10] = 0xFF
+    with pytest.raises(CorruptFileError):
+        reader = ColumnarFile.from_bytes(bytes(data))
+        reader.read_table()
+
+
+def test_metadata_only_read_touches_little_data(sample_table):
+    class CountingSource(BytesSource):
+        def __init__(self, data):
+            super().__init__(data)
+            self.bytes_served = 0
+
+        def read_at(self, offset, length):
+            result = super().read_at(offset, length)
+            self.bytes_served += len(result)
+            return result
+
+    data = write_table(sample_table, row_group_rows=512)
+    source = CountingSource(data)
+    ColumnarFile(source)  # metadata read only
+    # Only the footer and the magic bytes are read, not the column data.
+    assert source.bytes_served < len(data) / 4
+
+
+column_strategy = st.lists(
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40), min_size=1, max_size=400
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ints=column_strategy,
+    floats=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=400
+    ),
+    row_group_rows=st.integers(min_value=1, max_value=64),
+)
+def test_roundtrip_property(ints, floats, row_group_rows):
+    n = min(len(ints), len(floats))
+    table = {
+        "i": np.array(ints[:n], dtype=np.int64),
+        "f": np.array(floats[:n], dtype=np.float64),
+    }
+    data = write_table(table, row_group_rows=row_group_rows, compression=Compression.FAST)
+    result = ColumnarFile.from_bytes(data).read_table()
+    np.testing.assert_array_equal(result["i"], table["i"])
+    np.testing.assert_array_equal(result["f"], table["f"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=500),
+    lower=st.integers(min_value=0, max_value=10_000),
+    upper=st.integers(min_value=0, max_value=10_000),
+)
+def test_pruning_never_drops_matching_rows(values, lower, upper):
+    """Pruned row groups must not contain any row inside [lower, upper]."""
+    if lower > upper:
+        lower, upper = upper, lower
+    table = {"v": np.array(sorted(values), dtype=np.int64)}
+    data = write_table(table, row_group_rows=32, compression=Compression.NONE)
+    reader = ColumnarFile.from_bytes(data)
+    surviving = reader.prune_row_groups("v", lower=lower, upper=upper)
+    kept = (
+        np.concatenate([reader.read_column_chunk(group, "v") for group in surviving])
+        if surviving
+        else np.zeros(0, dtype=np.int64)
+    )
+    expected = table["v"][(table["v"] >= lower) & (table["v"] <= upper)]
+    # Every row matching the range must still be present after pruning.
+    assert np.isin(expected, kept).all()

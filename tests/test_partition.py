@@ -1,0 +1,107 @@
+"""Tests for DRAM partitioning (hash partition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.table import table_num_rows
+from repro.errors import UnknownColumnError
+from repro.exchange.partition import hash_partition, hash_values, partition_assignments
+
+
+def test_assignments_in_range():
+    table = {"k": np.arange(1000, dtype=np.int64)}
+    assignment = partition_assignments(table, ["k"], 7)
+    assert assignment.min() >= 0
+    assert assignment.max() < 7
+    assert len(assignment) == 1000
+
+
+def test_assignments_deterministic():
+    table = {"k": np.arange(100, dtype=np.int64)}
+    first = partition_assignments(table, ["k"], 8)
+    second = partition_assignments(table, ["k"], 8)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_same_key_same_partition():
+    table = {"k": np.array([5, 5, 5, 9, 9], dtype=np.int64)}
+    assignment = partition_assignments(table, ["k"], 16)
+    assert len(np.unique(assignment[:3])) == 1
+    assert len(np.unique(assignment[3:])) == 1
+
+
+def test_empty_table_empty_assignment():
+    assert len(partition_assignments({"k": np.zeros(0)}, ["k"], 4)) == 0
+
+
+def test_no_keys_round_robin():
+    table = {"v": np.arange(10)}
+    assignment = partition_assignments(table, [], 3)
+    np.testing.assert_array_equal(assignment, np.arange(10) % 3)
+
+
+def test_missing_key_raises():
+    with pytest.raises(UnknownColumnError):
+        partition_assignments({"a": np.zeros(3)}, ["b"], 4)
+
+
+def test_nonpositive_partitions_rejected():
+    with pytest.raises(ValueError):
+        partition_assignments({"a": np.zeros(3)}, ["a"], 0)
+
+
+def test_hash_partition_preserves_rows():
+    rng = np.random.default_rng(1)
+    table = {"k": rng.integers(0, 100, 500), "v": rng.random(500)}
+    parts = hash_partition(table, ["k"], 8)
+    assert sum(table_num_rows(part) for part in parts.values()) == 500
+
+
+def test_hash_partition_rows_grouped_correctly():
+    rng = np.random.default_rng(2)
+    table = {"k": rng.integers(0, 100, 500).astype(np.int64)}
+    parts = hash_partition(table, ["k"], 8)
+    for partition, part in parts.items():
+        assignment = partition_assignments(part, ["k"], 8)
+        assert np.all(assignment == partition)
+
+
+def test_hash_partition_reasonably_balanced():
+    table = {"k": np.arange(10_000, dtype=np.int64)}
+    parts = hash_partition(table, ["k"], 10)
+    sizes = np.array([table_num_rows(part) for part in parts.values()])
+    assert sizes.min() > 0.5 * sizes.mean()
+    assert sizes.max() < 1.5 * sizes.mean()
+
+
+def test_multi_key_hashing_differs_from_single_key():
+    table = {
+        "a": np.arange(1000, dtype=np.int64),
+        "b": np.arange(1000, dtype=np.int64)[::-1].copy(),
+    }
+    single = partition_assignments(table, ["a"], 16)
+    double = partition_assignments(table, ["a", "b"], 16)
+    assert not np.array_equal(single, double)
+
+
+def test_hash_values_shape_and_dtype():
+    hashed = hash_values(np.arange(10, dtype=np.int64))
+    assert hashed.dtype == np.uint64
+    assert len(hashed) == 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=-(10 ** 9), max_value=10 ** 9), min_size=1, max_size=300),
+    partitions=st.integers(min_value=1, max_value=64),
+)
+def test_partitioning_is_a_partition_of_the_rows(keys, partitions):
+    """Every row lands in exactly one partition and none are lost."""
+    table = {"k": np.array(keys, dtype=np.int64)}
+    parts = hash_partition(table, ["k"], partitions)
+    total = sum(table_num_rows(part) for part in parts.values())
+    assert total == len(keys)
+    recovered = np.sort(np.concatenate([part["k"] for part in parts.values()]))
+    np.testing.assert_array_equal(recovered, np.sort(table["k"]))

@@ -1,0 +1,129 @@
+"""Tests for physical plan fragments and their serialisation."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidPlanError
+from repro.plan.expressions import col
+from repro.plan.logical import AggregateSpec
+from repro.plan.physical import (
+    DriverPlan,
+    PhysicalPlan,
+    PruneRange,
+    WorkerPlan,
+    clear_udf_registry,
+    register_udf,
+    resolve_udf,
+)
+
+
+def _template() -> WorkerPlan:
+    return WorkerPlan(
+        files=[],
+        columns=["a", "b"],
+        predicate=col("a") > 1,
+        prune_ranges=[PruneRange("a", 1, math.inf)],
+        map_outputs=[("v", col("a") * col("b"))],
+        group_by=["g"],
+        aggregates=[AggregateSpec("sum", col("v"), "s")],
+    )
+
+
+def test_worker_plan_dict_roundtrip():
+    plan = _template()
+    plan.files = ["s3://b/1.lpq"]
+    restored = WorkerPlan.from_dict(plan.to_dict())
+    assert restored.files == plan.files
+    assert restored.columns == plan.columns
+    assert restored.predicate.equals(plan.predicate)
+    assert restored.prune_ranges[0].column == "a"
+    assert restored.map_outputs[0][0] == "v"
+    assert restored.group_by == ["g"]
+    assert restored.aggregates[0].alias == "s"
+
+
+def test_worker_plan_dict_is_json_compatible():
+    import json
+
+    payload = json.dumps(_template().to_dict())
+    restored = WorkerPlan.from_dict(json.loads(payload))
+    assert restored.columns == ["a", "b"]
+
+
+def test_prune_range_infinity_roundtrip():
+    prange = PruneRange("x", -math.inf, 5.0)
+    restored = PruneRange.from_dict(prange.to_dict())
+    assert restored.lower == -math.inf
+    assert restored.upper == 5.0
+    prange = PruneRange("x", 2.0, math.inf)
+    restored = PruneRange.from_dict(prange.to_dict())
+    assert restored.upper == math.inf
+
+
+def test_with_files_copies_without_aliasing():
+    template = _template()
+    clone = template.with_files(["s3://b/1.lpq"])
+    clone.columns.append("zzz")
+    assert "zzz" not in template.columns
+    assert clone.files == ["s3://b/1.lpq"]
+    assert template.files == []
+
+
+def test_partition_files_balanced():
+    plan = PhysicalPlan(
+        worker_template=_template(),
+        driver=DriverPlan(),
+        input_files=[f"s3://b/{i}.lpq" for i in range(10)],
+    )
+    assignments = plan.partition_files(4)
+    assert sum(len(files) for files in assignments) == 10
+    sizes = sorted(len(files) for files in assignments)
+    assert sizes[-1] - sizes[0] <= 1
+
+
+def test_partition_files_more_workers_than_files():
+    plan = PhysicalPlan(
+        worker_template=_template(),
+        driver=DriverPlan(),
+        input_files=["s3://b/0.lpq", "s3://b/1.lpq"],
+    )
+    assignments = plan.partition_files(8)
+    assert len(assignments) == 2  # empty workers are dropped
+
+
+def test_partition_files_rejects_nonpositive():
+    plan = PhysicalPlan(worker_template=_template(), driver=DriverPlan(), input_files=["s3://b/0"])
+    with pytest.raises(InvalidPlanError):
+        plan.partition_files(0)
+
+
+def test_worker_plans_have_distinct_files():
+    plan = PhysicalPlan(
+        worker_template=_template(),
+        driver=DriverPlan(),
+        input_files=[f"s3://b/{i}.lpq" for i in range(6)],
+    )
+    worker_plans = plan.worker_plans(3)
+    seen = [path for wp in worker_plans for path in wp.files]
+    assert sorted(seen) == sorted(plan.input_files)
+
+
+def test_udf_registry_roundtrip():
+    clear_udf_registry()
+    fn = lambda x: x + 1  # noqa: E731
+    ref = register_udf(fn)
+    assert resolve_udf(ref) is fn
+
+
+def test_udf_registry_unknown_reference():
+    clear_udf_registry()
+    with pytest.raises(InvalidPlanError):
+        resolve_udf("udf-unknown")
+
+
+def test_udf_references_are_unique():
+    clear_udf_registry()
+    first = register_udf(lambda x: x)
+    second = register_udf(lambda x: x * 2)
+    assert first != second

@@ -1,0 +1,83 @@
+"""Tests for the public package surface (imports, exports, version, examples)."""
+
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackages_import_cleanly():
+    for module in (
+        "repro.cloud",
+        "repro.formats",
+        "repro.frontend",
+        "repro.plan",
+        "repro.engine",
+        "repro.driver",
+        "repro.exchange",
+        "repro.workload",
+        "repro.baselines",
+        "repro.analysis",
+        "repro.cli",
+    ):
+        importlib.import_module(module)
+
+
+def test_subpackage_all_exports_resolve():
+    for module_name in (
+        "repro.cloud",
+        "repro.formats",
+        "repro.frontend",
+        "repro.plan",
+        "repro.engine",
+        "repro.driver",
+        "repro.exchange",
+        "repro.workload",
+        "repro.baselines",
+    ):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable exported at the top level is documented."""
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_examples_exist_and_compile():
+    examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    scripts = sorted(examples_dir.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        compile(script.read_text(), str(script), "exec")
+
+
+@pytest.mark.parametrize("script", ["quickstart.py"])
+def test_quickstart_example_runs(script):
+    examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    result = subprocess.run(
+        [sys.executable, str(examples_dir / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "revenue" in result.stdout

@@ -1,0 +1,112 @@
+"""Tests for the shuffle-based (repartitioned) aggregation path."""
+
+import numpy as np
+import pytest
+
+from repro.driver.shuffle import ShuffleAggregateCoordinator
+from repro.engine.aggregates import partial_aggregate
+from repro.errors import ExecutionError
+from repro.plan.expressions import col, lit
+from repro.plan.logical import AggregateSpec
+from repro.workload.queries import q1_plan
+
+
+@pytest.fixture
+def coordinator(env):
+    return ShuffleAggregateCoordinator(env, memory_mib=2048, num_buckets=4)
+
+
+def _reference_group_sum(table, key, value):
+    keys, inverse = np.unique(table[key], return_inverse=True)
+    sums = np.bincount(inverse, weights=table[value], minlength=len(keys))
+    return {k: s for k, s in zip(keys, sums)}
+
+
+def test_high_cardinality_group_by_matches_reference(env, dataset, coordinator, lineitem_table):
+    result, statistics = coordinator.execute(
+        dataset.paths,
+        group_by=["l_orderkey"],
+        aggregates=[
+            AggregateSpec("sum", col("l_quantity"), "total_qty"),
+            AggregateSpec("count", None, "n"),
+        ],
+        order_by=["l_orderkey"],
+    )
+    reference = _reference_group_sum(lineitem_table, "l_orderkey", "l_quantity")
+    assert statistics.result_rows == len(reference)
+    result_map = dict(zip(result["l_orderkey"].tolist(), result["total_qty"].tolist()))
+    for key, expected in list(reference.items())[::37]:
+        assert result_map[key] == pytest.approx(expected)
+    assert result["n"].sum() == pytest.approx(len(lineitem_table["l_orderkey"]))
+
+
+def test_group_count_matches_driver_merge_path(env, dataset, driver, coordinator, lineitem_table):
+    """The shuffle path and the driver-merge path return the same aggregates."""
+    shuffle_result, _ = coordinator.execute(
+        dataset.paths,
+        group_by=["l_returnflag", "l_linestatus"],
+        aggregates=[
+            AggregateSpec("sum", col("l_quantity"), "sum_qty"),
+            AggregateSpec("avg", col("l_discount"), "avg_disc"),
+        ],
+        predicate=col("l_shipdate") <= lit(10_471),
+        order_by=["l_returnflag", "l_linestatus"],
+    )
+    driver_result = driver.execute(q1_plan(dataset.paths))
+    np.testing.assert_allclose(shuffle_result["sum_qty"], driver_result.column("sum_qty"), rtol=1e-9)
+    np.testing.assert_allclose(shuffle_result["avg_disc"], driver_result.column("avg_disc"), rtol=1e-9)
+
+
+def test_partition_objects_follow_expected_counts(env, dataset, coordinator):
+    _, statistics = coordinator.execute(
+        dataset.paths,
+        group_by=["l_orderkey"],
+        aggregates=[AggregateSpec("sum", col("l_quantity"), "s")],
+    )
+    # Each of the W map workers writes one object per reduce partition.
+    expected = statistics.map_workers * statistics.reduce_workers
+    assert statistics.partition_objects_written == expected
+    assert statistics.partition_objects_read == expected
+    assert statistics.rows_scanned > 0
+
+
+def test_partition_files_spread_over_buckets(env, dataset, coordinator):
+    coordinator.execute(
+        dataset.paths,
+        group_by=["l_orderkey"],
+        aggregates=[AggregateSpec("sum", col("l_quantity"), "s")],
+    )
+    shuffle_buckets = [b for b in env.s3.list_buckets() if b.startswith("shuffle-b")]
+    used = [b for b in shuffle_buckets if env.s3.object_count(b) > 0]
+    assert len(used) == 4
+
+
+def test_predicate_applied_before_partitioning(env, dataset, coordinator, lineitem_table):
+    result, _ = coordinator.execute(
+        dataset.paths,
+        group_by=["l_linestatus"],
+        aggregates=[AggregateSpec("count", None, "n")],
+        predicate=col("l_quantity") < 10,
+        order_by=["l_linestatus"],
+    )
+    mask = lineitem_table["l_quantity"] < 10
+    statuses, counts = np.unique(lineitem_table["l_linestatus"][mask], return_counts=True)
+    np.testing.assert_array_equal(result["l_linestatus"], statuses)
+    np.testing.assert_allclose(result["n"], counts)
+
+
+def test_requires_group_by_and_inputs(env, dataset, coordinator):
+    with pytest.raises(ExecutionError):
+        coordinator.execute(dataset.paths, group_by=[], aggregates=[AggregateSpec("count", None, "n")])
+    with pytest.raises(ExecutionError):
+        coordinator.execute(["s3://tpch/none-*.lpq"], group_by=["g"],
+                            aggregates=[AggregateSpec("count", None, "n")])
+
+
+def test_glob_inputs_supported(env, dataset, coordinator, lineitem_table):
+    result, _ = coordinator.execute(
+        [dataset.glob],
+        group_by=["l_linestatus"],
+        aggregates=[AggregateSpec("count", None, "n")],
+    )
+    assert result["n"].sum() == pytest.approx(len(lineitem_table["l_linestatus"]))

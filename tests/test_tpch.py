@@ -1,0 +1,133 @@
+"""Tests for the TPC-H LINEITEM generator and dataset writer."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.s3 import ObjectStore
+from repro.formats.parquet import ColumnarFile
+from repro.workload.tpch import (
+    LINEITEM_SCHEMA,
+    CURRENTDATE_DAYS,
+    SHIPDATE_MAX_DAYS,
+    SHIPDATE_MIN_DAYS,
+    LineitemGenerator,
+    generate_lineitem_dataset,
+    replicate_dataset,
+)
+
+
+def test_row_count_scales_with_scale_factor():
+    assert LineitemGenerator(0.001).num_rows == pytest.approx(6001, abs=1)
+    assert LineitemGenerator(0.01).num_rows == pytest.approx(60012, abs=2)
+
+
+def test_generator_rejects_nonpositive_scale():
+    with pytest.raises(ValueError):
+        LineitemGenerator(0)
+
+
+def test_generated_columns_match_schema(lineitem_table):
+    assert set(lineitem_table.keys()) == set(LINEITEM_SCHEMA.names)
+    for name, column in lineitem_table.items():
+        assert column.dtype == LINEITEM_SCHEMA.field(name).type.numpy_dtype
+
+
+def test_generation_is_deterministic():
+    first = LineitemGenerator(0.0005, seed=11).generate()
+    second = LineitemGenerator(0.0005, seed=11).generate()
+    np.testing.assert_array_equal(first["l_extendedprice"], second["l_extendedprice"])
+    different = LineitemGenerator(0.0005, seed=12).generate()
+    assert not np.array_equal(first["l_extendedprice"], different["l_extendedprice"])
+
+
+def test_value_domains(lineitem_table):
+    assert lineitem_table["l_quantity"].min() >= 1
+    assert lineitem_table["l_quantity"].max() <= 50
+    assert lineitem_table["l_discount"].min() >= 0.0
+    assert lineitem_table["l_discount"].max() <= 0.10 + 1e-12
+    assert lineitem_table["l_tax"].max() <= 0.08 + 1e-12
+    assert lineitem_table["l_shipdate"].min() >= SHIPDATE_MIN_DAYS
+    assert lineitem_table["l_shipdate"].max() <= SHIPDATE_MAX_DAYS
+    assert set(np.unique(lineitem_table["l_returnflag"])) <= {0, 1, 2}
+    assert set(np.unique(lineitem_table["l_linestatus"])) <= {0, 1}
+
+
+def test_sorted_by_shipdate(lineitem_table):
+    shipdate = lineitem_table["l_shipdate"]
+    assert np.all(np.diff(shipdate) >= 0)
+
+
+def test_returnflag_correlates_with_shipdate(lineitem_table):
+    recent = lineitem_table["l_shipdate"] > CURRENTDATE_DAYS
+    assert np.all(lineitem_table["l_returnflag"][recent] == 2)
+    assert np.all(lineitem_table["l_linestatus"][recent] == 1)
+    assert np.all(lineitem_table["l_linestatus"][~recent] == 0)
+
+
+def test_receiptdate_after_shipdate(lineitem_table):
+    assert np.all(lineitem_table["l_receiptdate"] > lineitem_table["l_shipdate"])
+
+
+def test_explicit_row_count_override():
+    table = LineitemGenerator(1.0).generate(num_rows=123)
+    assert len(table["l_orderkey"]) == 123
+
+
+# -- dataset writer ------------------------------------------------------------------
+
+def test_dataset_files_written_and_readable(env, dataset):
+    assert dataset.num_files == 4
+    assert dataset.total_rows == 6001
+    total = 0
+    for path in dataset.paths:
+        bucket, key = path[len("s3://"):].split("/", 1)
+        reader = ColumnarFile.from_bytes(env.s3.get_object(bucket, key).data)
+        assert reader.schema == LINEITEM_SCHEMA
+        total += reader.num_rows
+    assert total == dataset.total_rows
+
+
+def test_dataset_files_cover_disjoint_shipdate_ranges(env, dataset):
+    """Files cover contiguous, non-overlapping shipdate ranges (the property
+    that makes per-file min/max pruning effective, §5.1/§5.3)."""
+    ranges = []
+    for path in dataset.paths:
+        bucket, key = path[len("s3://"):].split("/", 1)
+        reader = ColumnarFile.from_bytes(env.s3.get_object(bucket, key).data)
+        mins = [g.column_meta("l_shipdate").min_value for g in reader.row_groups]
+        maxes = [g.column_meta("l_shipdate").max_value for g in reader.row_groups]
+        ranges.append((min(mins), max(maxes)))
+    for (prev_min, prev_max), (next_min, next_max) in zip(ranges, ranges[1:]):
+        assert prev_max <= next_min
+
+
+def test_dataset_glob_matches_all_files(env, dataset):
+    assert sorted(env.s3.glob(dataset.glob)) == sorted(dataset.paths)
+
+
+def test_dataset_info_bytes_match_store(env, dataset):
+    assert dataset.total_bytes == env.s3.total_bytes("tpch")
+
+
+def test_generate_rejects_bad_file_count(env):
+    with pytest.raises(ValueError):
+        generate_lineitem_dataset(env.s3, scale_factor=0.001, num_files=0)
+
+
+def test_replicate_dataset(env, dataset):
+    replicated = replicate_dataset(env.s3, dataset, factor=3)
+    assert replicated.num_files == 3 * dataset.num_files
+    assert replicated.total_rows == 3 * dataset.total_rows
+    # All copies really exist in the store.
+    for path in replicated.paths:
+        bucket, key = path[len("s3://"):].split("/", 1)
+        assert env.s3.object_exists(bucket, key)
+
+
+def test_replicate_factor_one_is_identity(env, dataset):
+    assert replicate_dataset(env.s3, dataset, factor=1) is dataset
+
+
+def test_replicate_rejects_bad_factor(env, dataset):
+    with pytest.raises(ValueError):
+        replicate_dataset(env.s3, dataset, factor=0)
