@@ -10,11 +10,57 @@ timings and the reproduced numbers.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+import json
+from typing import Any, Dict, Iterable, List
 
 import pytest
 
 _REPORT_LINES: List[str] = []
+
+#: Structured measurements collected through the ``bench_recorder`` fixture,
+#: written to the path given by ``--bench-json`` at session end.
+_BENCH_RESULTS: Dict[str, Dict[str, Any]] = {}
+
+
+def pytest_addoption(parser):  # noqa: D103
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write structured benchmark measurements to this JSON file "
+        "(e.g. BENCH_hot_paths.json)",
+    )
+
+
+@pytest.fixture
+def bench_recorder():
+    """Record one named measurement dict for the ``--bench-json`` report."""
+
+    def record(name: str, **fields: Any) -> None:
+        _BENCH_RESULTS[name] = dict(fields)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: D103
+    path = session.config.getoption("--bench-json", default=None)
+    if path:
+        # Write even when no measurements were recorded: an empty trajectory
+        # makes a benchmark session that died before recording visible to the
+        # regression checker, instead of leaving a stale file in place.
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump({"results": _BENCH_RESULTS}, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            # Losing the report should not turn a green benchmark run red.
+            import sys
+
+            print(
+                f"warning: could not write --bench-json file {path!r}: {exc}",
+                file=sys.stderr,
+            )
 
 
 @pytest.fixture

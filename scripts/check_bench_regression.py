@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Compare a fresh hot-path benchmark run against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py   # writes BENCH_hot_paths.json
+    python scripts/check_bench_regression.py [--baseline BENCH_hot_paths.json] \
+        [--current fresh.json] [--tolerance 0.6]
+
+Two kinds of checks:
+
+* **absolute floors** — the speedups the PR's acceptance criteria promise
+  (partition scatter >= 5x, payload round-trip >= 3x) must hold in the
+  *current* run;
+* **relative regression** — each current speedup must stay within
+  ``tolerance`` of the committed baseline (defaults to 60%, loose enough for
+  machine-to-machine noise, tight enough to catch an accidental
+  de-vectorisation).
+
+With no ``--current`` file, the baseline itself is checked against the
+absolute floors — a cheap CI sanity check that the committed trajectory still
+backs the claims in the README.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Minimum speedups promised by the acceptance criteria.
+ABSOLUTE_FLOORS = {
+    "partition_scatter": 5.0,
+    "payload_roundtrip": 3.0,
+}
+
+
+def load_results(path: Path) -> dict:
+    """Read the ``{"results": {...}}`` trajectory written by the benchmark."""
+    try:
+        with path.open(encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"{path}: no such file (run `PYTHONPATH=src python "
+            f"benchmarks/bench_hot_paths.py` to produce one)"
+        )
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    results = document.get("results")
+    if not isinstance(results, dict):
+        raise SystemExit(f"{path}: not a benchmark trajectory (missing 'results')")
+    return results
+
+
+def check(baseline_path: Path, current_path: Path | None, tolerance: float) -> int:
+    baseline = load_results(baseline_path)
+    current = load_results(current_path) if current_path else baseline
+    failures = []
+
+    for name, floor in ABSOLUTE_FLOORS.items():
+        measurement = current.get(name)
+        if measurement is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        speedup = measurement.get("speedup", 0.0)
+        if speedup < floor:
+            failures.append(f"{name}: speedup {speedup:.2f}x below floor {floor:.1f}x")
+        else:
+            print(f"ok: {name} speedup {speedup:.2f}x (floor {floor:.1f}x)")
+
+    if current_path is not None:
+        for name, measurement in baseline.items():
+            reference = measurement.get("speedup")
+            observed = current.get(name, {}).get("speedup")
+            if reference is None or observed is None:
+                continue
+            allowed = reference * tolerance
+            if observed < allowed:
+                failures.append(
+                    f"{name}: speedup regressed to {observed:.2f}x, "
+                    f"below {allowed:.2f}x ({tolerance:.0%} of baseline "
+                    f"{reference:.2f}x)"
+                )
+            else:
+                print(
+                    f"ok: {name} speedup {observed:.2f}x vs baseline "
+                    f"{reference:.2f}x"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_hot_paths.json",
+        help="committed trajectory to compare against",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="fresh benchmark output; omit to only check the baseline's floors",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        help="fraction of the baseline speedup the current run must retain",
+    )
+    arguments = parser.parse_args()
+    return check(arguments.baseline, arguments.current, arguments.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ per-service breakdowns that the paper's cost analyses report.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -38,6 +39,9 @@ class MeteringLedger:
         self.prices = prices
         self._records: List[UsageRecord] = []
         self._totals: Dict[str, float] = defaultdict(float)
+        # Services record concurrently when the driver runs the fleet through
+        # its thread pool; the read-modify-write on the totals needs a lock.
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
 
@@ -53,26 +57,35 @@ class MeteringLedger:
         if amount < 0:
             raise ValueError(f"usage amount must be non-negative, got {amount}")
         record = UsageRecord(service, dimension, amount, timestamp, tag)
-        self._records.append(record)
-        self._totals[f"{service}.{dimension}"] += amount
+        with self._lock:
+            self._records.append(record)
+            self._totals[f"{service}.{dimension}"] += amount
 
     # -- introspection ------------------------------------------------------
 
     def total(self, service: str, dimension: str) -> float:
         """Total usage of ``service.dimension`` recorded so far."""
-        return self._totals.get(f"{service}.{dimension}", 0.0)
+        with self._lock:
+            return self._totals.get(f"{service}.{dimension}", 0.0)
 
     def records(self) -> Iterator[UsageRecord]:
-        """Iterate over all records in insertion order."""
-        return iter(self._records)
+        """Iterate over all records in insertion order.
+
+        Returns a snapshot, so iteration is safe while workers on other
+        threads are still recording.
+        """
+        with self._lock:
+            return iter(list(self._records))
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def reset(self) -> None:
         """Clear all recorded usage (e.g. between benchmark repetitions)."""
-        self._records.clear()
-        self._totals.clear()
+        with self._lock:
+            self._records.clear()
+            self._totals.clear()
 
     # -- billing ------------------------------------------------------------
 
@@ -85,8 +98,10 @@ class MeteringLedger:
         still show up in the breakdown.
         """
         prices = self.prices
+        with self._lock:
+            totals = dict(self._totals)
         breakdown: Dict[str, float] = {}
-        for key, amount in sorted(self._totals.items()):
+        for key, amount in sorted(totals.items()):
             if key == "s3.get_requests":
                 breakdown[key] = prices.s3_get_cost(int(amount))
             elif key in ("s3.put_requests", "s3.list_requests"):

@@ -13,7 +13,9 @@ from __future__ import annotations
 import functools
 import json
 import math
+import os
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -25,12 +27,12 @@ from repro.cloud.s3 import parse_s3_path
 from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
 from repro.driver.worker import WORKER_FUNCTION_NAME, make_worker_handler
 from repro.engine.aggregates import finalize_aggregates, merge_partials
+from repro.engine.payload import decode_table
 from repro.engine.pipeline import WorkerResult
 from repro.engine.table import (
     Table,
     concat_tables,
     sort_table,
-    table_from_payload,
     table_num_rows,
     take_rows,
 )
@@ -117,12 +119,27 @@ class LambadaDriver:
         function_name: str = WORKER_FUNCTION_NAME,
         result_queue: str = "lambada-result-queue",
         worker_timeout_seconds: float = 900.0,
+        execution_mode: str = "serial",
+        max_parallel_invocations: Optional[int] = None,
     ):
+        """``execution_mode`` selects how the simulated fleet runs.
+
+        ``"serial"`` (default) invokes the tree roots one after another, as the
+        seed implementation did.  ``"threads"`` drives them through a thread
+        pool: workers are independent pure functions over the (thread-safe)
+        simulated services, so large-fleet runs stop paying serial Python
+        overhead.  Result ordering is deterministic in both modes — results
+        are keyed and merged by worker id, never by arrival order.
+        """
+        if execution_mode not in ("serial", "threads"):
+            raise ValueError(f"unknown execution mode {execution_mode!r}")
         self.env = env
         self.memory_mib = memory_mib
         self.function_name = function_name
         self.result_queue = result_queue
         self.worker_timeout_seconds = worker_timeout_seconds
+        self.execution_mode = execution_mode
+        self.max_parallel_invocations = max_parallel_invocations
         self.install()
 
     # -- installation -------------------------------------------------------------
@@ -227,8 +244,7 @@ class LambadaDriver:
         tree = build_invocation_tree(payloads)
 
         self.env.sqs.purge_queue(self.result_queue)
-        for parent in tree:
-            self.env.lambda_service.invoke(self.function_name, parent, from_driver=True)
+        self._invoke_tree(tree)
 
         messages = self._collect_messages(query_id, expected=len(payloads))
         by_worker = self._group_messages(messages)
@@ -248,6 +264,28 @@ class LambadaDriver:
         )
 
     # -- helpers --------------------------------------------------------------------
+
+    def _invoke_tree(self, tree: List[Dict]) -> None:
+        """Invoke the tree roots, serially or through the thread pool."""
+        if self.execution_mode != "threads" or len(tree) <= 1:
+            for parent in tree:
+                self.env.lambda_service.invoke(self.function_name, parent, from_driver=True)
+            return
+        max_workers = self.max_parallel_invocations or min(
+            32, 4 * (os.cpu_count() or 4), len(tree)
+        )
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    self.env.lambda_service.invoke,
+                    self.function_name,
+                    parent,
+                    from_driver=True,
+                )
+                for parent in tree
+            ]
+            for future in futures:
+                future.result()
 
     def _expand_paths(self, paths: Sequence[str]) -> List[str]:
         """Expand glob patterns against the object store.
@@ -385,7 +423,7 @@ class LambadaDriver:
             reduce_value = functools.reduce(reduce_fn, values) if values else None
             return {}, reduce_value
 
-        partials = [table_from_payload(result.partial) for result in worker_results]
+        partials = [decode_table(result.partial) for result in worker_results]
         if driver_plan.collect_rows:
             table = concat_tables(partials)
         else:

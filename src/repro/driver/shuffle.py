@@ -33,17 +33,16 @@ import numpy as np
 
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig, InvocationContext
-from repro.driver.worker import RESULT_BUCKET
+from repro.driver.worker import RESULT_BUCKET, RESULT_SPILL_BYTES
 from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
+from repro.engine.payload import decode_table, encode_table
 from repro.engine.scan import S3ScanOperator, ScanConfig
 from repro.engine.table import (
     Table,
     concat_tables,
     filter_table,
     sort_table,
-    table_from_payload,
     table_num_rows,
-    table_to_payload,
 )
 from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
 from repro.exchange.basic import deserialize_partition, serialize_partition
@@ -149,13 +148,13 @@ def _make_reduce_handler(env: CloudEnvironment, naming_by_query: Dict[str, Multi
             "worker_id": partition,
             "status": "ok",
             "objects_read": objects_read,
-            "result": table_to_payload(merged),
+            "result": encode_table(merged),
         }
-        encoded = json.dumps(payload)
-        if len(encoded.encode("utf-8")) > 200 * 1024:
+        encoded = json.dumps(payload).encode("utf-8")
+        if len(encoded) > RESULT_SPILL_BYTES:
             env.s3.ensure_bucket(RESULT_BUCKET)
             key = f"{query_id}/reduce-{partition}.json"
-            env.s3.put_object(RESULT_BUCKET, key, encoded.encode("utf-8"))
+            env.s3.put_object(RESULT_BUCKET, key, encoded)
             env.sqs.send_json(
                 event["result_queue"],
                 {
@@ -167,7 +166,8 @@ def _make_reduce_handler(env: CloudEnvironment, naming_by_query: Dict[str, Multi
                 },
             )
         else:
-            env.sqs.send_json(event["result_queue"], payload)
+            # Reuse the bytes already serialised for the spill-size check.
+            env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
         return payload
 
     return handler
@@ -274,7 +274,7 @@ class ShuffleAggregateCoordinator:
 
                 bucket, key = parse_s3_path(message["result_s3"])
                 message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
-            pieces.append(table_from_payload(message["result"]))
+            pieces.append(decode_table(message["result"]))
         merged = concat_tables([piece for piece in pieces if table_num_rows(piece)])
         result = finalize_aggregates(merged, list(group_by), list(finals))
         if order_by:

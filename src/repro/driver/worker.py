@@ -28,6 +28,9 @@ COLD_EXECUTION_PENALTY = 1.15
 
 #: Results larger than this are staged through S3 instead of the SQS message
 #: (SQS messages are limited to 256 KiB); the message then carries a pointer.
+#: Result tables travel in the binary columnar payload form (see
+#: :mod:`repro.engine.payload`), so far fewer results hit this limit than with
+#: the seed's JSON ``.tolist()`` encoding.
 RESULT_SPILL_BYTES = 200 * 1024
 
 #: Bucket used for spilled worker results.
@@ -92,12 +95,12 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
             }
 
         if result_queue:
-            encoded = json.dumps(message)
-            if len(encoded.encode("utf-8")) > RESULT_SPILL_BYTES:
+            encoded = json.dumps(message).encode("utf-8")
+            if len(encoded) > RESULT_SPILL_BYTES:
                 # Stage large results through S3 and send only a pointer.
                 env.s3.ensure_bucket(RESULT_BUCKET)
                 key = f"{query_id}/worker-{worker_id}.json"
-                env.s3.put_object(RESULT_BUCKET, key, encoded.encode("utf-8"))
+                env.s3.put_object(RESULT_BUCKET, key, encoded)
                 pointer = {
                     "query_id": query_id,
                     "worker_id": worker_id,
@@ -106,7 +109,8 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
                 }
                 env.sqs.send_json(result_queue, pointer)
             else:
-                env.sqs.send_json(result_queue, message)
+                # Reuse the bytes already serialised for the spill-size check.
+                env.sqs.send_message(result_queue, encoded.decode("utf-8"))
         return message
 
     return handler

@@ -19,6 +19,7 @@ from repro.engine.table import (
     table_from_payload,
     empty_table_like,
 )
+from repro.engine.payload import decode_table, encode_table, is_binary_payload
 from repro.engine.s3io import S3ObjectSource, ScanStatistics
 from repro.engine.scan import S3ScanOperator, ScanConfig
 from repro.engine.aggregates import (
@@ -38,6 +39,9 @@ __all__ = [
     "table_to_payload",
     "table_from_payload",
     "empty_table_like",
+    "encode_table",
+    "decode_table",
+    "is_binary_payload",
     "S3ObjectSource",
     "ScanStatistics",
     "S3ScanOperator",

@@ -18,23 +18,70 @@ from repro.plan.logical import AggregateSpec
 from repro.engine.table import Table, concat_tables, table_num_rows
 
 
+def _column_codes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct values (ascending) and the per-row code of one key column.
+
+    Single-character string columns (e.g. TPC-H flag columns) are compared as
+    their UCS-4 code points, which turns the string sort inside ``np.unique``
+    into an integer sort at identical ordering.
+    """
+    array = np.asarray(values)
+    if array.dtype.kind == "U" and array.dtype.itemsize == 4:
+        unique_ints, inverse = np.unique(array.view(np.uint32), return_inverse=True)
+        return unique_ints.view(array.dtype), inverse
+    unique, inverse = np.unique(array, return_inverse=True)
+    return unique, inverse
+
+
 def _group_indices(table: Table, group_by: Sequence[str]) -> Tuple[Table, np.ndarray, int]:
     """Compute group keys and per-row group indices.
 
     Returns ``(key_table, inverse, num_groups)`` where ``key_table`` holds the
     distinct key combinations in sorted order and ``inverse[i]`` is the group
     index of row ``i``.
+
+    Multi-key grouping combines per-column integer codes into a single int64
+    key instead of sorting a record array, which would fall back to slow
+    per-row void comparisons.  Each column's codes are rank-preserving, so the
+    combined sort order equals the lexicographic order of the key values.
     """
     num_rows = table_num_rows(table)
     if not group_by:
         return {}, np.zeros(num_rows, dtype=np.int64), 1 if num_rows else 1
     keys = [np.asarray(table[name]) for name in group_by]
-    stacked = np.rec.fromarrays(keys, names=[f"k{i}" for i in range(len(keys))])
-    unique, inverse = np.unique(stacked, return_inverse=True)
-    key_table = {
-        name: np.asarray(unique[f"k{i}"]) for i, name in enumerate(group_by)
-    }
-    return key_table, inverse, len(unique)
+
+    if len(keys) == 1:
+        unique_values, inverse = _column_codes(keys[0])
+        return {group_by[0]: unique_values}, inverse, len(unique_values)
+
+    column_uniques: List[np.ndarray] = []
+    combined: Optional[np.ndarray] = None
+    cardinality = 1
+    for key in keys:
+        unique_values, codes = _column_codes(key)
+        column_uniques.append(unique_values)
+        cardinality *= max(len(unique_values), 1)
+        if cardinality > 2 ** 62:
+            break  # combined codes would overflow; use the record-array path
+        combined = codes if combined is None else combined * len(unique_values) + codes
+
+    if cardinality > 2 ** 62:
+        stacked = np.rec.fromarrays(keys, names=[f"k{i}" for i in range(len(keys))])
+        unique, inverse = np.unique(stacked, return_inverse=True)
+        key_table = {
+            name: np.asarray(unique[f"k{i}"]) for i, name in enumerate(group_by)
+        }
+        return key_table, inverse, len(unique)
+
+    unique_codes, inverse = np.unique(combined, return_inverse=True)
+    key_table: Table = {}
+    remaining = unique_codes
+    for name, unique_values in zip(reversed(group_by), reversed(column_uniques)):
+        width = max(len(unique_values), 1)
+        key_table[name] = unique_values[remaining % width]
+        remaining = remaining // width
+    key_table = {name: key_table[name] for name in group_by}
+    return key_table, inverse, len(unique_codes)
 
 
 def _aggregate_column(

@@ -11,7 +11,7 @@ and the benchmarks consume.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -19,6 +19,7 @@ import numpy as np
 from repro.cloud.network import BandwidthModel
 from repro.cloud.s3 import ObjectStore
 from repro.engine.aggregates import merge_partials, partial_aggregate
+from repro.engine.payload import encode_table
 from repro.engine.scan import S3ScanOperator, ScanConfig
 from repro.engine.table import (
     Table,
@@ -26,7 +27,6 @@ from repro.engine.table import (
     filter_table,
     select_columns,
     table_num_rows,
-    table_to_payload,
 )
 from repro.errors import ExecutionError
 from repro.plan.expressions import evaluate
@@ -37,8 +37,10 @@ from repro.plan.physical import WorkerPlan, resolve_udf
 class WorkerResult:
     """Result and statistics of executing one worker plan fragment."""
 
-    #: Partial aggregate table (or collected rows) as a JSON-compatible payload.
-    partial: Dict[str, List]
+    #: Partial aggregate table (or collected rows) as a JSON-compatible payload
+    #: (binary columnar for large tables, legacy ``{name: list}`` for tiny ones;
+    #: see :mod:`repro.engine.payload`).
+    partial: Dict[str, Any]
     #: Result of a UDF reduce, if the plan used one.
     reduce_value: Optional[Any] = None
     #: Rows decoded from the scanned row groups.
@@ -77,8 +79,13 @@ class WorkerResult:
 
     @classmethod
     def from_payload(cls, payload: Dict) -> "WorkerResult":
-        """Inverse of :meth:`to_payload`."""
-        return cls(**payload)
+        """Inverse of :meth:`to_payload`.
+
+        Unknown keys are ignored so that results recorded by a newer payload
+        format (which may carry extra fields) still replay on this version.
+        """
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 def _rows_as_tuples(table: Table, column_order: Sequence[str]) -> List[tuple]:
@@ -176,7 +183,7 @@ def execute_worker_plan(
 
     if plan.aggregates:
         merged = merge_partials(partials, plan.group_by, plan.aggregates)
-        partial_payload = table_to_payload(merged)
+        partial_payload = encode_table(merged)
         rows_output = table_num_rows(merged)
         reduce_value = None
     elif reduce_fn is not None:
@@ -187,7 +194,7 @@ def execute_worker_plan(
         rows_output = 0 if reduce_value is None else 1
     else:
         rows = concat_tables(collected)
-        partial_payload = table_to_payload(rows)
+        partial_payload = encode_table(rows)
         rows_output = table_num_rows(rows)
         reduce_value = None
 

@@ -81,12 +81,31 @@ def table_to_payload(table: Table) -> Dict[str, List]:
 
 
 def table_from_payload(payload: Dict[str, List]) -> Table:
-    """Inverse of :func:`table_to_payload`."""
+    """Inverse of :func:`table_to_payload`.
+
+    Also accepts the binary columnar payload form of
+    :mod:`repro.engine.payload`, so callers can decode a result payload
+    without caring which format the producer chose.
+    """
+    from repro.engine.payload import decode_table, is_binary_payload
+
+    if is_binary_payload(payload):
+        return decode_table(payload)
     return {name: np.asarray(values) for name, values in payload.items()}
 
 
-def tables_allclose(left: Table, right: Table, rtol: float = 1e-9, atol: float = 1e-9) -> bool:
-    """Whether two tables have the same columns and numerically equal content."""
+def tables_allclose(
+    left: Table,
+    right: Table,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+    equal_nan: bool = True,
+) -> bool:
+    """Whether two tables have the same columns and numerically equal content.
+
+    NaNs compare equal by default (``equal_nan``): two pipelines that both
+    produce a NaN for the same row agree semantically.
+    """
     if set(left.keys()) != set(right.keys()):
         return False
     for name in left:
@@ -97,6 +116,7 @@ def tables_allclose(left: Table, right: Table, rtol: float = 1e-9, atol: float =
             np.asarray(right[name], dtype=np.float64),
             rtol=rtol,
             atol=atol,
+            equal_nan=equal_nan,
         ):
             return False
     return True

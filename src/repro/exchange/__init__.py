@@ -18,7 +18,13 @@ family of exchange algorithms the paper analyses:
   wait propagation used for Table 3 and Figure 13.
 """
 
-from repro.exchange.partition import hash_partition, partition_assignments
+from repro.exchange.partition import (
+    hash_partition,
+    partition_assignments,
+    partition_scatter,
+    scatter_by_assignment,
+    slice_partition,
+)
 from repro.exchange.naming import (
     FileNaming,
     SingleBucketNaming,
@@ -38,6 +44,9 @@ from repro.exchange.simulator import ExchangeSimulator, ExchangeTimings, PhaseBr
 __all__ = [
     "hash_partition",
     "partition_assignments",
+    "partition_scatter",
+    "scatter_by_assignment",
+    "slice_partition",
     "FileNaming",
     "SingleBucketNaming",
     "MultiBucketNaming",

@@ -20,10 +20,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cloud.s3 import ObjectStore, parse_s3_path
-from repro.engine.table import Table, concat_tables, take_rows, table_num_rows
+from repro.engine.table import Table, concat_tables, table_num_rows
 from repro.errors import ExchangeError, NoSuchKeyError
 from repro.exchange.naming import FileNaming, MultiBucketNaming, WriteCombiningNaming
-from repro.exchange.partition import partition_assignments
+from repro.exchange.partition import (
+    partition_assignments,
+    scatter_by_assignment,
+    slice_partition,
+)
 from repro.formats.compression import Compression
 from repro.formats.parquet import ColumnarFile, write_table
 
@@ -138,11 +142,27 @@ class BasicGroupExchange:
             raise ExchangeError(f"worker {worker} is not part of this exchange group")
         stats = self._stats(worker)
         targets = partition_assignments(table, self.config.keys, self.total_partitions)
-        receivers = self.route(targets) if len(targets) else targets
-        parts: Dict[int, Table] = {}
-        for receiver in self.group:
-            mask = receivers == receiver if len(receivers) else np.zeros(0, dtype=bool)
-            parts[receiver] = take_rows(table, np.flatnonzero(mask))
+        receivers = np.asarray(self.route(targets)) if len(targets) else targets
+        # Map receiver worker ids to group slots in one vectorized lookup, then
+        # scatter the rows once so each receiver's part is a contiguous slice
+        # (rows routed outside the group land in an overflow slot and are
+        # dropped, as the per-receiver mask loop did implicitly).
+        num_slots = len(self.group)
+        group_array = np.asarray(self.group, dtype=np.int64)
+        group_order = np.argsort(group_array, kind="stable")
+        sorted_group = group_array[group_order]
+        slots = np.full(len(receivers), num_slots, dtype=np.int64)
+        if len(receivers):
+            positions = np.minimum(
+                np.searchsorted(sorted_group, receivers), num_slots - 1
+            )
+            in_group = sorted_group[positions] == receivers
+            slots[in_group] = group_order[positions[in_group]]
+        reordered, boundaries = scatter_by_assignment(table, slots, num_slots + 1)
+        parts: Dict[int, Table] = {
+            receiver: slice_partition(reordered, boundaries, slot)
+            for slot, receiver in enumerate(self.group)
+        }
 
         if self.config.write_combining:
             self._write_combined(worker, parts, stats)

@@ -2,11 +2,18 @@
 
 Each worker splits its share of the relation into P partitions by hashing the
 key column(s) — the ``DramPartitioning`` routine of the paper's Algorithm 1.
+
+The split is a *single-pass scatter*: rows are reordered once by a stable
+argsort of their partition assignment, after which every partition is one
+contiguous slice of the reordered columns.  That costs O(N log N) plus one
+gather per column, instead of the O(N·P) full-array mask scans of the naive
+per-partition loop (kept as :func:`hash_partition_masked` as the reference
+implementation for parity tests and benchmarks).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -17,9 +24,32 @@ from repro.errors import UnknownColumnError
 _HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
 
 
+def _as_uint64_bits(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a numeric column as uint64 words without losing key bits.
+
+    Integer and boolean dtypes are widened to 64 bits and bit-cast directly:
+    the seed implementation routed *everything* through ``astype(np.float64)``,
+    which collapses int64 keys above 2^53 onto the same float (and therefore
+    the same hash), skewing partitions for high-magnitude keys.  Floats keep
+    the legacy bit-cast behaviour.
+
+    Consequently a key column must use one dtype *kind* consistently across
+    all senders of an exchange: ``5`` (int64) and ``5.0`` (float64) hash
+    differently.  Dataset schemas guarantee this for scanned columns; derived
+    key columns must be computed with a deterministic dtype.
+    """
+    array = np.asarray(values)
+    kind = array.dtype.kind
+    if kind == "u":
+        return array.astype(np.uint64, copy=False)
+    if kind in "ib":
+        return array.astype(np.int64, copy=False).view(np.uint64)
+    return array.astype(np.float64, copy=False).view(np.uint64)
+
+
 def hash_values(values: np.ndarray) -> np.ndarray:
     """Deterministic 64-bit hash of a numeric column."""
-    as_int = np.asarray(values).astype(np.float64).view(np.uint64)
+    as_int = _as_uint64_bits(values)
     with np.errstate(over="ignore"):
         mixed = as_int * _HASH_MULTIPLIER
         mixed ^= mixed >> np.uint64(29)
@@ -49,6 +79,54 @@ def partition_assignments(
     return (combined % np.uint64(num_partitions)).astype(np.int64)
 
 
+def scatter_by_assignment(
+    table: Table, assignment: np.ndarray, num_partitions: int
+) -> Tuple[Table, np.ndarray]:
+    """Reorder rows so that every partition is one contiguous slice.
+
+    Returns ``(reordered, boundaries)`` where partition ``p`` occupies rows
+    ``boundaries[p]:boundaries[p + 1]`` of every reordered column.  The sort
+    is stable, so rows keep their relative order within a partition (matching
+    the mask-based reference implementation).
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    counts = np.bincount(assignment, minlength=num_partitions)
+    boundaries = np.zeros(num_partitions + 1, dtype=np.int64)
+    np.cumsum(counts, out=boundaries[1:])
+    # NumPy's stable sort on integers is a radix sort whose cost scales with
+    # the key width; partition ids fit in 1-2 bytes for any realistic fleet,
+    # so narrowing the key first cuts the sort time by ~6x at 1M rows.
+    if num_partitions <= np.iinfo(np.uint8).max + 1:
+        sort_keys = assignment.astype(np.uint8)
+    elif num_partitions <= np.iinfo(np.uint16).max + 1:
+        sort_keys = assignment.astype(np.uint16)
+    else:
+        sort_keys = assignment
+    order = np.argsort(sort_keys, kind="stable")
+    reordered = {name: np.asarray(column)[order] for name, column in table.items()}
+    return reordered, boundaries
+
+
+def partition_scatter(
+    table: Table, keys: Sequence[str], num_partitions: int
+) -> Tuple[Table, np.ndarray]:
+    """Single-pass hash partitioning into contiguous slices.
+
+    Combines :func:`partition_assignments` with :func:`scatter_by_assignment`;
+    senders serialise partition ``p`` directly from the slice
+    ``boundaries[p]:boundaries[p + 1]`` without any further row gathering.
+    """
+    assignment = partition_assignments(table, keys, num_partitions)
+    return scatter_by_assignment(table, assignment, num_partitions)
+
+
+def slice_partition(reordered: Table, boundaries: np.ndarray, partition: int) -> Table:
+    """Partition ``partition`` of a scattered table, as zero-copy slices."""
+    start, end = int(boundaries[partition]), int(boundaries[partition + 1])
+    return {name: column[start:end] for name, column in reordered.items()}
+
+
 def hash_partition(
     table: Table, keys: Sequence[str], num_partitions: int
 ) -> Dict[int, Table]:
@@ -56,6 +134,22 @@ def hash_partition(
 
     Only non-empty partitions appear in the result, mirroring the fact that a
     sender only writes files for receivers it has data for.
+    """
+    reordered, boundaries = partition_scatter(table, keys, num_partitions)
+    partitions: Dict[int, Table] = {}
+    for partition in range(num_partitions):
+        if boundaries[partition + 1] > boundaries[partition]:
+            partitions[partition] = slice_partition(reordered, boundaries, partition)
+    return partitions
+
+
+def hash_partition_masked(
+    table: Table, keys: Sequence[str], num_partitions: int
+) -> Dict[int, Table]:
+    """Reference mask-per-partition implementation (the seed's O(N·P) loop).
+
+    Kept for the parity tests and the hot-path benchmark; production code uses
+    :func:`hash_partition`.
     """
     assignment = partition_assignments(table, keys, num_partitions)
     partitions: Dict[int, Table] = {}

@@ -92,6 +92,31 @@ def test_hash_values_shape_and_dtype():
     assert len(hashed) == 10
 
 
+def test_hash_values_distinguishes_ints_above_2_53():
+    """int64 keys above 2^53 must not collapse (the float64-cast precision bug)."""
+    keys = np.array([2 ** 53 + offset for offset in range(16)], dtype=np.int64)
+    hashed = hash_values(keys)
+    assert len(set(hashed.tolist())) == len(keys)
+    # The old float64 cast cannot represent consecutive ints up there:
+    collapsed = keys.astype(np.float64)
+    assert len(set(collapsed.tolist())) < len(keys)
+
+
+def test_hash_values_uint64_and_small_int_dtypes():
+    for dtype in (np.uint64, np.int32, np.int16, np.uint8):
+        hashed = hash_values(np.arange(100).astype(dtype))
+        assert hashed.dtype == np.uint64
+        assert len(set(hashed.tolist())) == 100
+
+
+def test_partitions_balanced_for_high_magnitude_keys():
+    keys = (2 ** 53 + np.arange(10_000)).astype(np.int64)
+    parts = hash_partition({"k": keys}, ["k"], 10)
+    sizes = np.array([table_num_rows(part) for part in parts.values()])
+    assert sizes.min() > 0.5 * sizes.mean()
+    assert sizes.max() < 1.5 * sizes.mean()
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     keys=st.lists(st.integers(min_value=-(10 ** 9), max_value=10 ** 9), min_size=1, max_size=300),

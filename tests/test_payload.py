@@ -1,0 +1,120 @@
+"""Tests for the binary columnar payload codec."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.payload import (
+    PAYLOAD_MARKER,
+    SMALL_TABLE_ROWS,
+    decode_table,
+    encode_table,
+    is_binary_payload,
+)
+from repro.engine.table import table_from_payload, table_to_payload, tables_allclose
+from repro.errors import ExecutionError
+
+
+def _round_trip(table, **kwargs):
+    return decode_table(json.loads(json.dumps(encode_table(table, **kwargs))))
+
+
+def test_small_tables_stay_legacy_json():
+    table = {"k": np.arange(5, dtype=np.int64)}
+    payload = encode_table(table)
+    assert not is_binary_payload(payload)
+    assert payload == {"k": [0, 1, 2, 3, 4]}
+
+
+def test_large_tables_go_binary():
+    table = {"k": np.arange(SMALL_TABLE_ROWS, dtype=np.int64)}
+    payload = encode_table(table)
+    assert is_binary_payload(payload)
+    assert payload[PAYLOAD_MARKER] == 1
+    assert payload["num_rows"] == SMALL_TABLE_ROWS
+
+
+def test_binary_roundtrip_preserves_dtypes_and_values():
+    rng = np.random.default_rng(3)
+    table = {
+        "i64": rng.integers(-(2 ** 60), 2 ** 60, 1000, dtype=np.int64),
+        "u32": rng.integers(0, 2 ** 32 - 1, 1000).astype(np.uint32),
+        "f64": rng.random(1000),
+        "f32": rng.random(1000).astype(np.float32),
+        "b": rng.integers(0, 2, 1000).astype(bool),
+    }
+    restored = _round_trip(table, force_binary=True)
+    assert list(restored) == list(table)
+    for name in table:
+        assert restored[name].dtype == table[name].dtype
+        np.testing.assert_array_equal(restored[name], table[name])
+
+
+def test_binary_roundtrip_preserves_nan_and_inf():
+    table = {"x": np.array([np.nan, np.inf, -np.inf, -0.0] * 100)}
+    restored = _round_trip(table, force_binary=True)
+    np.testing.assert_array_equal(
+        np.isnan(restored["x"]), np.isnan(table["x"])
+    )
+    finite = ~np.isnan(table["x"])
+    np.testing.assert_array_equal(restored["x"][finite], table["x"][finite])
+
+
+def test_unicode_columns_roundtrip():
+    table = {"tag": np.array(["A", "N", "R"] * 50)}
+    restored = _round_trip(table, force_binary=True)
+    np.testing.assert_array_equal(restored["tag"], table["tag"])
+
+
+def test_object_columns_fall_back_to_lists():
+    table = {"o": np.array([{"a": 1}, {"b": 2}] * 40, dtype=object)}
+    payload = encode_table(table, force_binary=True)
+    assert payload["columns"][0]["dtype"] == "object"
+    restored = decode_table(json.loads(json.dumps(payload)))
+    assert restored["o"][1] == {"b": 2}
+
+
+def test_decoded_columns_are_writable():
+    table = {"x": np.arange(1000, dtype=np.float64)}
+    restored = _round_trip(table, force_binary=True)
+    restored["x"][0] = 42.0  # must not raise (frombuffer views are read-only)
+
+
+def test_decode_accepts_legacy_payloads():
+    table = {"k": np.arange(10, dtype=np.int64), "v": np.linspace(0, 1, 10)}
+    legacy = table_to_payload(table)
+    assert tables_allclose(decode_table(legacy), table)
+
+
+def test_table_from_payload_accepts_binary_payloads():
+    table = {"k": np.arange(500, dtype=np.int64)}
+    payload = encode_table(table, force_binary=True)
+    np.testing.assert_array_equal(table_from_payload(payload)["k"], table["k"])
+
+
+def test_empty_table_roundtrip():
+    assert _round_trip({}) == {}
+    assert _round_trip({}, force_binary=True) == {}
+
+
+def test_zero_row_columns_roundtrip_binary():
+    table = {"x": np.zeros(0, dtype=np.float64)}
+    restored = _round_trip(table, force_binary=True)
+    assert restored["x"].dtype == np.float64
+    assert len(restored["x"]) == 0
+
+
+def test_unknown_version_rejected():
+    payload = encode_table({"x": np.arange(100.0)}, force_binary=True)
+    payload[PAYLOAD_MARKER] = 99
+    with pytest.raises(ExecutionError):
+        decode_table(payload)
+
+
+def test_binary_wire_is_json_serialisable_and_smaller_for_floats():
+    rng = np.random.default_rng(11)
+    table = {"x": rng.random(10_000)}
+    legacy_wire = json.dumps(table_to_payload(table))
+    binary_wire = json.dumps(encode_table(table, force_binary=True))
+    assert len(binary_wire) < len(legacy_wire)
