@@ -1,7 +1,7 @@
-"""Hot-path micro-benchmarks: payload codec, partition scatter, end-to-end.
+"""Hot-path micro-benchmarks: payload codec, scatter, join, routing, codec.
 
-Measures the three data-movement paths this repo's data plane optimises and
-emits a structured trajectory (``BENCH_hot_paths.json``):
+Measures the data-movement and operator paths this repo optimises and emits a
+structured trajectory (``BENCH_hot_paths.json``):
 
 * **payload round-trip** — binary columnar codec
   (:mod:`repro.engine.payload`) versus the seed's JSON ``.tolist()`` form,
@@ -10,6 +10,13 @@ emits a structured trajectory (``BENCH_hot_paths.json``):
 * **partition scatter** — single-pass argsort scatter
   (:func:`repro.exchange.partition.hash_partition`) versus the seed's
   mask-per-partition loop (:func:`hash_partition_masked`);
+* **join probe** — vectorized sort-based join kernel
+  (:func:`repro.engine.join.hash_join`) versus the seed's dict build/probe
+  loop (:func:`hash_join_dict`);
+* **exchange route** — the multilevel exchange's table-lookup routing versus
+  the seed's ``np.vectorize`` dict lookup;
+* **shuffle codec** — fast partition codec (:mod:`repro.exchange.codec`)
+  versus the full LPQ columnar-file writer, round-tripped;
 * **end-to-end query** — wall-clock latency of TPC-H Q1 on the simulated
   serverless stack, serial versus thread-pool fleet execution.
 
@@ -26,13 +33,16 @@ or as a plain script, which writes ``BENCH_hot_paths.json`` directly::
 from __future__ import annotations
 
 import json
+import math
 import time
 from typing import Callable, Dict
 
 import numpy as np
 
+from repro.engine.join import hash_join, hash_join_dict
 from repro.engine.payload import decode_table, encode_table
 from repro.engine.table import table_to_payload, table_from_payload, tables_allclose
+from repro.exchange.basic import deserialize_partition, serialize_partition
 from repro.exchange.partition import hash_partition, hash_partition_masked
 
 #: Row count of the micro-benchmarks (the acceptance bar is "at 1M rows").
@@ -136,6 +146,148 @@ def measure_partition_scatter(
 
 
 # ---------------------------------------------------------------------------
+# join probe
+# ---------------------------------------------------------------------------
+
+#: Build-side row count of the join benchmark; the probe side is ``ROWS``.
+JOIN_BUILD_ROWS = 100_000
+
+
+def _join_tables(num_rows: int, build_rows: int, seed: int = 11):
+    """Probe/build tables with ~1 match per probe row plus duplicate keys."""
+    rng = np.random.default_rng(seed)
+    left = {
+        "key": rng.integers(0, build_rows, num_rows, dtype=np.int64),
+        "lv": rng.random(num_rows),
+    }
+    right = {
+        "key": rng.integers(0, build_rows, build_rows, dtype=np.int64),
+        "rv": rng.random(build_rows),
+        "tag": rng.integers(0, 5, build_rows, dtype=np.int32),
+    }
+    return left, right
+
+
+def measure_join_probe(
+    num_rows: int = ROWS, build_rows: int = JOIN_BUILD_ROWS, repeats: int = 3
+) -> Dict:
+    """Vectorized sort-based join versus the seed's dict build/probe loop."""
+    left, right = _join_tables(num_rows, build_rows)
+    vectorized = hash_join(left, right, "key", "key")
+    reference = hash_join_dict(left, right, "key", "key")
+    for name in reference:
+        np.testing.assert_array_equal(vectorized[name], reference[name])
+
+    dict_seconds = _best_of(lambda: hash_join_dict(left, right, "key", "key"), repeats)
+    vector_seconds = _best_of(lambda: hash_join(left, right, "key", "key"), repeats)
+    return {
+        "num_rows": num_rows,
+        "build_rows": build_rows,
+        "result_rows": len(vectorized["key"]),
+        "dict_seconds": dict_seconds,
+        "vectorized_seconds": vector_seconds,
+        "speedup": dict_seconds / vector_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# exchange route
+# ---------------------------------------------------------------------------
+
+#: Fleet size of the routing benchmark (a 32x32 two-level grid).
+ROUTE_WORKERS = 1024
+
+
+def measure_exchange_route(
+    num_targets: int = ROWS, num_workers: int = ROUTE_WORKERS, repeats: int = 3
+) -> Dict:
+    """Table-lookup routing versus the seed's ``np.vectorize`` dict lookup."""
+    from repro.cloud.s3 import ObjectStore
+    from repro.exchange.multilevel import MultiLevelExchange, grid_coordinates
+
+    exchange = MultiLevelExchange(ObjectStore(), num_workers, keys=["key"], levels=2)
+    dimension = 1
+    group = exchange._groups_for_round(dimension)[0]
+    rng = np.random.default_rng(13)
+    targets = rng.integers(0, num_workers, num_targets, dtype=np.int64)
+
+    # The seed implementation: per-row dict lookup through np.vectorize.
+    dims = exchange.dims
+    member_by_coord = {
+        grid_coordinates(worker, dims)[dimension]: worker for worker in group
+    }
+    stride = int(math.prod(dims[:dimension]))
+
+    def legacy_route(values: np.ndarray) -> np.ndarray:
+        coords = (values // stride) % dims[dimension]
+        lookup = np.vectorize(member_by_coord.__getitem__, otypes=[np.int64])
+        return lookup(coords) if len(coords) else coords.astype(np.int64)
+
+    table_route = exchange._route_for_round(dimension, group)
+    np.testing.assert_array_equal(legacy_route(targets), table_route(targets))
+
+    legacy_seconds = _best_of(lambda: legacy_route(targets), repeats)
+    table_seconds = _best_of(lambda: table_route(targets), repeats)
+    return {
+        "num_targets": num_targets,
+        "num_workers": num_workers,
+        "grid_dims": list(dims),
+        "legacy_seconds": legacy_seconds,
+        "table_seconds": table_seconds,
+        "speedup": legacy_seconds / table_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# shuffle codec
+# ---------------------------------------------------------------------------
+
+def measure_shuffle_codec(
+    num_rows: int = ROWS, num_partitions: int = PARTITIONS, repeats: int = 3
+) -> Dict:
+    """Fast partition codec versus the full LPQ writer on a shuffle write.
+
+    The timed unit is what one exchange sender actually does: serialise (and
+    the receivers deserialise) all ``num_partitions`` partition objects of a
+    ``num_rows``-row table.  Measured twice — at the exchange's default
+    ``Compression.FAST``, where zlib dominates both codecs, and at
+    ``Compression.NONE``, which isolates the framing cost the fast codec
+    eliminates (per-row-group encoding choice, statistics, JSON footer).
+    """
+    from repro.formats.compression import Compression
+
+    table = _hot_table(num_rows)
+    parts = list(hash_partition(table, ["key"], num_partitions).values())
+
+    def roundtrip(fast: bool, compression: Compression):
+        for part in parts:
+            deserialize_partition(serialize_partition(part, compression, fast=fast))
+
+    for compression in (Compression.FAST, Compression.NONE):
+        assert tables_allclose(
+            deserialize_partition(serialize_partition(parts[0], compression, fast=False)),
+            deserialize_partition(serialize_partition(parts[0], compression, fast=True)),
+        )
+
+    lpq_seconds = _best_of(lambda: roundtrip(False, Compression.FAST), repeats)
+    fast_seconds = _best_of(lambda: roundtrip(True, Compression.FAST), repeats)
+    framing_lpq = _best_of(lambda: roundtrip(False, Compression.NONE), repeats)
+    framing_fast = _best_of(lambda: roundtrip(True, Compression.NONE), repeats)
+    return {
+        "num_rows": num_rows,
+        "num_partitions": num_partitions,
+        "lpq_seconds": lpq_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": lpq_seconds / fast_seconds,
+        "framing_lpq_seconds": framing_lpq,
+        "framing_fast_seconds": framing_fast,
+        "framing_speedup": framing_lpq / framing_fast,
+        "lpq_bytes": sum(len(serialize_partition(p, fast=False)) for p in parts),
+        "fast_bytes": sum(len(serialize_partition(p, fast=True)) for p in parts),
+    }
+
+
+# ---------------------------------------------------------------------------
 # end-to-end query
 # ---------------------------------------------------------------------------
 
@@ -173,6 +325,17 @@ def measure_end_to_end(
         results[mode] = result
     assert tables_allclose(results["serial"].table, results["threads"].table)
 
+    # Forced thread pool (bypasses the driver's single-core serial fallback):
+    # on a 1-core host this isolates the pool's pure dispatch overhead, the
+    # quantity the README's threads-crossover note documents.
+    pool_driver = LambadaDriver(
+        env, execution_mode="threads", max_parallel_invocations=4
+    )
+    pool_start = time.perf_counter()
+    pool_result = run_tpch_query(pool_driver, dataset, "q1")
+    pool_seconds = time.perf_counter() - pool_start
+    assert tables_allclose(results["serial"].table, pool_result.table)
+
     import os
 
     return {
@@ -184,9 +347,63 @@ def measure_end_to_end(
         "serial_wall_seconds": timings["serial"],
         "threads_wall_seconds": timings["threads"],
         "wall_speedup": timings["serial"] / timings["threads"],
+        "forced_pool_wall_seconds": pool_seconds,
+        "forced_pool_overhead_ratio": pool_seconds / timings["serial"],
         "modelled_latency_seconds": results["threads"].statistics.latency_seconds,
         "result_rows": results["threads"].num_rows,
     }
+
+
+def measure_threads_crossover(num_files: int = END_TO_END_FILES) -> Dict:
+    """Serial versus forced-pool TPC-H Q1 wall time across data scales.
+
+    Quantifies where the thread pool's dispatch overhead amortises: the
+    per-dispatch cost is fixed, so its *relative* overhead shrinks as the
+    per-worker numpy work grows with scale.  On a 1-core host the pool never
+    wins (there is nothing to overlap); on multi-core hosts the crossover sits
+    where the overhead ratio here would dip below 1.
+    """
+    from repro.analysis.experiments import run_tpch_query
+    from repro.cloud.environment import CloudEnvironment
+    from repro.driver.driver import LambadaDriver
+    from repro.formats.compression import Compression
+    from repro.workload.tpch import generate_lineitem_dataset
+
+    import os
+
+    scales = []
+    for scale_factor in (0.02, END_TO_END_SCALE_FACTOR):
+        env = CloudEnvironment.create()
+        dataset = generate_lineitem_dataset(
+            env.s3,
+            scale_factor=scale_factor,
+            num_files=num_files,
+            row_group_rows=32_768,
+            compression=Compression.FAST,
+        )
+        run_tpch_query(LambadaDriver(env), dataset, "q1")  # warmup
+
+        serial_driver = LambadaDriver(env)
+        start = time.perf_counter()
+        run_tpch_query(serial_driver, dataset, "q1")
+        serial_seconds = time.perf_counter() - start
+
+        pool_driver = LambadaDriver(
+            env, execution_mode="threads", max_parallel_invocations=4
+        )
+        start = time.perf_counter()
+        run_tpch_query(pool_driver, dataset, "q1")
+        pool_seconds = time.perf_counter() - start
+
+        scales.append(
+            {
+                "num_rows": dataset.total_rows,
+                "serial_wall_seconds": serial_seconds,
+                "pool_wall_seconds": pool_seconds,
+                "pool_overhead_ratio": pool_seconds / serial_seconds,
+            }
+        )
+    return {"cpu_count": os.cpu_count(), "scales": scales}
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +436,47 @@ def test_partition_scatter_speedup(bench_recorder, experiment_report):
     assert measurement["speedup"] >= 5.0
 
 
+def test_join_probe_speedup(bench_recorder, experiment_report):
+    measurement = measure_join_probe()
+    bench_recorder("join_probe", **measurement)
+    experiment_report(
+        f"join probe @ {measurement['num_rows']} rows vs "
+        f"{measurement['build_rows']} build rows: "
+        f"dict {measurement['dict_seconds']:.3f}s, "
+        f"vectorized {measurement['vectorized_seconds']:.3f}s "
+        f"({measurement['speedup']:.1f}x)"
+    )
+    assert measurement["speedup"] >= 5.0
+
+
+def test_exchange_route_speedup(bench_recorder, experiment_report):
+    measurement = measure_exchange_route()
+    bench_recorder("exchange_route", **measurement)
+    experiment_report(
+        f"exchange route @ {measurement['num_targets']} targets, "
+        f"P={measurement['num_workers']}: "
+        f"np.vectorize {measurement['legacy_seconds']:.3f}s, "
+        f"lookup table {measurement['table_seconds']:.4f}s "
+        f"({measurement['speedup']:.1f}x)"
+    )
+    assert measurement["speedup"] >= 5.0
+
+
+def test_shuffle_codec_speedup(bench_recorder, experiment_report):
+    measurement = measure_shuffle_codec()
+    bench_recorder("shuffle_codec", **measurement)
+    experiment_report(
+        f"shuffle codec @ {measurement['num_rows']} rows, "
+        f"P={measurement['num_partitions']}: "
+        f"LPQ {measurement['lpq_seconds']:.3f}s, "
+        f"fast {measurement['fast_seconds']:.3f}s "
+        f"({measurement['speedup']:.1f}x; framing only "
+        f"{measurement['framing_speedup']:.1f}x)"
+    )
+    assert measurement["speedup"] >= 1.2
+    assert measurement["framing_speedup"] >= 5.0
+
+
 def test_end_to_end_query(bench_recorder, experiment_report):
     measurement = measure_end_to_end()
     bench_recorder("end_to_end_q1", **measurement)
@@ -230,6 +488,19 @@ def test_end_to_end_query(bench_recorder, experiment_report):
     assert measurement["result_rows"] > 0
 
 
+def test_threads_crossover(bench_recorder, experiment_report):
+    measurement = measure_threads_crossover()
+    bench_recorder("threads_crossover", **measurement)
+    for scale in measurement["scales"]:
+        experiment_report(
+            f"threads crossover @ {scale['num_rows']} rows: "
+            f"serial {scale['serial_wall_seconds']:.3f}s, "
+            f"forced pool {scale['pool_wall_seconds']:.3f}s "
+            f"(overhead ratio {scale['pool_overhead_ratio']:.2f})"
+        )
+    assert len(measurement["scales"]) == 2
+
+
 # ---------------------------------------------------------------------------
 # script entry point
 # ---------------------------------------------------------------------------
@@ -239,7 +510,11 @@ def main(output_path: str = "BENCH_hot_paths.json") -> Dict:
     results = {
         "payload_roundtrip": measure_payload_roundtrip(),
         "partition_scatter": measure_partition_scatter(),
+        "join_probe": measure_join_probe(),
+        "exchange_route": measure_exchange_route(),
+        "shuffle_codec": measure_shuffle_codec(),
         "end_to_end_q1": measure_end_to_end(),
+        "threads_crossover": measure_threads_crossover(),
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump({"results": results}, handle, indent=2, sort_keys=True)

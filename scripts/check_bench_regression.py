@@ -31,11 +31,20 @@ import json
 import sys
 from pathlib import Path
 
-#: Minimum speedups promised by the acceptance criteria.
+#: Minimum speedups promised by the acceptance criteria, keyed by
+#: ``(section, field)``: the data-plane floors from PR 1 plus the operator
+#: floors from PR 2 (join probe, exchange routing, shuffle codec framing).
 ABSOLUTE_FLOORS = {
-    "partition_scatter": 5.0,
-    "payload_roundtrip": 3.0,
+    ("partition_scatter", "speedup"): 5.0,
+    ("payload_roundtrip", "speedup"): 3.0,
+    ("join_probe", "speedup"): 5.0,
+    ("exchange_route", "speedup"): 5.0,
+    ("shuffle_codec", "speedup"): 1.2,
+    ("shuffle_codec", "framing_speedup"): 5.0,
 }
+
+#: Fields compared against the committed baseline for relative regressions.
+RELATIVE_FIELDS = ("speedup", "framing_speedup")
 
 
 def load_results(path: Path) -> dict:
@@ -61,35 +70,38 @@ def check(baseline_path: Path, current_path: Path | None, tolerance: float) -> i
     current = load_results(current_path) if current_path else baseline
     failures = []
 
-    for name, floor in ABSOLUTE_FLOORS.items():
+    for (name, field), floor in ABSOLUTE_FLOORS.items():
         measurement = current.get(name)
         if measurement is None:
             failures.append(f"{name}: missing from current results")
             continue
-        speedup = measurement.get("speedup", 0.0)
+        speedup = measurement.get(field, 0.0)
         if speedup < floor:
-            failures.append(f"{name}: speedup {speedup:.2f}x below floor {floor:.1f}x")
+            failures.append(
+                f"{name}: {field} {speedup:.2f}x below floor {floor:.1f}x"
+            )
         else:
-            print(f"ok: {name} speedup {speedup:.2f}x (floor {floor:.1f}x)")
+            print(f"ok: {name} {field} {speedup:.2f}x (floor {floor:.1f}x)")
 
     if current_path is not None:
         for name, measurement in baseline.items():
-            reference = measurement.get("speedup")
-            observed = current.get(name, {}).get("speedup")
-            if reference is None or observed is None:
-                continue
-            allowed = reference * tolerance
-            if observed < allowed:
-                failures.append(
-                    f"{name}: speedup regressed to {observed:.2f}x, "
-                    f"below {allowed:.2f}x ({tolerance:.0%} of baseline "
-                    f"{reference:.2f}x)"
-                )
-            else:
-                print(
-                    f"ok: {name} speedup {observed:.2f}x vs baseline "
-                    f"{reference:.2f}x"
-                )
+            for field in RELATIVE_FIELDS:
+                reference = measurement.get(field)
+                observed = current.get(name, {}).get(field)
+                if reference is None or observed is None:
+                    continue
+                allowed = reference * tolerance
+                if observed < allowed:
+                    failures.append(
+                        f"{name}: {field} regressed to {observed:.2f}x, "
+                        f"below {allowed:.2f}x ({tolerance:.0%} of baseline "
+                        f"{reference:.2f}x)"
+                    )
+                else:
+                    print(
+                        f"ok: {name} {field} {observed:.2f}x vs baseline "
+                        f"{reference:.2f}x"
+                    )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -267,7 +267,12 @@ class LambadaDriver:
 
     def _invoke_tree(self, tree: List[Dict]) -> None:
         """Invoke the tree roots, serially or through the thread pool."""
-        if self.execution_mode != "threads" or len(tree) <= 1:
+        # On a single-core host the pool cannot overlap the workers' numpy
+        # sections and only adds dispatch overhead (~10% on TPC-H Q1 at 1M
+        # rows, see README "Performance notes"), so fall back to serial
+        # dispatch unless the caller forced a pool size explicitly.
+        single_core = (os.cpu_count() or 1) <= 1 and self.max_parallel_invocations is None
+        if self.execution_mode != "threads" or len(tree) <= 1 or single_core:
             for parent in tree:
                 self.env.lambda_service.invoke(self.function_name, parent, from_driver=True)
             return

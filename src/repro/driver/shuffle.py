@@ -12,7 +12,10 @@ waves of serverless function invocations:
 * **map wave** — each worker scans its files, applies the filter, computes
   per-group partial aggregates, hash-partitions them by the group keys, and
   writes one partition object per receiver to S3 (using the multi-bucket
-  naming scheme of §4.4.1 to stay clear of per-bucket rate limits);
+  naming scheme of §4.4.1 to stay clear of per-bucket rate limits).  The
+  partition objects use the single-pass fast shuffle codec
+  (:mod:`repro.exchange.codec`); the reduce side sniffs the format byte, so
+  legacy LPQ partition objects from earlier runs still decode;
 * **reduce wave** — each worker reads the partition objects addressed to it,
   merges the partial aggregates of its disjoint share of the groups, and
   returns its result rows to the driver through SQS (spilling to S3 when
@@ -102,7 +105,7 @@ def _make_map_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBuc
         written = 0
         for receiver in range(num_partitions):
             part = partitions.get(receiver, {})
-            data = serialize_partition(part)
+            data = serialize_partition(part, fast=True)
             env.s3.put_path(naming.path(worker_id, receiver), data)
             written += 1
         context.charge(scan.modelled_seconds())

@@ -28,7 +28,7 @@ from repro.engine.aggregates import (
     finalize_aggregates,
 )
 from repro.engine.pipeline import execute_worker_plan, WorkerResult
-from repro.engine.join import hash_join
+from repro.engine.join import hash_join, hash_join_dict
 
 __all__ = [
     "Table",
@@ -52,4 +52,5 @@ __all__ = [
     "execute_worker_plan",
     "WorkerResult",
     "hash_join",
+    "hash_join_dict",
 ]

@@ -67,8 +67,8 @@ def empty_table_like(columns: Sequence[str]) -> Table:
 
 
 def take_rows(table: Table, indices: np.ndarray) -> Table:
-    """Row gather by integer indices."""
-    return {name: column[indices] for name, column in table.items()}
+    """Row gather by integer indices: one fancy-index pass per column."""
+    return {name: np.asarray(column)[indices] for name, column in table.items()}
 
 
 def table_to_payload(table: Table) -> Dict[str, List]:

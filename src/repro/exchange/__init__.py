@@ -32,6 +32,7 @@ from repro.exchange.naming import (
     WriteCombiningNaming,
 )
 from repro.exchange.basic import BasicExchange, BasicGroupExchange, ExchangeConfig
+from repro.exchange.codec import decode_partition, encode_partition, is_fast_partition
 from repro.exchange.multilevel import MultiLevelExchange, grid_coordinates, grid_side
 from repro.exchange.cost_model import (
     ExchangeCostModel,
@@ -54,6 +55,9 @@ __all__ = [
     "BasicExchange",
     "BasicGroupExchange",
     "ExchangeConfig",
+    "decode_partition",
+    "encode_partition",
+    "is_fast_partition",
     "MultiLevelExchange",
     "grid_coordinates",
     "grid_side",

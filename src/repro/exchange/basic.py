@@ -22,6 +22,7 @@ import numpy as np
 from repro.cloud.s3 import ObjectStore, parse_s3_path
 from repro.engine.table import Table, concat_tables, table_num_rows
 from repro.errors import ExchangeError, NoSuchKeyError
+from repro.exchange.codec import decode_partition, encode_partition, is_fast_partition
 from repro.exchange.naming import FileNaming, MultiBucketNaming, WriteCombiningNaming
 from repro.exchange.partition import (
     partition_assignments,
@@ -44,6 +45,10 @@ class ExchangeConfig:
     num_buckets: int = 10
     #: Compression of the partition files (FAST keeps CPU cost low).
     compression: Compression = Compression.FAST
+    #: Serialise partitions with the single-pass fast codec
+    #: (:mod:`repro.exchange.codec`) instead of the full LPQ file writer.
+    #: Readers accept both formats regardless of this flag.
+    fast_codec: bool = True
     #: How often a receiver re-checks for a missing sender file before failing.
     max_poll_attempts: int = 100
 
@@ -72,17 +77,34 @@ class ExchangeStats:
         return self.put_requests + self.get_requests + self.list_requests
 
 
-def serialize_partition(table: Table, compression: Compression = Compression.FAST) -> bytes:
-    """Serialise a partition table into bytes (LPQ with light compression)."""
+def serialize_partition(
+    table: Table,
+    compression: Compression = Compression.FAST,
+    fast: bool = True,
+) -> bytes:
+    """Serialise a partition table into bytes (empty table -> empty bytes).
+
+    By default the single-pass fast codec of :mod:`repro.exchange.codec` is
+    used; ``fast=False`` writes a full LPQ columnar file instead (the seed
+    behaviour, kept for durable outputs and legacy-format tests).
+    """
     if table_num_rows(table) == 0:
         return b""
+    if fast:
+        return encode_partition(table, compression)
     return write_table(table, compression=compression)
 
 
 def deserialize_partition(data: bytes) -> Table:
-    """Inverse of :func:`serialize_partition` (empty bytes -> empty table)."""
+    """Inverse of :func:`serialize_partition` (empty bytes -> empty table).
+
+    Sniffs the leading format byte, so fast-codec objects and legacy LPQ
+    objects (including parts of old write-combined objects) both decode.
+    """
     if not data:
         return {}
+    if is_fast_partition(data):
+        return decode_partition(data)
     return ColumnarFile.from_bytes(data).read_table()
 
 
@@ -168,7 +190,9 @@ class BasicGroupExchange:
             self._write_combined(worker, parts, stats)
         else:
             for receiver in self.group:
-                data = serialize_partition(parts[receiver], self.config.compression)
+                data = serialize_partition(
+                    parts[receiver], self.config.compression, fast=self.config.fast_codec
+                )
                 path = self.naming.path(worker, receiver)
                 self.store.put_path(path, data)
                 stats.put_requests += 1
@@ -178,7 +202,9 @@ class BasicGroupExchange:
         if not isinstance(self.naming, WriteCombiningNaming):
             raise ExchangeError("write combining requires WriteCombiningNaming")
         blobs = [
-            serialize_partition(parts[receiver], self.config.compression)
+            serialize_partition(
+                parts[receiver], self.config.compression, fast=self.config.fast_codec
+            )
             for receiver in self.group
         ]
         offsets = [0]

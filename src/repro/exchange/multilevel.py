@@ -47,12 +47,22 @@ def grid_side(num_workers: int, levels: int) -> List[int]:
     for level in range(levels, 1, -1):
         ideal = remaining ** (1.0 / level)
         # Find the divisor of ``remaining`` closest to the ideal side length.
+        # Divisors come in pairs (d, remaining // d) with one member at or
+        # below sqrt(remaining), so scanning to the square root covers all of
+        # them in O(sqrt(P)) instead of the former O(P) full scan.  Ties break
+        # toward the smaller divisor, matching the old ascending scan.
         best: Optional[int] = None
-        for candidate in range(1, remaining + 1):
-            if remaining % candidate != 0:
-                continue
-            if best is None or abs(candidate - ideal) < abs(best - ideal):
-                best = candidate
+        candidate = 1
+        while candidate * candidate <= remaining:
+            if remaining % candidate == 0:
+                for divisor in (candidate, remaining // candidate):
+                    if (
+                        best is None
+                        or abs(divisor - ideal) < abs(best - ideal)
+                        or (abs(divisor - ideal) == abs(best - ideal) and divisor < best)
+                    ):
+                        best = divisor
+            candidate += 1
         assert best is not None
         dims.append(best)
         remaining //= best
@@ -120,39 +130,63 @@ class MultiLevelExchange:
         self.stats = ExchangeStats()
         #: Per-round, per-worker statistics for detailed analysis.
         self.round_stats: List[Dict[int, ExchangeStats]] = []
+        #: Mixed-radix stride of each dimension (coordinate d of worker w is
+        #: ``(w // stride[d]) % dims[d]``).
+        self._strides: List[int] = [
+            math.prod(self.dims[:dimension]) for dimension in range(self.levels)
+        ]
+        # The group structure of every round depends only on the grid, so it
+        # is computed once here instead of being rebuilt from
+        # ``grid_coordinates`` on every round.
+        self._groups_by_round: List[List[List[int]]] = [
+            self._build_groups(dimension) for dimension in range(self.levels)
+        ]
 
     # -- group construction ------------------------------------------------------
 
+    def _build_groups(self, dimension: int) -> List[List[int]]:
+        """Compute the worker groups along ``dimension`` (vectorized).
+
+        A group's members differ only in their coordinate along the round's
+        dimension, i.e. they are ``representative + coord * stride`` for
+        ``coord`` in ``0..dims[dimension]``; enumerating representatives and
+        strides avoids the per-worker ``grid_coordinates`` loop.
+        """
+        stride = self._strides[dimension]
+        side = self.dims[dimension]
+        workers = np.arange(self.num_workers, dtype=np.int64)
+        coord = (workers // stride) % side
+        representatives = np.unique(workers - coord * stride)
+        members = representatives[:, None] + stride * np.arange(side, dtype=np.int64)
+        return [row.tolist() for row in members]
+
     def _groups_for_round(self, dimension: int) -> List[List[int]]:
-        """Worker groups for the exchange along ``dimension``.
+        """Worker groups for the exchange along ``dimension`` (cached).
 
         Each group contains the workers that share all coordinates except the
-        round's dimension; its size is ``dims[dimension]``.
+        round's dimension; its size is ``dims[dimension]``, and members are
+        listed in ascending coordinate (= ascending worker id) order.
         """
-        groups: Dict[Tuple[int, ...], List[int]] = {}
-        for worker in range(self.num_workers):
-            coords = list(grid_coordinates(worker, self.dims))
-            coords[dimension] = -1
-            groups.setdefault(tuple(coords), []).append(worker)
-        return [sorted(members) for members in groups.values()]
+        return self._groups_by_round[dimension]
 
     def _route_for_round(self, dimension: int, group: Sequence[int]) -> Callable:
         """Routing function of one group in one round.
 
         A row with global target partition ``t`` goes to the group member
         whose coordinate along the round's dimension equals ``t``'s
-        coordinate along that dimension.
+        coordinate along that dimension.  The coordinate -> worker map is a
+        precomputed int64 lookup table, so routing a batch of targets is one
+        divmod plus one fancy-index — no per-row Python.
         """
-        dims = self.dims
-        member_by_coord = {
-            grid_coordinates(worker, dims)[dimension]: worker for worker in group
-        }
+        stride = self._strides[dimension]
+        side = self.dims[dimension]
+        group_array = np.asarray(group, dtype=np.int64)
+        lookup = np.empty(side, dtype=np.int64)
+        lookup[(group_array // stride) % side] = group_array
 
         def route(targets: np.ndarray) -> np.ndarray:
-            coords = (targets // int(np.prod(dims[:dimension], dtype=np.int64))) % dims[dimension] \
-                if dimension > 0 else targets % dims[0]
-            lookup = np.vectorize(member_by_coord.__getitem__, otypes=[np.int64])
-            return lookup(coords) if len(coords) else coords.astype(np.int64)
+            targets = np.asarray(targets, dtype=np.int64)
+            return lookup[(targets // stride) % side]
 
         return route
 

@@ -1,0 +1,80 @@
+"""Tier-1 guard for the committed hot-path benchmark baseline.
+
+Runs ``scripts/check_bench_regression.py`` as a pytest so a stale, malformed,
+or floor-violating ``BENCH_hot_paths.json`` fails the ordinary test suite
+instead of only a manually-invoked CI script.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+CHECKER_PATH = REPO_ROOT / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with BASELINE_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_baseline_file_is_valid_trajectory(baseline):
+    assert isinstance(baseline.get("results"), dict)
+    assert baseline["results"], "committed baseline has no measurements"
+
+
+def test_baseline_has_all_guarded_sections(checker, baseline):
+    results = baseline["results"]
+    for section, field in checker.ABSOLUTE_FLOORS:
+        assert section in results, f"baseline is missing the {section!r} section"
+        assert field in results[section], (
+            f"baseline section {section!r} is missing the {field!r} field"
+        )
+
+
+def test_baseline_sections_record_their_scale(baseline):
+    """Every floor-guarded section must say what it measured."""
+    results = baseline["results"]
+    for section in ("payload_roundtrip", "partition_scatter", "join_probe", "shuffle_codec"):
+        assert results[section]["num_rows"] >= 1_000_000
+    assert results["exchange_route"]["num_targets"] >= 1_000_000
+
+
+def test_baseline_passes_absolute_floors(checker):
+    assert checker.check(BASELINE_PATH, None, tolerance=0.6) == 0
+
+
+def test_checker_rejects_malformed_trajectory(checker, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"not_results\": 1}", encoding="utf-8")
+    with pytest.raises(SystemExit):
+        checker.check(bad, None, tolerance=0.6)
+
+
+def test_checker_flags_floor_violation(checker, baseline, tmp_path):
+    doctored = json.loads(json.dumps(baseline))
+    doctored["results"]["join_probe"]["speedup"] = 1.0
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(doctored), encoding="utf-8")
+    assert checker.check(slow, None, tolerance=0.6) != 0
+
+
+def test_checker_flags_relative_regression(checker, baseline, tmp_path):
+    doctored = json.loads(json.dumps(baseline))
+    # Above every absolute floor but far below the committed baseline.
+    doctored["results"]["partition_scatter"]["speedup"] = 5.01
+    current = tmp_path / "current.json"
+    current.write_text(json.dumps(doctored), encoding="utf-8")
+    assert checker.check(BASELINE_PATH, current, tolerance=0.9) != 0

@@ -1,0 +1,283 @@
+"""Parity tests: the vectorized join kernel must match the dict kernel.
+
+The sort-based :func:`repro.engine.join.hash_join` must agree with the seed's
+dict build/probe kernel (:func:`hash_join_dict`) *exactly* — same rows, same
+row order, same dtypes — across empty, single-row, all-match, no-match,
+duplicate-key, negative/NaN-key, and multi-key inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.join import hash_join, hash_join_dict
+from repro.engine.table import Table, table_num_rows
+
+
+def _assert_same_table(actual: Table, expected: Table):
+    assert list(actual.keys()) == list(expected.keys())
+    for name in expected:
+        assert actual[name].dtype == expected[name].dtype, name
+        np.testing.assert_array_equal(actual[name], expected[name], err_msg=name)
+
+
+def _single_key_cases():
+    rng = np.random.default_rng(99)
+    return {
+        "empty_both": (
+            {"k": np.zeros(0, dtype=np.int64), "lv": np.zeros(0, dtype=np.float32)},
+            {"k": np.zeros(0, dtype=np.int64), "rv": np.zeros(0, dtype=np.int32)},
+        ),
+        "empty_left": (
+            {"k": np.zeros(0, dtype=np.int64), "lv": np.zeros(0)},
+            {"k": np.array([1, 2], dtype=np.int64), "rv": np.array([1.0, 2.0])},
+        ),
+        "empty_right": (
+            {"k": np.array([1, 2], dtype=np.int64), "lv": np.array([1.0, 2.0])},
+            {"k": np.zeros(0, dtype=np.int64), "rv": np.zeros(0)},
+        ),
+        "single_row": (
+            {"k": np.array([7], dtype=np.int64), "lv": np.array([1.5])},
+            {"k": np.array([7], dtype=np.int64), "rv": np.array([2.5])},
+        ),
+        "all_match": (
+            {"k": np.arange(50, dtype=np.int64), "lv": rng.random(50)},
+            {"k": np.arange(50, dtype=np.int64), "rv": rng.random(50)},
+        ),
+        "no_match": (
+            {"k": np.arange(50, dtype=np.int64), "lv": rng.random(50)},
+            {"k": np.arange(100, 150, dtype=np.int64), "rv": rng.random(50)},
+        ),
+        "duplicate_keys_both_sides": (
+            {"k": np.repeat(np.arange(5, dtype=np.int64), 20), "lv": rng.random(100)},
+            {"k": np.repeat(np.arange(3, 8, dtype=np.int64), 10), "rv": rng.random(50)},
+        ),
+        "negative_and_wide_keys": (
+            {
+                "k": np.array([-5, 0, 3, -(2 ** 60), 2 ** 60, -5], dtype=np.int64),
+                "lv": np.arange(6.0),
+            },
+            {
+                "k": np.array([-(2 ** 60), -5, 2 ** 60, 7], dtype=np.int64),
+                "rv": np.arange(4.0),
+            },
+        ),
+        "nan_keys_never_match": (
+            {"k": np.array([1.0, np.nan, 2.0, np.nan, -0.0]), "lv": np.arange(5.0)},
+            {"k": np.array([np.nan, 1.0, 0.0, 2.0, 2.0]), "rv": np.arange(5.0)},
+        ),
+        "random_mid_cardinality": (
+            {"k": rng.integers(0, 40, 500).astype(np.int64), "lv": rng.random(500)},
+            {"k": rng.integers(0, 40, 300).astype(np.int64), "rv": rng.random(300)},
+        ),
+        "sparse_keys_fall_back_to_searchsorted": (
+            {"k": rng.integers(-(2 ** 61), 2 ** 61, 200, dtype=np.int64), "lv": rng.random(200)},
+            {"k": rng.integers(-(2 ** 61), 2 ** 61, 100, dtype=np.int64), "rv": rng.random(100)},
+        ),
+    }
+
+
+@pytest.mark.parametrize("case", list(_single_key_cases()))
+def test_vectorized_matches_dict_kernel(case):
+    left, right = _single_key_cases()[case]
+    _assert_same_table(
+        hash_join(left, right, "k", "k"), hash_join_dict(left, right, "k", "k")
+    )
+
+
+def test_mixed_int_float_keys_above_2_53_match_dict_kernel():
+    """Promoting mixed int/float keys to float64 would collapse 2^53+1 onto
+    2^53 and invent matches; the aligned integer domain must not."""
+    left = {
+        "k": np.array([2 ** 53 + 1, 2 ** 53, 5, -7], dtype=np.int64),
+        "lv": np.arange(4.0),
+    }
+    right = {
+        "k": np.array([float(2 ** 53), 5.0, 5.5, -7.0, np.nan]),
+        "rv": np.arange(5.0),
+    }
+    _assert_same_table(
+        hash_join(left, right, "k", "k"), hash_join_dict(left, right, "k", "k")
+    )
+    # And the reverse orientation (float probe side, int build side).
+    _assert_same_table(
+        hash_join(right, left, "k", "k"), hash_join_dict(right, left, "k", "k")
+    )
+
+
+def test_mixed_uint64_float_keys_match_dict_kernel():
+    left = {
+        "k": np.array([2 ** 63 + 1024, 12, 2 ** 53], dtype=np.uint64),
+        "lv": np.arange(3.0),
+    }
+    right = {
+        "k": np.array([float(2 ** 63 + 2048), 12.0, -1.0, float(2 ** 53)]),
+        "rv": np.arange(4.0),
+    }
+    _assert_same_table(
+        hash_join(left, right, "k", "k"), hash_join_dict(left, right, "k", "k")
+    )
+
+
+def test_mixed_key_dtypes_in_multi_key_join():
+    left = {
+        "a": np.array([2 ** 53 + 1, 5, 5], dtype=np.int64),
+        "b": np.array([1, 2, 3], dtype=np.int64),
+        "lv": np.arange(3.0),
+    }
+    right = {
+        "a": np.array([float(2 ** 53), 5.0, 5.0]),
+        "b": np.array([1, 2, 3], dtype=np.int64),
+        "rv": np.arange(3.0),
+    }
+    result = hash_join(left, right, ["a", "b"], ["a", "b"])
+    # (2^53+1, 1) must not match (2^53.0, 1); (5, 2) and (5, 3) must.
+    assert table_num_rows(result) == 2
+    np.testing.assert_array_equal(result["b"], [2, 3])
+
+
+def test_object_dtype_keys_with_none_match_dict_kernel():
+    left = {
+        "k": np.array(["a", None, "b", "a"], dtype=object),
+        "lv": np.arange(4.0),
+    }
+    right = {
+        "k": np.array([None, "b", "a"], dtype=object),
+        "rv": np.arange(3.0),
+    }
+    _assert_same_table(
+        hash_join(left, right, "k", "k"), hash_join_dict(left, right, "k", "k")
+    )
+
+
+def test_object_dtype_multi_key_join():
+    left = {
+        "k": np.array(["a", None, "b"], dtype=object),
+        "g": np.array([1, 1, 2], dtype=np.int64),
+        "lv": np.arange(3.0),
+    }
+    right = {
+        "k": np.array(["a", "b", None], dtype=object),
+        "g": np.array([1, 2, 1], dtype=np.int64),
+        "rv": np.arange(3.0),
+    }
+    _assert_same_table(
+        hash_join(left, right, ["k", "g"], ["k", "g"]),
+        _multi_key_reference(left, right, ["k", "g"], ["k", "g"]),
+    )
+
+
+def test_empty_join_preserves_source_dtypes():
+    left = {"k": np.zeros(0, dtype=np.int64), "lv": np.zeros(0, dtype=np.int16)}
+    right = {
+        "k": np.zeros(0, dtype=np.int64),
+        "rv": np.zeros(0, dtype="<U3"),
+        "flag": np.zeros(0, dtype=bool),
+    }
+    for kernel in (hash_join, hash_join_dict):
+        result = kernel(left, right, "k", "k")
+        assert result["k"].dtype == np.int64
+        assert result["lv"].dtype == np.int16
+        assert result["rv"].dtype == np.dtype("<U3")
+        assert result["flag"].dtype == bool
+
+
+def _multi_key_reference(left, right, left_keys, right_keys, suffix="_right"):
+    """Tuple-key dict join, the multi-key analogue of the seed kernel."""
+    build = {}
+    right_tuples = list(zip(*(np.asarray(right[name]).tolist() for name in right_keys)))
+    for index, key in enumerate(right_tuples):
+        build.setdefault(key, []).append(index)
+    left_tuples = list(zip(*(np.asarray(left[name]).tolist() for name in left_keys)))
+    left_idx, right_idx = [], []
+    for index, key in enumerate(left_tuples):
+        for match in build.get(key, []):
+            left_idx.append(index)
+            right_idx.append(match)
+    result = {name: np.asarray(col)[left_idx] for name, col in left.items()}
+    for name, col in right.items():
+        if name in right_keys:
+            continue
+        out = name if name not in left else name + suffix
+        result[out] = np.asarray(col)[right_idx]
+    return result
+
+
+def test_multi_key_join_matches_tuple_dict_reference():
+    rng = np.random.default_rng(17)
+    left = {
+        "a": rng.integers(0, 6, 400).astype(np.int64),
+        "b": rng.integers(0, 5, 400).astype(np.int64),
+        "lv": rng.random(400),
+    }
+    right = {
+        "a": rng.integers(0, 6, 250).astype(np.int64),
+        "b": rng.integers(0, 5, 250).astype(np.int64),
+        "rv": rng.random(250),
+    }
+    _assert_same_table(
+        hash_join(left, right, ["a", "b"], ["a", "b"]),
+        _multi_key_reference(left, right, ["a", "b"], ["a", "b"]),
+    )
+
+
+def test_multi_key_join_with_string_column():
+    left = {
+        "a": np.array([1, 1, 2, 2], dtype=np.int64),
+        "f": np.array(["x", "y", "x", "y"]),
+        "lv": np.arange(4.0),
+    }
+    right = {
+        "a": np.array([1, 2, 2], dtype=np.int64),
+        "f": np.array(["y", "x", "z"]),
+        "rv": np.arange(3.0),
+    }
+    _assert_same_table(
+        hash_join(left, right, ["a", "f"], ["a", "f"]),
+        _multi_key_reference(left, right, ["a", "f"], ["a", "f"]),
+    )
+
+
+def test_multi_key_join_nan_keys_never_match():
+    left = {
+        "a": np.array([1.0, np.nan, 2.0]),
+        "b": np.array([1.0, 1.0, np.nan]),
+        "lv": np.arange(3.0),
+    }
+    right = {
+        "a": np.array([1.0, np.nan, 2.0]),
+        "b": np.array([1.0, 1.0, np.nan]),
+        "rv": np.arange(3.0),
+    }
+    result = hash_join(left, right, ["a", "b"], ["a", "b"])
+    # Only the (1.0, 1.0) row can match; NaN rows drop out entirely.
+    assert table_num_rows(result) == 1
+    np.testing.assert_array_equal(result["lv"], [0.0])
+    np.testing.assert_array_equal(result["rv"], [0.0])
+
+
+def test_multi_key_count_mismatch_rejected():
+    left = {"a": np.array([1]), "b": np.array([2]), "lv": np.array([0.0])}
+    right = {"a": np.array([1]), "rv": np.array([0.0])}
+    from repro.errors import ExecutionError
+
+    with pytest.raises(ExecutionError):
+        hash_join(left, right, ["a", "b"], ["a"])
+
+
+def test_join_probe_bench_shape_parity():
+    """The exact shape the hot-path benchmark times must stay in parity."""
+    rng = np.random.default_rng(11)
+    num_rows, build_rows = 20_000, 2_000
+    left = {
+        "key": rng.integers(0, build_rows, num_rows, dtype=np.int64),
+        "lv": rng.random(num_rows),
+    }
+    right = {
+        "key": rng.integers(0, build_rows, build_rows, dtype=np.int64),
+        "rv": rng.random(build_rows),
+        "tag": rng.integers(0, 5, build_rows, dtype=np.int32),
+    }
+    _assert_same_table(
+        hash_join(left, right, "key", "key"),
+        hash_join_dict(left, right, "key", "key"),
+    )

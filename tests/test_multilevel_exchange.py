@@ -63,6 +63,35 @@ def test_grid_side_rejects_bad_input():
         grid_side(4, 0)
 
 
+def test_grid_side_matches_full_scan_reference():
+    """The sqrt divisor scan must pick the same dims as the seed's O(P) scan."""
+
+    def reference(num_workers, levels):
+        dims, remaining = [], num_workers
+        for level in range(levels, 1, -1):
+            ideal = remaining ** (1.0 / level)
+            best = None
+            for candidate in range(1, remaining + 1):
+                if remaining % candidate != 0:
+                    continue
+                if best is None or abs(candidate - ideal) < abs(best - ideal):
+                    best = candidate
+            dims.append(best)
+            remaining //= best
+        dims.append(remaining)
+        return dims
+
+    for num_workers in range(1, 200):
+        for levels in (2, 3):
+            assert grid_side(num_workers, levels) == reference(num_workers, levels)
+
+
+def test_grid_side_handles_large_prime_quickly():
+    # The seed's 1..P scan made this O(P) per level; the sqrt scan keeps large
+    # degenerate fleets cheap.
+    assert grid_side(15_485_863, 2) == [1, 15_485_863]
+
+
 def test_grid_coordinates_roundtrip():
     dims = [4, 5, 3]
     for worker in range(math.prod(dims)):
@@ -125,6 +154,55 @@ def test_round_stats_recorded_per_round():
     exchange.run(_make_tables(P, rows_per_worker=10))
     assert len(exchange.round_stats) == 2
     assert all(len(round_stats) == P for round_stats in exchange.round_stats)
+
+
+def test_groups_are_cached_per_round():
+    store = ObjectStore()
+    exchange = MultiLevelExchange(store, 12, keys=["key"], levels=2)
+    for dimension in range(2):
+        assert exchange._groups_for_round(dimension) is exchange._groups_for_round(
+            dimension
+        )
+
+
+def test_groups_match_coordinate_reference():
+    """Vectorized group construction equals the seed's grid_coordinates loop."""
+    store = ObjectStore()
+    for num_workers, levels in [(16, 2), (12, 2), (24, 3), (7, 2)]:
+        exchange = MultiLevelExchange(store, num_workers, keys=["key"], levels=levels)
+        for dimension in range(levels):
+            reference = {}
+            for worker in range(num_workers):
+                coords = list(grid_coordinates(worker, exchange.dims))
+                coords[dimension] = -1
+                reference.setdefault(tuple(coords), []).append(worker)
+            expected = sorted(sorted(members) for members in reference.values())
+            assert sorted(exchange._groups_for_round(dimension)) == expected
+
+
+def test_route_is_pure_table_lookup():
+    """Routing a batch equals the per-row coordinate map, with no Python loop."""
+    store = ObjectStore()
+    exchange = MultiLevelExchange(store, 24, keys=["key"], levels=2)
+    rng = np.random.default_rng(8)
+    targets = rng.integers(0, 24, 1000).astype(np.int64)
+    for dimension in range(2):
+        for group in exchange._groups_for_round(dimension):
+            route = exchange._route_for_round(dimension, group)
+            routed = route(targets)
+            member_by_coord = {
+                grid_coordinates(worker, exchange.dims)[dimension]: worker
+                for worker in group
+            }
+            expected = np.array(
+                [
+                    member_by_coord[grid_coordinates(int(t), exchange.dims)[dimension]]
+                    for t in targets
+                ],
+                dtype=np.int64,
+            )
+            np.testing.assert_array_equal(routed, expected)
+            assert route(np.zeros(0, dtype=np.int64)).shape == (0,)
 
 
 def test_explicit_dims_validated():

@@ -1,0 +1,132 @@
+"""Round-trip and format-compatibility tests for the fast shuffle codec."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import table_num_rows, tables_allclose
+from repro.errors import CorruptFileError
+from repro.exchange.basic import deserialize_partition, serialize_partition
+from repro.exchange.codec import (
+    FAST_PARTITION_TAG,
+    decode_partition,
+    encode_partition,
+    is_fast_partition,
+)
+from repro.formats.compression import Compression
+
+
+def _case_tables():
+    rng = np.random.default_rng(23)
+    return {
+        "mixed_dtypes": {
+            "k": rng.integers(-(2 ** 60), 2 ** 60, 500, dtype=np.int64),
+            "v": rng.random(500),
+            "n": rng.integers(0, 100, 500).astype(np.int32),
+            "b": rng.integers(0, 2, 500).astype(bool),
+        },
+        "single_row": {"k": np.array([7], dtype=np.int64), "v": np.array([1.25])},
+        "strings": {
+            "flag": np.array(["A", "N", "R", "A"]),
+            "x": np.arange(4, dtype=np.float64),
+        },
+        "nan_and_inf": {
+            "x": np.array([np.nan, np.inf, -np.inf, -0.0, 1.5]),
+            "k": np.arange(5, dtype=np.int64),
+        },
+    }
+
+
+@pytest.mark.parametrize("case", list(_case_tables()))
+@pytest.mark.parametrize("compression", list(Compression))
+def test_fast_codec_roundtrip_exact(case, compression):
+    table = _case_tables()[case]
+    restored = decode_partition(encode_partition(table, compression))
+    assert list(restored.keys()) == list(table.keys())
+    for name in table:
+        assert restored[name].dtype == np.asarray(table[name]).dtype
+        np.testing.assert_array_equal(restored[name], table[name])
+
+
+def test_object_dtype_falls_back_to_json_values():
+    table = {"tag": np.asarray(["x", None, ("a", 1)], dtype=object)}
+    restored = decode_partition(encode_partition(table))
+    assert restored["tag"].dtype == object
+    assert restored["tag"].tolist() == ["x", None, ["a", 1]]
+
+
+def test_decoded_columns_are_writable():
+    table = {"k": np.arange(10, dtype=np.int64)}
+    restored = decode_partition(encode_partition(table))
+    restored["k"][0] = -1  # must not raise: frombuffer views are copied
+    assert restored["k"][0] == -1
+
+
+def test_serialize_partition_uses_fast_codec_by_default():
+    table = {"k": np.arange(5, dtype=np.int64)}
+    data = serialize_partition(table)
+    assert is_fast_partition(data)
+    assert data[0] == FAST_PARTITION_TAG
+
+
+def test_legacy_lpq_objects_still_decode():
+    table = {"k": np.arange(100, dtype=np.int64), "v": np.linspace(0, 1, 100)}
+    legacy = serialize_partition(table, fast=False)
+    assert not is_fast_partition(legacy)
+    assert legacy[:4] == b"LPQ1"
+    assert tables_allclose(deserialize_partition(legacy), table)
+
+
+def test_empty_partition_roundtrip():
+    assert serialize_partition({}) == b""
+    assert deserialize_partition(b"") == {}
+    empty = {"k": np.zeros(0, dtype=np.int64)}
+    assert serialize_partition(empty) == b""
+
+
+def test_deserialize_sniffs_both_formats():
+    table = {"k": np.arange(50, dtype=np.int64), "v": np.arange(50, dtype=np.float64)}
+    for fast in (True, False):
+        restored = deserialize_partition(serialize_partition(table, fast=fast))
+        assert tables_allclose(restored, table)
+
+
+def test_decode_rejects_non_fast_bytes():
+    with pytest.raises(CorruptFileError):
+        decode_partition(b"LPQ1 definitely not fast")
+
+
+def test_decode_rejects_truncated_body():
+    data = encode_partition({"k": np.arange(100, dtype=np.int64)}, Compression.NONE)
+    with pytest.raises(CorruptFileError):
+        decode_partition(data[: len(data) - 40])
+
+
+def test_decode_rejects_truncated_header():
+    data = encode_partition({"k": np.arange(10, dtype=np.int64)})
+    with pytest.raises(CorruptFileError):
+        decode_partition(data[:8])
+
+
+def test_exchange_roundtrip_with_legacy_sender():
+    """A fleet where one sender still writes LPQ interoperates seamlessly."""
+    from repro.cloud.s3 import ObjectStore
+    from repro.exchange.basic import BasicExchange, ExchangeConfig
+
+    rng = np.random.default_rng(3)
+    P = 4
+    tables = [
+        {"key": rng.integers(0, 100, 50).astype(np.int64), "v": rng.random(50)}
+        for _ in range(P)
+    ]
+    store = ObjectStore()
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    for worker in range(P - 1):
+        exchange.write(worker, tables[worker])
+    # The last sender is an old worker: rewrite its objects in LPQ form.
+    legacy_config = ExchangeConfig(keys=["key"], fast_codec=False)
+    legacy = BasicExchange(store, P, legacy_config, naming=exchange._round.naming)
+    legacy.write(P - 1, tables[P - 1])
+    results = [exchange.read(worker) for worker in range(P)]
+    assert sum(table_num_rows(t) for t in results) == sum(
+        table_num_rows(t) for t in tables
+    )
