@@ -17,6 +17,12 @@ structured trajectory (``BENCH_hot_paths.json``):
   the seed's ``np.vectorize`` dict lookup;
 * **shuffle codec** — fast partition codec (:mod:`repro.exchange.codec`)
   versus the full LPQ columnar-file writer, round-tripped;
+* **encoded eval** — predicate masks computed directly on encoded chunks
+  (:func:`repro.formats.encoding.evaluate_comparison`) versus decode-then-
+  compare, per encoding;
+* **scan filter** — the late-materialization scan (selection-vector filtering
+  and gather over dictionary/RLE chunks) versus the full-decode baseline on a
+  TPC-H Q6-style predicate at ~2 % selectivity;
 * **end-to-end query** — wall-clock latency of TPC-H Q1 on the simulated
   serverless stack, serial versus thread-pool fleet execution.
 
@@ -288,6 +294,170 @@ def measure_shuffle_codec(
 
 
 # ---------------------------------------------------------------------------
+# encoded eval
+# ---------------------------------------------------------------------------
+
+def measure_encoded_eval(num_rows: int = ROWS, repeats: int = 3) -> Dict:
+    """Comparison masks on encoded chunks versus decode-then-compare.
+
+    One column per encoding, shaped like the TPC-H Q6 inputs: a sorted date
+    column (RLE), a low-cardinality discount column (DICTIONARY), and a
+    high-cardinality price column (PLAIN).
+    """
+    from repro.formats.encoding import (
+        Encoding,
+        decode_column,
+        encode_column,
+        evaluate_comparison,
+        parse_encoded_chunk,
+    )
+    from repro.formats.schema import ColumnType
+
+    rng = np.random.default_rng(23)
+    cases = {
+        "rle": (
+            np.sort(rng.integers(0, 2526, num_rows)).astype(np.int32),
+            ColumnType.INT32, Encoding.RLE, ">=", 365.0,
+        ),
+        "dictionary": (
+            np.round(rng.integers(0, 11, num_rows) / 100.0, 2),
+            ColumnType.FLOAT64, Encoding.DICTIONARY, ">=", 0.05,
+        ),
+        "plain": (
+            rng.uniform(900.0, 105000.0, num_rows),
+            ColumnType.FLOAT64, Encoding.PLAIN, "<", 50000.0,
+        ),
+    }
+    ufuncs = {">=": np.greater_equal, "<": np.less}
+
+    measurement: Dict = {"num_rows": num_rows}
+    decoded_total = 0.0
+    encoded_total = 0.0
+    for name, (values, column_type, encoding, op, threshold) in cases.items():
+        data = encode_column(values, column_type, encoding)
+        chunk = parse_encoded_chunk(data, column_type, encoding, num_rows)
+        np.testing.assert_array_equal(
+            evaluate_comparison(chunk, op, threshold),
+            ufuncs[op](decode_column(data, column_type, encoding, num_rows), threshold),
+        )
+        decoded_seconds = _best_of(
+            lambda: ufuncs[op](
+                decode_column(data, column_type, encoding, num_rows), threshold
+            ),
+            repeats,
+        )
+        encoded_seconds = _best_of(
+            lambda: evaluate_comparison(chunk, op, threshold), repeats
+        )
+        measurement[f"{name}_decoded_seconds"] = decoded_seconds
+        measurement[f"{name}_encoded_seconds"] = encoded_seconds
+        measurement[f"{name}_speedup"] = decoded_seconds / encoded_seconds
+        decoded_total += decoded_seconds
+        encoded_total += encoded_seconds
+    measurement["decoded_seconds"] = decoded_total
+    measurement["encoded_seconds"] = encoded_total
+    measurement["speedup"] = decoded_total / encoded_total
+    return measurement
+
+
+# ---------------------------------------------------------------------------
+# scan filter
+# ---------------------------------------------------------------------------
+
+#: Row-group size of the scan-filter benchmark file (matches the end-to-end
+#: dataset's row groups).
+SCAN_FILTER_GROUP_ROWS = 32_768
+
+
+def _q6_store(num_rows: int):
+    """A Q6-shaped LINEITEM slice as one LPQ object: sorted dates (RLE),
+    low-cardinality discount/quantity (DICTIONARY), plain prices."""
+    from repro.cloud.s3 import ObjectStore
+    from repro.formats.compression import Compression
+    from repro.formats.encoding import Encoding
+    from repro.formats.parquet import ColumnarWriter
+    from repro.formats.schema import Schema
+
+    rng = np.random.default_rng(29)
+    table = {
+        "l_shipdate": np.sort(rng.integers(0, 2526, num_rows)).astype(np.int32),
+        "l_discount": np.round(rng.integers(0, 11, num_rows) / 100.0, 2),
+        "l_quantity": rng.integers(1, 51, num_rows).astype(np.int64),
+        "l_extendedprice": rng.uniform(900.0, 105000.0, num_rows),
+    }
+    writer = ColumnarWriter(
+        Schema.from_table(table),
+        row_group_rows=SCAN_FILTER_GROUP_ROWS,
+        compression=Compression.FAST,
+        encodings={
+            "l_shipdate": Encoding.RLE,
+            "l_discount": Encoding.DICTIONARY,
+            "l_quantity": Encoding.DICTIONARY,
+            "l_extendedprice": Encoding.PLAIN,
+        },
+    )
+    store = ObjectStore()
+    store.create_bucket("bench")
+    store.put_object("bench", "q6.lpq", writer.write(table))
+    return store, table
+
+
+def measure_scan_filter(num_rows: int = ROWS, repeats: int = 3) -> Dict:
+    """Late-materialization scan versus the full-decode baseline on Q6.
+
+    The predicate is the paper's Q6 shape — a date band over the sorted RLE
+    column plus discount/quantity bands over dictionary columns — at ~2 %
+    selectivity; the projection (price, discount) includes one column the
+    predicate never touches.  Both paths run the same scan operator with the
+    predicate pushed down; only ``ScanConfig.late_materialization`` differs.
+    """
+    from repro.engine.scan import S3ScanOperator, ScanConfig
+    from repro.engine.table import concat_tables, table_num_rows, tables_allclose
+    from repro.plan.expressions import col
+
+    store, table = _q6_store(num_rows)
+    predicate = (
+        (col("l_shipdate") >= 365) & (col("l_shipdate") < 730)
+        & (col("l_discount") >= 0.05) & (col("l_discount") <= 0.07)
+        & (col("l_quantity") < 24)
+    )
+    columns = ["l_extendedprice", "l_discount"]
+
+    def run(late: bool) -> S3ScanOperator:
+        scan = S3ScanOperator(
+            store,
+            ["s3://bench/q6.lpq"],
+            columns=columns,
+            config=ScanConfig(late_materialization=late),
+            predicate=predicate,
+        )
+        scan.result = concat_tables(list(scan.scan()))
+        return scan
+
+    late_scan = run(True)
+    baseline_scan = run(False)
+    assert tables_allclose(late_scan.result, baseline_scan.result)
+    selected = table_num_rows(late_scan.result)
+
+    baseline_seconds = _best_of(lambda: run(False), repeats)
+    late_seconds = _best_of(lambda: run(True), repeats)
+    return {
+        "num_rows": num_rows,
+        "selected_rows": selected,
+        "selectivity": selected / num_rows,
+        "row_groups": late_scan.counters.row_groups_total,
+        "row_groups_shortcircuited": late_scan.counters.row_groups_shortcircuited,
+        "rows_decode_saved": late_scan.counters.rows_decode_saved,
+        "column_chunks_skipped": late_scan.counters.column_chunks_skipped,
+        "baseline_get_requests": baseline_scan.statistics.get_requests,
+        "late_get_requests": late_scan.statistics.get_requests,
+        "baseline_seconds": baseline_seconds,
+        "late_seconds": late_seconds,
+        "speedup": baseline_seconds / late_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
 # end-to-end query
 # ---------------------------------------------------------------------------
 
@@ -477,6 +647,35 @@ def test_shuffle_codec_speedup(bench_recorder, experiment_report):
     assert measurement["framing_speedup"] >= 5.0
 
 
+def test_encoded_eval_speedup(bench_recorder, experiment_report):
+    measurement = measure_encoded_eval()
+    bench_recorder("encoded_eval", **measurement)
+    experiment_report(
+        f"encoded eval @ {measurement['num_rows']} rows: "
+        f"decoded {measurement['decoded_seconds']:.3f}s, "
+        f"encoded {measurement['encoded_seconds']:.4f}s "
+        f"({measurement['speedup']:.1f}x; rle {measurement['rle_speedup']:.1f}x, "
+        f"dict {measurement['dictionary_speedup']:.1f}x)"
+    )
+    assert measurement["speedup"] >= 1.5
+
+
+def test_scan_filter_speedup(bench_recorder, experiment_report):
+    measurement = measure_scan_filter()
+    bench_recorder("scan_filter", **measurement)
+    experiment_report(
+        f"scan filter @ {measurement['num_rows']} rows, "
+        f"selectivity {measurement['selectivity']:.1%}: "
+        f"full decode {measurement['baseline_seconds']:.3f}s, "
+        f"late materialization {measurement['late_seconds']:.3f}s "
+        f"({measurement['speedup']:.1f}x; "
+        f"{measurement['row_groups_shortcircuited']}/{measurement['row_groups']} "
+        f"chunks short-circuited)"
+    )
+    assert measurement["speedup"] >= 3.0
+    assert measurement["late_get_requests"] <= measurement["baseline_get_requests"]
+
+
 def test_end_to_end_query(bench_recorder, experiment_report):
     measurement = measure_end_to_end()
     bench_recorder("end_to_end_q1", **measurement)
@@ -513,6 +712,8 @@ def main(output_path: str = "BENCH_hot_paths.json") -> Dict:
         "join_probe": measure_join_probe(),
         "exchange_route": measure_exchange_route(),
         "shuffle_codec": measure_shuffle_codec(),
+        "encoded_eval": measure_encoded_eval(),
+        "scan_filter": measure_scan_filter(),
         "end_to_end_q1": measure_end_to_end(),
         "threads_crossover": measure_threads_crossover(),
     }

@@ -32,8 +32,10 @@ import sys
 from pathlib import Path
 
 #: Minimum speedups promised by the acceptance criteria, keyed by
-#: ``(section, field)``: the data-plane floors from PR 1 plus the operator
-#: floors from PR 2 (join probe, exchange routing, shuffle codec framing).
+#: ``(section, field)``: the data-plane floors from PR 1, the operator floors
+#: from PR 2 (join probe, exchange routing, shuffle codec framing), and the
+#: scan-plane floors from PR 3 (late-materialization scan filter,
+#: encoding-aware predicate evaluation).
 ABSOLUTE_FLOORS = {
     ("partition_scatter", "speedup"): 5.0,
     ("payload_roundtrip", "speedup"): 3.0,
@@ -41,6 +43,8 @@ ABSOLUTE_FLOORS = {
     ("exchange_route", "speedup"): 5.0,
     ("shuffle_codec", "speedup"): 1.2,
     ("shuffle_codec", "framing_speedup"): 5.0,
+    ("scan_filter", "speedup"): 3.0,
+    ("encoded_eval", "speedup"): 1.5,
 }
 
 #: Fields compared against the committed baseline for relative regressions.

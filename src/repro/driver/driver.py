@@ -66,6 +66,12 @@ class QueryStatistics:
     cost_sqs_requests: float
     #: Per-worker modelled execution durations, seconds.
     worker_durations: List[float] = field(default_factory=list)
+    #: Late-materialization scan counters, summed over the fleet: row groups
+    #: whose selection vector short-circuited, rows never fully decoded, and
+    #: column-chunk downloads avoided.
+    row_groups_shortcircuited: int = 0
+    rows_decode_saved: int = 0
+    column_chunks_skipped: int = 0
 
     @property
     def cost_total(self) -> float:
@@ -463,6 +469,9 @@ class LambadaDriver:
         rows_scanned = sum(result.rows_scanned for result in worker_results)
         bytes_read = sum(result.bytes_read for result in worker_results)
         get_requests = sum(result.get_requests for result in worker_results)
+        shortcircuited = sum(result.row_groups_shortcircuited for result in worker_results)
+        decode_saved = sum(result.rows_decode_saved for result in worker_results)
+        chunks_skipped = sum(result.column_chunks_skipped for result in worker_results)
 
         cost_lambda_duration = sum(
             prices.lambda_duration_cost(self.memory_mib, duration) for duration in durations
@@ -489,4 +498,7 @@ class LambadaDriver:
             cost_s3_requests=cost_s3,
             cost_sqs_requests=cost_sqs,
             worker_durations=durations,
+            row_groups_shortcircuited=shortcircuited,
+            rows_decode_saved=decode_saved,
+            column_chunks_skipped=chunks_skipped,
         )

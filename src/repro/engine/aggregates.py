@@ -33,6 +33,26 @@ def _column_codes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return unique, inverse
 
 
+#: Combined-key cardinality up to which the multi-key group-by factorises the
+#: dense code space with one ``np.bincount`` pass (O(N + C)) instead of the
+#: sort-based ``np.unique`` (O(N log N)).  2^21 int64 counts is a 16 MiB
+#: scratch array — trivial next to a worker's chunk buffers.
+DENSE_FACTORIZE_MAX_CARDINALITY = 1 << 21
+
+
+def _dense_factorize(combined: np.ndarray, cardinality: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(combined, return_inverse=True)`` for small dense code spaces.
+
+    ``combined`` holds non-negative codes below ``cardinality``.  Presence is
+    established with one bincount; the sorted unique codes and the per-row
+    inverse fall out of a cumulative-sum remap without sorting the rows.
+    """
+    counts = np.bincount(combined, minlength=cardinality)
+    present = counts > 0
+    remap = np.cumsum(present) - 1
+    return np.flatnonzero(present), remap[combined]
+
+
 def _group_indices(table: Table, group_by: Sequence[str]) -> Tuple[Table, np.ndarray, int]:
     """Compute group keys and per-row group indices.
 
@@ -73,7 +93,10 @@ def _group_indices(table: Table, group_by: Sequence[str]) -> Tuple[Table, np.nda
         }
         return key_table, inverse, len(unique)
 
-    unique_codes, inverse = np.unique(combined, return_inverse=True)
+    if cardinality <= DENSE_FACTORIZE_MAX_CARDINALITY:
+        unique_codes, inverse = _dense_factorize(combined, cardinality)
+    else:
+        unique_codes, inverse = np.unique(combined, return_inverse=True)
     key_table: Table = {}
     remaining = unique_codes
     for name, unique_values in zip(reversed(group_by), reversed(column_uniques)):

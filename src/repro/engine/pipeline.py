@@ -32,6 +32,16 @@ from repro.errors import ExecutionError
 from repro.plan.expressions import evaluate
 from repro.plan.physical import WorkerPlan, resolve_udf
 
+#: Vectorised reductions for the built-in associative reduce UDFs (see
+#: ``BUILTIN_REDUCE_UDFS`` in :mod:`repro.plan.physical`): the per-chunk fold
+#: becomes one ufunc reduction instead of a per-row ``functools.reduce``.
+_BUILTIN_REDUCE_UFUNCS = {
+    "builtin-reduce:add": np.add,
+    "builtin-reduce:mul": np.multiply,
+    "builtin-reduce:min": np.minimum,
+    "builtin-reduce:max": np.maximum,
+}
+
 
 @dataclass
 class WorkerResult:
@@ -51,6 +61,13 @@ class WorkerResult:
     rows_output: int = 0
     row_groups_total: int = 0
     row_groups_pruned: int = 0
+    #: Row groups short-circuited by the late-materialization scan (selection
+    #: vector came out empty or full before any gather work).
+    row_groups_shortcircuited: int = 0
+    #: Rows whose full decode the selection-vector gather avoided.
+    rows_decode_saved: int = 0
+    #: Column-chunk downloads skipped because no row of the chunk survived.
+    column_chunks_skipped: int = 0
     get_requests: int = 0
     bytes_read: int = 0
     #: Modelled time breakdown, seconds.
@@ -69,6 +86,9 @@ class WorkerResult:
             "rows_output": self.rows_output,
             "row_groups_total": self.row_groups_total,
             "row_groups_pruned": self.row_groups_pruned,
+            "row_groups_shortcircuited": self.row_groups_shortcircuited,
+            "rows_decode_saved": self.rows_decode_saved,
+            "column_chunks_skipped": self.column_chunks_skipped,
             "get_requests": self.get_requests,
             "bytes_read": self.bytes_read,
             "metadata_seconds": self.metadata_seconds,
@@ -94,17 +114,28 @@ def _rows_as_tuples(table: Table, column_order: Sequence[str]) -> List[tuple]:
     return list(zip(*columns)) if columns else []
 
 
-def _apply_filter(plan: WorkerPlan, chunk: Table, column_order: Sequence[str]) -> Table:
-    """Apply the plan's predicate (expression or UDF) to a chunk."""
-    if plan.predicate is not None:
-        mask = np.asarray(evaluate(plan.predicate, chunk), dtype=bool)
-        return filter_table(chunk, mask)
+def _apply_filter(
+    plan: WorkerPlan,
+    chunk: Table,
+    column_order: Sequence[str],
+    skip_expression: bool = False,
+) -> Table:
+    """Apply the plan's predicate conjuncts (expression and/or UDF) to a chunk.
+
+    ``skip_expression`` is set when the scan already consumed the expression
+    predicate through its selection vector; the opaque UDF conjunct (if any)
+    still applies on top.
+    """
+    result = chunk
+    if not skip_expression and plan.predicate is not None:
+        mask = np.asarray(evaluate(plan.predicate, result), dtype=bool)
+        result = filter_table(result, mask)
     if plan.predicate_udf is not None:
         udf = resolve_udf(plan.predicate_udf)
-        rows = _rows_as_tuples(chunk, column_order)
+        rows = _rows_as_tuples(result, column_order)
         mask = np.array([bool(udf(row)) for row in rows], dtype=bool)
-        return filter_table(chunk, mask)
-    return chunk
+        result = filter_table(result, mask)
+    return result
 
 
 def _apply_map(plan: WorkerPlan, chunk: Table, column_order: Sequence[str]) -> Table:
@@ -153,19 +184,28 @@ def execute_worker_plan(
         prune_ranges=plan.prune_ranges,
         config=config,
         bandwidth=bandwidth,
+        # Expression predicates are pushed into the scan, which evaluates them
+        # on encoded chunks and yields pre-filtered chunks; UDF predicates are
+        # opaque and stay here.
+        predicate=plan.predicate,
     )
 
     partials: List[Table] = []
     collected: List[Table] = []
     reduce_values: List[Any] = []
     reduce_fn = resolve_udf(plan.reduce_udf) if plan.reduce_udf else None
+    reduce_ufunc = _BUILTIN_REDUCE_UFUNCS.get(plan.reduce_udf) if plan.reduce_udf else None
     rows_after_filter = 0
 
     column_order: List[str] = list(plan.columns)
     for chunk in scan.scan():
         if not column_order:
             column_order = list(chunk.keys())
-        filtered = _apply_filter(plan, chunk, column_order)
+        # The scan already consumed the expression predicate's selection
+        # vector; only a UDF conjunct (if any) remains to apply here.
+        filtered = _apply_filter(
+            plan, chunk, column_order, skip_expression=scan.applies_predicate
+        )
         rows_after_filter += table_num_rows(filtered)
         mapped = _apply_map(plan, filtered, column_order)
         if plan.aggregates:
@@ -177,7 +217,15 @@ def execute_worker_plan(
                     raise ExecutionError("reduce requires a single value column")
                 values = next(iter(mapped.values()))
             if len(values):
-                reduce_values.append(functools.reduce(reduce_fn, values.tolist()))
+                values = np.asarray(values)
+                # add/mul of integer values keeps the Python fold: the old
+                # path reduced arbitrary-precision ints, which a fixed-width
+                # ufunc reduction would silently wrap on overflow.
+                safe = reduce_ufunc in (np.minimum, np.maximum) or values.dtype.kind == "f"
+                if reduce_ufunc is not None and safe:
+                    reduce_values.append(reduce_ufunc.reduce(values).item())
+                else:
+                    reduce_values.append(functools.reduce(reduce_fn, values.tolist()))
         else:
             collected.append(mapped)
 
@@ -208,6 +256,9 @@ def execute_worker_plan(
         rows_output=rows_output,
         row_groups_total=counters.row_groups_total,
         row_groups_pruned=counters.row_groups_pruned,
+        row_groups_shortcircuited=counters.row_groups_shortcircuited,
+        rows_decode_saved=counters.rows_decode_saved,
+        column_chunks_skipped=counters.column_chunks_skipped,
         get_requests=scan.statistics.get_requests,
         bytes_read=scan.statistics.bytes_read,
         metadata_seconds=counters.metadata_seconds,

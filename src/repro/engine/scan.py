@@ -15,6 +15,14 @@ Reproduces the design of the paper's Parquet scan operator (§4.3.2, Figure 8):
 The operator yields decoded table chunks and accumulates
 :class:`~repro.engine.s3io.ScanStatistics` plus scan-level counters used by
 the benchmarks (pruned vs scanned row groups, modelled scan time).
+
+When a predicate is pushed into the scan, row groups that survive min/max
+pruning are executed with **late materialization**: predicate columns are
+opened as encoded chunks and the comparisons evaluated directly on
+dictionaries/runs, a selection vector is computed, fully-rejected chunks are
+short-circuited before the remaining projected columns are even downloaded,
+and surviving rows are gathered through
+:func:`~repro.formats.encoding.decode_gather` instead of decode-then-mask.
 """
 
 from __future__ import annotations
@@ -34,7 +42,9 @@ from repro.config import (
 )
 from repro.engine.s3io import S3ObjectSource, ScanStatistics
 from repro.engine.table import Table
+from repro.formats.encoding import EncodedChunk, decode_gather, evaluate_comparison
 from repro.formats.parquet import ColumnarFile, RowGroupMeta
+from repro.plan.expressions import CompiledPredicate, Expression, compile_predicate, evaluate
 from repro.plan.physical import PruneRange
 
 
@@ -48,6 +58,10 @@ class ScanConfig:
     threads: int = 2
     #: Overlap row-group downloads with decompression (concurrency level 3).
     overlap_downloads: bool = True
+    #: Evaluate pushed-down predicates on encoded chunks and gather only
+    #: surviving rows.  Off, the scan still applies the predicate but through
+    #: the full-decode-then-mask baseline path.
+    late_materialization: bool = True
 
 
 @dataclass
@@ -58,6 +72,14 @@ class ScanCounters:
     row_groups_total: int = 0
     row_groups_pruned: int = 0
     rows_scanned: int = 0
+    #: Row groups whose selection vector came out empty (yield skipped, no
+    #: further column downloads) or full (no gather needed).
+    row_groups_shortcircuit_empty: int = 0
+    row_groups_shortcircuit_full: int = 0
+    #: Column-chunk downloads avoided because the selection was empty.
+    column_chunks_skipped: int = 0
+    #: Rows whose full decode was avoided, summed over gathered/skipped columns.
+    rows_decode_saved: int = 0
     #: Modelled seconds spent in metadata requests.
     metadata_seconds: float = 0.0
     #: Modelled seconds spent downloading data chunks.
@@ -69,6 +91,11 @@ class ScanCounters:
     def row_groups_scanned(self) -> int:
         """Row groups actually read (total minus pruned)."""
         return self.row_groups_total - self.row_groups_pruned
+
+    @property
+    def row_groups_shortcircuited(self) -> int:
+        """Row groups that never reached the gather step."""
+        return self.row_groups_shortcircuit_empty + self.row_groups_shortcircuit_full
 
     def modelled_scan_seconds(self, overlap: bool) -> float:
         """Total modelled scan time, overlapping download and decode if requested."""
@@ -91,6 +118,7 @@ class S3ScanOperator:
         prune_ranges: Sequence[PruneRange] = (),
         config: Optional[ScanConfig] = None,
         bandwidth: Optional[BandwidthModel] = None,
+        predicate: Optional[Expression] = None,
     ):
         self.store = store
         self.files = list(files)
@@ -100,6 +128,15 @@ class S3ScanOperator:
         self.bandwidth = bandwidth or BandwidthModel()
         self.statistics = ScanStatistics()
         self.counters = ScanCounters()
+        self.predicate = predicate
+        self._compiled: Optional[CompiledPredicate] = (
+            compile_predicate(predicate) if predicate is not None else None
+        )
+
+    @property
+    def applies_predicate(self) -> bool:
+        """Whether yielded chunks are already filtered by the pushed predicate."""
+        return self.predicate is not None
 
     # -- pruning -----------------------------------------------------------------
 
@@ -164,18 +201,145 @@ class S3ScanOperator:
             if not self._group_survives(group):
                 self.counters.row_groups_pruned += 1
                 continue
+            self.counters.rows_scanned += group.num_rows
+            if self._compiled is not None:
+                chunk = self._scan_group_filtered(reader, group, columns)
+                if chunk is not None:
+                    yield chunk
+                continue
             chunk: Table = {}
             heavyweight = False
             for name in columns:
                 chunk[name] = reader.read_column_chunk(group, name)
                 heavyweight = heavyweight or group.column_meta(name).compression.is_heavyweight
-            self.counters.rows_scanned += group.num_rows
             self.counters.decode_seconds += self._decode_seconds(group.num_rows, heavyweight)
             yield chunk
 
         # Attribute the remaining transfer time of this file to data download.
         self.counters.download_seconds += source.statistics.transfer_seconds - metadata_transfer
         self.statistics.merge(source.statistics)
+
+    # -- predicate push-down -------------------------------------------------------
+
+    def _scan_group_filtered(
+        self, reader: ColumnarFile, group: RowGroupMeta, columns: Sequence[str]
+    ) -> Optional[Table]:
+        """Execute one surviving row group with the pushed-down predicate.
+
+        Returns the filtered, projected chunk, or ``None`` when no row
+        survives (in which case non-predicate column chunks were never
+        downloaded).
+        """
+        compiled = self._compiled
+        num_rows = group.num_rows
+        encoded: Dict[str, EncodedChunk] = {}
+        decoded: Dict[str, np.ndarray] = {}
+
+        def load(name: str) -> EncodedChunk:
+            if name not in encoded:
+                encoded[name] = reader.read_encoded_chunk(group, name)
+            return encoded[name]
+
+        if not self.config.late_materialization:
+            # Full-decode baseline: decode every needed column, evaluate the
+            # whole predicate on the decoded arrays, mask-copy the chunk.
+            needed = list(columns)
+            for name in compiled.comparison_columns | compiled.residual_columns:
+                if name not in needed:
+                    needed.append(name)
+            for name in needed:
+                decoded[name] = load(name).decode()
+            mask = np.asarray(evaluate(self.predicate, decoded), dtype=bool)
+            self._charge_decode(group, needed, (), 0)
+            if not mask.any():
+                return None
+            if mask.all():
+                return {name: decoded[name] for name in columns}
+            return {name: decoded[name][mask] for name in columns}
+
+        # 1. Selection vector: encoding-aware comparisons first, cheapest-to-
+        #    reject ordering is the plan's conjunct order; short-circuit as
+        #    soon as the mask empties.
+        mask: Optional[np.ndarray] = None
+        for comparison in compiled.comparisons:
+            comparison_mask = evaluate_comparison(
+                load(comparison.column), comparison.op, comparison.value
+            )
+            mask = comparison_mask if mask is None else mask & comparison_mask
+            if not mask.any():
+                break
+
+        if mask is None or mask.any():
+            if compiled.residual is not None:
+                for name in sorted(compiled.residual_columns):
+                    decoded[name] = load(name).decode()
+                # A residual with no column references (literal-only) still
+                # needs a row count to broadcast over.
+                residual_input = decoded or {"__rows__": np.zeros(num_rows, dtype=np.int8)}
+                residual_mask = np.asarray(
+                    evaluate(compiled.residual, residual_input), dtype=bool
+                )
+                mask = residual_mask if mask is None else mask & residual_mask
+
+        # 2. Short-circuit fully-rejected and fully-selected chunks.
+        if mask is not None and not mask.any():
+            skipped = [
+                name for name in columns if name not in encoded and name not in decoded
+            ]
+            self.counters.column_chunks_skipped += len(skipped)
+            self.counters.rows_decode_saved += num_rows * sum(
+                1 for name in columns if name not in decoded
+            )
+            self.counters.row_groups_shortcircuit_empty += 1
+            self._charge_decode(group, list(encoded), (), 0)
+            return None
+        if mask is None or mask.all():
+            selection: Optional[np.ndarray] = None
+            selected = num_rows
+            self.counters.row_groups_shortcircuit_full += 1
+        else:
+            selection = np.flatnonzero(mask)
+            selected = len(selection)
+
+        # 3. Gather the projected columns for surviving rows only; columns not
+        #    touched by the predicate are downloaded just-in-time here.
+        predicate_columns = list(encoded)
+        gathered_columns = [name for name in columns if name not in encoded]
+        chunk: Table = {}
+        for name in columns:
+            if name in decoded:
+                # Already fully decoded for the residual — sliced, not saved.
+                values = decoded[name]
+                chunk[name] = values if selection is None else values[selection]
+            else:
+                chunk[name] = decode_gather(load(name), selection)
+                if selection is not None:
+                    self.counters.rows_decode_saved += num_rows - selected
+        self._charge_decode(group, predicate_columns, gathered_columns, selected)
+        return chunk
+
+    def _charge_decode(
+        self,
+        group: RowGroupMeta,
+        full_columns: Sequence[str],
+        gathered_columns: Sequence[str],
+        gathered_rows: int,
+    ) -> None:
+        """Charge modelled decode time for the columns actually touched.
+
+        Predicate columns and decoded residual columns pay full-chunk decode;
+        gathered columns pay only for the surviving rows.  The charge is
+        normalised by the projected column count, so an unfiltered scan of the
+        same columns costs exactly the legacy ``_decode_seconds(num_rows)``.
+        """
+        projected = self.columns or list(group.columns)
+        width = max(len(projected), 1)
+        touched = list(full_columns) + list(gathered_columns)
+        heavyweight = any(
+            group.column_meta(name).compression.is_heavyweight for name in touched
+        )
+        charged = group.num_rows * len(full_columns) + gathered_rows * len(gathered_columns)
+        self.counters.decode_seconds += self._decode_seconds(charged / width, heavyweight)
 
     # -- summary ------------------------------------------------------------------------
 

@@ -12,13 +12,23 @@ paper studies:
 Encoders take a NumPy array and return bytes; decoders invert them given the
 column type and value count.  Encodings are purely per-column-chunk, exactly
 like Parquet pages within a column chunk.
+
+Besides full decode, chunks can be opened as an :class:`EncodedChunk` *view*
+over the raw buffers (run values/lengths, dictionary + codes) without
+materialising the value array.  The view supports the late-materialization
+scan path: :func:`evaluate_comparison` computes a row-selection mask directly
+on the encoded form (dictionary chunks evaluate the comparison once against
+the dictionary and translate it to a code-set membership test; RLE chunks
+evaluate per-run and expand with ``np.repeat``), and :func:`decode_gather`
+materialises only the rows a selection vector asks for.
 """
 
 from __future__ import annotations
 
 import enum
 import struct
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -47,13 +57,14 @@ def _encode_plain(values: np.ndarray, column_type: ColumnType) -> bytes:
     return _as_typed_array(values, column_type).tobytes()
 
 
-def _decode_plain(data: bytes, column_type: ColumnType, count: int) -> np.ndarray:
+def _parse_plain(data: bytes, column_type: ColumnType, count: int) -> np.ndarray:
+    """Validate a plain chunk and return a zero-copy view of its values."""
     expected = count * column_type.item_size
     if len(data) != expected:
         raise CorruptFileError(
             f"plain-encoded chunk has {len(data)} bytes, expected {expected}"
         )
-    return np.frombuffer(data, dtype=column_type.numpy_dtype).copy()
+    return np.frombuffer(data, dtype=column_type.numpy_dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -79,7 +90,10 @@ def _encode_rle(values: np.ndarray, column_type: ColumnType) -> bytes:
     return header + run_values.tobytes() + run_lengths.astype("<u4").tobytes()
 
 
-def _decode_rle(data: bytes, column_type: ColumnType, count: int) -> np.ndarray:
+def _parse_rle(
+    data: bytes, column_type: ColumnType, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate an RLE chunk and return (run values, run lengths) views."""
     if len(data) < 4:
         raise CorruptFileError("RLE chunk too short for header")
     (num_runs,) = struct.unpack_from("<I", data, 0)
@@ -92,12 +106,12 @@ def _decode_rle(data: bytes, column_type: ColumnType, count: int) -> np.ndarray:
         )
     run_values = np.frombuffer(data, dtype=column_type.numpy_dtype, count=num_runs, offset=4)
     run_lengths = np.frombuffer(data, dtype="<u4", count=num_runs, offset=lengths_offset)
-    decoded = np.repeat(run_values, run_lengths)
-    if len(decoded) != count:
+    total = int(run_lengths.sum()) if num_runs else 0
+    if total != count:
         raise CorruptFileError(
-            f"RLE chunk decodes to {len(decoded)} values, expected {count}"
+            f"RLE chunk decodes to {total} values, expected {count}"
         )
-    return decoded.astype(column_type.numpy_dtype, copy=False)
+    return run_values, run_lengths
 
 
 # ---------------------------------------------------------------------------
@@ -113,7 +127,10 @@ def _encode_dictionary(values: np.ndarray, column_type: ColumnType) -> bytes:
     return header + dictionary.tobytes() + codes.astype("<u4").tobytes()
 
 
-def _decode_dictionary(data: bytes, column_type: ColumnType, count: int) -> np.ndarray:
+def _parse_dictionary(
+    data: bytes, column_type: ColumnType, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a dictionary chunk and return (dictionary, codes) views."""
     if len(data) < 4:
         raise CorruptFileError("dictionary chunk too short for header")
     (dict_size,) = struct.unpack_from("<I", data, 0)
@@ -126,13 +143,11 @@ def _decode_dictionary(data: bytes, column_type: ColumnType, count: int) -> np.n
         )
     dictionary = np.frombuffer(data, dtype=column_type.numpy_dtype, count=dict_size, offset=4)
     codes = np.frombuffer(data, dtype="<u4", count=count, offset=codes_offset)
-    if dict_size == 0:
-        if count != 0:
-            raise CorruptFileError("empty dictionary with non-zero value count")
-        return np.zeros(0, dtype=column_type.numpy_dtype)
-    if codes.size and codes.max() >= dict_size:
+    if dict_size == 0 and count != 0:
+        raise CorruptFileError("empty dictionary with non-zero value count")
+    if codes.size and codes.max() >= max(dict_size, 1):
         raise CorruptFileError("dictionary code out of range")
-    return dictionary[codes]
+    return dictionary, codes
 
 
 # ---------------------------------------------------------------------------
@@ -145,12 +160,6 @@ _ENCODERS = {
     Encoding.DICTIONARY: _encode_dictionary,
 }
 
-_DECODERS = {
-    Encoding.PLAIN: _decode_plain,
-    Encoding.RLE: _decode_rle,
-    Encoding.DICTIONARY: _decode_dictionary,
-}
-
 
 def encode_column(values: np.ndarray, column_type: ColumnType, encoding: Encoding) -> bytes:
     """Encode a column chunk with ``encoding``."""
@@ -161,7 +170,123 @@ def decode_column(
     data: bytes, column_type: ColumnType, encoding: Encoding, count: int
 ) -> np.ndarray:
     """Decode a column chunk produced by :func:`encode_column`."""
-    return _DECODERS[encoding](data, column_type, count)
+    return parse_encoded_chunk(data, column_type, encoding, count).decode()
+
+
+# ---------------------------------------------------------------------------
+# Encoded-chunk views (late materialization)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EncodedChunk:
+    """A validated, still-encoded column chunk.
+
+    Holds zero-copy views of the chunk's raw buffers so predicates can be
+    evaluated and selections gathered without decoding the full value array.
+    Exactly one of the buffer groups is populated, matching ``encoding``:
+    ``values`` (PLAIN), ``run_values``/``run_lengths`` (RLE), or
+    ``dictionary``/``codes`` (DICTIONARY).
+    """
+
+    column_type: ColumnType
+    encoding: Encoding
+    num_values: int
+    values: Optional[np.ndarray] = None
+    run_values: Optional[np.ndarray] = None
+    run_lengths: Optional[np.ndarray] = None
+    dictionary: Optional[np.ndarray] = None
+    codes: Optional[np.ndarray] = None
+    #: Cached exclusive run end offsets (RLE only), built on first gather.
+    _run_ends: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def run_ends(self) -> np.ndarray:
+        """Exclusive end offset of each RLE run (cumulative run lengths)."""
+        if self._run_ends is None:
+            self._run_ends = np.cumsum(self.run_lengths, dtype=np.int64)
+        return self._run_ends
+
+    def decode(self) -> np.ndarray:
+        """Materialise the full value array (the classic decode path)."""
+        if self.encoding is Encoding.PLAIN:
+            return self.values.copy()
+        if self.encoding is Encoding.RLE:
+            decoded = np.repeat(self.run_values, self.run_lengths)
+            return decoded.astype(self.column_type.numpy_dtype, copy=False)
+        if len(self.dictionary) == 0:
+            return np.zeros(0, dtype=self.column_type.numpy_dtype)
+        return self.dictionary[self.codes]
+
+
+def parse_encoded_chunk(
+    data: bytes, column_type: ColumnType, encoding: Encoding, count: int
+) -> EncodedChunk:
+    """Open a chunk as an :class:`EncodedChunk` view without decoding it."""
+    if encoding is Encoding.PLAIN:
+        return EncodedChunk(
+            column_type, encoding, count, values=_parse_plain(data, column_type, count)
+        )
+    if encoding is Encoding.RLE:
+        run_values, run_lengths = _parse_rle(data, column_type, count)
+        return EncodedChunk(
+            column_type, encoding, count, run_values=run_values, run_lengths=run_lengths
+        )
+    dictionary, codes = _parse_dictionary(data, column_type, count)
+    return EncodedChunk(
+        column_type, encoding, count, dictionary=dictionary, codes=codes
+    )
+
+
+def decode_gather(chunk: EncodedChunk, selection: Optional[np.ndarray]) -> np.ndarray:
+    """Materialise only the rows named by a selection vector.
+
+    ``selection`` is a sorted array of row indices, or ``None`` for "all rows"
+    (a plain full decode).  The gather never expands the chunk to its full
+    length: RLE chunks binary-search each selected row into its run,
+    dictionary chunks gather codes first and hit the dictionary per selected
+    row only, plain chunks fancy-index the raw value view.
+    """
+    if selection is None:
+        return chunk.decode()
+    if chunk.encoding is Encoding.PLAIN:
+        return chunk.values[selection]
+    if chunk.encoding is Encoding.RLE:
+        run_index = np.searchsorted(chunk.run_ends, selection, side="right")
+        gathered = chunk.run_values[run_index]
+        return gathered.astype(chunk.column_type.numpy_dtype, copy=False)
+    if len(chunk.dictionary) == 0:
+        return np.zeros(0, dtype=chunk.column_type.numpy_dtype)
+    return chunk.dictionary[chunk.codes[selection]]
+
+
+_COMPARISON_UFUNCS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def evaluate_comparison(chunk: EncodedChunk, op: str, value: float) -> np.ndarray:
+    """Row-level boolean mask of ``column <op> value`` on the encoded chunk.
+
+    Dictionary chunks compare the (small) dictionary once and translate the
+    result to a per-row code-set membership test; RLE chunks compare per run
+    and expand the run mask with ``np.repeat``; plain chunks compare the raw
+    value view directly.  Identical to comparing the decoded array.
+    """
+    ufunc = _COMPARISON_UFUNCS[op]
+    if chunk.encoding is Encoding.PLAIN:
+        return ufunc(chunk.values, value)
+    if chunk.encoding is Encoding.RLE:
+        run_mask = ufunc(chunk.run_values, value)
+        return np.repeat(run_mask, chunk.run_lengths)
+    if len(chunk.dictionary) == 0:
+        return np.zeros(0, dtype=bool)
+    dictionary_mask = ufunc(chunk.dictionary, value)
+    return dictionary_mask[chunk.codes]
 
 
 def choose_encoding(values: np.ndarray) -> Encoding:
@@ -173,11 +298,14 @@ def choose_encoding(values: np.ndarray) -> Encoding:
     """
     if len(values) == 0:
         return Encoding.PLAIN
+    # The stride-sample stays a view; one vectorised run pass over it yields
+    # both the run count and, via the (much smaller) run-value array, the
+    # cardinality — the distinct values of the sample are exactly the distinct
+    # run values, so the former full-sample np.unique sort is unnecessary.
     sample = values if len(values) <= 65536 else values[:: len(values) // 65536 + 1]
-    unique = np.unique(sample)
-    if len(unique) <= max(16, len(sample) // 64):
-        return Encoding.DICTIONARY
     run_values, _ = _run_lengths(sample)
+    if len(np.unique(run_values)) <= max(16, len(sample) // 64):
+        return Encoding.DICTIONARY
     if len(run_values) <= len(sample) // 8:
         return Encoding.RLE
     return Encoding.PLAIN

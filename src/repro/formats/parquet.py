@@ -30,7 +30,13 @@ import numpy as np
 from repro.config import DEFAULT_ROW_GROUP_ROWS
 from repro.errors import CorruptFileError, UnknownColumnError
 from repro.formats.compression import Compression, compress, decompress
-from repro.formats.encoding import Encoding, choose_encoding, decode_column, encode_column
+from repro.formats.encoding import (
+    EncodedChunk,
+    Encoding,
+    choose_encoding,
+    encode_column,
+    parse_encoded_chunk,
+)
 from repro.formats.schema import ColumnType, Schema
 from repro.formats.source import BytesSource, RandomAccessSource
 
@@ -293,8 +299,13 @@ class ColumnarFile:
 
     # -- data access -------------------------------------------------------------
 
-    def read_column_chunk(self, group: RowGroupMeta, column: str) -> np.ndarray:
-        """Read and decode one column chunk."""
+    def read_encoded_chunk(self, group: RowGroupMeta, column: str) -> EncodedChunk:
+        """Read one column chunk as a still-encoded view (no value decode).
+
+        Downloads and decompresses the chunk bytes but leaves the encoding in
+        place, so the late-materialization scan can evaluate predicates on
+        dictionaries/runs and gather only surviving rows.
+        """
         meta = group.column_meta(column)
         raw = self.source.read_at(meta.offset, meta.compressed_size)
         if len(raw) != meta.compressed_size:
@@ -302,7 +313,11 @@ class ColumnarFile:
                 f"short read for column {column!r} of row group {group.index}"
             )
         encoded = decompress(raw, meta.compression)
-        return decode_column(encoded, meta.type, meta.encoding, meta.num_values)
+        return parse_encoded_chunk(encoded, meta.type, meta.encoding, meta.num_values)
+
+    def read_column_chunk(self, group: RowGroupMeta, column: str) -> np.ndarray:
+        """Read and decode one column chunk."""
+        return self.read_encoded_chunk(group, column).decode()
 
     def read_row_group(
         self, group: RowGroupMeta, columns: Optional[Sequence[str]] = None

@@ -224,6 +224,95 @@ def evaluate(expression: Expression, table: Dict[str, np.ndarray]) -> np.ndarray
 
 
 # ---------------------------------------------------------------------------
+# Predicate compilation (late-materialization scan)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnComparison:
+    """One conjunct of the form ``column <op> literal``.
+
+    Simple enough to evaluate directly on an encoded column chunk (against a
+    dictionary or per run) without decoding the value array.
+    """
+
+    column: str
+    op: str
+    value: Number
+
+
+@dataclass(frozen=True)
+class CompiledPredicate:
+    """A conjunctive predicate split for encoding-aware evaluation.
+
+    ``comparisons`` are the single-column literal comparisons of the top-level
+    conjunction; ``residual`` is everything else re-conjoined (or ``None``),
+    evaluated through :func:`evaluate` on decoded columns.  A row satisfies
+    the original predicate iff it satisfies every comparison *and* the
+    residual.
+    """
+
+    comparisons: Tuple[ColumnComparison, ...]
+    residual: Optional[Expression]
+
+    @property
+    def comparison_columns(self) -> Set[str]:
+        """Columns referenced by the simple comparisons."""
+        return {comparison.column for comparison in self.comparisons}
+
+    @property
+    def residual_columns(self) -> Set[str]:
+        """Columns the residual needs decoded."""
+        return referenced_columns(self.residual) if self.residual is not None else set()
+
+
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def compile_predicate(predicate: Optional[Expression]) -> CompiledPredicate:
+    """Split a predicate into encodable comparisons plus a residual.
+
+    The top-level conjunction (nested ``and`` nodes are flattened) is walked
+    once: conjuncts of the shape ``Column <op> Literal`` (either operand
+    order) become :class:`ColumnComparison` entries; any other conjunct —
+    arithmetic, disjunctions, NOT, column-to-column comparisons — lands in the
+    residual, which falls back to :func:`evaluate` over decoded columns.
+    """
+    if predicate is None:
+        return CompiledPredicate((), None)
+
+    conjuncts: list = []
+
+    def flatten(node: Expression) -> None:
+        if isinstance(node, BooleanExpr) and node.op == "and":
+            for operand in node.operands:
+                flatten(operand)
+        else:
+            conjuncts.append(node)
+
+    flatten(predicate)
+
+    comparisons: list = []
+    residual_parts: list = []
+    for node in conjuncts:
+        if isinstance(node, Comparison):
+            left, right, op = node.left, node.right, node.op
+            if isinstance(left, Literal) and isinstance(right, Column):
+                left, right, op = right, left, _FLIPPED_OPS[op]
+            if isinstance(left, Column) and isinstance(right, Literal):
+                comparisons.append(ColumnComparison(left.name, op, right.value))
+                continue
+        residual_parts.append(node)
+
+    if not residual_parts:
+        residual: Optional[Expression] = None
+    elif len(residual_parts) == 1:
+        residual = residual_parts[0]
+    else:
+        residual = BooleanExpr("and", tuple(residual_parts))
+    return CompiledPredicate(tuple(comparisons), residual)
+
+
+# ---------------------------------------------------------------------------
 # Analysis
 # ---------------------------------------------------------------------------
 
@@ -273,8 +362,7 @@ def extract_column_ranges(
         left, right, op = node.left, node.right, node.op
         if isinstance(left, Literal) and isinstance(right, Column):
             # Normalise to column-on-the-left.
-            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
-            left, right, op = right, left, flipped[op]
+            left, right, op = right, left, _FLIPPED_OPS[op]
         if not (isinstance(left, Column) and isinstance(right, Literal)):
             return
         value = float(right.value)

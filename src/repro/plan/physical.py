@@ -12,6 +12,7 @@ which contains the compiled UDF code).
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -29,13 +30,38 @@ from repro.plan.logical import AggregateSpec
 
 _UDF_REGISTRY: Dict[str, Callable] = {}
 
+#: Well-known associative binary callables, pre-registered under stable
+#: references.  A plan whose ``reduce_udf`` is one of these refs can be folded
+#: with a vectorised ufunc reduction instead of a per-row Python fold; the
+#: callables themselves stay resolvable for the driver-side partial merge.
+BUILTIN_REDUCE_UDFS: Dict[str, Callable] = {
+    "builtin-reduce:add": operator.add,
+    "builtin-reduce:mul": operator.mul,
+    "builtin-reduce:min": min,
+    "builtin-reduce:max": max,
+}
+
+
+def builtin_reduce_ref(udf: Callable) -> Optional[str]:
+    """The stable reference of a built-in reduce callable, or ``None``."""
+    for ref, fn in BUILTIN_REDUCE_UDFS.items():
+        if udf is fn:
+            return ref
+    return None
+
 
 def register_udf(udf: Callable) -> str:
     """Register a Python callable and return its reference id.
 
     The registry plays the role of the Lambda *dependency layer*: code is
     deployed once at installation time and referenced by id at query time.
+    Well-known associative callables (``operator.add``/``mul``, built-in
+    ``min``/``max``) resolve to their stable built-in references, which the
+    worker recognises and reduces with a ufunc.
     """
+    builtin = builtin_reduce_ref(udf)
+    if builtin is not None:
+        return builtin
     ref = f"udf-{id(udf):x}-{len(_UDF_REGISTRY)}"
     _UDF_REGISTRY[ref] = udf
     return ref
@@ -43,6 +69,8 @@ def register_udf(udf: Callable) -> str:
 
 def resolve_udf(ref: str) -> Callable:
     """Look up a callable registered with :func:`register_udf`."""
+    if ref in BUILTIN_REDUCE_UDFS:
+        return BUILTIN_REDUCE_UDFS[ref]
     if ref not in _UDF_REGISTRY:
         raise InvalidPlanError(f"unknown UDF reference {ref!r}")
     return _UDF_REGISTRY[ref]

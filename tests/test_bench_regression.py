@@ -47,9 +47,24 @@ def test_baseline_has_all_guarded_sections(checker, baseline):
 def test_baseline_sections_record_their_scale(baseline):
     """Every floor-guarded section must say what it measured."""
     results = baseline["results"]
-    for section in ("payload_roundtrip", "partition_scatter", "join_probe", "shuffle_codec"):
+    for section in (
+        "payload_roundtrip",
+        "partition_scatter",
+        "join_probe",
+        "shuffle_codec",
+        "encoded_eval",
+        "scan_filter",
+    ):
         assert results[section]["num_rows"] >= 1_000_000
     assert results["exchange_route"]["num_targets"] >= 1_000_000
+
+
+def test_baseline_scan_filter_matches_acceptance_shape(baseline):
+    """The scan-filter section must record a Q6-style selective scan."""
+    scan_filter = baseline["results"]["scan_filter"]
+    assert 0.0 < scan_filter["selectivity"] <= 0.05
+    assert scan_filter["row_groups_shortcircuited"] > 0
+    assert scan_filter["late_get_requests"] <= scan_filter["baseline_get_requests"]
 
 
 def test_baseline_passes_absolute_floors(checker):
