@@ -23,6 +23,11 @@ structured trajectory (``BENCH_hot_paths.json``):
 * **scan filter** — the late-materialization scan (selection-vector filtering
   and gather over dictionary/RLE chunks) versus the full-decode baseline on a
   TPC-H Q6-style predicate at ~2 % selectivity;
+* **shuffle requests** — the write-combined shuffle I/O plane (one combined
+  PUT per mapper, batched-LIST discovery, one ranged GET per non-empty
+  slice) versus the legacy one-object-per-receiver plane, on a
+  high-cardinality shuffle aggregation at 32x32 workers: absolute request
+  counts, modelled S3 request cost, and wall time;
 * **end-to-end query** — wall-clock latency of TPC-H Q1 on the simulated
   serverless stack, serial versus thread-pool fleet execution.
 
@@ -458,6 +463,136 @@ def measure_scan_filter(num_rows: int = ROWS, repeats: int = 3) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# shuffle requests
+# ---------------------------------------------------------------------------
+
+#: Fleet size of the shuffle-request benchmark (32 mappers x 32 reducers).
+SHUFFLE_WORKERS = 32
+
+#: Scale factor of the shuffle benchmark; ~1.02M LINEITEM rows.
+SHUFFLE_SCALE_FACTOR = 0.17
+
+
+def measure_shuffle_requests(
+    scale_factor: float = SHUFFLE_SCALE_FACTOR,
+    num_workers: int = SHUFFLE_WORKERS,
+    repeats: int = 3,
+) -> Dict:
+    """Write-combined shuffle I/O plane versus the legacy O(P²) object plane.
+
+    Runs the same high-cardinality shuffle aggregation (group by
+    ``l_orderkey``) twice over one simulated environment: once with the
+    legacy one-object-per-receiver map wave, once with write combining (one
+    combined object per mapper, offsets in the key, one ranged GET per
+    non-empty slice).  Records the absolute request counts of both planes —
+    the quantity the paper's §4.4 cost analysis is about — plus the wall-time
+    effect of collapsing P² requests to O(P).
+    """
+    from repro.cloud.environment import CloudEnvironment
+    from repro.driver.shuffle import ShuffleAggregateCoordinator, ShuffleConfig
+    from repro.engine.table import tables_allclose
+    from repro.plan.expressions import col
+    from repro.plan.logical import AggregateSpec
+    from repro.workload.tpch import generate_lineitem_dataset
+    from repro.formats.compression import Compression
+
+    env = CloudEnvironment.create()
+    dataset = generate_lineitem_dataset(
+        env.s3,
+        scale_factor=scale_factor,
+        num_files=num_workers,
+        row_group_rows=32_768,
+        compression=Compression.FAST,
+    )
+    aggregates = [
+        AggregateSpec("sum", col("l_quantity"), "total_qty"),
+        AggregateSpec("count", None, "n"),
+    ]
+
+    def run(write_combining: bool):
+        coordinator = ShuffleAggregateCoordinator(
+            env, config=ShuffleConfig(write_combining=write_combining)
+        )
+        start = time.perf_counter()
+        result, statistics = coordinator.execute(
+            dataset.paths,
+            group_by=["l_orderkey"],
+            aggregates=aggregates,
+            order_by=["l_orderkey"],
+        )
+        return result, statistics, time.perf_counter() - start
+
+    # Untimed warmup (imports, numpy warmup, page faults), then interleaved
+    # best-of-``repeats`` timed runs per plane over the same warmed
+    # environment, so ambient noise (GC, page cache) hits both planes alike.
+    run(True)
+    legacy_seconds = combined_seconds = float("inf")
+    legacy_result = legacy_stats = combined_result = combined_stats = None
+    for _ in range(repeats):
+        result, stats, seconds = run(False)
+        if seconds < legacy_seconds:
+            legacy_result, legacy_stats, legacy_seconds = result, stats, seconds
+        result, stats, seconds = run(True)
+        if seconds < combined_seconds:
+            combined_result, combined_stats, combined_seconds = result, stats, seconds
+    assert tables_allclose(legacy_result, combined_result)
+    legacy_exchange = legacy_stats.exchange
+    combined_exchange = combined_stats.exchange
+
+    # Modelled S3 request cost of the exchange (PUT/LIST billed alike, the
+    # paper's Figure 9 pricing): the quantity write combining collapses.
+    from repro.cloud.pricing import DEFAULT_PRICES
+
+    def request_cost(stats):
+        return DEFAULT_PRICES.s3_put_cost(
+            stats.put_requests + stats.list_requests
+        ) + DEFAULT_PRICES.s3_get_cost(stats.get_requests + stats.head_requests)
+
+    legacy_cost = request_cost(legacy_exchange)
+    combined_cost = request_cost(combined_exchange)
+
+    return {
+        "num_rows": dataset.total_rows,
+        "num_workers": combined_stats.map_workers,
+        "result_rows": combined_stats.result_rows,
+        # The request-cost table of the README (paper Table 3 shape).
+        "legacy_put_requests": legacy_exchange.put_requests,
+        "legacy_get_requests": legacy_exchange.get_requests,
+        "legacy_list_requests": legacy_exchange.list_requests,
+        "legacy_total_requests": legacy_exchange.total_requests,
+        "combined_put_requests": combined_exchange.put_requests,
+        "combined_get_requests": combined_exchange.get_requests,
+        "combined_ranged_get_requests": combined_exchange.ranged_get_requests,
+        "combined_list_requests": combined_exchange.list_requests,
+        "combined_head_requests": combined_exchange.head_requests,
+        "combined_total_requests": combined_exchange.total_requests,
+        "empty_slices_elided": combined_exchange.empty_parts_elided,
+        "bytes_shipped": combined_exchange.bytes_read,
+        "bytes_touched": combined_exchange.bytes_touched,
+        "put_collapse": legacy_exchange.put_requests / combined_exchange.put_requests,
+        "data_request_collapse": (
+            (legacy_exchange.put_requests + legacy_exchange.get_requests)
+            / (combined_exchange.put_requests + combined_exchange.get_requests)
+        ),
+        "legacy_request_cost": legacy_cost,
+        "combined_request_cost": combined_cost,
+        "request_cost_collapse": legacy_cost / combined_cost,
+        # Modelled latency: each worker pays one S3 round-trip per request it
+        # issues, so collapsing the map wave's P PUTs to one is directly
+        # visible here (the in-process wall clock charges no network latency).
+        "legacy_modelled_seconds": legacy_stats.modelled_latency_seconds,
+        "combined_modelled_seconds": combined_stats.modelled_latency_seconds,
+        "modelled_speedup": (
+            legacy_stats.modelled_latency_seconds
+            / combined_stats.modelled_latency_seconds
+        ),
+        "legacy_seconds": legacy_seconds,
+        "combined_seconds": combined_seconds,
+        "speedup": legacy_seconds / combined_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
 # end-to-end query
 # ---------------------------------------------------------------------------
 
@@ -676,6 +811,32 @@ def test_scan_filter_speedup(bench_recorder, experiment_report):
     assert measurement["late_get_requests"] <= measurement["baseline_get_requests"]
 
 
+def test_shuffle_requests_collapse(bench_recorder, experiment_report):
+    measurement = measure_shuffle_requests()
+    bench_recorder("shuffle_requests", **measurement)
+    experiment_report(
+        f"shuffle requests @ {measurement['num_rows']} rows, "
+        f"{measurement['num_workers']}x{measurement['num_workers']} workers: "
+        f"PUTs {measurement['legacy_put_requests']}→"
+        f"{measurement['combined_put_requests']} "
+        f"({measurement['put_collapse']:.0f}x), "
+        f"request cost {measurement['request_cost_collapse']:.1f}x cheaper, "
+        f"modelled latency {measurement['modelled_speedup']:.2f}x, "
+        f"wall {measurement['legacy_seconds']:.2f}s→"
+        f"{measurement['combined_seconds']:.2f}s"
+    )
+    # The acceptance bar: 32 mappers issue <= 32 PUTs (was 1024), and the
+    # reduce wave never exceeds one ranged GET per non-empty slice.
+    assert measurement["combined_put_requests"] <= measurement["num_workers"]
+    assert measurement["put_collapse"] >= 16.0
+    assert (
+        measurement["combined_ranged_get_requests"]
+        == measurement["num_workers"] ** 2 - measurement["empty_slices_elided"]
+    )
+    assert measurement["request_cost_collapse"] >= 1.5
+    assert measurement["modelled_speedup"] >= 1.2
+
+
 def test_end_to_end_query(bench_recorder, experiment_report):
     measurement = measure_end_to_end()
     bench_recorder("end_to_end_q1", **measurement)
@@ -714,6 +875,7 @@ def main(output_path: str = "BENCH_hot_paths.json") -> Dict:
         "shuffle_codec": measure_shuffle_codec(),
         "encoded_eval": measure_encoded_eval(),
         "scan_filter": measure_scan_filter(),
+        "shuffle_requests": measure_shuffle_requests(),
         "end_to_end_q1": measure_end_to_end(),
         "threads_crossover": measure_threads_crossover(),
     }

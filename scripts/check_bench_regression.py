@@ -7,11 +7,14 @@ Usage::
     python scripts/check_bench_regression.py [--baseline BENCH_hot_paths.json] \
         [--current fresh.json] [--tolerance 0.6]
 
-Two kinds of checks:
+Three kinds of checks:
 
 * **absolute floors** — the speedups the PR's acceptance criteria promise
-  (partition scatter >= 5x, payload round-trip >= 3x) must hold in the
-  *current* run;
+  (partition scatter >= 5x, payload round-trip >= 3x, shuffle PUT collapse
+  >= 16x) must hold in the *current* run;
+* **absolute request ceilings** — the write-combined shuffle plane must stay
+  within its O(P) request budget at the benchmark's 32x32 shape (a silent
+  fallback to the O(P²) per-receiver path fails here);
 * **relative regression** — each current speedup must stay within
   ``tolerance`` of the committed baseline (defaults to 60%, loose enough for
   machine-to-machine noise, tight enough to catch an accidental
@@ -33,9 +36,10 @@ from pathlib import Path
 
 #: Minimum speedups promised by the acceptance criteria, keyed by
 #: ``(section, field)``: the data-plane floors from PR 1, the operator floors
-#: from PR 2 (join probe, exchange routing, shuffle codec framing), and the
+#: from PR 2 (join probe, exchange routing, shuffle codec framing), the
 #: scan-plane floors from PR 3 (late-materialization scan filter,
-#: encoding-aware predicate evaluation).
+#: encoding-aware predicate evaluation), and the shuffle I/O-plane floors
+#: from PR 4 (write-combined request collapse and its modelled cost).
 ABSOLUTE_FLOORS = {
     ("partition_scatter", "speedup"): 5.0,
     ("payload_roundtrip", "speedup"): 3.0,
@@ -45,10 +49,30 @@ ABSOLUTE_FLOORS = {
     ("shuffle_codec", "framing_speedup"): 5.0,
     ("scan_filter", "speedup"): 3.0,
     ("encoded_eval", "speedup"): 1.5,
+    ("shuffle_requests", "put_collapse"): 16.0,
+    ("shuffle_requests", "request_cost_collapse"): 1.5,
+    ("shuffle_requests", "modelled_speedup"): 1.2,
+}
+
+#: Maximum *absolute* request counts of the write-combined shuffle plane at
+#: its 32x32-worker benchmark shape.  A silent fallback to the legacy
+#: O(P²)-request path (1024 PUTs) blows straight through these, so it fails
+#: tier-1 rather than shipping unnoticed.
+ABSOLUTE_REQUEST_CEILINGS = {
+    ("shuffle_requests", "combined_put_requests"): 32,
+    ("shuffle_requests", "combined_get_requests"): 32 * 32,
+    ("shuffle_requests", "combined_list_requests"): 512,
+    ("shuffle_requests", "combined_head_requests"): 0,
 }
 
 #: Fields compared against the committed baseline for relative regressions.
-RELATIVE_FIELDS = ("speedup", "framing_speedup")
+RELATIVE_FIELDS = (
+    "speedup",
+    "framing_speedup",
+    "put_collapse",
+    "request_cost_collapse",
+    "modelled_speedup",
+)
 
 
 def load_results(path: Path) -> dict:
@@ -86,6 +110,22 @@ def check(baseline_path: Path, current_path: Path | None, tolerance: float) -> i
             )
         else:
             print(f"ok: {name} {field} {speedup:.2f}x (floor {floor:.1f}x)")
+
+    for (name, field), ceiling in ABSOLUTE_REQUEST_CEILINGS.items():
+        measurement = current.get(name)
+        if measurement is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        observed = measurement.get(field)
+        if observed is None:
+            failures.append(f"{name}: missing the {field!r} request counter")
+        elif observed > ceiling:
+            failures.append(
+                f"{name}: {field} = {observed} requests exceeds the "
+                f"ceiling of {ceiling} (O(P²) fallback?)"
+            )
+        else:
+            print(f"ok: {name} {field} {observed} requests (ceiling {ceiling})")
 
     if current_path is not None:
         for name, measurement in baseline.items():

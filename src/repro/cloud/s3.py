@@ -248,11 +248,15 @@ class ObjectStore:
             self._check_rate(bucket, "write")  # LIST is billed/limited like writes
             self.request_counts[bucket]["list"] += 1
             self.ledger.record("s3", "list_requests", 1, self.clock.now)
-            return [
-                meta
-                for key, meta in sorted(self._metadata[bucket].items())
+            # Filter before sorting: LIST-heavy discovery (exchange receivers)
+            # only pays for the keys under its prefix, not the whole bucket.
+            matches = [
+                (key, meta)
+                for key, meta in self._metadata[bucket].items()
                 if key.startswith(prefix)
             ]
+            matches.sort()
+            return [meta for _, meta in matches]
 
     def delete_object(self, bucket: str, key: str) -> None:
         """Delete an object.  Deleting a missing key is a no-op (as on S3)."""

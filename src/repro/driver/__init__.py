@@ -15,10 +15,15 @@ from repro.driver.invocation import (
 from repro.driver.worker import make_worker_handler, WORKER_FUNCTION_NAME
 from repro.driver.driver import LambadaDriver, QueryResult, QueryStatistics
 from repro.driver.catalog import StatisticsCatalog, FileStatistics
-from repro.driver.shuffle import ShuffleAggregateCoordinator, ShuffleStatistics
+from repro.driver.shuffle import (
+    ShuffleAggregateCoordinator,
+    ShuffleConfig,
+    ShuffleStatistics,
+)
 
 __all__ = [
     "ShuffleAggregateCoordinator",
+    "ShuffleConfig",
     "ShuffleStatistics",
     "FlatInvocationModel",
     "TreeInvocationModel",

@@ -29,6 +29,7 @@ from repro.driver.worker import WORKER_FUNCTION_NAME, make_worker_handler
 from repro.engine.aggregates import finalize_aggregates, merge_partials
 from repro.engine.payload import decode_table
 from repro.engine.pipeline import WorkerResult
+from repro.exchange.basic import ExchangeStats
 from repro.engine.table import (
     Table,
     concat_tables,
@@ -72,6 +73,9 @@ class QueryStatistics:
     row_groups_shortcircuited: int = 0
     rows_decode_saved: int = 0
     column_chunks_skipped: int = 0
+    #: Exchange-plane request/byte counters, summed over the fleet (non-zero
+    #: only for plans with an exchange hop, e.g. the shuffle-aggregate path).
+    exchange: ExchangeStats = field(default_factory=ExchangeStats)
 
     @property
     def cost_total(self) -> float:
@@ -472,6 +476,10 @@ class LambadaDriver:
         shortcircuited = sum(result.row_groups_shortcircuited for result in worker_results)
         decode_saved = sum(result.rows_decode_saved for result in worker_results)
         chunks_skipped = sum(result.column_chunks_skipped for result in worker_results)
+        exchange = ExchangeStats()
+        for result in worker_results:
+            if result.exchange_stats:
+                exchange.merge(ExchangeStats.from_dict(result.exchange_stats))
 
         cost_lambda_duration = sum(
             prices.lambda_duration_cost(self.memory_mib, duration) for duration in durations
@@ -501,4 +509,5 @@ class LambadaDriver:
             row_groups_shortcircuited=shortcircuited,
             rows_decode_saved=decode_saved,
             column_chunks_skipped=chunks_skipped,
+            exchange=exchange,
         )

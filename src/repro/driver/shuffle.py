@@ -7,19 +7,35 @@ exchange operator exists precisely so that such queries can repartition data
 among the serverless workers through S3.
 
 :class:`ShuffleAggregateCoordinator` implements that execution strategy as two
-waves of serverless function invocations:
+waves of serverless function invocations riding the write-combined exchange
+I/O plane (paper §4.4):
 
 * **map wave** — each worker scans its files, applies the filter, computes
-  per-group partial aggregates, hash-partitions them by the group keys, and
-  writes one partition object per receiver to S3 (using the multi-bucket
-  naming scheme of §4.4.1 to stay clear of per-bucket rate limits).  The
-  partition objects use the single-pass fast shuffle codec
-  (:mod:`repro.exchange.codec`); the reduce side sniffs the format byte, so
-  legacy LPQ partition objects from earlier runs still decode;
-* **reduce wave** — each worker reads the partition objects addressed to it,
-  merges the partial aggregates of its disjoint share of the groups, and
-  returns its result rows to the driver through SQS (spilling to S3 when
-  large).
+  per-group partial aggregates, and hash-partitions them by the group keys.
+  With write combining (the default) all of a mapper's partitions are
+  serialised into **one** combined object via
+  :func:`~repro.exchange.codec.encode_partition_set`; the per-receiver byte
+  offsets ride in the object key (:class:`~repro.exchange.naming.
+  WriteCombiningNaming`), empty partitions occupy zero bytes, and the map
+  wave issues exactly one PUT per mapper — O(P) requests instead of the
+  legacy O(P²) one-object-per-receiver pattern.  The legacy pattern survives
+  behind ``ShuffleConfig(write_combining=False)`` as the parity baseline
+  (with empty partitions elided before the PUT);
+* **reduce wave** — each worker discovers the senders' combined objects with
+  batched LIST requests (the offsets directory rides in the keys, so
+  discovery costs no GETs), issues **one ranged GET per non-empty slice**,
+  decodes the slices zero-copy with
+  :func:`~repro.exchange.codec.decode_partition_slice`, folds them with a
+  single :func:`~repro.engine.aggregates.merge_partials` pass, and returns
+  its result rows to the driver through SQS (spilling to S3 when large).
+  Legacy per-receiver objects are located through the same metadata path
+  (one LIST, HEAD for stragglers) — never through exception-driven GET
+  polling — so combined and legacy senders interoperate within one query.
+
+Request/byte counters of both waves are accumulated into
+:class:`~repro.exchange.basic.ExchangeStats`, shipped inside each worker's
+:class:`~repro.engine.pipeline.WorkerResult`, and folded into the returned
+:class:`ShuffleStatistics`.
 
 The driver only concatenates the disjoint reduce outputs and finalises derived
 aggregates (``avg``), so its work is proportional to the result size of its
@@ -29,16 +45,19 @@ own share, not to the number of groups.
 from __future__ import annotations
 
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig, InvocationContext
+from repro.cloud.s3 import ObjectMetadata, parse_s3_path
+from repro.config import S3_REQUEST_LATENCY_SECONDS
 from repro.driver.worker import RESULT_BUCKET, RESULT_SPILL_BYTES
 from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
 from repro.engine.payload import decode_table, encode_table
+from repro.engine.pipeline import WorkerResult
 from repro.engine.scan import S3ScanOperator, ScanConfig
 from repro.engine.table import (
     Table,
@@ -47,10 +66,23 @@ from repro.engine.table import (
     sort_table,
     table_num_rows,
 )
-from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
-from repro.exchange.basic import deserialize_partition, serialize_partition
-from repro.exchange.naming import MultiBucketNaming
-from repro.exchange.partition import hash_partition
+from repro.errors import (
+    ExchangeError,
+    ExecutionError,
+    NoSuchBucketError,
+    QueryTimeoutError,
+    WorkerFailedError,
+)
+from repro.exchange.basic import (
+    ExchangeStats,
+    deserialize_partition,
+    discover_combined_objects,
+    serialize_partition,
+)
+from repro.exchange.codec import decode_partition_slice, encode_partition_set
+from repro.exchange.naming import MultiBucketNaming, WriteCombiningNaming
+from repro.exchange.partition import partition_assignments, scatter_by_assignment, slice_partition
+from repro.formats.compression import Compression
 from repro.plan.expressions import evaluate, expression_from_dict, expression_to_dict
 from repro.plan.logical import AggregateSpec
 from repro.plan.optimizer import _decompose_aggregates
@@ -60,6 +92,32 @@ MAP_FUNCTION_NAME = "lambada-shuffle-map"
 REDUCE_FUNCTION_NAME = "lambada-shuffle-reduce"
 SHUFFLE_RESULT_QUEUE = "lambada-shuffle-results"
 
+#: Bucket family of the shuffle exchange objects (spread per §4.4.1).
+SHUFFLE_BUCKET_PREFIX = "shuffle-b"
+
+
+@dataclass
+class ShuffleConfig:
+    """Configuration of the shuffle I/O plane.
+
+    ``write_combining=True`` (the default) makes every mapper write one
+    combined object — O(P) PUTs for the whole map wave — and every reducer
+    issue one ranged GET per non-empty slice.  ``write_combining=False``
+    restores the legacy one-object-per-receiver format as the parity
+    baseline; it still elides empty partitions before the PUT.
+    """
+
+    #: Combine all of a mapper's partitions into a single object.
+    write_combining: bool = True
+    #: Serialise legacy per-receiver objects with the fast codec
+    #: (:mod:`repro.exchange.codec`); ``False`` writes full LPQ files.
+    #: Readers sniff the format per object/slice regardless.
+    fast_codec: bool = True
+    #: Compression of the partition payloads.
+    compression: Compression = Compression.FAST
+    #: How often a reducer repeats its discovery LIST round before failing.
+    max_poll_rounds: int = 10
+
 
 @dataclass
 class ShuffleStatistics:
@@ -68,23 +126,59 @@ class ShuffleStatistics:
     map_workers: int
     reduce_workers: int
     rows_scanned: int
+    #: Partition objects written by the map wave (combined objects count 1).
     partition_objects_written: int
+    #: Objects / non-empty slices read by the reduce wave.
     partition_objects_read: int
     result_rows: int
+    #: Request and byte counters of both waves (PUT/GET/LIST/HEAD, combined
+    #: PUTs, ranged GETs, empty partitions elided, bytes shipped vs touched).
+    exchange: ExchangeStats = field(default_factory=ExchangeStats)
+    #: Modelled duration of the slowest worker per wave (scan/merge time plus
+    #: one :data:`~repro.config.S3_REQUEST_LATENCY_SECONDS` round-trip per
+    #: exchange request the worker issued).
+    modelled_map_seconds: float = 0.0
+    modelled_reduce_seconds: float = 0.0
+
+    @property
+    def modelled_latency_seconds(self) -> float:
+        """Modelled end-to-end shuffle latency (the waves are barriered)."""
+        return self.modelled_map_seconds + self.modelled_reduce_seconds
 
 
-def _make_map_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBucketNaming]):
+def _map_naming(query_id: str, num_buckets: int) -> WriteCombiningNaming:
+    """Naming of the combined (write-combined) map outputs."""
+    return WriteCombiningNaming(
+        bucket=SHUFFLE_BUCKET_PREFIX,
+        prefix=f"{query_id}/",
+        num_buckets=num_buckets,
+    )
+
+
+def _legacy_naming(query_id: str, num_buckets: int) -> MultiBucketNaming:
+    """Naming of the legacy one-object-per-receiver map outputs."""
+    return MultiBucketNaming(
+        num_buckets=num_buckets,
+        bucket_prefix=SHUFFLE_BUCKET_PREFIX,
+        prefix=f"{query_id}/",
+    )
+
+
+def _make_map_handler(env: CloudEnvironment):
     """Handler of the map-wave function."""
 
     def handler(event: Dict, context: InvocationContext) -> Dict:
         query_id = event["query_id"]
-        naming = naming_by_query[query_id]
         worker_id = event["worker_id"]
         group_by = list(event["group_by"])
         partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
         predicate = expression_from_dict(event.get("predicate"))
         prune_ranges = [PruneRange.from_dict(item) for item in event.get("prune_ranges", [])]
         num_partitions = event["num_partitions"]
+        write_combining = bool(event.get("write_combining", True))
+        fast_codec = bool(event.get("fast_codec", True))
+        compression = Compression(event.get("compression", Compression.FAST.value))
+        num_buckets = int(event.get("num_buckets", 10))
 
         scan = S3ScanOperator(
             env.s3,
@@ -101,20 +195,73 @@ def _make_map_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBuc
             partials.append(partial_aggregate(chunk, group_by, partials_specs))
         merged = merge_partials(partials, group_by, partials_specs)
 
-        partitions = hash_partition(merged, group_by, num_partitions)
+        # Partition once into contiguous slices; both formats serialise
+        # straight from the scattered columns without re-gathering rows.
+        assignment = partition_assignments(merged, group_by, num_partitions)
+        reordered, boundaries = scatter_by_assignment(merged, assignment, num_partitions)
+
+        stats = ExchangeStats()
         written = 0
-        for receiver in range(num_partitions):
-            part = partitions.get(receiver, {})
-            data = serialize_partition(part, fast=True)
-            env.s3.put_path(naming.path(worker_id, receiver), data)
-            written += 1
-        context.charge(scan.modelled_seconds())
+        combined_written = False
+        if write_combining:
+            naming = _map_naming(query_id, num_buckets)
+            payload, offsets = encode_partition_set(reordered, boundaries, compression)
+            try:
+                path = naming.combined_path(worker_id, offsets)
+            except ExchangeError:
+                # The offset directory of a very wide fleet overflows the S3
+                # key limit; fall back to per-receiver objects for this
+                # mapper — the reduce wave handles mixed formats.
+                pass
+            else:
+                env.s3.put_path(path, payload)
+                stats.put_requests += 1
+                stats.combined_put_requests += 1
+                stats.bytes_written += len(payload)
+                written = 1
+                combined_written = True
+        if not combined_written:
+            naming = _legacy_naming(query_id, num_buckets)
+            for receiver in range(num_partitions):
+                data = serialize_partition(
+                    slice_partition(reordered, boundaries, receiver),
+                    compression,
+                    fast=fast_codec,
+                )
+                if not data:
+                    # Empty partition: skip the PUT entirely (the reduce wave
+                    # treats the missing object as an elided empty).
+                    stats.empty_parts_elided += 1
+                    continue
+                env.s3.put_path(naming.path(worker_id, receiver), data)
+                stats.put_requests += 1
+                stats.bytes_written += len(data)
+                written += 1
+        # Modelled duration: the scan plus one round-trip per exchange
+        # request the mapper issued (requests go out sequentially, as in
+        # Algorithm 1) — this is where write combining buys its latency.
+        modelled_seconds = (
+            scan.modelled_seconds()
+            + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
+        )
+        context.charge(modelled_seconds)
+
+        result = WorkerResult(
+            partial={},
+            rows_scanned=scan.counters.rows_scanned,
+            get_requests=scan.statistics.get_requests,
+            bytes_read=scan.statistics.bytes_read,
+            duration_seconds=modelled_seconds,
+            exchange_stats=stats.to_dict(),
+        )
         message = {
             "query_id": query_id,
             "worker_id": worker_id,
             "status": "ok",
+            "format": "combined" if combined_written else "objects",
             "rows_scanned": scan.counters.rows_scanned,
             "partitions_written": written,
+            "worker_result": result.to_payload(),
         }
         env.sqs.send_json(event["result_queue"], message)
         return message
@@ -122,35 +269,129 @@ def _make_map_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBuc
     return handler
 
 
-def _make_reduce_handler(env: CloudEnvironment, naming_by_query: Dict[str, MultiBucketNaming]):
+def _discover_legacy(
+    env: CloudEnvironment,
+    naming: MultiBucketNaming,
+    object_senders: Sequence[int],
+    partition: int,
+    stats: ExchangeStats,
+) -> Dict[int, ObjectMetadata]:
+    """Find the legacy per-receiver objects addressed to ``partition``.
+
+    One LIST covers the receiver's bucket.  The map-wave barrier (the driver
+    collects every mapper's result before invoking the reduce wave)
+    guarantees all objects are already visible, so a key absent from the
+    LIST is definitively an empty partition the sender elided — no HEAD
+    probe is spent confirming it.  (The barrier-free generic exchange keeps
+    its HEAD-for-stragglers path in ``BasicGroupExchange``.)
+    """
+    found: Dict[int, ObjectMetadata] = {}
+    if not object_senders:
+        return found
+    bucket = naming.bucket_for(partition)
+    stats.list_requests += 1
+    try:
+        listed = {meta.key: meta for meta in env.s3.list_objects(bucket, naming.prefix)}
+    except NoSuchBucketError:
+        listed = {}
+    for sender in object_senders:
+        _, key = parse_s3_path(naming.path(sender, partition))
+        meta = listed.get(key)
+        if meta is None:
+            stats.empty_parts_elided += 1
+            continue
+        found[sender] = meta
+    return found
+
+
+def _make_reduce_handler(env: CloudEnvironment):
     """Handler of the reduce-wave function."""
 
     def handler(event: Dict, context: InvocationContext) -> Dict:
         import json
 
         query_id = event["query_id"]
-        naming = naming_by_query[query_id]
         partition = event["partition"]
-        senders = event["senders"]
+        num_partitions = event["num_partitions"]
+        combined_senders = list(event.get("combined_senders", []))
+        object_senders = list(event.get("object_senders", []))
         group_by = list(event["group_by"])
         partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
+        num_buckets = int(event.get("num_buckets", 10))
+        max_poll_rounds = int(event.get("max_poll_rounds", 10))
+
+        stats = ExchangeStats()
+        combined = discover_combined_objects(
+            env.s3,
+            _map_naming(query_id, num_buckets),
+            combined_senders,
+            max_poll_rounds,
+            stats,
+        )
+        legacy = _discover_legacy(
+            env,
+            _legacy_naming(query_id, num_buckets),
+            object_senders,
+            partition,
+            stats,
+        )
 
         pieces: List[Table] = []
         objects_read = 0
-        for sender in senders:
-            data = env.s3.get_path(naming.path(sender, partition)).data
-            objects_read += 1
-            piece = deserialize_partition(data)
+        for sender in sorted(combined_senders + object_senders):
+            if sender in combined:
+                meta, offsets = combined[sender]
+                if len(offsets) != num_partitions + 1:
+                    raise ExchangeError(
+                        f"combined object {meta.path!r} has {len(offsets) - 1} "
+                        f"parts, expected {num_partitions}"
+                    )
+                start, end = offsets[partition], offsets[partition + 1]
+                if end <= start:
+                    # Empty slice: zero bytes in the object, no GET at all.
+                    stats.empty_parts_elided += 1
+                    continue
+                result = env.s3.get_path(meta.path, start, end)
+                stats.get_requests += 1
+                stats.ranged_get_requests += 1
+                stats.bytes_read += len(result.data)
+                stats.bytes_touched += meta.size
+                objects_read += 1
+                piece = decode_partition_slice(result.data)
+            elif sender in legacy:
+                meta = legacy[sender]
+                result = env.s3.get_path(meta.path)
+                stats.get_requests += 1
+                stats.bytes_read += len(result.data)
+                stats.bytes_touched += meta.size
+                objects_read += 1
+                piece = deserialize_partition(result.data)
+            else:
+                continue  # elided empty partition (already counted)
             if table_num_rows(piece):
                 pieces.append(piece)
+        # Single merge pass: the zero-copy slice views are folded (and thereby
+        # materialised into fresh group buffers) exactly once.
         merged = merge_partials(pieces, group_by, partials_specs)
-        context.charge(0.1 + 0.001 * objects_read)
+        modelled_seconds = (
+            0.1
+            + 0.001 * objects_read
+            + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
+        )
+        context.charge(modelled_seconds)
 
+        result = WorkerResult(
+            partial={},
+            rows_output=table_num_rows(merged),
+            duration_seconds=modelled_seconds,
+            exchange_stats=stats.to_dict(),
+        )
         payload = {
             "query_id": query_id,
             "worker_id": partition,
             "status": "ok",
             "objects_read": objects_read,
+            "worker_result": result.to_payload(),
             "result": encode_table(merged),
         }
         encoded = json.dumps(payload).encode("utf-8")
@@ -165,6 +406,7 @@ def _make_reduce_handler(env: CloudEnvironment, naming_by_query: Dict[str, Multi
                     "worker_id": partition,
                     "status": "ok",
                     "objects_read": objects_read,
+                    "worker_result": result.to_payload(),
                     "result_s3": f"s3://{RESULT_BUCKET}/{key}",
                 },
             )
@@ -185,23 +427,35 @@ class ShuffleAggregateCoordinator:
         memory_mib: int = 2048,
         num_buckets: int = 10,
         result_queue: str = SHUFFLE_RESULT_QUEUE,
+        config: Optional[ShuffleConfig] = None,
     ):
         self.env = env
         self.memory_mib = memory_mib
         self.num_buckets = num_buckets
         self.result_queue = result_queue
-        self._naming_by_query: Dict[str, MultiBucketNaming] = {}
+        self.config = config or ShuffleConfig()
         env.sqs.create_queue(result_queue)
+        # The handlers are stateless (per-query naming is derived from the
+        # event), so coordinators sharing an environment can interleave.
         env.lambda_service.deploy(
             FunctionConfig(name=MAP_FUNCTION_NAME, memory_mib=memory_mib),
-            _make_map_handler(env, self._naming_by_query),
+            _make_map_handler(env),
         )
         env.lambda_service.deploy(
             FunctionConfig(name=REDUCE_FUNCTION_NAME, memory_mib=memory_mib),
-            _make_reduce_handler(env, self._naming_by_query),
+            _make_reduce_handler(env),
         )
 
     # -- execution ------------------------------------------------------------------
+
+    def _map_mode(self, worker_id: int) -> bool:
+        """Whether mapper ``worker_id`` write-combines its partitions.
+
+        The default applies the coordinator's configuration uniformly;
+        subclasses (and the mixed-format parity tests) may vary it per
+        mapper — the reduce wave handles both formats within one query.
+        """
+        return self.config.write_combining
 
     def execute(
         self,
@@ -224,14 +478,12 @@ class ShuffleAggregateCoordinator:
 
         partials, finals = _decompose_aggregates(list(aggregates))
         query_id = uuid.uuid4().hex[:12]
-        naming = MultiBucketNaming(
-            num_buckets=self.num_buckets,
-            bucket_prefix="shuffle-b",
-            prefix=f"{query_id}/",
-        )
-        for bucket in naming.buckets():
-            self.env.s3.ensure_bucket(bucket)
-        self._naming_by_query[query_id] = naming
+        for naming in (
+            _map_naming(query_id, self.num_buckets),
+            _legacy_naming(query_id, self.num_buckets),
+        ):
+            for bucket in naming.buckets():
+                self.env.s3.ensure_bucket(bucket)
 
         # -- map wave -------------------------------------------------------------
         assignments = [paths[i::num_workers] for i in range(num_workers)]
@@ -248,32 +500,59 @@ class ShuffleAggregateCoordinator:
                 "aggregates": [spec.to_dict() for spec in partials],
                 "num_partitions": len(assignments),
                 "result_queue": self.result_queue,
+                "write_combining": self._map_mode(worker_id),
+                "fast_codec": self.config.fast_codec,
+                "compression": self.config.compression.value,
+                "num_buckets": self.num_buckets,
             }
             self.env.lambda_service.invoke(MAP_FUNCTION_NAME, event)
         map_messages = self._collect(query_id, expected=len(assignments))
         rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
         objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
+        combined_senders = sorted(
+            message["worker_id"]
+            for message in map_messages
+            if message.get("format") == "combined"
+        )
+        object_senders = sorted(
+            message["worker_id"]
+            for message in map_messages
+            if message.get("format") != "combined"
+        )
 
         # -- reduce wave ------------------------------------------------------------
         for partition in range(len(assignments)):
             event = {
                 "query_id": query_id,
                 "partition": partition,
-                "senders": list(range(len(assignments))),
+                "num_partitions": len(assignments),
+                "combined_senders": combined_senders,
+                "object_senders": object_senders,
                 "group_by": list(group_by),
                 "aggregates": [spec.to_dict() for spec in partials],
                 "result_queue": self.result_queue,
+                "num_buckets": self.num_buckets,
+                "max_poll_rounds": self.config.max_poll_rounds,
             }
             self.env.lambda_service.invoke(REDUCE_FUNCTION_NAME, event)
         reduce_messages = self._collect(query_id, expected=len(assignments))
         objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
 
+        exchange = ExchangeStats()
+        wave_seconds = {"map": 0.0, "reduce": 0.0}
+        for wave, messages in (("map", map_messages), ("reduce", reduce_messages)):
+            for message in messages:
+                worker_result = message.get("worker_result")
+                if not worker_result:
+                    continue
+                parsed = WorkerResult.from_payload(worker_result)
+                exchange.merge(ExchangeStats.from_dict(parsed.exchange_stats))
+                wave_seconds[wave] = max(wave_seconds[wave], parsed.duration_seconds)
+
         pieces = []
         for message in reduce_messages:
             if "result_s3" in message:
                 import json
-
-                from repro.cloud.s3 import parse_s3_path
 
                 bucket, key = parse_s3_path(message["result_s3"])
                 message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
@@ -283,7 +562,6 @@ class ShuffleAggregateCoordinator:
         if order_by:
             result = sort_table(result, list(order_by))
 
-        self._naming_by_query.pop(query_id, None)
         statistics = ShuffleStatistics(
             map_workers=len(assignments),
             reduce_workers=len(assignments),
@@ -291,6 +569,9 @@ class ShuffleAggregateCoordinator:
             partition_objects_written=objects_written,
             partition_objects_read=objects_read,
             result_rows=table_num_rows(result),
+            exchange=exchange,
+            modelled_map_seconds=wave_seconds["map"],
+            modelled_reduce_seconds=wave_seconds["reduce"],
         )
         return result, statistics
 

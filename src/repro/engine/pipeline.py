@@ -75,10 +75,15 @@ class WorkerResult:
     download_seconds: float = 0.0
     compute_seconds: float = 0.0
     duration_seconds: float = 0.0
+    #: Exchange request/byte counters of shuffle workers, as the dict form of
+    #: :class:`repro.exchange.basic.ExchangeStats` (``None`` for scan-only
+    #: workers, which never touch the exchange plane).
+    exchange_stats: Optional[Dict[str, int]] = None
 
     def to_payload(self) -> Dict:
         """Serialise for the SQS result message / invocation response."""
         return {
+            "exchange_stats": self.exchange_stats,
             "partial": self.partial,
             "reduce_value": self.reduce_value,
             "rows_scanned": self.rows_scanned,

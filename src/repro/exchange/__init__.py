@@ -31,8 +31,19 @@ from repro.exchange.naming import (
     MultiBucketNaming,
     WriteCombiningNaming,
 )
-from repro.exchange.basic import BasicExchange, BasicGroupExchange, ExchangeConfig
-from repro.exchange.codec import decode_partition, encode_partition, is_fast_partition
+from repro.exchange.basic import (
+    BasicExchange,
+    BasicGroupExchange,
+    ExchangeConfig,
+    ExchangeStats,
+)
+from repro.exchange.codec import (
+    decode_partition,
+    decode_partition_slice,
+    encode_partition,
+    encode_partition_set,
+    is_fast_partition,
+)
 from repro.exchange.multilevel import MultiLevelExchange, grid_coordinates, grid_side
 from repro.exchange.cost_model import (
     ExchangeCostModel,
@@ -55,8 +66,11 @@ __all__ = [
     "BasicExchange",
     "BasicGroupExchange",
     "ExchangeConfig",
+    "ExchangeStats",
     "decode_partition",
+    "decode_partition_slice",
     "encode_partition",
+    "encode_partition_set",
     "is_fast_partition",
     "MultiLevelExchange",
     "grid_coordinates",

@@ -14,15 +14,21 @@ of the paper's cost analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cloud.s3 import ObjectStore, parse_s3_path
+from repro.cloud.s3 import ObjectMetadata, ObjectStore, parse_s3_path
 from repro.engine.table import Table, concat_tables, table_num_rows
-from repro.errors import ExchangeError, NoSuchKeyError
-from repro.exchange.codec import decode_partition, encode_partition, is_fast_partition
+from repro.errors import ExchangeError, NoSuchBucketError, NoSuchKeyError
+from repro.exchange.codec import (
+    decode_partition,
+    decode_partition_slice,
+    encode_partition,
+    encode_partition_set,
+    is_fast_partition,
+)
 from repro.exchange.naming import FileNaming, MultiBucketNaming, WriteCombiningNaming
 from repro.exchange.partition import (
     partition_assignments,
@@ -55,26 +61,107 @@ class ExchangeConfig:
 
 @dataclass
 class ExchangeStats:
-    """Request and byte counters accumulated by an exchange."""
+    """Request and byte counters accumulated by an exchange.
+
+    ``combined_put_requests`` and ``ranged_get_requests`` are subsets of
+    ``put_requests`` / ``get_requests`` that went through the write-combined
+    I/O plane (one combined object per sender, one ranged GET per non-empty
+    slice).  ``empty_parts_elided`` counts the requests *avoided* because a
+    (sender, receiver) part was empty — a PUT skipped on the write side or a
+    GET skipped on the read side.  ``bytes_touched`` is the total size of the
+    objects that slice reads were served from; comparing it with
+    ``bytes_read`` (the bytes actually shipped) shows how much transfer the
+    ranged reads avoided.
+    """
 
     put_requests: int = 0
     get_requests: int = 0
     list_requests: int = 0
+    head_requests: int = 0
+    combined_put_requests: int = 0
+    ranged_get_requests: int = 0
+    empty_parts_elided: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    bytes_touched: int = 0
 
     def merge(self, other: "ExchangeStats") -> None:
         """Fold another counter set into this one."""
         self.put_requests += other.put_requests
         self.get_requests += other.get_requests
         self.list_requests += other.list_requests
+        self.head_requests += other.head_requests
+        self.combined_put_requests += other.combined_put_requests
+        self.ranged_get_requests += other.ranged_get_requests
+        self.empty_parts_elided += other.empty_parts_elided
         self.bytes_written += other.bytes_written
         self.bytes_read += other.bytes_read
+        self.bytes_touched += other.bytes_touched
 
     @property
     def total_requests(self) -> int:
         """All requests issued by the exchange."""
-        return self.put_requests + self.get_requests + self.list_requests
+        return (
+            self.put_requests
+            + self.get_requests
+            + self.list_requests
+            + self.head_requests
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-compatible form for worker result payloads."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, int]]) -> "ExchangeStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        if not payload:
+            return cls()
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{key: int(value) for key, value in payload.items() if key in known})
+
+
+def discover_combined_objects(
+    store: ObjectStore,
+    naming: WriteCombiningNaming,
+    senders: Sequence[int],
+    max_poll_attempts: int,
+    stats: ExchangeStats,
+) -> Dict[int, Tuple[ObjectMetadata, List[int]]]:
+    """Find every sender's combined object — and its offsets — with LISTs.
+
+    One poll round LISTs each bucket of the naming scheme once; the offset
+    directories ride in the object keys, so discovery needs no GET/HEAD at
+    all and each sender's offsets are parsed exactly once.  Shared by the
+    exchange read phase and the shuffle reduce wave.
+    """
+    found: Dict[int, Tuple[ObjectMetadata, List[int]]] = {}
+    pending = set(senders)
+    attempts = 0
+    while pending:
+        attempts += 1
+        if attempts > max_poll_attempts:
+            raise ExchangeError(
+                f"missing combined objects from senders {sorted(pending)}"
+            )
+        # Only the buckets that still owe a pending sender are listed (LISTs
+        # are billed and rate-limited like writes); satisfied buckets are not
+        # re-listed on retry rounds.
+        for bucket in sorted({naming.bucket_for(sender) for sender in pending}):
+            stats.list_requests += 1
+            try:
+                listing = store.list_objects(bucket, naming.prefix)
+            except NoSuchBucketError:
+                continue
+            for meta in listing:
+                try:
+                    sender, offsets = WriteCombiningNaming.parse_offsets(meta.key)
+                except ExchangeError:
+                    continue
+                if sender in pending:
+                    found[sender] = (meta, offsets)
+        pending -= set(found)
+    return found
 
 
 def serialize_partition(
@@ -181,39 +268,54 @@ class BasicGroupExchange:
             in_group = sorted_group[positions] == receivers
             slots[in_group] = group_order[positions[in_group]]
         reordered, boundaries = scatter_by_assignment(table, slots, num_slots + 1)
-        parts: Dict[int, Table] = {
-            receiver: slice_partition(reordered, boundaries, slot)
-            for slot, receiver in enumerate(self.group)
-        }
 
         if self.config.write_combining:
-            self._write_combined(worker, parts, stats)
+            self._write_combined(worker, reordered, boundaries, stats)
         else:
-            for receiver in self.group:
+            for slot, receiver in enumerate(self.group):
                 data = serialize_partition(
-                    parts[receiver], self.config.compression, fast=self.config.fast_codec
+                    slice_partition(reordered, boundaries, slot),
+                    self.config.compression,
+                    fast=self.config.fast_codec,
                 )
                 path = self.naming.path(worker, receiver)
                 self.store.put_path(path, data)
                 stats.put_requests += 1
                 stats.bytes_written += len(data)
 
-    def _write_combined(self, worker: int, parts: Dict[int, Table], stats: ExchangeStats) -> None:
+    def _write_combined(
+        self,
+        worker: int,
+        reordered: Table,
+        boundaries: np.ndarray,
+        stats: ExchangeStats,
+    ) -> None:
         if not isinstance(self.naming, WriteCombiningNaming):
             raise ExchangeError("write combining requires WriteCombiningNaming")
-        blobs = [
-            serialize_partition(
-                parts[receiver], self.config.compression, fast=self.config.fast_codec
+        num_slots = len(self.group)
+        if self.config.fast_codec:
+            payload, offsets = encode_partition_set(
+                reordered, boundaries[: num_slots + 1], self.config.compression
             )
-            for receiver in self.group
-        ]
-        offsets = [0]
-        for blob in blobs:
-            offsets.append(offsets[-1] + len(blob))
-        payload = b"".join(blobs)
+        else:
+            # Legacy LPQ parts: frame each non-empty slot with the full
+            # columnar-file writer (old combined objects looked like this).
+            blobs = [
+                serialize_partition(
+                    slice_partition(reordered, boundaries, slot),
+                    self.config.compression,
+                    fast=False,
+                )
+                for slot in range(num_slots)
+            ]
+            offsets = [0]
+            for blob in blobs:
+                offsets.append(offsets[-1] + len(blob))
+            payload = b"".join(blobs)
         path = self.naming.combined_path(worker, offsets)
         self.store.put_path(path, payload)
         stats.put_requests += 1
+        stats.combined_put_requests += 1
         stats.bytes_written += len(payload)
 
     # -- read phase -------------------------------------------------------------
@@ -226,73 +328,90 @@ class BasicGroupExchange:
         if self.config.write_combining:
             return self._read_combined(worker, stats)
 
+        self._discover_objects(worker, stats)
         pieces: List[Table] = []
         for sender in self.group:
             path = self.naming.path(sender, worker)
-            data = self._poll_get(path, stats)
+            result = self.store.get_path(path)
             stats.get_requests += 1
-            stats.bytes_read += len(data)
-            piece = deserialize_partition(data)
+            stats.bytes_read += len(result.data)
+            stats.bytes_touched += result.metadata.size
+            piece = deserialize_partition(result.data)
             if table_num_rows(piece):
                 pieces.append(piece)
         return concat_tables(pieces)
+
+    def _discover_objects(self, worker: int, stats: ExchangeStats) -> None:
+        """Metadata-based discovery of this receiver's per-sender objects.
+
+        Instead of the seed's exception-driven GET polling (issue the GET,
+        catch ``NoSuchKey``, retry — every miss billed as a failed request),
+        each poll round issues one LIST per bucket that still owes us objects
+        and then point-checks the stragglers with HEAD; data is only ever
+        fetched with a GET once the object is known to exist.
+        """
+        expected: Dict[int, Tuple[str, str]] = {
+            sender: parse_s3_path(self.naming.path(sender, worker))
+            for sender in self.group
+        }
+        prefix = getattr(self.naming, "prefix", "")
+        missing = set(self.group)
+        attempts = 0
+        while missing:
+            attempts += 1
+            if attempts > self.config.max_poll_attempts:
+                raise ExchangeError(
+                    f"missing exchange objects from senders {sorted(missing)}"
+                )
+            listed: set = set()
+            for bucket in sorted({expected[sender][0] for sender in missing}):
+                stats.list_requests += 1
+                for meta in self.store.list_objects(bucket, prefix):
+                    listed.add((meta.bucket, meta.key))
+            missing = {
+                sender for sender in missing if expected[sender] not in listed
+            }
+            # Stragglers may have landed between the LIST and now: point-check
+            # their exact keys before the next (rate-limited) LIST round.
+            still_missing = set()
+            for sender in sorted(missing):
+                stats.head_requests += 1
+                try:
+                    self.store.head_object(*expected[sender])
+                except NoSuchKeyError:
+                    still_missing.add(sender)
+            missing = still_missing
 
     def _read_combined(self, worker: int, stats: ExchangeStats) -> Table:
         naming = self.naming
         assert isinstance(naming, WriteCombiningNaming)
         my_slot = self.group_index[worker]
-        # Discover all senders' combined objects with LIST requests, repeating
-        # until every sender's object is visible.
-        found: Dict[int, str] = {}
-        attempts = 0
-        senders = set(self.group)
-        while len(found) < len(senders):
-            attempts += 1
-            if attempts > self.config.max_poll_attempts:
-                missing = sorted(senders - set(found))
-                raise ExchangeError(f"missing combined objects from senders {missing}")
-            stats.list_requests += 1
-            for bucket in naming.buckets():
-                for meta in self.store.list_objects(bucket, naming.prefix):
-                    try:
-                        sender, _ = WriteCombiningNaming.parse_offsets(meta.key)
-                    except ExchangeError:
-                        continue
-                    if sender in senders:
-                        found[sender] = f"s3://{meta.bucket}/{meta.key}"
+        found = discover_combined_objects(
+            self.store, naming, self.group, self.config.max_poll_attempts, stats
+        )
 
         pieces: List[Table] = []
         for sender in self.group:
-            path = found[sender]
-            _, key = parse_s3_path(path)
-            _, offsets = WriteCombiningNaming.parse_offsets(key)
+            meta, offsets = found[sender]
             if len(offsets) != len(self.group) + 1:
                 raise ExchangeError(
-                    f"combined object {path!r} has {len(offsets) - 1} parts, "
+                    f"combined object {meta.path!r} has {len(offsets) - 1} parts, "
                     f"expected {len(self.group)}"
                 )
             start, end = offsets[my_slot], offsets[my_slot + 1]
             if end > start:
-                result = self.store.get_path(path, start, end)
+                result = self.store.get_path(meta.path, start, end)
                 stats.get_requests += 1
+                stats.ranged_get_requests += 1
                 stats.bytes_read += len(result.data)
-                piece = deserialize_partition(result.data)
+                stats.bytes_touched += meta.size
+                piece = decode_partition_slice(result.data)
                 if table_num_rows(piece):
                     pieces.append(piece)
             else:
-                # Zero-length part: no request needed.
-                pass
+                # Zero-length part: the empty partition costs no request.
+                stats.empty_parts_elided += 1
         return concat_tables(pieces)
-
-    def _poll_get(self, path: str, stats: ExchangeStats) -> bytes:
-        """GET with retries: the sender may not have written the file yet."""
-        for _ in range(self.config.max_poll_attempts):
-            try:
-                return self.store.get_path(path).data
-            except NoSuchKeyError:
-                stats.get_requests += 1  # failed polls are billed too
-                continue
-        raise ExchangeError(f"gave up waiting for exchange file {path!r}")
 
     # -- aggregate statistics -----------------------------------------------------
 

@@ -27,13 +27,23 @@ legacy LPQ files (which start with ``b"LPQ1"``, i.e. ``0x4C``), so
 objects — including the parts of write-combined objects — unchanged.
 Columns holding Python objects cannot be shipped as raw buffers and fall
 back to a JSON list inside the header, mirroring the payload codec.
+
+**Multi-partition framing.**  :func:`encode_partition_set` serialises *all*
+partitions of one sender into a single buffer in receiver order, returning
+the byte-offset directory alongside it: partition ``p`` occupies
+``offsets[p]:offsets[p + 1]`` and empty partitions occupy zero bytes.  Each
+slice is a self-contained fast-codec blob, so a receiver decodes its share
+with :func:`decode_partition_slice` straight from a ranged GET of its slice,
+without downloading (or even touching) any other receiver's bytes.  This is
+the write-combining layout of the paper's §4.4 cost analysis: one PUT per
+sender, one ranged GET per non-empty (sender, receiver) pair.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,12 +63,16 @@ def is_fast_partition(data: Union[bytes, bytearray]) -> bool:
     return len(data) >= _PREFIX.size and data[0] == FAST_PARTITION_TAG
 
 
-def encode_partition(table: Table, compression: Compression = Compression.FAST) -> bytes:
-    """Serialise a partition table into the fast single-pass format."""
+def _encode_blob(
+    names: Sequence[str],
+    arrays: Sequence[np.ndarray],
+    num_rows: int,
+    compression: Compression,
+) -> bytes:
+    """Frame one partition's columns as a self-contained fast-codec blob."""
     columns: List[Dict] = []
     buffers: List[bytes] = []
-    for name, column in table.items():
-        array = np.ascontiguousarray(column)
+    for name, array in zip(names, arrays):
         if array.dtype.hasobject:
             columns.append({"name": name, "dtype": "object", "values": array.tolist()})
         else:
@@ -67,17 +81,82 @@ def encode_partition(table: Table, compression: Compression = Compression.FAST) 
             buffers.append(raw)
     body = compress(b"".join(buffers), compression)
     header = json.dumps(
-        {
-            "num_rows": int(table_num_rows(table)),
-            "compression": compression.value,
-            "columns": columns,
-        }
+        {"num_rows": int(num_rows), "compression": compression.value, "columns": columns}
     ).encode("utf-8")
     return _PREFIX.pack(FAST_PARTITION_TAG, len(header)) + header + body
 
 
-def decode_partition(data: Union[bytes, bytearray]) -> Table:
-    """Inverse of :func:`encode_partition`."""
+def encode_partition(table: Table, compression: Compression = Compression.FAST) -> bytes:
+    """Serialise a partition table into the fast single-pass format."""
+    names = list(table.keys())
+    arrays = [np.ascontiguousarray(table[name]) for name in names]
+    return _encode_blob(names, arrays, table_num_rows(table), compression)
+
+
+def encode_partition_set(
+    reordered: Table,
+    boundaries: Union[Sequence[int], np.ndarray],
+    compression: Compression = Compression.FAST,
+) -> Tuple[bytes, List[int]]:
+    """Serialise every partition of a scattered table into one buffer.
+
+    ``reordered``/``boundaries`` are the output of
+    :func:`repro.exchange.partition.scatter_by_assignment`: partition ``p``
+    occupies rows ``boundaries[p]:boundaries[p + 1]`` of every column.
+    Returns ``(payload, offsets)`` where ``offsets`` has one entry per
+    partition plus a final total length, i.e. partition ``p``'s slice is
+    ``payload[offsets[p]:offsets[p + 1]]`` — a self-contained blob that
+    :func:`decode_partition_slice` reads from a ranged GET.  Empty partitions
+    occupy zero bytes and are never serialised at all, so a sender pays
+    nothing — no framing, no compression call — for receivers it has no rows
+    for.
+    """
+    num_partitions = len(boundaries) - 1
+    names = list(reordered.keys())
+    # One contiguity pass per column for the whole set; partition slices of a
+    # contiguous array are themselves contiguous, so the per-partition
+    # ``tobytes`` below copies each row range exactly once.
+    arrays = [np.ascontiguousarray(reordered[name]) for name in names]
+    blobs: List[bytes] = []
+    offsets: List[int] = [0]
+    for partition in range(num_partitions):
+        start, end = int(boundaries[partition]), int(boundaries[partition + 1])
+        if end <= start:
+            offsets.append(offsets[-1])
+            continue
+        blob = _encode_blob(
+            names, [array[start:end] for array in arrays], end - start, compression
+        )
+        blobs.append(blob)
+        offsets.append(offsets[-1] + len(blob))
+    return b"".join(blobs), offsets
+
+
+def decode_partition_slice(data: Union[bytes, bytearray], copy: bool = False) -> Table:
+    """Decode one receiver's slice of a combined partition object.
+
+    Zero-length slices (empty partitions) decode to an empty table without
+    any parsing.  The slice format is sniffed per blob, so combined objects
+    whose parts were written by an old LPQ sender still decode.  By default
+    the columns are read-only zero-copy views of the slice bytes (the reduce
+    side folds them straight into a merge); pass ``copy=True`` for mutable
+    columns.
+    """
+    if not data:
+        return {}
+    if is_fast_partition(data):
+        return decode_partition(data, copy=copy)
+    from repro.formats.parquet import ColumnarFile
+
+    return ColumnarFile.from_bytes(bytes(data)).read_table()
+
+
+def decode_partition(data: Union[bytes, bytearray], copy: bool = True) -> Table:
+    """Inverse of :func:`encode_partition`.
+
+    ``copy=False`` returns read-only ``frombuffer`` views of the body where
+    possible instead of materialising fresh arrays.
+    """
     if not is_fast_partition(data):
         raise CorruptFileError("not a fast-codec partition object")
     _, header_length = _PREFIX.unpack_from(data)
@@ -102,11 +181,12 @@ def decode_partition(data: Union[bytes, bytearray]) -> Table:
             nbytes = int(column["nbytes"])
             if offset + nbytes > len(body) or nbytes % dtype.itemsize:
                 raise CorruptFileError(f"truncated column buffer for {name!r}")
-            # frombuffer is a read-only view of the body; copy so callers can
-            # sort/mutate the columns like any other table.
-            table[name] = np.frombuffer(
+            # frombuffer is a read-only view of the body; copy (by default) so
+            # callers can sort/mutate the columns like any other table.
+            view = np.frombuffer(
                 body, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset
-            ).copy()
+            )
+            table[name] = view.copy() if copy else view
             offset += nbytes
         if len(table[name]) != num_rows:
             raise CorruptFileError(

@@ -133,6 +133,54 @@ def test_read_before_write_eventually_fails(store):
         exchange.read(0)
 
 
+def test_read_discovery_is_metadata_based(store):
+    """Receivers locate sender objects with LIST/HEAD, never failed GETs:
+    every GET issued fetches an object that is known to exist."""
+    P = 4
+    tables = _make_tables(P, rows_per_worker=40)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
+    exchange.run(tables)
+    stats = exchange.total_stats()
+    # One GET per (sender, receiver) pair — no exception-driven retry GETs.
+    assert stats.get_requests == P * P
+    # Discovery: at least one LIST round per receiver, counted in the stats.
+    assert stats.list_requests >= P
+    # All objects existed by read time, so no straggler HEADs were needed.
+    assert stats.head_requests == 0
+
+
+def test_read_discovery_heads_stragglers(store):
+    """A sender that has not written yet is polled via HEAD, not via GET."""
+    P = 2
+    tables = _make_tables(P, rows_per_worker=20)
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"], max_poll_attempts=5))
+    exchange.write(0, tables[0])
+    with pytest.raises(ExchangeError):
+        exchange.read(1)
+    stats = exchange.total_stats()
+    assert stats.head_requests > 0
+    assert stats.get_requests == 0  # no GET was wasted on a missing object
+
+
+def test_combined_read_counts_ranged_gets_and_elisions(store):
+    P = 4
+    # Single-group tables: every sender routes all rows to one receiver, so
+    # most combined-object slices are empty and their GETs are elided.
+    tables = [
+        {"key": np.full(30, 7, dtype=np.int64), "value": np.random.default_rng(s).random(30)}
+        for s in range(P)
+    ]
+    exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"], write_combining=True))
+    result = exchange.run(tables)
+    stats = exchange.total_stats()
+    assert stats.put_requests == P
+    assert stats.combined_put_requests == P
+    assert stats.ranged_get_requests == P  # one non-empty slice per sender
+    assert stats.empty_parts_elided == P * P - P
+    assert stats.bytes_touched >= stats.bytes_read
+    assert sum(table_num_rows(t) for t in result) == 30 * P
+
+
 def test_per_worker_stats_available(store):
     P = 3
     exchange = BasicExchange(store, P, ExchangeConfig(keys=["key"]))
