@@ -8,7 +8,6 @@ paper scale, quantifying the saved invocations and cost.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.experiments import PaperScaleModel, shipdate_prune_fraction
 from repro.driver.catalog import StatisticsCatalog

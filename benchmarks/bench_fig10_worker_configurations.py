@@ -9,7 +9,6 @@ Two layers, as described in DESIGN.md:
   in the real execution path.
 """
 
-import numpy as np
 
 from repro.analysis.experiments import figure10_worker_configurations, run_tpch_query
 

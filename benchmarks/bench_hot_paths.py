@@ -593,6 +593,129 @@ def measure_shuffle_requests(
 
 
 # ---------------------------------------------------------------------------
+# join end-to-end
+# ---------------------------------------------------------------------------
+
+#: Fleet size of the join benchmark (16 mappers per side, 16 join workers).
+JOIN_E2E_WORKERS = 16
+
+#: Scale factor of the join benchmark; ~300k LINEITEM + ~75k ORDERS rows.
+JOIN_E2E_SCALE_FACTOR = 0.05
+
+
+def measure_join_e2e(
+    scale_factor: float = JOIN_E2E_SCALE_FACTOR,
+    num_workers: int = JOIN_E2E_WORKERS,
+    repeats: int = 3,
+) -> Dict:
+    """Distributed TPC-H Q3 over the write-combined versus legacy exchange.
+
+    Runs the full multi-stage join schedule (two map waves repartitioning
+    LINEITEM and ORDERS by order key, a join wave probing the slices and
+    computing the partial aggregates above the join, driver merge) twice over
+    one simulated environment: once with the legacy one-object-per-receiver
+    repartition plane, once with write combining.  Records the absolute
+    request counts of both planes, the modelled request cost and latency, and
+    the wall-time effect — the join-path analogue of the §4.4 shuffle table.
+    """
+    from repro.cloud.environment import CloudEnvironment
+    from repro.cloud.pricing import DEFAULT_PRICES
+    from repro.driver.driver import LambadaDriver
+    from repro.driver.shuffle import ShuffleConfig
+    from repro.engine.table import tables_allclose
+    from repro.formats.compression import Compression
+    from repro.workload.queries import q3_plan
+    from repro.workload.tpch import generate_lineitem_dataset, generate_orders_dataset
+
+    env = CloudEnvironment.create()
+    lineitem = generate_lineitem_dataset(
+        env.s3,
+        scale_factor=scale_factor,
+        num_files=num_workers,
+        row_group_rows=32_768,
+        compression=Compression.FAST,
+    )
+    orders = generate_orders_dataset(
+        env.s3,
+        scale_factor=scale_factor,
+        num_files=num_workers,
+        row_group_rows=32_768,
+        compression=Compression.FAST,
+    )
+    plan = q3_plan(lineitem.paths, orders.paths)
+    drivers = {
+        combining: LambadaDriver(
+            env, shuffle_config=ShuffleConfig(write_combining=combining)
+        )
+        for combining in (False, True)
+    }
+
+    def run(write_combining: bool):
+        start = time.perf_counter()
+        result = drivers[write_combining].execute(plan, num_workers=num_workers)
+        return result, time.perf_counter() - start
+
+    # Untimed warmup, then interleaved best-of-``repeats`` timed runs per
+    # plane over the same warmed environment.
+    run(True)
+    legacy_seconds = combined_seconds = float("inf")
+    legacy_result = combined_result = None
+    for _ in range(repeats):
+        result, seconds = run(False)
+        if seconds < legacy_seconds:
+            legacy_result, legacy_seconds = result, seconds
+        result, seconds = run(True)
+        if seconds < combined_seconds:
+            combined_result, combined_seconds = result, seconds
+    assert tables_allclose(legacy_result.table, combined_result.table)
+    legacy_exchange = legacy_result.statistics.exchange
+    combined_exchange = combined_result.statistics.exchange
+
+    def request_cost(stats):
+        return DEFAULT_PRICES.s3_put_cost(
+            stats.put_requests + stats.list_requests
+        ) + DEFAULT_PRICES.s3_get_cost(stats.get_requests + stats.head_requests)
+
+    legacy_cost = request_cost(legacy_exchange)
+    combined_cost = request_cost(combined_exchange)
+    combined_stats = combined_result.statistics
+
+    return {
+        "num_rows": lineitem.total_rows + orders.total_rows,
+        "lineitem_rows": lineitem.total_rows,
+        "orders_rows": orders.total_rows,
+        "num_workers": num_workers,
+        "result_rows": combined_result.num_rows,
+        "join_probe_rows": combined_stats.join_probe_rows,
+        "join_build_rows": combined_stats.join_build_rows,
+        "join_output_rows": combined_stats.join_output_rows,
+        "legacy_put_requests": legacy_exchange.put_requests,
+        "legacy_get_requests": legacy_exchange.get_requests,
+        "legacy_list_requests": legacy_exchange.list_requests,
+        "legacy_total_requests": legacy_exchange.total_requests,
+        "combined_put_requests": combined_exchange.put_requests,
+        "combined_get_requests": combined_exchange.get_requests,
+        "combined_ranged_get_requests": combined_exchange.ranged_get_requests,
+        "combined_list_requests": combined_exchange.list_requests,
+        "combined_head_requests": combined_exchange.head_requests,
+        "combined_total_requests": combined_exchange.total_requests,
+        "empty_slices_elided": combined_exchange.empty_parts_elided,
+        "put_collapse": legacy_exchange.put_requests / combined_exchange.put_requests,
+        "legacy_request_cost": legacy_cost,
+        "combined_request_cost": combined_cost,
+        "request_cost_collapse": legacy_cost / combined_cost,
+        "legacy_modelled_seconds": legacy_result.statistics.latency_seconds,
+        "combined_modelled_seconds": combined_stats.latency_seconds,
+        "modelled_speedup": (
+            legacy_result.statistics.latency_seconds / combined_stats.latency_seconds
+        ),
+        "legacy_seconds": legacy_seconds,
+        "combined_seconds": combined_seconds,
+        "speedup": legacy_seconds / combined_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
 # end-to-end query
 # ---------------------------------------------------------------------------
 
@@ -837,6 +960,39 @@ def test_shuffle_requests_collapse(bench_recorder, experiment_report):
     assert measurement["modelled_speedup"] >= 1.2
 
 
+def test_join_e2e_collapse(bench_recorder, experiment_report):
+    measurement = measure_join_e2e()
+    bench_recorder("join_e2e", **measurement)
+    experiment_report(
+        f"join e2e (Q3) @ {measurement['lineitem_rows']}+{measurement['orders_rows']} rows, "
+        f"{measurement['num_workers']}x2 mappers: "
+        f"PUTs {measurement['legacy_put_requests']}→"
+        f"{measurement['combined_put_requests']} "
+        f"({measurement['put_collapse']:.0f}x), "
+        f"request cost {measurement['request_cost_collapse']:.1f}x cheaper, "
+        f"modelled latency {measurement['modelled_speedup']:.2f}x, "
+        f"wall {measurement['legacy_seconds']:.2f}s→"
+        f"{measurement['combined_seconds']:.2f}s"
+    )
+    # Acceptance bars: both map waves write-combine (one PUT per mapper on
+    # each side) and the join wave never exceeds one ranged GET per non-empty
+    # (mapper, reducer, side) slice.
+    assert measurement["combined_put_requests"] <= 2 * measurement["num_workers"]
+    assert measurement["put_collapse"] >= 8.0
+    assert (
+        measurement["combined_ranged_get_requests"]
+        + measurement["empty_slices_elided"]
+        == 2 * measurement["num_workers"] ** 2
+    )
+    assert measurement["join_output_rows"] > 0
+    # The join wave needs zero discovery requests for combined objects (the
+    # offset-bearing keys ride through the driver's map barrier).
+    assert measurement["combined_list_requests"] == 0
+    assert measurement["combined_head_requests"] == 0
+    assert measurement["request_cost_collapse"] >= 4.0
+    assert measurement["modelled_speedup"] >= 1.2
+
+
 def test_end_to_end_query(bench_recorder, experiment_report):
     measurement = measure_end_to_end()
     bench_recorder("end_to_end_q1", **measurement)
@@ -876,6 +1032,7 @@ def main(output_path: str = "BENCH_hot_paths.json") -> Dict:
         "encoded_eval": measure_encoded_eval(),
         "scan_filter": measure_scan_filter(),
         "shuffle_requests": measure_shuffle_requests(),
+        "join_e2e": measure_join_e2e(),
         "end_to_end_q1": measure_end_to_end(),
         "threads_crossover": measure_threads_crossover(),
     }

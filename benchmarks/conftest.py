@@ -11,7 +11,7 @@ timings and the reproduced numbers.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, List
 
 import pytest
 

@@ -38,8 +38,10 @@ from pathlib import Path
 #: ``(section, field)``: the data-plane floors from PR 1, the operator floors
 #: from PR 2 (join probe, exchange routing, shuffle codec framing), the
 #: scan-plane floors from PR 3 (late-materialization scan filter,
-#: encoding-aware predicate evaluation), and the shuffle I/O-plane floors
-#: from PR 4 (write-combined request collapse and its modelled cost).
+#: encoding-aware predicate evaluation), the shuffle I/O-plane floors
+#: from PR 4 (write-combined request collapse and its modelled cost), and
+#: the join-path floors from PR 5 (end-to-end TPC-H Q3 repartitioned over
+#: the write-combined exchange).
 ABSOLUTE_FLOORS = {
     ("partition_scatter", "speedup"): 5.0,
     ("payload_roundtrip", "speedup"): 3.0,
@@ -52,6 +54,9 @@ ABSOLUTE_FLOORS = {
     ("shuffle_requests", "put_collapse"): 16.0,
     ("shuffle_requests", "request_cost_collapse"): 1.5,
     ("shuffle_requests", "modelled_speedup"): 1.2,
+    ("join_e2e", "put_collapse"): 8.0,
+    ("join_e2e", "request_cost_collapse"): 4.0,
+    ("join_e2e", "modelled_speedup"): 1.2,
 }
 
 #: Maximum *absolute* request counts of the write-combined shuffle plane at
@@ -63,6 +68,15 @@ ABSOLUTE_REQUEST_CEILINGS = {
     ("shuffle_requests", "combined_get_requests"): 32 * 32,
     ("shuffle_requests", "combined_list_requests"): 512,
     ("shuffle_requests", "combined_head_requests"): 0,
+    # The join benchmark runs 16 mappers per side into 16 join workers: one
+    # combined PUT per mapper on both sides, at most one ranged GET per
+    # (mapper, reducer, side) slice, and — because the mappers announce their
+    # offset-bearing keys through the driver's map barrier — zero LIST/HEAD
+    # discovery requests.
+    ("join_e2e", "combined_put_requests"): 2 * 16,
+    ("join_e2e", "combined_get_requests"): 2 * 16 * 16,
+    ("join_e2e", "combined_list_requests"): 0,
+    ("join_e2e", "combined_head_requests"): 0,
 }
 
 #: Fields compared against the committed baseline for relative regressions.

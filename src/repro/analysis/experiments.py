@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,6 @@ from repro.config import (
 from repro.driver.driver import LambadaDriver, QueryResult
 from repro.driver.invocation import TreeInvocationModel
 from repro.driver.worker import COLD_EXECUTION_PENALTY
-from repro.formats.schema import ColumnType
 from repro.workload.queries import (
     Q1_SHIPDATE_CUTOFF_DAYS,
     Q6_SHIPDATE_LOWER_DAYS,

@@ -7,7 +7,7 @@ benchmarks can print them and tests can assert their qualitative shape.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.baselines.external import LAMBADA_PAPER_RESULTS, LOCUS_RESULTS, POCKET_RESULTS
 from repro.baselines.iaas import (

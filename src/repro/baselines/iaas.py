@@ -13,14 +13,12 @@ are a faithful re-implementation rather than a substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.cloud.pricing import DEFAULT_PRICES, PriceList
 from repro.config import (
     FAAS_STARTUP_SECONDS,
-    GiB,
     IAAS_STARTUP_SECONDS,
-    MiB,
     S3_STEADY_BANDWIDTH_BYTES_PER_S,
     TB,
     VM_DRAM_BANDWIDTH_BYTES_PER_S,

@@ -20,10 +20,9 @@ are used for calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.cloud.pricing import DEFAULT_PRICES, PriceList
-from repro.config import GiB, LINEITEM_SF1000_BIGQUERY_BYTES, LINEITEM_SF1000_PARQUET_BYTES
+from repro.config import LINEITEM_SF1000_BIGQUERY_BYTES, LINEITEM_SF1000_PARQUET_BYTES
 
 
 @dataclass(frozen=True)

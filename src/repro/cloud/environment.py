@@ -12,7 +12,6 @@ entry point used by the driver, the examples, and the benchmark harness:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cloud.clock import VirtualClock
 from repro.cloud.dynamodb import KeyValueStore

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cloud.clock import VirtualClock
@@ -44,12 +44,7 @@ from repro.config import (
     LAMBDA_WARM_START_SECONDS,
     MiB,
 )
-from repro.errors import (
-    FunctionNotFoundError,
-    FunctionOutOfMemoryError,
-    FunctionTimeoutError,
-    TooManyRequestsError,
-)
+from repro.errors import FunctionNotFoundError, FunctionOutOfMemoryError, TooManyRequestsError
 
 
 def cpu_share_for_memory(memory_mib: int) -> float:

@@ -18,7 +18,7 @@ object atomically.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cloud.clock import VirtualClock

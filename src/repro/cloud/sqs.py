@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.cloud.clock import VirtualClock

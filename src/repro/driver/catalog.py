@@ -22,9 +22,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cloud.dynamodb import KeyValueStore
-from repro.cloud.s3 import ObjectStore, parse_s3_path
+from repro.cloud.s3 import ObjectStore
 from repro.engine.s3io import S3ObjectSource
-from repro.errors import NoSuchTableError, PlanError
+from repro.errors import PlanError
 from repro.formats.parquet import ColumnarFile
 from repro.plan.physical import PruneRange
 

@@ -40,7 +40,7 @@ from repro.engine.table import (
 from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
 from repro.plan.logical import LogicalPlan
 from repro.plan.optimizer import OptimizerReport, optimize
-from repro.plan.physical import PhysicalPlan, resolve_udf
+from repro.plan.physical import JoinPhysicalPlan, PhysicalPlan, resolve_udf
 
 
 @dataclass
@@ -74,8 +74,15 @@ class QueryStatistics:
     rows_decode_saved: int = 0
     column_chunks_skipped: int = 0
     #: Exchange-plane request/byte counters, summed over the fleet (non-zero
-    #: only for plans with an exchange hop, e.g. the shuffle-aggregate path).
+    #: only for plans with an exchange hop, e.g. the shuffle-aggregate and
+    #: shuffle-join paths).
     exchange: ExchangeStats = field(default_factory=ExchangeStats)
+    #: Join-wave counters, summed over the fleet (non-zero only for join
+    #: plans): rows entering the probe/build sides of the join kernels after
+    #: repartitioning, and rows the kernels produced.
+    join_probe_rows: int = 0
+    join_build_rows: int = 0
+    join_output_rows: int = 0
 
     @property
     def cost_total(self) -> float:
@@ -131,6 +138,7 @@ class LambadaDriver:
         worker_timeout_seconds: float = 900.0,
         execution_mode: str = "serial",
         max_parallel_invocations: Optional[int] = None,
+        shuffle_config: Optional["ShuffleConfig"] = None,
     ):
         """``execution_mode`` selects how the simulated fleet runs.
 
@@ -150,6 +158,11 @@ class LambadaDriver:
         self.worker_timeout_seconds = worker_timeout_seconds
         self.execution_mode = execution_mode
         self.max_parallel_invocations = max_parallel_invocations
+        #: Configuration of the shuffle I/O plane used by join queries
+        #: (:class:`~repro.driver.shuffle.ShuffleConfig`); ``None`` selects
+        #: the write-combined default.
+        self.shuffle_config = shuffle_config
+        self._join_coordinator = None
         self.install()
 
     # -- installation -------------------------------------------------------------
@@ -178,7 +191,7 @@ class LambadaDriver:
 
     def execute(
         self,
-        plan: Union[LogicalPlan, PhysicalPlan],
+        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan],
         num_workers: Optional[int] = None,
         files_per_worker: Optional[int] = None,
         cold: bool = False,
@@ -201,12 +214,28 @@ class LambadaDriver:
 
         Failed workers are retried up to ``max_worker_retries`` times before
         the query is aborted with :class:`~repro.errors.WorkerFailedError`.
+
+        Join plans run through the multi-stage shuffle-join schedule, which
+        sizes both map waves and the join wave from ``num_workers`` alone:
+        ``files_per_worker`` is not consulted, a failed worker aborts the
+        query without retries (the waves are barriered), and catalog-based
+        file pruning is rejected explicitly (its single-dataset statistics
+        cannot describe two relations).
         """
         report: Optional[OptimizerReport] = None
         if isinstance(plan, LogicalPlan):
             physical, report = optimize(plan)
         else:
             physical = plan
+
+        if isinstance(physical, JoinPhysicalPlan):
+            if catalog is not None or dataset_name is not None:
+                raise ExecutionError(
+                    "catalog-based file pruning is not supported for join plans"
+                )
+            return self._execute_join(
+                physical, report, num_workers=num_workers, cold=cold
+            )
 
         input_files = self._expand_paths(physical.input_files)
         if catalog is not None and dataset_name is not None:
@@ -268,6 +297,88 @@ class LambadaDriver:
         return QueryResult(
             table=table,
             reduce_value=reduce_value,
+            statistics=statistics,
+            worker_results=worker_results,
+            optimizer_report=report,
+        )
+
+    def _execute_join(
+        self,
+        physical: JoinPhysicalPlan,
+        report: Optional[OptimizerReport],
+        num_workers: Optional[int],
+        cold: bool,
+    ) -> QueryResult:
+        """Execute a join plan through the shuffle-join coordinator.
+
+        The multi-stage schedule (two map waves repartitioning each side by
+        join-key hash through the write-combined exchange, a join wave
+        probing the slices and computing the partial aggregates placed above
+        the join) runs in :class:`~repro.driver.shuffle.
+        ShuffleJoinCoordinator`; this wrapper folds its worker results into
+        the same :class:`QueryStatistics` shape scan queries report, with the
+        exchange and join counters threaded through.
+        """
+        from repro.driver.shuffle import (
+            JOIN_MAP_FUNCTION_NAME,
+            JOIN_REDUCE_FUNCTION_NAME,
+            ShuffleJoinCoordinator,
+        )
+
+        if self._join_coordinator is None:
+            self._join_coordinator = ShuffleJoinCoordinator(
+                self.env, memory_mib=self.memory_mib, config=self.shuffle_config
+            )
+        if cold:
+            for name in (JOIN_MAP_FUNCTION_NAME, JOIN_REDUCE_FUNCTION_NAME):
+                self.env.lambda_service.reset_warm_instances(name)
+        table, join_stats, worker_results = self._join_coordinator.execute(
+            physical, num_workers=num_workers
+        )
+
+        prices = self.env.ledger.prices
+        durations = [result.duration_seconds for result in worker_results]
+        invocation = TreeInvocationModel(region=self.env.region)
+        num_total = join_stats.num_workers
+        result_poll_seconds = 0.3
+        latency = (
+            invocation.time_to_start_all(num_total, cold=cold)
+            + join_stats.modelled_latency_seconds
+            + result_poll_seconds
+        )
+        get_requests = sum(result.get_requests for result in worker_results)
+        exchange = join_stats.exchange
+        cost_s3 = prices.s3_get_cost(
+            get_requests + exchange.get_requests + exchange.head_requests
+        ) + prices.s3_put_cost(exchange.put_requests + exchange.list_requests)
+        sqs_requests = num_total + math.ceil(num_total / 10) + 2
+        statistics = QueryStatistics(
+            num_workers=num_total,
+            memory_mib=self.memory_mib,
+            cold=cold,
+            invocation_seconds=invocation.time_to_start_all(num_total, cold=cold),
+            max_worker_seconds=float(max(durations)) if durations else 0.0,
+            median_worker_seconds=float(np.median(durations)) if durations else 0.0,
+            latency_seconds=latency,
+            rows_scanned=join_stats.rows_scanned,
+            bytes_read=sum(result.bytes_read for result in worker_results),
+            get_requests=get_requests,
+            cost_lambda_duration=sum(
+                prices.lambda_duration_cost(self.memory_mib, duration)
+                for duration in durations
+            ),
+            cost_lambda_requests=prices.lambda_invocation_cost(num_total),
+            cost_s3_requests=cost_s3,
+            cost_sqs_requests=prices.sqs_cost(sqs_requests),
+            worker_durations=durations,
+            exchange=exchange,
+            join_probe_rows=join_stats.join_probe_rows,
+            join_build_rows=join_stats.join_build_rows,
+            join_output_rows=join_stats.join_output_rows,
+        )
+        return QueryResult(
+            table=table,
+            reduce_value=None,
             statistics=statistics,
             worker_results=worker_results,
             optimizer_report=report,

@@ -15,8 +15,8 @@ construct the invocation payloads.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 

@@ -40,6 +40,16 @@ Request/byte counters of both waves are accumulated into
 The driver only concatenates the disjoint reduce outputs and finalises derived
 aggregates (``avg``), so its work is proportional to the result size of its
 own share, not to the number of groups.
+
+:class:`ShuffleJoinCoordinator` extends the same machinery to distributed
+equi-joins (TPC-H Q3/Q12/Q14): one map wave per side repartitions the
+filtered, projected rows by join-key hash through the write-combined
+exchange, and the join wave probes both sides' slices with the vectorized
+:func:`~repro.engine.join.hash_join` kernel before computing the partial
+aggregates placed above the join.  Because the driver barriers on the map
+waves, mappers announce their offset-bearing combined keys through the
+result queue and the join wave needs **zero** discovery requests — one
+ranged GET per non-empty slice is all it issues.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from repro.cloud.s3 import ObjectMetadata, parse_s3_path
 from repro.config import S3_REQUEST_LATENCY_SECONDS
 from repro.driver.worker import RESULT_BUCKET, RESULT_SPILL_BYTES
 from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
+from repro.engine.join import hash_join
 from repro.engine.payload import decode_table, encode_table
 from repro.engine.pipeline import WorkerResult
 from repro.engine.scan import S3ScanOperator, ScanConfig
@@ -63,6 +74,7 @@ from repro.engine.table import (
     Table,
     concat_tables,
     filter_table,
+    select_columns,
     sort_table,
     table_num_rows,
 )
@@ -86,11 +98,13 @@ from repro.formats.compression import Compression
 from repro.plan.expressions import evaluate, expression_from_dict, expression_to_dict
 from repro.plan.logical import AggregateSpec
 from repro.plan.optimizer import _decompose_aggregates
-from repro.plan.physical import PruneRange
+from repro.plan.physical import JoinPhysicalPlan, JoinSidePlan, PruneRange
 
 MAP_FUNCTION_NAME = "lambada-shuffle-map"
 REDUCE_FUNCTION_NAME = "lambada-shuffle-reduce"
 SHUFFLE_RESULT_QUEUE = "lambada-shuffle-results"
+JOIN_MAP_FUNCTION_NAME = "lambada-join-map"
+JOIN_REDUCE_FUNCTION_NAME = "lambada-join-reduce"
 
 #: Bucket family of the shuffle exchange objects (spread per §4.4.1).
 SHUFFLE_BUCKET_PREFIX = "shuffle-b"
@@ -144,6 +158,50 @@ class ShuffleStatistics:
     def modelled_latency_seconds(self) -> float:
         """Modelled end-to-end shuffle latency (the waves are barriered)."""
         return self.modelled_map_seconds + self.modelled_reduce_seconds
+
+
+def _expand_glob_paths(s3, paths: Sequence[str]) -> List[str]:
+    """Expand glob patterns against the object store.
+
+    Globs over missing buckets expand to nothing; the caller then reports
+    "no input files" (mirroring ``LambadaDriver._expand_paths``).
+    """
+    expanded: List[str] = []
+    for path in paths:
+        if "*" in path:
+            try:
+                expanded.extend(s3.glob(path))
+            except NoSuchBucketError:
+                continue
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def _collect_wave_messages(
+    sqs, queue: str, query_id: str, expected: int, what: str
+) -> List[Dict]:
+    """Poll ``queue`` until ``expected`` ok-messages of ``query_id`` arrived.
+
+    Messages of other queries are skipped; a non-ok message aborts with
+    :class:`~repro.errors.WorkerFailedError`.  Shared by the shuffle
+    aggregation and shuffle join coordinators.
+    """
+    messages: List[Dict] = []
+    for _ in range(max(64, expected * 4)):
+        for message in sqs.receive_messages(queue, max_messages=10):
+            payload = message.json()
+            if payload.get("query_id") != query_id:
+                continue
+            if payload.get("status") != "ok":
+                raise WorkerFailedError(payload.get("worker_id", -1),
+                                        payload.get("error", "unknown error"))
+            messages.append(payload)
+        if len(messages) >= expected:
+            return messages
+    raise QueryTimeoutError(
+        f"received {len(messages)} of {expected} {what} results before giving up"
+    )
 
 
 def _map_naming(query_id: str, num_buckets: int) -> WriteCombiningNaming:
@@ -304,6 +362,68 @@ def _discover_legacy(
     return found
 
 
+def _collect_partition_pieces(
+    env: CloudEnvironment,
+    combined_naming: WriteCombiningNaming,
+    legacy_naming: MultiBucketNaming,
+    combined_senders: Sequence[int],
+    object_senders: Sequence[int],
+    partition: int,
+    num_partitions: int,
+    max_poll_rounds: int,
+    stats: ExchangeStats,
+) -> tuple:
+    """Read every sender's slice addressed to ``partition``.
+
+    Combined senders are discovered through batched LISTs (offsets ride in
+    the keys) and served with one ranged GET per non-empty slice; legacy
+    senders are located with one LIST and served with whole-object GETs.
+    Returns ``(pieces, objects_read)`` with empty pieces dropped; both the
+    shuffle-aggregation reduce wave and the join wave (once per side) share
+    this path.
+    """
+    combined = discover_combined_objects(
+        env.s3, combined_naming, combined_senders, max_poll_rounds, stats
+    )
+    legacy = _discover_legacy(env, legacy_naming, object_senders, partition, stats)
+
+    pieces: List[Table] = []
+    objects_read = 0
+    for sender in sorted(list(combined_senders) + list(object_senders)):
+        if sender in combined:
+            meta, offsets = combined[sender]
+            if len(offsets) != num_partitions + 1:
+                raise ExchangeError(
+                    f"combined object {meta.path!r} has {len(offsets) - 1} "
+                    f"parts, expected {num_partitions}"
+                )
+            start, end = offsets[partition], offsets[partition + 1]
+            if end <= start:
+                # Empty slice: zero bytes in the object, no GET at all.
+                stats.empty_parts_elided += 1
+                continue
+            result = env.s3.get_path(meta.path, start, end)
+            stats.get_requests += 1
+            stats.ranged_get_requests += 1
+            stats.bytes_read += len(result.data)
+            stats.bytes_touched += meta.size
+            objects_read += 1
+            piece = decode_partition_slice(result.data)
+        elif sender in legacy:
+            meta = legacy[sender]
+            result = env.s3.get_path(meta.path)
+            stats.get_requests += 1
+            stats.bytes_read += len(result.data)
+            stats.bytes_touched += meta.size
+            objects_read += 1
+            piece = deserialize_partition(result.data)
+        else:
+            continue  # elided empty partition (already counted)
+        if table_num_rows(piece):
+            pieces.append(piece)
+    return pieces, objects_read
+
+
 def _make_reduce_handler(env: CloudEnvironment):
     """Handler of the reduce-wave function."""
 
@@ -321,55 +441,17 @@ def _make_reduce_handler(env: CloudEnvironment):
         max_poll_rounds = int(event.get("max_poll_rounds", 10))
 
         stats = ExchangeStats()
-        combined = discover_combined_objects(
-            env.s3,
+        pieces, objects_read = _collect_partition_pieces(
+            env,
             _map_naming(query_id, num_buckets),
+            _legacy_naming(query_id, num_buckets),
             combined_senders,
+            object_senders,
+            partition,
+            num_partitions,
             max_poll_rounds,
             stats,
         )
-        legacy = _discover_legacy(
-            env,
-            _legacy_naming(query_id, num_buckets),
-            object_senders,
-            partition,
-            stats,
-        )
-
-        pieces: List[Table] = []
-        objects_read = 0
-        for sender in sorted(combined_senders + object_senders):
-            if sender in combined:
-                meta, offsets = combined[sender]
-                if len(offsets) != num_partitions + 1:
-                    raise ExchangeError(
-                        f"combined object {meta.path!r} has {len(offsets) - 1} "
-                        f"parts, expected {num_partitions}"
-                    )
-                start, end = offsets[partition], offsets[partition + 1]
-                if end <= start:
-                    # Empty slice: zero bytes in the object, no GET at all.
-                    stats.empty_parts_elided += 1
-                    continue
-                result = env.s3.get_path(meta.path, start, end)
-                stats.get_requests += 1
-                stats.ranged_get_requests += 1
-                stats.bytes_read += len(result.data)
-                stats.bytes_touched += meta.size
-                objects_read += 1
-                piece = decode_partition_slice(result.data)
-            elif sender in legacy:
-                meta = legacy[sender]
-                result = env.s3.get_path(meta.path)
-                stats.get_requests += 1
-                stats.bytes_read += len(result.data)
-                stats.bytes_touched += meta.size
-                objects_read += 1
-                piece = deserialize_partition(result.data)
-            else:
-                continue  # elided empty partition (already counted)
-            if table_num_rows(piece):
-                pieces.append(piece)
         # Single merge pass: the zero-copy slice views are folded (and thereby
         # materialised into fresh group buffers) exactly once.
         merged = merge_partials(pieces, group_by, partials_specs)
@@ -578,27 +660,568 @@ class ShuffleAggregateCoordinator:
     # -- helpers --------------------------------------------------------------------------
 
     def _expand(self, paths: Sequence[str]) -> List[str]:
-        expanded: List[str] = []
-        for path in paths:
-            if "*" in path:
-                expanded.extend(self.env.s3.glob(path))
-            else:
-                expanded.append(path)
-        return expanded
+        return _expand_glob_paths(self.env.s3, paths)
 
     def _collect(self, query_id: str, expected: int) -> List[Dict]:
-        messages: List[Dict] = []
-        for _ in range(max(64, expected * 4)):
-            for message in self.env.sqs.receive_messages(self.result_queue, max_messages=10):
-                payload = message.json()
-                if payload.get("query_id") != query_id:
+        return _collect_wave_messages(
+            self.env.sqs, self.result_queue, query_id, expected, "shuffle"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Distributed shuffle join
+# ---------------------------------------------------------------------------
+
+JOIN_RESULT_QUEUE = "lambada-join-results"
+
+#: Side tags of the join exchange; each side writes under its own prefix of
+#: the shuffle buckets so the two repartition streams never collide.
+JOIN_SIDES = ("L", "R")
+
+
+def _join_map_naming(query_id: str, side: str, num_buckets: int) -> WriteCombiningNaming:
+    """Naming of one side's combined (write-combined) map outputs."""
+    return WriteCombiningNaming(
+        bucket=SHUFFLE_BUCKET_PREFIX,
+        prefix=f"{query_id}/{side}/",
+        num_buckets=num_buckets,
+    )
+
+
+def _join_legacy_naming(query_id: str, side: str, num_buckets: int) -> MultiBucketNaming:
+    """Naming of one side's legacy one-object-per-receiver map outputs."""
+    return MultiBucketNaming(
+        num_buckets=num_buckets,
+        bucket_prefix=SHUFFLE_BUCKET_PREFIX,
+        prefix=f"{query_id}/{side}/",
+    )
+
+
+def _make_join_map_handler(env: CloudEnvironment):
+    """Handler of the join map-wave function.
+
+    One side's mapper scans its files with the side's pushed-down predicate
+    and projection, hash-partitions the surviving rows by the join key, and
+    ships the partitions through the write-combined exchange (one combined
+    PUT per mapper; the legacy one-object-per-receiver plane survives behind
+    ``write_combining=False``).
+    """
+
+    def handler(event: Dict, context: InvocationContext) -> Dict:
+        query_id = event["query_id"]
+        worker_id = event["worker_id"]
+        side = event["side"]
+        side_plan = JoinSidePlan.from_dict(event)
+        num_partitions = event["num_partitions"]
+        write_combining = bool(event.get("write_combining", True))
+        fast_codec = bool(event.get("fast_codec", True))
+        compression = Compression(event.get("compression", Compression.FAST.value))
+        num_buckets = int(event.get("num_buckets", 10))
+
+        scan = S3ScanOperator(
+            env.s3,
+            files=side_plan.files,
+            columns=side_plan.columns or None,
+            prune_ranges=side_plan.prune_ranges,
+            config=ScanConfig(memory_mib=context.memory_mib),
+            bandwidth=env.bandwidth,
+            predicate=side_plan.predicate,
+        )
+        # The pushed-down predicate rides inside the scan operator, so chunks
+        # arrive already filtered through the late-materialization path.
+        rows = concat_tables(list(scan.scan()))
+
+        assignment = partition_assignments(rows, [side_plan.key], num_partitions)
+        reordered, boundaries = scatter_by_assignment(rows, assignment, num_partitions)
+
+        stats = ExchangeStats()
+        written = 0
+        combined_written = False
+        if write_combining:
+            naming = _join_map_naming(query_id, side, num_buckets)
+            payload, offsets = encode_partition_set(reordered, boundaries, compression)
+            try:
+                path = naming.combined_path(worker_id, offsets)
+            except ExchangeError:
+                # Offset directory overflows the S3 key limit (very wide
+                # fleet): fall back to per-receiver objects for this mapper.
+                pass
+            else:
+                env.s3.put_path(path, payload)
+                stats.put_requests += 1
+                stats.combined_put_requests += 1
+                stats.bytes_written += len(payload)
+                written = 1
+                combined_written = True
+        if not combined_written:
+            naming = _join_legacy_naming(query_id, side, num_buckets)
+            for receiver in range(num_partitions):
+                data = serialize_partition(
+                    slice_partition(reordered, boundaries, receiver),
+                    compression,
+                    fast=fast_codec,
+                )
+                if not data:
+                    stats.empty_parts_elided += 1
                     continue
-                if payload.get("status") != "ok":
-                    raise WorkerFailedError(payload.get("worker_id", -1),
-                                            payload.get("error", "unknown error"))
-                messages.append(payload)
-            if len(messages) >= expected:
-                return messages
-        raise QueryTimeoutError(
-            f"received {len(messages)} of {expected} shuffle results before giving up"
+                env.s3.put_path(naming.path(worker_id, receiver), data)
+                stats.put_requests += 1
+                stats.bytes_written += len(data)
+                written += 1
+        modelled_seconds = (
+            scan.modelled_seconds()
+            + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
+        )
+        context.charge(modelled_seconds)
+
+        result = WorkerResult(
+            partial={},
+            rows_scanned=scan.counters.rows_scanned,
+            rows_after_filter=table_num_rows(rows),
+            get_requests=scan.statistics.get_requests,
+            bytes_read=scan.statistics.bytes_read,
+            duration_seconds=modelled_seconds,
+            exchange_stats=stats.to_dict(),
+        )
+        message = {
+            "query_id": query_id,
+            "worker_id": worker_id,
+            "side": side,
+            "status": "ok",
+            "format": "combined" if combined_written else "objects",
+            "rows_scanned": scan.counters.rows_scanned,
+            "partitions_written": written,
+            "worker_result": result.to_payload(),
+        }
+        if combined_written:
+            # The offset directory rides in the key; shipping the path through
+            # the driver's map barrier lets the join wave skip discovery LISTs
+            # entirely (zero requests beyond the ranged slice GETs).
+            message["combined_path"] = path
+            message["combined_size"] = len(payload)
+        env.sqs.send_json(event["result_queue"], message)
+        return message
+
+    return handler
+
+
+def _read_combined_slices(
+    env: CloudEnvironment,
+    combined_objects: Sequence,
+    partition: int,
+    num_partitions: int,
+    stats: ExchangeStats,
+) -> tuple:
+    """Read one partition's slice of each pre-announced combined object.
+
+    ``combined_objects`` is a list of ``(sender, path, size)`` entries whose
+    keys embed the offset directory (announced by the mappers through the
+    driver's map-wave barrier), so no LIST/HEAD discovery is needed: empty
+    slices are recognised from the offsets at zero request cost and every
+    non-empty slice costs exactly one ranged GET.
+    """
+    pieces: List[Table] = []
+    objects_read = 0
+    for _sender, path, size in combined_objects:
+        _, key = parse_s3_path(path)
+        _, offsets = WriteCombiningNaming.parse_offsets(key)
+        if len(offsets) != num_partitions + 1:
+            raise ExchangeError(
+                f"combined object {path!r} has {len(offsets) - 1} "
+                f"parts, expected {num_partitions}"
+            )
+        start, end = offsets[partition], offsets[partition + 1]
+        if end <= start:
+            stats.empty_parts_elided += 1
+            continue
+        result = env.s3.get_path(path, start, end)
+        stats.get_requests += 1
+        stats.ranged_get_requests += 1
+        stats.bytes_read += len(result.data)
+        stats.bytes_touched += int(size)
+        objects_read += 1
+        piece = decode_partition_slice(result.data)
+        if table_num_rows(piece):
+            pieces.append(piece)
+    return pieces, objects_read
+
+
+def _make_join_reduce_handler(env: CloudEnvironment):
+    """Handler of the join-wave function.
+
+    Each join worker owns one hash partition of the key space: it reads its
+    slice of every mapper's output on both sides (write-combined objects are
+    announced with their offset-bearing keys through the driver barrier, so
+    non-empty slices cost one ranged GET each and nothing else), probes the
+    build (right) side with the vectorized join kernel, applies the residual
+    two-sided predicate, computes the partial aggregates placed above the
+    join, and returns the partials (or the joined rows for aggregate-free
+    queries) to the driver.
+    """
+
+    def handler(event: Dict, context: InvocationContext) -> Dict:
+        import json
+
+        query_id = event["query_id"]
+        partition = event["partition"]
+        num_partitions = event["num_partitions"]
+        group_by = list(event["group_by"])
+        partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
+        residual = expression_from_dict(event.get("residual_predicate"))
+        collect_rows = bool(event.get("collect_rows", False))
+        suffix = event.get("suffix", "_right")
+        num_buckets = int(event.get("num_buckets", 10))
+
+        stats = ExchangeStats()
+        side_tables: Dict[str, Table] = {}
+        objects_read = 0
+        for side in JOIN_SIDES:
+            spec = event["sides"][side]
+            pieces, side_objects = _read_combined_slices(
+                env,
+                spec.get("combined", []),
+                partition,
+                num_partitions,
+                stats,
+            )
+            objects_read += side_objects
+            object_senders = list(spec.get("object_senders", []))
+            legacy = _discover_legacy(
+                env,
+                _join_legacy_naming(query_id, side, num_buckets),
+                object_senders,
+                partition,
+                stats,
+            )
+            for sender in sorted(object_senders):
+                if sender not in legacy:
+                    continue  # elided empty partition (already counted)
+                meta = legacy[sender]
+                result = env.s3.get_path(meta.path)
+                stats.get_requests += 1
+                stats.bytes_read += len(result.data)
+                stats.bytes_touched += meta.size
+                objects_read += 1
+                piece = deserialize_partition(result.data)
+                if table_num_rows(piece):
+                    pieces.append(piece)
+            side_tables[side] = concat_tables(pieces) if pieces else {}
+
+        left, right = side_tables["L"], side_tables["R"]
+        left_key = event["sides"]["L"]["key"]
+        right_key = event["sides"]["R"]["key"]
+        probe_rows = table_num_rows(left)
+        build_rows = table_num_rows(right)
+        if probe_rows and build_rows:
+            joined = hash_join(left, right, left_key, right_key, suffix=suffix)
+            if residual is not None and table_num_rows(joined):
+                joined = filter_table(
+                    joined, np.asarray(evaluate(residual, joined), dtype=bool)
+                )
+        else:
+            # One side is empty: an inner join produces nothing; the partial
+            # aggregate below still emits the right (empty) columns.
+            joined = {}
+        output_rows = table_num_rows(joined)
+
+        if collect_rows:
+            partial_table = joined
+        else:
+            partial_table = partial_aggregate(joined, group_by, partials_specs)
+        modelled_seconds = (
+            0.1
+            + 0.001 * objects_read
+            + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
+        )
+        context.charge(modelled_seconds)
+
+        result = WorkerResult(
+            partial={},
+            rows_output=table_num_rows(partial_table),
+            join_probe_rows=probe_rows,
+            join_build_rows=build_rows,
+            join_output_rows=output_rows,
+            duration_seconds=modelled_seconds,
+            exchange_stats=stats.to_dict(),
+        )
+        payload = {
+            "query_id": query_id,
+            "worker_id": partition,
+            "status": "ok",
+            "objects_read": objects_read,
+            "worker_result": result.to_payload(),
+            "result": encode_table(partial_table),
+        }
+        encoded = json.dumps(payload).encode("utf-8")
+        if len(encoded) > RESULT_SPILL_BYTES:
+            env.s3.ensure_bucket(RESULT_BUCKET)
+            spill_key = f"{query_id}/join-{partition}.json"
+            env.s3.put_object(RESULT_BUCKET, spill_key, encoded)
+            env.sqs.send_json(
+                event["result_queue"],
+                {
+                    "query_id": query_id,
+                    "worker_id": partition,
+                    "status": "ok",
+                    "objects_read": objects_read,
+                    "worker_result": result.to_payload(),
+                    "result_s3": f"s3://{RESULT_BUCKET}/{spill_key}",
+                },
+            )
+        else:
+            env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
+        return payload
+
+    return handler
+
+
+@dataclass
+class JoinStatistics:
+    """Statistics of one distributed join execution."""
+
+    left_map_workers: int
+    right_map_workers: int
+    reduce_workers: int
+    rows_scanned: int
+    #: Rows entering the join kernels across the fleet (after repartition).
+    join_probe_rows: int
+    join_build_rows: int
+    #: Rows produced by the join kernels (before the residual predicate).
+    join_output_rows: int
+    result_rows: int
+    #: Partition objects written / non-empty slices read, both sides summed.
+    partition_objects_written: int
+    partition_objects_read: int
+    #: Request and byte counters of all three waves.
+    exchange: ExchangeStats = field(default_factory=ExchangeStats)
+    modelled_map_seconds: float = 0.0
+    modelled_reduce_seconds: float = 0.0
+
+    @property
+    def modelled_latency_seconds(self) -> float:
+        """Modelled end-to-end join latency (map and join waves are barriered)."""
+        return self.modelled_map_seconds + self.modelled_reduce_seconds
+
+    @property
+    def num_workers(self) -> int:
+        """Total serverless workers across all waves."""
+        return self.left_map_workers + self.right_map_workers + self.reduce_workers
+
+
+class ShuffleJoinCoordinator:
+    """Coordinates a distributed equi-join as map waves + a join wave.
+
+    Execution plan of a :class:`~repro.plan.physical.JoinPhysicalPlan`:
+
+    1. **map waves** (one per side) — scan, per-side pushed-down filter,
+       projection, repartition by join-key hash through the write-combined
+       exchange (one combined PUT per mapper, offsets in the key);
+    2. **join wave** — one worker per hash partition reads its slices from
+       both sides (batched-LIST discovery, one ranged GET per non-empty
+       slice), probes with :func:`~repro.engine.join.hash_join`, applies the
+       residual predicate, and computes the partial aggregates placed above
+       the join;
+    3. **driver scope** — merge the disjoint partials, finalise derived
+       aggregates, order, and limit.
+    """
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        memory_mib: int = 2048,
+        num_buckets: int = 10,
+        result_queue: str = JOIN_RESULT_QUEUE,
+        config: Optional[ShuffleConfig] = None,
+    ):
+        self.env = env
+        self.memory_mib = memory_mib
+        self.num_buckets = num_buckets
+        self.result_queue = result_queue
+        self.config = config or ShuffleConfig()
+        env.sqs.create_queue(result_queue)
+        env.lambda_service.deploy(
+            FunctionConfig(name=JOIN_MAP_FUNCTION_NAME, memory_mib=memory_mib),
+            _make_join_map_handler(env),
+        )
+        env.lambda_service.deploy(
+            FunctionConfig(name=JOIN_REDUCE_FUNCTION_NAME, memory_mib=memory_mib),
+            _make_join_reduce_handler(env),
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def _map_mode(self, side: str, worker_id: int) -> bool:
+        """Whether mapper ``worker_id`` of ``side`` write-combines (see
+        :meth:`ShuffleAggregateCoordinator._map_mode`)."""
+        return self.config.write_combining
+
+    def execute(
+        self,
+        physical: JoinPhysicalPlan,
+        num_workers: Optional[int] = None,
+    ):
+        """Run the join plan; returns ``(table, statistics, worker_results)``."""
+        sides: Dict[str, JoinSidePlan] = {"L": physical.left, "R": physical.right}
+        paths: Dict[str, List[str]] = {}
+        for side, plan in sides.items():
+            expanded = self._expand(plan.files)
+            if not expanded:
+                raise ExecutionError(
+                    f"join {'left' if side == 'L' else 'right'} side has no input files"
+                )
+            paths[side] = expanded
+
+        mappers = {
+            side: min(num_workers or len(paths[side]), len(paths[side]))
+            for side in JOIN_SIDES
+        }
+        num_partitions = num_workers or max(mappers.values())
+
+        query_id = uuid.uuid4().hex[:12]
+        for side in JOIN_SIDES:
+            for naming in (
+                _join_map_naming(query_id, side, self.num_buckets),
+                _join_legacy_naming(query_id, side, self.num_buckets),
+            ):
+                for bucket in naming.buckets():
+                    self.env.s3.ensure_bucket(bucket)
+
+        # -- map waves (both sides dispatched before collecting either) ------------
+        assignments: Dict[str, List[List[str]]] = {}
+        for side in JOIN_SIDES:
+            plan = sides[side]
+            side_assignments = [paths[side][i::mappers[side]] for i in range(mappers[side])]
+            side_assignments = [files for files in side_assignments if files]
+            assignments[side] = side_assignments
+            for worker_id, files in enumerate(side_assignments):
+                # The side fragment travels through its own serialisation
+                # (with the worker's file assignment substituted in).
+                fragment = plan.to_dict()
+                fragment["files"] = files
+                event = {
+                    **fragment,
+                    "query_id": query_id,
+                    "worker_id": worker_id,
+                    "side": side,
+                    "num_partitions": num_partitions,
+                    "result_queue": self.result_queue,
+                    "write_combining": self._map_mode(side, worker_id),
+                    "fast_codec": self.config.fast_codec,
+                    "compression": self.config.compression.value,
+                    "num_buckets": self.num_buckets,
+                }
+                self.env.lambda_service.invoke(JOIN_MAP_FUNCTION_NAME, event)
+        expected_mappers = sum(len(assignments[side]) for side in JOIN_SIDES)
+        map_messages = self._collect(query_id, expected=expected_mappers)
+
+        sender_spec: Dict[str, Dict] = {}
+        for side in JOIN_SIDES:
+            side_messages = [m for m in map_messages if m.get("side") == side]
+            sender_spec[side] = {
+                "key": sides[side].key,
+                # Combined objects are announced with their offset-bearing
+                # paths: the join wave needs no discovery requests for them.
+                "combined": sorted(
+                    [m["worker_id"], m["combined_path"], m["combined_size"]]
+                    for m in side_messages
+                    if m.get("format") == "combined"
+                ),
+                "object_senders": sorted(
+                    m["worker_id"] for m in side_messages if m.get("format") != "combined"
+                ),
+            }
+        rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
+        objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
+
+        # -- join wave --------------------------------------------------------------
+        for partition in range(num_partitions):
+            event = {
+                "query_id": query_id,
+                "partition": partition,
+                "num_partitions": num_partitions,
+                "sides": sender_spec,
+                "group_by": list(physical.group_by),
+                "aggregates": [spec.to_dict() for spec in physical.aggregates],
+                "residual_predicate": expression_to_dict(physical.residual_predicate),
+                "collect_rows": physical.driver.collect_rows,
+                "suffix": physical.suffix,
+                "result_queue": self.result_queue,
+                "num_buckets": self.num_buckets,
+            }
+            self.env.lambda_service.invoke(JOIN_REDUCE_FUNCTION_NAME, event)
+        reduce_messages = self._collect(query_id, expected=num_partitions)
+        objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
+
+        # -- fold statistics ---------------------------------------------------------
+        exchange = ExchangeStats()
+        wave_seconds = {"map": 0.0, "reduce": 0.0}
+        worker_results: List[WorkerResult] = []
+        counters = {"probe": 0, "build": 0, "output": 0}
+        for wave, messages in (("map", map_messages), ("reduce", reduce_messages)):
+            for message in messages:
+                payload = message.get("worker_result")
+                if not payload:
+                    continue
+                parsed = WorkerResult.from_payload(payload)
+                worker_results.append(parsed)
+                exchange.merge(ExchangeStats.from_dict(parsed.exchange_stats))
+                wave_seconds[wave] = max(wave_seconds[wave], parsed.duration_seconds)
+                counters["probe"] += parsed.join_probe_rows
+                counters["build"] += parsed.join_build_rows
+                counters["output"] += parsed.join_output_rows
+
+        # -- driver scope ------------------------------------------------------------
+        import json
+
+        partials: List[Table] = []
+        for message in reduce_messages:
+            if "result_s3" in message:
+                bucket, key = parse_s3_path(message["result_s3"])
+                message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
+            partials.append(decode_table(message["result"]))
+
+        driver_plan = physical.driver
+        if driver_plan.collect_rows:
+            result = concat_tables([piece for piece in partials if table_num_rows(piece)])
+            if physical.project and result:
+                # Explicit projection above the join: drop the join key and
+                # predicate columns the repartition needed but the user did
+                # not select.
+                result = select_columns(result, physical.project)
+        else:
+            merged = merge_partials(partials, physical.group_by, physical.aggregates)
+            result = finalize_aggregates(
+                merged, physical.group_by, driver_plan.final_aggregates
+            )
+        if driver_plan.order_by:
+            result = sort_table(result, driver_plan.order_by, driver_plan.descending)
+        if driver_plan.limit is not None:
+            count = min(driver_plan.limit, table_num_rows(result))
+            result = {name: np.asarray(column)[:count] for name, column in result.items()}
+
+        statistics = JoinStatistics(
+            left_map_workers=len(assignments["L"]),
+            right_map_workers=len(assignments["R"]),
+            reduce_workers=num_partitions,
+            rows_scanned=rows_scanned,
+            join_probe_rows=counters["probe"],
+            join_build_rows=counters["build"],
+            join_output_rows=counters["output"],
+            result_rows=table_num_rows(result),
+            partition_objects_written=objects_written,
+            partition_objects_read=objects_read,
+            exchange=exchange,
+            modelled_map_seconds=wave_seconds["map"],
+            modelled_reduce_seconds=wave_seconds["reduce"],
+        )
+        return result, statistics, worker_results
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _expand(self, paths: Sequence[str]) -> List[str]:
+        return _expand_glob_paths(self.env.s3, paths)
+
+    def _collect(self, query_id: str, expected: int) -> List[Dict]:
+        return _collect_wave_messages(
+            self.env.sqs, self.result_queue, query_id, expected, "join"
         )

@@ -11,7 +11,7 @@ and the benchmarks consume.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -21,13 +21,7 @@ from repro.cloud.s3 import ObjectStore
 from repro.engine.aggregates import merge_partials, partial_aggregate
 from repro.engine.payload import encode_table
 from repro.engine.scan import S3ScanOperator, ScanConfig
-from repro.engine.table import (
-    Table,
-    concat_tables,
-    filter_table,
-    select_columns,
-    table_num_rows,
-)
+from repro.engine.table import Table, concat_tables, filter_table, table_num_rows
 from repro.errors import ExecutionError
 from repro.plan.expressions import evaluate
 from repro.plan.physical import WorkerPlan, resolve_udf
@@ -70,6 +64,11 @@ class WorkerResult:
     column_chunks_skipped: int = 0
     get_requests: int = 0
     bytes_read: int = 0
+    #: Join-wave counters (non-zero only for shuffle-join workers): probe-side
+    #: and build-side input rows and rows produced by the join kernel.
+    join_probe_rows: int = 0
+    join_build_rows: int = 0
+    join_output_rows: int = 0
     #: Modelled time breakdown, seconds.
     metadata_seconds: float = 0.0
     download_seconds: float = 0.0
@@ -96,6 +95,9 @@ class WorkerResult:
             "column_chunks_skipped": self.column_chunks_skipped,
             "get_requests": self.get_requests,
             "bytes_read": self.bytes_read,
+            "join_probe_rows": self.join_probe_rows,
+            "join_build_rows": self.join_build_rows,
+            "join_output_rows": self.join_output_rows,
             "metadata_seconds": self.metadata_seconds,
             "download_seconds": self.download_seconds,
             "compute_seconds": self.compute_seconds,

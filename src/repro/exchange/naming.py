@@ -17,8 +17,7 @@ provided:
 from __future__ import annotations
 
 import abc
-import json
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.config import S3_MAX_KEY_LENGTH
 from repro.errors import ExchangeError

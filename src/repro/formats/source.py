@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Optional
 
 
 class RandomAccessSource(abc.ABC):

@@ -15,7 +15,7 @@ A :class:`LambadaSession` binds dataflows to a driver so that
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.driver.driver import LambadaDriver, QueryResult
 from repro.errors import InvalidPlanError

@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlSyntaxError
-from repro.plan.expressions import BooleanExpr, Column, Expression, Literal, col, lit
+from repro.plan.expressions import Column, Expression, col, lit
 from repro.plan.logical import (
     AggregateNode,
     AggregateSpec,
     FilterNode,
+    JoinNode,
     LimitNode,
     LogicalPlan,
     OrderByNode,
@@ -87,13 +88,29 @@ def date_to_days(year: int, month: int, day: int) -> int:
 
 @dataclass
 class SqlCatalog:
-    """Maps table names to the object-store paths (or globs) of their files."""
+    """Maps table names to the object-store paths (or globs) of their files.
+
+    Tables may optionally be registered with their column names; the schema
+    hint lets the planner decide which side of a join owns an unqualified
+    column (per-side predicate and projection push-down).
+    """
 
     tables: Dict[str, Sequence[str]] = field(default_factory=dict)
+    columns: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
-    def register(self, name: str, paths: Sequence[str]) -> None:
-        """Register (or replace) a table."""
+    def register(
+        self, name: str, paths: Sequence[str], columns: Optional[Sequence[str]] = None
+    ) -> None:
+        """Register (or replace) a table, optionally with its column names."""
         self.tables[name.lower()] = list(paths)
+        if columns is not None:
+            self.columns[name.lower()] = tuple(columns)
+        else:
+            self.columns.pop(name.lower(), None)
+
+    def register_dataset(self, dataset) -> None:
+        """Register a generated dataset (anything with name/paths/schema)."""
+        self.register(dataset.name, dataset.paths, columns=dataset.schema.names)
 
     def paths_of(self, name: str) -> Tuple[str, ...]:
         """Paths of a registered table."""
@@ -104,6 +121,10 @@ class SqlCatalog:
         if isinstance(paths, str):
             return (paths,)
         return tuple(paths)
+
+    def columns_of(self, name: str) -> Tuple[str, ...]:
+        """Registered column names of a table (empty when unknown)."""
+        return self.columns.get(name.lower(), ())
 
 
 @dataclass
@@ -199,8 +220,34 @@ class _Parser:
             return lit(int(value)) if value.is_integer() and "." not in token.value else lit(value)
         if token.kind == "ident":
             self._next()
-            return col(token.value.lower())
+            name = token.value.lower()
+            if self._accept_op("."):
+                # Qualified reference (table.column): column names are unique
+                # across the numeric TPC-H relations, so the qualifier only
+                # disambiguates for the reader and is dropped here.
+                column_token = self._next()
+                if column_token.kind != "ident":
+                    raise SqlSyntaxError(
+                        f"expected a column name after '.', found {column_token}"
+                    )
+                name = column_token.value.lower()
+            return col(name)
         raise SqlSyntaxError(f"unexpected token {token}")
+
+    def parse_column_ref(self) -> Tuple[Optional[str], str]:
+        """A possibly qualified column reference: ``(qualifier, column)``."""
+        token = self._next()
+        if token.kind != "ident":
+            raise SqlSyntaxError(f"expected a column name, found {token}")
+        first = token.value.lower()
+        if self._accept_op("."):
+            column_token = self._next()
+            if column_token.kind != "ident":
+                raise SqlSyntaxError(
+                    f"expected a column name after '.', found {column_token}"
+                )
+            return first, column_token.value.lower()
+        return None, first
 
     def parse_predicate(self) -> Expression:
         """or_expr := and_expr (OR and_expr)*"""
@@ -295,7 +342,24 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
     table_token = parser._next()
     if table_token.kind != "ident":
         raise SqlSyntaxError(f"expected a table name, found {table_token}")
-    paths = catalog.paths_of(table_token.value)
+    left_table = table_token.value.lower()
+    paths = catalog.paths_of(left_table)
+
+    join_clause: Optional[Tuple[str, str, str]] = None  # (right_table, left_key, right_key)
+    if parser._accept_keyword("join"):
+        right_token = parser._next()
+        if right_token.kind != "ident":
+            raise SqlSyntaxError(f"expected a table name after JOIN, found {right_token}")
+        right_table = right_token.value.lower()
+        catalog.paths_of(right_table)  # validate early
+        parser._expect_keyword("on")
+        first_ref = parser.parse_column_ref()
+        parser._expect_op("=")
+        second_ref = parser.parse_column_ref()
+        join_clause = (
+            right_table,
+            *_resolve_join_keys(catalog, left_table, right_table, first_ref, second_ref),
+        )
 
     predicate: Optional[Expression] = None
     if parser._accept_keyword("where"):
@@ -331,7 +395,20 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
         raise SqlSyntaxError(f"unexpected trailing tokens starting at {parser._peek()}")
 
     # -- build the logical plan -------------------------------------------------------
-    plan: LogicalPlan = ScanNode(paths=paths)
+    plan: LogicalPlan = ScanNode(
+        paths=paths, schema_columns=catalog.columns_of(left_table)
+    )
+    if join_clause is not None:
+        right_table, left_key, right_key = join_clause
+        right_scan = ScanNode(
+            paths=catalog.paths_of(right_table),
+            schema_columns=catalog.columns_of(right_table),
+        )
+        plan = JoinNode(
+            child=plan, right=right_scan, left_key=left_key, right_key=right_key
+        )
+    # The whole WHERE clause sits above the join; the optimizer pushes each
+    # conjunct down to the side whose schema covers it.
     if predicate is not None:
         plan = FilterNode(child=plan, predicate=predicate)
 
@@ -362,7 +439,51 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
 
 
 def _expect_column(parser: _Parser) -> str:
-    token = parser._next()
-    if token.kind != "ident":
-        raise SqlSyntaxError(f"expected a column name, found {token}")
-    return token.value.lower()
+    return parser.parse_column_ref()[1]
+
+
+def _resolve_join_keys(
+    catalog: SqlCatalog,
+    left_table: str,
+    right_table: str,
+    first_ref: Tuple[Optional[str], str],
+    second_ref: Tuple[Optional[str], str],
+) -> Tuple[str, str]:
+    """Assign the two ON-clause columns to the join sides.
+
+    A ``table.column`` qualifier decides directly; unqualified columns are
+    looked up in the catalog's registered schemas; when neither source
+    resolves a column, the textual order (left key first) is assumed.
+    """
+
+    def side_of(qualifier: Optional[str], column: str) -> Optional[str]:
+        if qualifier is not None:
+            if qualifier == left_table:
+                return "left"
+            if qualifier == right_table:
+                return "right"
+            raise SqlSyntaxError(
+                f"unknown table {qualifier!r} in join condition "
+                f"(expected {left_table!r} or {right_table!r})"
+            )
+        if column in catalog.columns_of(left_table):
+            return "left"
+        if column in catalog.columns_of(right_table):
+            return "right"
+        return None
+
+    first_side = side_of(*first_ref)
+    second_side = side_of(*second_ref)
+    if first_side is None and second_side is None:
+        first_side, second_side = "left", "right"
+    elif first_side is None:
+        first_side = "left" if second_side == "right" else "right"
+    elif second_side is None:
+        second_side = "left" if first_side == "right" else "right"
+    if first_side == second_side:
+        raise SqlSyntaxError(
+            "join condition must reference one column of each table"
+        )
+    left_key = first_ref[1] if first_side == "left" else second_ref[1]
+    right_key = second_ref[1] if second_side == "right" else first_ref[1]
+    return left_key, right_key

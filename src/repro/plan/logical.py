@@ -8,8 +8,8 @@ driver fragments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import InvalidPlanError, PlanError
 from repro.plan.expressions import Expression, expression_from_dict, expression_to_dict
@@ -87,11 +87,19 @@ class LogicalPlan:
 
 @dataclass(repr=True)
 class ScanNode(LogicalPlan):
-    """Scan of a dataset stored as columnar files on the object store."""
+    """Scan of a dataset stored as columnar files on the object store.
+
+    ``schema_columns`` is an optional hint naming the columns of the scanned
+    relation.  Single-table plans never need it; the join optimizer uses it
+    to decide which side of a join owns a referenced column (per-side
+    predicate push-down and projection push-down).  An empty tuple means the
+    schema is unknown.
+    """
 
     paths: Tuple[str, ...]
     format: str = "lpq"
     child: Optional[LogicalPlan] = None
+    schema_columns: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if not self.paths:

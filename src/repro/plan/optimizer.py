@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import InvalidPlanError
 from repro.plan.expressions import (
@@ -44,6 +44,8 @@ from repro.plan.logical import (
 )
 from repro.plan.physical import (
     DriverPlan,
+    JoinPhysicalPlan,
+    JoinSidePlan,
     PhysicalPlan,
     PruneRange,
     WorkerPlan,
@@ -60,6 +62,11 @@ class OptimizerReport:
     prune_ranges: List[PruneRange] = field(default_factory=list)
     partial_aggregates: List[str] = field(default_factory=list)
     has_udf: bool = False
+    #: Join lowering diagnostics (empty/None for single-table plans).
+    join_keys: Optional[Tuple[str, str]] = None
+    left_pushed_predicates: int = 0
+    right_pushed_predicates: int = 0
+    residual_predicates: int = 0
 
 
 def _combine_predicates(predicates: List[Expression]) -> Optional[Expression]:
@@ -104,14 +111,243 @@ def _decompose_aggregates(
     return partials, finals
 
 
+def _flatten_conjuncts(predicate: Optional[Expression]) -> List[Expression]:
+    """Flatten nested top-level AND nodes into a list of conjuncts."""
+    from repro.plan.expressions import BooleanExpr
+
+    conjuncts: List[Expression] = []
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, BooleanExpr) and node.op == "and":
+            for operand in node.operands:
+                visit(operand)
+        else:
+            conjuncts.append(node)
+
+    if predicate is not None:
+        visit(predicate)
+    return conjuncts
+
+
+def _prune_ranges_of(predicate: Optional[Expression]) -> List[PruneRange]:
+    """Min/max prune ranges implied by a predicate (sorted by column)."""
+    ranges = extract_column_ranges(predicate)
+    return [
+        PruneRange(column=name, lower=lower, upper=upper)
+        for name, (lower, upper) in sorted(ranges.items())
+        if not (math.isinf(lower) and lower < 0 and math.isinf(upper) and upper > 0)
+    ]
+
+
+def _join_side_inputs(
+    side_chain: List[LogicalPlan], side_name: str
+) -> Tuple[ScanNode, List[Expression], Optional[List[str]]]:
+    """Scan node, filter predicates, and explicit projection of one join side."""
+    if not side_chain or not isinstance(side_chain[0], ScanNode):
+        raise InvalidPlanError(f"{side_name} side of the join must start with a scan")
+    scan = side_chain[0]
+    predicates: List[Expression] = []
+    project: Optional[List[str]] = None
+    for node in side_chain[1:]:
+        if isinstance(node, FilterNode):
+            if node.predicate is None:
+                raise InvalidPlanError("UDF filters are not supported below a join")
+            predicates.append(node.predicate)
+        elif isinstance(node, ProjectNode):
+            project = list(node.columns)
+        else:
+            raise InvalidPlanError(
+                f"unsupported node {type(node).__name__} below a join"
+            )
+    return scan, predicates, project
+
+
+def _optimize_join(
+    chain: List[LogicalPlan], join_index: int
+) -> Tuple[JoinPhysicalPlan, OptimizerReport]:
+    """Lower a two-table equi-join plan into a :class:`JoinPhysicalPlan`.
+
+    Rewrites applied on top of the single-table ones:
+
+    * **per-side selection push-down** — filters below the join stay on their
+      side; conjuncts of filters *above* the join move to whichever side's
+      schema (the :attr:`~repro.plan.logical.ScanNode.schema_columns` hint)
+      covers all their columns, and only genuinely two-sided conjuncts remain
+      as a residual predicate over the joined rows;
+    * **per-side projection push-down** — each side's map wave only reads its
+      join key, its predicate columns, and the downstream-referenced columns
+      it owns;
+    * **partial-aggregate placement above the join** — the join wave computes
+      the decomposed partial aggregates right after probing, so only partials
+      (not joined rows) travel to the driver.
+    """
+    report = OptimizerReport()
+    join = chain[join_index]
+    assert isinstance(join, JoinNode)
+    left_chain = chain[:join_index]
+    right_chain = join.right.chain()
+    if any(isinstance(node, JoinNode) for node in right_chain):
+        raise InvalidPlanError("nested joins are not supported")
+
+    left_scan, left_predicates, left_project = _join_side_inputs(left_chain, "left")
+    right_scan, right_predicates, right_project = _join_side_inputs(right_chain, "right")
+
+    # -- nodes above the join ---------------------------------------------------
+    predicates_above: List[Expression] = []
+    aggregate: Optional[AggregateNode] = None
+    project_above: Optional[List[str]] = None
+    order_by: List[str] = []
+    descending = False
+    limit: Optional[int] = None
+    for node in chain[join_index + 1:]:
+        if isinstance(node, FilterNode):
+            if aggregate is not None:
+                raise InvalidPlanError("filters after aggregation are not supported")
+            if node.predicate is None:
+                raise InvalidPlanError("UDF filters are not supported above a join")
+            predicates_above.append(node.predicate)
+        elif isinstance(node, AggregateNode):
+            if aggregate is not None:
+                raise InvalidPlanError("only one aggregation per query is supported")
+            aggregate = node
+        elif isinstance(node, ProjectNode):
+            project_above = list(node.columns)
+        elif isinstance(node, OrderByNode):
+            order_by = list(node.keys)
+            descending = node.descending
+        elif isinstance(node, LimitNode):
+            limit = node.count
+        else:
+            raise InvalidPlanError(
+                f"unsupported node {type(node).__name__} above a join"
+            )
+
+    # -- per-side selection push-down -------------------------------------------
+    left_schema = set(left_scan.schema_columns)
+    right_schema = set(right_scan.schema_columns)
+    residual_conjuncts: List[Expression] = []
+    for predicate in predicates_above:
+        for conjunct in _flatten_conjuncts(predicate):
+            refs = referenced_columns(conjunct)
+            if left_schema and refs <= left_schema:
+                left_predicates.append(conjunct)
+                report.left_pushed_predicates += 1
+            elif right_schema and refs <= right_schema:
+                right_predicates.append(conjunct)
+                report.right_pushed_predicates += 1
+            else:
+                residual_conjuncts.append(conjunct)
+    residual = _combine_predicates(residual_conjuncts)
+    report.residual_predicates = len(residual_conjuncts)
+
+    left_predicate = _combine_predicates(left_predicates)
+    right_predicate = _combine_predicates(right_predicates)
+
+    # -- aggregation decomposition -----------------------------------------------
+    group_by: List[str] = []
+    partials: List[AggregateSpec] = []
+    finals: List[AggregateSpec] = []
+    if aggregate is not None:
+        group_by = list(aggregate.group_by)
+        if join.right_key in group_by:
+            raise InvalidPlanError(
+                f"group by the left key {join.left_key!r} instead of the right "
+                f"key {join.right_key!r} (the join drops the right key column)"
+            )
+        partials, finals = _decompose_aggregates(list(aggregate.aggregates))
+        report.partial_aggregates = [spec.alias for spec in partials]
+
+    # -- per-side projection push-down --------------------------------------------
+    needed: set = set()
+    if residual is not None:
+        needed |= referenced_columns(residual)
+    if aggregate is not None:
+        needed |= set(group_by)
+        for spec in aggregate.aggregates:
+            if spec.expression is not None:
+                needed |= referenced_columns(spec.expression)
+    if project_above is not None:
+        needed |= set(project_above)
+
+    def side_columns(
+        schema: set, key: str, predicate: Optional[Expression],
+        project: Optional[List[str]],
+    ) -> List[str]:
+        if project is not None:
+            return sorted(set(project) | {key})
+        if not schema or aggregate is None and project_above is None:
+            # Unknown schema, or a row-collecting query: read every column.
+            return []
+        columns = {key} | (needed & schema)
+        if predicate is not None:
+            columns |= referenced_columns(predicate)
+        return sorted(columns)
+
+    left_columns = side_columns(left_schema, join.left_key, left_predicate, left_project)
+    right_columns = side_columns(right_schema, join.right_key, right_predicate, right_project)
+    report.pushed_columns = left_columns + right_columns
+    report.read_all_columns = not left_columns or not right_columns
+
+    left_ranges = _prune_ranges_of(left_predicate)
+    right_ranges = _prune_ranges_of(right_predicate)
+    report.prune_ranges = left_ranges + right_ranges
+    report.join_keys = (join.left_key, join.right_key)
+
+    driver = DriverPlan(
+        group_by=group_by,
+        final_aggregates=finals,
+        partial_aliases=[spec.alias for spec in partials],
+        order_by=order_by,
+        descending=descending,
+        limit=limit,
+        collect_rows=aggregate is None,
+    )
+    physical = JoinPhysicalPlan(
+        left=JoinSidePlan(
+            files=list(left_scan.paths),
+            key=join.left_key,
+            columns=left_columns,
+            predicate=left_predicate,
+            prune_ranges=left_ranges,
+        ),
+        right=JoinSidePlan(
+            files=list(right_scan.paths),
+            key=join.right_key,
+            columns=right_columns,
+            predicate=right_predicate,
+            prune_ranges=right_ranges,
+        ),
+        driver=driver,
+        residual_predicate=residual,
+        project=project_above,
+        group_by=group_by,
+        aggregates=partials,
+    )
+    return physical, report
+
+
 def optimize(
     plan: LogicalPlan,
     scan_connections: int = 4,
     scan_chunk_bytes: int = 16 * 1024 * 1024,
-) -> Tuple[PhysicalPlan, OptimizerReport]:
-    """Lower a logical plan into a physical plan, applying all rewrites."""
-    report = OptimizerReport()
+) -> Tuple[Union[PhysicalPlan, JoinPhysicalPlan], OptimizerReport]:
+    """Lower a logical plan into a physical plan, applying all rewrites.
+
+    Plans containing a :class:`~repro.plan.logical.JoinNode` lower into a
+    :class:`~repro.plan.physical.JoinPhysicalPlan` (multi-stage: two map
+    waves, a join wave, a driver merge); everything else lowers into the
+    single-stage :class:`~repro.plan.physical.PhysicalPlan`.
+    """
     chain = plan.chain()
+    join_indices = [
+        index for index, node in enumerate(chain) if isinstance(node, JoinNode)
+    ]
+    if join_indices:
+        if len(join_indices) > 1:
+            raise InvalidPlanError("nested joins are not supported")
+        return _optimize_join(chain, join_indices[0])
+
+    report = OptimizerReport()
     if not chain or not isinstance(chain[0], ScanNode):
         raise InvalidPlanError("plan must start with a scan")
     scan = chain[0]

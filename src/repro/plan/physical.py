@@ -217,6 +217,77 @@ class DriverPlan:
 
 
 @dataclass
+class JoinSidePlan:
+    """Serialisable scan fragment of one side of a distributed join.
+
+    Each side's map wave scans its files, applies the pushed-down predicate,
+    projects the pushed-down columns, and repartitions the surviving rows by
+    the hash of ``key`` through the write-combined exchange so matching keys
+    meet on the same join worker.
+    """
+
+    #: Object-store paths (or globs) of this side's files.
+    files: List[str]
+    #: Join key column of this side.
+    key: str
+    #: Columns to read (projection push-down result; [] reads all columns).
+    columns: List[str] = field(default_factory=list)
+    #: Pushed-down filter predicate of this side (may be None).
+    predicate: Optional[Expression] = None
+    #: Min/max prune ranges derived from this side's predicate.
+    prune_ranges: List[PruneRange] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """Serialise to a JSON-compatible dict for the invocation payload."""
+        return {
+            "files": list(self.files),
+            "key": self.key,
+            "columns": list(self.columns),
+            "predicate": expression_to_dict(self.predicate),
+            "prune_ranges": [item.to_dict() for item in self.prune_ranges],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JoinSidePlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            files=list(data["files"]),
+            key=data["key"],
+            columns=list(data.get("columns", [])),
+            predicate=expression_from_dict(data.get("predicate")),
+            prune_ranges=[PruneRange.from_dict(item) for item in data.get("prune_ranges", [])],
+        )
+
+
+@dataclass
+class JoinPhysicalPlan:
+    """Physical plan of a repartitioned (shuffle) equi-join query.
+
+    Three scopes: two map waves (one per side, described by the
+    :class:`JoinSidePlan` fragments), a join wave that probes the
+    repartitioned slices, applies the residual predicate, and computes the
+    partial aggregates placed *above* the join, and the driver scope that
+    merges the partials (``driver``).
+    """
+
+    left: JoinSidePlan
+    right: JoinSidePlan
+    driver: DriverPlan
+    #: Predicate that could not be pushed to either side (references columns
+    #: of both relations); evaluated on the joined rows.
+    residual_predicate: Optional[Expression] = None
+    #: Explicit projection above the join (row-collecting queries only): the
+    #: final result keeps exactly these columns, in this order.
+    project: Optional[List[str]] = None
+    #: Group-by keys of the partial aggregation above the join.
+    group_by: List[str] = field(default_factory=list)
+    #: Partial aggregates computed by the join wave (avg already decomposed).
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+    #: Suffix applied to right-side columns whose names collide with the left.
+    suffix: str = "_right"
+
+
+@dataclass
 class PhysicalPlan:
     """Complete physical plan: one worker fragment template + the driver plan."""
 

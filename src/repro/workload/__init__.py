@@ -9,36 +9,72 @@ the logical plans and NumPy reference implementations of TPC-H Q1 and Q6.
 
 from repro.workload.tpch import (
     LINEITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    PART_SCHEMA,
     LineitemGenerator,
+    OrdersGenerator,
+    PartGenerator,
     DatasetInfo,
     generate_lineitem_dataset,
+    generate_orders_dataset,
+    generate_part_dataset,
     replicate_dataset,
+    write_dataset,
 )
 from repro.workload.queries import (
     q1_plan,
+    q3_plan,
     q6_plan,
+    q12_plan,
+    q14_plan,
     q1_sql,
+    q3_sql,
     q6_sql,
+    q12_sql,
+    q14_sql,
+    q14_promo_revenue,
     reference_q1,
+    reference_q3,
     reference_q6,
+    reference_q12,
+    reference_q14,
     Q1_SHIPDATE_CUTOFF_DAYS,
+    Q3_CUTOFF_DAYS,
     Q6_SHIPDATE_LOWER_DAYS,
     Q6_SHIPDATE_UPPER_DAYS,
 )
 
 __all__ = [
     "LINEITEM_SCHEMA",
+    "ORDERS_SCHEMA",
+    "PART_SCHEMA",
     "LineitemGenerator",
+    "OrdersGenerator",
+    "PartGenerator",
     "DatasetInfo",
     "generate_lineitem_dataset",
+    "generate_orders_dataset",
+    "generate_part_dataset",
     "replicate_dataset",
+    "write_dataset",
     "q1_plan",
+    "q3_plan",
     "q6_plan",
+    "q12_plan",
+    "q14_plan",
     "q1_sql",
+    "q3_sql",
     "q6_sql",
+    "q12_sql",
+    "q14_sql",
+    "q14_promo_revenue",
     "reference_q1",
+    "reference_q3",
     "reference_q6",
+    "reference_q12",
+    "reference_q14",
     "Q1_SHIPDATE_CUTOFF_DAYS",
+    "Q3_CUTOFF_DAYS",
     "Q6_SHIPDATE_LOWER_DAYS",
     "Q6_SHIPDATE_UPPER_DAYS",
 ]

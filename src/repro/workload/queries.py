@@ -1,4 +1,4 @@
-"""TPC-H queries 1 and 6: plans, SQL, and NumPy reference implementations.
+"""TPC-H queries over the numeric schema: plans, SQL, and NumPy references.
 
 The paper evaluates the two most scan-bound TPC-H queries:
 
@@ -7,7 +7,18 @@ The paper evaluates the two most scan-bound TPC-H queries:
 * **Q6** selects ~2 % (one shipdate year, a discount band, a quantity cap),
   touches four attributes, and computes a single scalar sum.
 
-Both are provided as logical plans for the Lambada frontend, as SQL strings
+The multi-table queries exercise the distributed join path over the
+write-combined exchange (scan → repartition by key → shuffle join → partial
+aggregate → driver merge):
+
+* **Q3-style** (LINEITEM ⋈ ORDERS) — per-side date predicates, revenue per
+  order, top-10 by revenue;
+* **Q12-style** (LINEITEM ⋈ ORDERS) — the shipmode/commit-receipt window
+  predicates on the probe side, line counts per (shipmode, orderpriority);
+* **Q14-style** (LINEITEM ⋈ PART) — one shipdate month, promo revenue share
+  via the ``p_promo`` flag.
+
+All are provided as logical plans for the Lambada frontend, as SQL strings
 for the mini-SQL frontend, and as NumPy reference implementations used by the
 tests to verify that the distributed execution returns the correct answer.
 """
@@ -15,7 +26,7 @@ tests to verify that the distributed execution returns the correct answer.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -24,10 +35,13 @@ from repro.plan.logical import (
     AggregateNode,
     AggregateSpec,
     FilterNode,
+    JoinNode,
+    LimitNode,
     LogicalPlan,
     OrderByNode,
     ScanNode,
 )
+from repro.workload.tpch import LINEITEM_SCHEMA, ORDERS_SCHEMA, PART_SCHEMA
 
 
 def _days(year: int, month: int, day: int) -> int:
@@ -170,3 +184,305 @@ def reference_q6(table: Dict[str, np.ndarray]) -> float:
         & (table["l_quantity"] < 24)
     )
     return float(np.sum(table["l_extendedprice"][mask] * table["l_discount"][mask]))
+
+
+# ---------------------------------------------------------------------------
+# Join-query machinery
+# ---------------------------------------------------------------------------
+
+def _inner_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs of an inner equi-join (probe order, like the engine)."""
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    starts = np.searchsorted(sorted_keys, left_keys, side="left")
+    ends = np.searchsorted(sorted_keys, left_keys, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_keys), dtype=np.int64), counts)
+    run_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - run_offsets
+    right_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+def _scan(paths: Sequence[str], schema) -> ScanNode:
+    """Scan node with the relation's schema hint (enables per-side push-down)."""
+    return ScanNode(paths=tuple(paths), schema_columns=tuple(schema.names))
+
+
+# ---------------------------------------------------------------------------
+# Query 3 (two-table variant: LINEITEM ⋈ ORDERS)
+# ---------------------------------------------------------------------------
+
+#: Q3 cutoff: orders placed before, lineitems shipped after 1995-03-15.
+Q3_CUTOFF_DAYS = _days(1995, 3, 15)
+
+
+def q3_plan(
+    lineitem_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    limit: int = 10,
+) -> LogicalPlan:
+    """TPC-H Query 3 (two-table form) as a logical plan.
+
+    LINEITEM is the probe side, ORDERS the build side; the date predicates
+    sit above the join and are pushed down per side by the optimizer.
+    """
+    join = JoinNode(
+        child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+        right=_scan(orders_paths, ORDERS_SCHEMA),
+        left_key="l_orderkey",
+        right_key="o_orderkey",
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("l_shipdate") > lit(Q3_CUTOFF_DAYS))
+            & (col("o_orderdate") < lit(Q3_CUTOFF_DAYS))
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("l_orderkey", "o_orderdate", "o_shippriority"),
+        aggregates=(
+            AggregateSpec(
+                "sum", col("l_extendedprice") * (lit(1) - col("l_discount")), "revenue"
+            ),
+        ),
+    )
+    ordered = OrderByNode(
+        child=aggregate, keys=("revenue", "l_orderkey"), descending=True
+    )
+    return LimitNode(child=ordered, count=limit)
+
+
+def q3_sql(
+    lineitem_table: str = "lineitem", orders_table: str = "orders", limit: int = 10
+) -> str:
+    """TPC-H Query 3 (two-table form) in the mini-SQL dialect."""
+    return (
+        "SELECT l_orderkey, o_orderdate, o_shippriority, "
+        "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+        f"FROM {lineitem_table} JOIN {orders_table} "
+        "ON l_orderkey = o_orderkey "
+        f"WHERE o_orderdate < {Q3_CUTOFF_DAYS} AND l_shipdate > {Q3_CUTOFF_DAYS} "
+        "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+        "ORDER BY revenue, l_orderkey DESC "
+        f"LIMIT {limit}"
+    )
+
+
+def reference_q3(
+    lineitem: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    limit: int = 10,
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of the two-table Q3."""
+    lmask = lineitem["l_shipdate"] > Q3_CUTOFF_DAYS
+    omask = orders["o_orderdate"] < Q3_CUTOFF_DAYS
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"][lmask], orders["o_orderkey"][omask]
+    )
+    orderkey = lineitem["l_orderkey"][lmask][left_idx]
+    revenue = (
+        lineitem["l_extendedprice"][lmask][left_idx]
+        * (1 - lineitem["l_discount"][lmask][left_idx])
+    )
+    orderdate = orders["o_orderdate"][omask][right_idx]
+    shippriority = orders["o_shippriority"][omask][right_idx]
+
+    unique, inverse = np.unique(orderkey, return_inverse=True)
+    revenue_sum = np.bincount(inverse, weights=revenue, minlength=len(unique))
+    # o_orderdate / o_shippriority are functionally dependent on the order key.
+    first = np.zeros(len(unique), dtype=np.int64)
+    first[inverse[::-1]] = np.arange(len(inverse) - 1, -1, -1)
+    result = {
+        "l_orderkey": unique,
+        "o_orderdate": orderdate[first],
+        "o_shippriority": shippriority[first],
+        "revenue": revenue_sum,
+    }
+    order = np.lexsort((result["l_orderkey"], result["revenue"]))[::-1][:limit]
+    return {name: column[order] for name, column in result.items()}
+
+
+# ---------------------------------------------------------------------------
+# Query 12 (LINEITEM ⋈ ORDERS, shipmode/receipt window)
+# ---------------------------------------------------------------------------
+
+#: Q12 receipt-year window [1994-01-01, 1995-01-01).
+Q12_RECEIPT_LOWER_DAYS = _days(1994, 1, 1)
+Q12_RECEIPT_UPPER_DAYS = _days(1995, 1, 1)
+#: The two ship modes Q12 inspects (integer codes of the numeric schema).
+Q12_SHIPMODES = (3, 4)
+
+
+def _q12_lineitem_predicate():
+    """The Q12 probe-side predicate (shipmode set + date ordering window)."""
+    return (
+        ((col("l_shipmode") == lit(Q12_SHIPMODES[0]))
+         | (col("l_shipmode") == lit(Q12_SHIPMODES[1])))
+        & (col("l_commitdate") < col("l_receiptdate"))
+        & (col("l_shipdate") < col("l_commitdate"))
+        & (col("l_receiptdate") >= lit(Q12_RECEIPT_LOWER_DAYS))
+        & (col("l_receiptdate") < lit(Q12_RECEIPT_UPPER_DAYS))
+    )
+
+
+def q12_plan(
+    lineitem_paths: Sequence[str], orders_paths: Sequence[str]
+) -> LogicalPlan:
+    """TPC-H Query 12 (grouped form) as a logical plan.
+
+    The high/low-priority split of the original query is recovered from the
+    ``o_orderpriority`` groups (codes 0 and 1 are 1-URGENT and 2-HIGH).
+    """
+    join = JoinNode(
+        child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+        right=_scan(orders_paths, ORDERS_SCHEMA),
+        left_key="l_orderkey",
+        right_key="o_orderkey",
+    )
+    filtered = FilterNode(child=join, predicate=_q12_lineitem_predicate())
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("l_shipmode", "o_orderpriority"),
+        aggregates=(AggregateSpec("count", None, "line_count"),),
+    )
+    return OrderByNode(child=aggregate, keys=("l_shipmode", "o_orderpriority"))
+
+
+def q12_sql(
+    lineitem_table: str = "lineitem", orders_table: str = "orders"
+) -> str:
+    """TPC-H Query 12 (grouped form) in the mini-SQL dialect."""
+    return (
+        "SELECT l_shipmode, o_orderpriority, count(*) AS line_count "
+        f"FROM {lineitem_table} JOIN {orders_table} "
+        f"ON {lineitem_table}.l_orderkey = {orders_table}.o_orderkey "
+        f"WHERE (l_shipmode = {Q12_SHIPMODES[0]} OR l_shipmode = {Q12_SHIPMODES[1]}) "
+        "AND l_commitdate < l_receiptdate "
+        "AND l_shipdate < l_commitdate "
+        f"AND l_receiptdate >= {Q12_RECEIPT_LOWER_DAYS} "
+        f"AND l_receiptdate < {Q12_RECEIPT_UPPER_DAYS} "
+        "GROUP BY l_shipmode, o_orderpriority "
+        "ORDER BY l_shipmode, o_orderpriority"
+    )
+
+
+def reference_q12(
+    lineitem: Dict[str, np.ndarray], orders: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of the grouped Q12."""
+    lmask = (
+        np.isin(lineitem["l_shipmode"], Q12_SHIPMODES)
+        & (lineitem["l_commitdate"] < lineitem["l_receiptdate"])
+        & (lineitem["l_shipdate"] < lineitem["l_commitdate"])
+        & (lineitem["l_receiptdate"] >= Q12_RECEIPT_LOWER_DAYS)
+        & (lineitem["l_receiptdate"] < Q12_RECEIPT_UPPER_DAYS)
+    )
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"][lmask], orders["o_orderkey"]
+    )
+    keys = np.rec.fromarrays(
+        [
+            lineitem["l_shipmode"][lmask][left_idx],
+            orders["o_orderpriority"][right_idx],
+        ],
+        names=["sm", "op"],
+    )
+    unique, counts = np.unique(keys, return_counts=True)
+    return {
+        "l_shipmode": np.asarray(unique["sm"]),
+        "o_orderpriority": np.asarray(unique["op"]),
+        "line_count": counts.astype(np.float64),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Query 14 (LINEITEM ⋈ PART, promo revenue share)
+# ---------------------------------------------------------------------------
+
+#: Q14 shipdate month [1995-09-01, 1995-10-01).
+Q14_SHIPDATE_LOWER_DAYS = _days(1995, 9, 1)
+Q14_SHIPDATE_UPPER_DAYS = _days(1995, 10, 1)
+
+
+def q14_plan(
+    lineitem_paths: Sequence[str], part_paths: Sequence[str]
+) -> LogicalPlan:
+    """TPC-H Query 14 (grouped form) as a logical plan.
+
+    Revenue is grouped by the ``p_promo`` flag; the promo revenue percentage
+    of the original query is derived with :func:`q14_promo_revenue`.
+    """
+    join = JoinNode(
+        child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+        right=_scan(part_paths, PART_SCHEMA),
+        left_key="l_partkey",
+        right_key="p_partkey",
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("l_shipdate") >= lit(Q14_SHIPDATE_LOWER_DAYS))
+            & (col("l_shipdate") < lit(Q14_SHIPDATE_UPPER_DAYS))
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("p_promo",),
+        aggregates=(
+            AggregateSpec(
+                "sum", col("l_extendedprice") * (lit(1) - col("l_discount")), "revenue"
+            ),
+        ),
+    )
+    return OrderByNode(child=aggregate, keys=("p_promo",))
+
+
+def q14_sql(lineitem_table: str = "lineitem", part_table: str = "part") -> str:
+    """TPC-H Query 14 (grouped form) in the mini-SQL dialect."""
+    return (
+        "SELECT p_promo, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+        f"FROM {lineitem_table} JOIN {part_table} "
+        "ON l_partkey = p_partkey "
+        "WHERE l_shipdate >= date '1995-09-01' AND l_shipdate < date '1995-10-01' "
+        "GROUP BY p_promo "
+        "ORDER BY p_promo"
+    )
+
+
+def q14_promo_revenue(result: Dict[str, np.ndarray]) -> float:
+    """The Q14 scalar: promo revenue as a percentage of total revenue."""
+    promo = np.asarray(result["p_promo"], dtype=np.int64)
+    revenue = np.asarray(result["revenue"], dtype=np.float64)
+    total = float(revenue.sum())
+    if total == 0.0:
+        return 0.0
+    return 100.0 * float(revenue[promo == 1].sum()) / total
+
+
+def reference_q14(
+    lineitem: Dict[str, np.ndarray], part: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of the grouped Q14."""
+    lmask = (
+        (lineitem["l_shipdate"] >= Q14_SHIPDATE_LOWER_DAYS)
+        & (lineitem["l_shipdate"] < Q14_SHIPDATE_UPPER_DAYS)
+    )
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_partkey"][lmask], part["p_partkey"]
+    )
+    promo = part["p_promo"][right_idx]
+    revenue = (
+        lineitem["l_extendedprice"][lmask][left_idx]
+        * (1 - lineitem["l_discount"][lmask][left_idx])
+    )
+    unique, inverse = np.unique(promo, return_inverse=True)
+    return {
+        "p_promo": unique,
+        "revenue": np.bincount(inverse, weights=revenue, minlength=len(unique)),
+    }

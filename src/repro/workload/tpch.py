@@ -66,6 +66,64 @@ SHIPDATE_MAX_DAYS = _days(1998, 12, 1)
 #: The "current date" used by dbgen to derive return flags.
 CURRENTDATE_DAYS = _days(1995, 6, 17)
 
+#: Date range of o_orderdate in TPC-H (orders stop 151 days before the last
+#: shipdate so that every order can still ship within the horizon).
+ORDERDATE_MIN_DAYS = _days(1992, 1, 1)
+ORDERDATE_MAX_DAYS = _days(1998, 8, 2)
+
+#: TPC-H row counts per scale factor: ORDERS is a quarter of LINEITEM, PART
+#: is 200k rows per SF.
+ORDERS_ROWS_PER_SF = LINEITEM_ROWS_PER_SF // 4
+PART_ROWS_PER_SF = 200_000
+
+#: Number of distinct p_type codes; codes below PROMO_TYPE_CODES play the
+#: role of the ``PROMO%`` types of Q14 (25 of the 150 dbgen type strings).
+PART_TYPE_CODES = 150
+PROMO_TYPE_CODES = 25
+
+#: Schema of the numeric ORDERS relation (strings replaced by integer codes:
+#: o_orderstatus F/O/P -> 0/1/2, o_orderpriority 1-URGENT..5-LOW -> 0..4).
+ORDERS_SCHEMA = Schema.from_pairs(
+    [
+        ("o_orderkey", ColumnType.INT64),
+        ("o_custkey", ColumnType.INT64),
+        ("o_orderstatus", ColumnType.INT32),
+        ("o_totalprice", ColumnType.FLOAT64),
+        ("o_orderdate", ColumnType.INT32),
+        ("o_orderpriority", ColumnType.INT32),
+        ("o_shippriority", ColumnType.INT32),
+    ]
+)
+
+#: Schema of the numeric PART relation.  ``p_promo`` materialises the Q14
+#: ``p_type like 'PROMO%'`` predicate as a 0/1 flag (p_type < 25).
+PART_SCHEMA = Schema.from_pairs(
+    [
+        ("p_partkey", ColumnType.INT64),
+        ("p_type", ColumnType.INT32),
+        ("p_promo", ColumnType.INT32),
+        ("p_size", ColumnType.INT32),
+        ("p_container", ColumnType.INT32),
+        ("p_retailprice", ColumnType.FLOAT64),
+    ]
+)
+
+
+def lineitem_orderkey_domain(scale_factor: float) -> int:
+    """Exclusive upper bound of ``l_orderkey`` at ``scale_factor``.
+
+    Mirrors :meth:`LineitemGenerator.generate`, which draws order keys
+    uniformly from ``[1, rows // 4 * 4)`` — the ORDERS generator selects its
+    primary keys from the same domain so the two relations join.
+    """
+    rows = LineitemGenerator(scale_factor=scale_factor).num_rows
+    return max(2, rows // 4 * 4)
+
+
+def lineitem_partkey_domain(scale_factor: float) -> int:
+    """Exclusive upper bound of ``l_partkey`` at ``scale_factor``."""
+    return max(2, int(200_000 * scale_factor) + 2)
+
 
 class LineitemGenerator:
     """Deterministic generator of the numeric LINEITEM relation."""
@@ -133,6 +191,102 @@ class LineitemGenerator:
         return {name: column[order] for name, column in table.items()}
 
 
+class OrdersGenerator:
+    """Deterministic generator of the numeric ORDERS relation.
+
+    ``o_orderkey`` is a unique primary key drawn from the ``l_orderkey``
+    domain of the LINEITEM generator at the same scale factor, so that an
+    equi-join on the order key is meaningful: most lineitems find their
+    order, while keys outside the selected subset exercise the unmatched
+    path of an inner join.  The relation is sorted by ``o_orderdate``
+    (mirroring the paper's sorted layout) so per-file min/max pruning on the
+    Q3 date predicate is effective.
+    """
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows at this scale factor."""
+        domain = lineitem_orderkey_domain(self.scale_factor) - 1
+        return min(domain, max(1, int(round(ORDERS_ROWS_PER_SF * self.scale_factor))))
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``o_orderdate``)."""
+        rows = num_rows if num_rows is not None else self.num_rows
+        rng = np.random.default_rng(self.seed + 1)
+
+        domain = lineitem_orderkey_domain(self.scale_factor)
+        rows = min(rows, domain - 1)
+        orderkey = np.sort(
+            rng.choice(np.arange(1, domain, dtype=np.int64), size=rows, replace=False)
+        )
+        custkey = rng.integers(1, max(2, int(150_000 * self.scale_factor) + 2),
+                               size=rows, dtype=np.int64)
+        orderdate = rng.integers(
+            ORDERDATE_MIN_DAYS, ORDERDATE_MAX_DAYS + 1, size=rows
+        ).astype(np.int32)
+        orderstatus = np.where(
+            orderdate > CURRENTDATE_DAYS, 1, rng.integers(0, 3, size=rows)
+        ).astype(np.int32)
+        totalprice = np.round(rng.uniform(850.0, 560_000.0, size=rows), 2)
+        orderpriority = rng.integers(0, 5, size=rows, dtype=np.int32)
+        shippriority = np.zeros(rows, dtype=np.int32)
+
+        table = {
+            "o_orderkey": orderkey,
+            "o_custkey": custkey,
+            "o_orderstatus": orderstatus,
+            "o_totalprice": totalprice,
+            "o_orderdate": orderdate,
+            "o_orderpriority": orderpriority,
+            "o_shippriority": shippriority,
+        }
+        order = np.argsort(orderdate, kind="stable")
+        return {name: column[order] for name, column in table.items()}
+
+
+class PartGenerator:
+    """Deterministic generator of the numeric PART relation.
+
+    ``p_partkey`` is the dense primary key ``1..N`` covering the full
+    ``l_partkey`` domain of the LINEITEM generator at the same scale factor,
+    so every lineitem matches exactly one part.  ``p_promo`` flags the Q14
+    promo types (``p_type < 25``) as a 0/1 column.
+    """
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows at this scale factor."""
+        return lineitem_partkey_domain(self.scale_factor) - 1
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``p_partkey``)."""
+        rows = num_rows if num_rows is not None else self.num_rows
+        rng = np.random.default_rng(self.seed + 2)
+
+        partkey = np.arange(1, rows + 1, dtype=np.int64)
+        ptype = rng.integers(0, PART_TYPE_CODES, size=rows, dtype=np.int32)
+        return {
+            "p_partkey": partkey,
+            "p_type": ptype,
+            "p_promo": (ptype < PROMO_TYPE_CODES).astype(np.int32),
+            "p_size": rng.integers(1, 51, size=rows, dtype=np.int32),
+            "p_container": rng.integers(0, 40, size=rows, dtype=np.int32),
+            "p_retailprice": np.round(rng.uniform(900.0, 2_000.0, size=rows), 2),
+        }
+
+
 @dataclass
 class DatasetInfo:
     """Catalog entry of a generated dataset."""
@@ -156,28 +310,27 @@ class DatasetInfo:
         return f"{prefix}/*.lpq"
 
 
-def generate_lineitem_dataset(
+def write_dataset(
     store: ObjectStore,
+    table: Dict[str, np.ndarray],
+    schema: Schema,
     bucket: str = "tpch",
     prefix: str = "lineitem",
     scale_factor: float = 0.001,
     num_files: int = 4,
     row_group_rows: int = 2048,
     compression: Compression = Compression.GZIP,
-    seed: int = 7,
 ) -> DatasetInfo:
-    """Generate LINEITEM and write it to the object store as columnar files.
+    """Write a generated relation to the object store as columnar files.
 
-    The relation is generated fully, sorted by ``l_shipdate``, and split into
-    ``num_files`` contiguous ranges so that each file covers a distinct
-    shipdate interval (which is what makes per-file min/max pruning
-    effective, as in the paper's sorted SF-1000 dataset).
+    The relation is split into ``num_files`` contiguous row ranges; because
+    the generators emit rows sorted by their natural date column, each file
+    covers a distinct interval of that column (which is what makes per-file
+    min/max pruning effective, as in the paper's sorted SF-1000 dataset).
     """
     if num_files <= 0:
         raise ValueError("num_files must be positive")
-    generator = LineitemGenerator(scale_factor=scale_factor, seed=seed)
-    table = generator.generate()
-    total_rows = len(table["l_orderkey"])
+    total_rows = len(next(iter(table.values())))
 
     store.ensure_bucket(bucket)
     paths: List[str] = []
@@ -186,7 +339,7 @@ def generate_lineitem_dataset(
     for index in range(num_files):
         start, end = int(boundaries[index]), int(boundaries[index + 1])
         part = {name: column[start:end] for name, column in table.items()}
-        data = write_table(part, schema=LINEITEM_SCHEMA, row_group_rows=row_group_rows,
+        data = write_table(part, schema=schema, row_group_rows=row_group_rows,
                            compression=compression)
         key = f"{prefix}/part-{index:05d}.lpq"
         store.put_object(bucket, key, data)
@@ -199,6 +352,69 @@ def generate_lineitem_dataset(
         total_rows=total_rows,
         total_bytes=total_bytes,
         scale_factor=scale_factor,
+        schema=schema,
+    )
+
+
+def generate_lineitem_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "lineitem",
+    scale_factor: float = 0.001,
+    num_files: int = 4,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate LINEITEM (sorted by ``l_shipdate``) and write it to the store."""
+    table = LineitemGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, LINEITEM_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_orders_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "orders",
+    scale_factor: float = 0.001,
+    num_files: int = 4,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate ORDERS (sorted by ``o_orderdate``) and write it to the store.
+
+    Generated with the same ``seed`` as the LINEITEM dataset it joins
+    against, the order keys cover the lineitem key domain (see
+    :class:`OrdersGenerator`).
+    """
+    table = OrdersGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, ORDERS_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_part_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "part",
+    scale_factor: float = 0.001,
+    num_files: int = 2,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate PART (the small dimension relation) and write it to the store."""
+    table = PartGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, PART_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
     )
 
 

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.driver.catalog import FileStatistics, StatisticsCatalog
@@ -15,7 +14,7 @@ from repro.workload.queries import (
     q6_plan,
     reference_q6,
 )
-from repro.workload.tpch import LineitemGenerator, SHIPDATE_MAX_DAYS
+from repro.workload.tpch import SHIPDATE_MAX_DAYS
 
 
 @pytest.fixture

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidPlanError
-from repro.frontend.dataframe import DataFlow, LambadaSession, from_files
-from repro.plan.expressions import col, lit
+from repro.frontend.dataframe import LambadaSession, from_files
+from repro.plan.expressions import col
 from repro.plan.logical import AggregateNode, FilterNode, MapNode, ProjectNode, ScanNode
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.driver.driver import LambadaDriver
 from repro.errors import ExecutionError, WorkerFailedError
-from repro.plan.expressions import col, lit
+from repro.plan.expressions import col
 from repro.plan.logical import (
     AggregateNode,
     AggregateSpec,

@@ -1,6 +1,5 @@
 """Tests for the driver's thread-pool execution mode."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import run_tpch_query, setup_functional_environment

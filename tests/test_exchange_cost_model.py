@@ -1,6 +1,5 @@
 """Tests for the exchange cost models (Table 2 / Figure 9)."""
 
-import math
 
 import pytest
 

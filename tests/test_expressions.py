@@ -11,7 +11,6 @@ from repro.errors import PlanError, UnknownColumnError
 from repro.plan.expressions import (
     Arithmetic,
     BooleanExpr,
-    Column,
     Comparison,
     Literal,
     col,

@@ -1,6 +1,5 @@
 """Tests for the model-driven figure builders (shape checks against the paper)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import figures

@@ -8,7 +8,7 @@ from repro.cloud.lambda_service import (
     compute_throughput,
     cpu_share_for_memory,
 )
-from repro.errors import FunctionNotFoundError, TooManyRequestsError
+from repro.errors import FunctionNotFoundError
 
 
 def echo_handler(event, context):

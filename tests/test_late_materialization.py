@@ -23,7 +23,7 @@ from repro.formats.encoding import (
     evaluate_comparison,
     parse_encoded_chunk,
 )
-from repro.formats.parquet import ColumnarFile, ColumnarWriter
+from repro.formats.parquet import ColumnarWriter
 from repro.formats.schema import ColumnType, Schema
 from repro.plan.expressions import col, compile_predicate, evaluate, lit
 from repro.plan.logical import AggregateSpec

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidPlanError, PlanError
-from repro.plan.expressions import col, lit
+from repro.plan.expressions import col
 from repro.plan.logical import (
     AggregateNode,
     AggregateSpec,

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import InvalidPlanError
-from repro.plan.expressions import col, lit
+from repro.plan.expressions import col
 from repro.plan.logical import (
     AggregateNode,
     AggregateSpec,
@@ -135,15 +135,21 @@ def test_plan_must_start_with_scan():
         optimize(FilterNode(child=None, predicate=col("x") > 1))  # type: ignore[arg-type]
 
 
-def test_join_nodes_are_rejected_by_the_scalar_optimizer():
+def test_join_nodes_lower_into_a_join_physical_plan():
+    from repro.plan.physical import JoinPhysicalPlan
+
     plan = JoinNode(
         child=ScanNode(paths=("s3://b/l.lpq",)),
         right=ScanNode(paths=("s3://b/r.lpq",)),
         left_key="k",
-        right_key="k",
+        right_key="rk",
     )
-    with pytest.raises(InvalidPlanError):
-        optimize(plan)
+    physical, report = optimize(plan)
+    assert isinstance(physical, JoinPhysicalPlan)
+    assert physical.left.key == "k"
+    assert physical.right.key == "rk"
+    assert physical.driver.collect_rows
+    assert report.join_keys == ("k", "rk")
 
 
 def test_q1_pushdowns():

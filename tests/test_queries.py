@@ -1,7 +1,6 @@
 """Tests for the TPC-H query definitions and reference implementations."""
 
 import numpy as np
-import pytest
 
 from repro.plan.optimizer import optimize
 from repro.workload.queries import (

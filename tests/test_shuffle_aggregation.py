@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.driver.shuffle import ShuffleAggregateCoordinator, ShuffleConfig
-from repro.engine.aggregates import partial_aggregate
 from repro.errors import ExecutionError
 from repro.plan.expressions import col, lit
 from repro.plan.logical import AggregateSpec

@@ -9,6 +9,7 @@ from repro.plan.expressions import evaluate
 from repro.plan.logical import (
     AggregateNode,
     FilterNode,
+    JoinNode,
     LimitNode,
     OrderByNode,
     ProjectNode,
@@ -153,3 +154,116 @@ def test_sql_q6_executes_correctly(driver, dataset, lineitem_table):
     assert result.column("revenue")[0] == pytest.approx(
         reference_q6(lineitem_table), rel=1e-9
     )
+
+
+# ---------------------------------------------------------------------------
+# JOIN ... ON parsing
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def join_catalog():
+    catalog = SqlCatalog()
+    catalog.register("lineitem", ["s3://tpch/lineitem/*.lpq"],
+                     columns=["l_orderkey", "l_shipdate", "l_extendedprice"])
+    catalog.register("orders", ["s3://tpch/orders/*.lpq"],
+                     columns=["o_orderkey", "o_orderdate"])
+    return catalog
+
+
+def _join_of(plan):
+    node = plan
+    while node is not None and not isinstance(node, JoinNode):
+        node = node.child
+    assert node is not None, "plan contains no JoinNode"
+    return node
+
+
+def test_join_on_parses_into_join_node(join_catalog):
+    plan = parse_sql(
+        "SELECT count(*) AS n FROM lineitem JOIN orders ON l_orderkey = o_orderkey",
+        join_catalog,
+    )
+    join = _join_of(plan)
+    assert join.left_key == "l_orderkey"
+    assert join.right_key == "o_orderkey"
+    assert join.child.schema_columns == ("l_orderkey", "l_shipdate", "l_extendedprice")
+    assert join.right.schema_columns == ("o_orderkey", "o_orderdate")
+
+
+def test_join_on_qualified_references(join_catalog):
+    plan = parse_sql(
+        "SELECT count(*) AS n FROM lineitem JOIN orders "
+        "ON orders.o_orderkey = lineitem.l_orderkey",
+        join_catalog,
+    )
+    join = _join_of(plan)
+    # Qualifiers decide the sides regardless of textual order.
+    assert join.left_key == "l_orderkey"
+    assert join.right_key == "o_orderkey"
+
+
+def test_join_keys_resolved_via_catalog_columns(join_catalog):
+    plan = parse_sql(
+        "SELECT count(*) AS n FROM lineitem JOIN orders ON o_orderkey = l_orderkey",
+        join_catalog,
+    )
+    join = _join_of(plan)
+    assert join.left_key == "l_orderkey"
+    assert join.right_key == "o_orderkey"
+
+
+def test_join_where_stays_above_join_for_optimizer_split(join_catalog):
+    plan = parse_sql(
+        "SELECT count(*) AS n FROM lineitem JOIN orders ON l_orderkey = o_orderkey "
+        "WHERE l_shipdate > 9000 AND o_orderdate < 9000",
+        join_catalog,
+    )
+    chain = plan.chain()
+    join_index = next(i for i, node in enumerate(chain) if isinstance(node, JoinNode))
+    assert isinstance(chain[join_index + 1], FilterNode)
+
+    from repro.plan.optimizer import optimize
+
+    _, report = optimize(plan)
+    assert report.left_pushed_predicates == 1
+    assert report.right_pushed_predicates == 1
+    assert report.residual_predicates == 0
+
+
+def test_join_condition_same_side_rejected(join_catalog):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(
+            "SELECT count(*) AS n FROM lineitem JOIN orders "
+            "ON lineitem.l_orderkey = lineitem.l_shipdate",
+            join_catalog,
+        )
+
+
+def test_join_unknown_qualifier_rejected(join_catalog):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(
+            "SELECT count(*) AS n FROM lineitem JOIN orders "
+            "ON customer.c_custkey = o_orderkey",
+            join_catalog,
+        )
+
+
+def test_join_unknown_table_rejected(join_catalog):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(
+            "SELECT count(*) AS n FROM lineitem JOIN nosuch ON a = b", join_catalog
+        )
+
+
+def test_qualified_columns_in_select_and_where(join_catalog):
+    plan = parse_sql(
+        "SELECT lineitem.l_orderkey, sum(lineitem.l_extendedprice) AS total "
+        "FROM lineitem JOIN orders ON l_orderkey = o_orderkey "
+        "WHERE orders.o_orderdate < 9000 "
+        "GROUP BY lineitem.l_orderkey",
+        join_catalog,
+    )
+    node = plan
+    while not isinstance(node, AggregateNode):
+        node = node.child
+    assert node.group_by == ("l_orderkey",)

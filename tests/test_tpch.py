@@ -3,15 +3,23 @@
 import numpy as np
 import pytest
 
-from repro.cloud.s3 import ObjectStore
 from repro.formats.parquet import ColumnarFile
 from repro.workload.tpch import (
     LINEITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    PART_SCHEMA,
     CURRENTDATE_DAYS,
+    PART_TYPE_CODES,
+    PROMO_TYPE_CODES,
     SHIPDATE_MAX_DAYS,
     SHIPDATE_MIN_DAYS,
     LineitemGenerator,
+    OrdersGenerator,
+    PartGenerator,
     generate_lineitem_dataset,
+    generate_orders_dataset,
+    generate_part_dataset,
+    lineitem_orderkey_domain,
     replicate_dataset,
 )
 
@@ -131,3 +139,101 @@ def test_replicate_factor_one_is_identity(env, dataset):
 def test_replicate_rejects_bad_factor(env, dataset):
     with pytest.raises(ValueError):
         replicate_dataset(env.s3, dataset, factor=0)
+
+
+# ---------------------------------------------------------------------------
+# ORDERS and PART generators (join workloads)
+# ---------------------------------------------------------------------------
+
+def test_orders_keys_are_unique_and_in_lineitem_domain():
+    generator = OrdersGenerator(scale_factor=0.001, seed=7)
+    table = generator.generate()
+    keys = table["o_orderkey"]
+    assert len(np.unique(keys)) == len(keys)
+    domain = lineitem_orderkey_domain(0.001)
+    assert keys.min() >= 1
+    assert keys.max() < domain
+    assert len(keys) == generator.num_rows
+
+
+def test_orders_sorted_by_orderdate():
+    table = OrdersGenerator(scale_factor=0.001, seed=7).generate()
+    assert np.all(np.diff(table["o_orderdate"]) >= 0)
+
+
+def test_orders_columns_match_schema():
+    table = OrdersGenerator(scale_factor=0.001).generate()
+    assert list(table) == ORDERS_SCHEMA.names
+
+
+def test_orders_generation_is_deterministic():
+    first = OrdersGenerator(scale_factor=0.001, seed=3).generate()
+    second = OrdersGenerator(scale_factor=0.001, seed=3).generate()
+    for name in first:
+        np.testing.assert_array_equal(first[name], second[name])
+
+
+def test_most_lineitems_match_an_order(lineitem_table):
+    orders = OrdersGenerator(scale_factor=0.001, seed=7).generate()
+    matched = np.isin(lineitem_table["l_orderkey"], orders["o_orderkey"])
+    # ORDERS covers a quarter of the key domain, so roughly a quarter of the
+    # lineitems join; the exact share varies with the draw.
+    assert 0.05 < matched.mean() < 0.6
+
+
+def test_part_covers_full_lineitem_partkey_domain(lineitem_table):
+    part = PartGenerator(scale_factor=0.001, seed=7).generate()
+    assert np.array_equal(part["p_partkey"], np.arange(1, len(part["p_partkey"]) + 1))
+    assert np.isin(lineitem_table["l_partkey"], part["p_partkey"]).all()
+
+
+def test_part_promo_flag_matches_type_codes():
+    part = PartGenerator(scale_factor=0.01, seed=7).generate()
+    np.testing.assert_array_equal(
+        part["p_promo"], (part["p_type"] < PROMO_TYPE_CODES).astype(np.int32)
+    )
+    assert part["p_type"].min() >= 0
+    assert part["p_type"].max() < PART_TYPE_CODES
+    assert 0 < part["p_promo"].mean() < 1
+
+
+def test_orders_dataset_written_and_readable(env):
+    info = generate_orders_dataset(
+        env.s3, scale_factor=0.001, num_files=3, row_group_rows=512
+    )
+    assert info.num_files == 3
+    assert info.schema is ORDERS_SCHEMA
+    total = 0
+    for path in info.paths:
+        bucket, key = path[len("s3://"):].split("/", 1)
+        reader = ColumnarFile.from_bytes(env.s3.get_object(bucket, key).data)
+        assert reader.schema == ORDERS_SCHEMA
+        total += reader.num_rows
+    assert total == info.total_rows
+
+
+def test_part_dataset_written_and_readable(env):
+    info = generate_part_dataset(
+        env.s3, scale_factor=0.001, num_files=2, row_group_rows=512
+    )
+    assert info.num_files == 2
+    assert info.schema is PART_SCHEMA
+    assert info.total_rows == PartGenerator(scale_factor=0.001).num_rows
+    bucket, key = info.paths[0][len("s3://"):].split("/", 1)
+    reader = ColumnarFile.from_bytes(env.s3.get_object(bucket, key).data)
+    assert reader.schema == PART_SCHEMA
+
+
+def test_orders_dataset_files_cover_disjoint_orderdate_ranges(env):
+    info = generate_orders_dataset(
+        env.s3, scale_factor=0.001, num_files=3, row_group_rows=512
+    )
+    ranges = []
+    for path in info.paths:
+        bucket, key = path[len("s3://"):].split("/", 1)
+        reader = ColumnarFile.from_bytes(env.s3.get_object(bucket, key).data)
+        mins = [g.column_meta("o_orderdate").min_value for g in reader.row_groups]
+        maxes = [g.column_meta("o_orderdate").max_value for g in reader.row_groups]
+        ranges.append((min(mins), max(maxes)))
+    for (_, prev_max), (next_min, _) in zip(ranges, ranges[1:]):
+        assert prev_max <= next_min
