@@ -327,6 +327,66 @@ class LambdaService:
             self.invocation_log.append(result)
         return result
 
+    def account_invocation(
+        self,
+        name: str,
+        duration_seconds: float,
+        from_driver: bool = True,
+        cold_penalty: float = 1.0,
+    ) -> InvocationResult:
+        """Meter one invocation whose handler executed *outside* the service.
+
+        The process-pool execution plane runs worker fragments in OS worker
+        processes for real parallelism, but the simulation's performance and
+        billing model must stay identical to :meth:`invoke`: cold/warm
+        instance bookkeeping, startup latency, timeout clamping, ledger
+        records, billed cost, and the invocation log are all applied here —
+        only the handler call itself is skipped.  ``cold_penalty`` scales
+        ``duration_seconds`` when this invocation lands cold, mirroring the
+        execution-slowdown factor the in-process worker handler applies.
+        """
+        with self._lock:
+            self._require_function(name)
+            invocation_id = self._next_invocation_id
+            self._next_invocation_id += 1
+            config = self._functions[name]
+            cold = self._warm_instances[name] <= 0
+            if cold:
+                # A cold start provisions a new instance that stays warm.
+                self._warm_instances[name] += 1
+
+        startup = self.invocation_latency(from_driver) + (
+            LAMBDA_COLD_START_SECONDS if cold else LAMBDA_WARM_START_SECONDS
+        )
+        error: Optional[str] = None
+        duration = duration_seconds * (cold_penalty if cold else 1.0)
+        if duration > config.timeout_seconds:
+            error = (
+                f"FunctionTimeout: modelled duration {duration:.1f}s exceeds "
+                f"timeout {config.timeout_seconds:.1f}s"
+            )
+            duration = config.timeout_seconds
+        gib_seconds = config.memory_mib * MiB / GiB * duration
+        self.ledger.record("lambda", "invocations", 1, self.clock.now)
+        self.ledger.record("lambda", "gib_seconds", gib_seconds, self.clock.now)
+        billed = (
+            self.ledger.prices.lambda_duration_cost(config.memory_mib, duration)
+            + self.ledger.prices.lambda_invocation_cost(1)
+        )
+        result = InvocationResult(
+            function_name=name,
+            invocation_id=invocation_id,
+            payload=None,
+            error=error,
+            cold_start=cold,
+            startup_seconds=startup,
+            duration_seconds=duration,
+            billed_cost=billed,
+        )
+        with self._lock:
+            self.invocation_log.append(result)
+        return result
+
     # -- statistics -----------------------------------------------------------
 
     @property

@@ -330,3 +330,134 @@ class ObjectStore:
                 self._require_bucket(bucket)
                 return len(self._buckets[bucket])
             return sum(len(objs) for objs in self._buckets.values())
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory backing store (process-pool execution plane)
+# ---------------------------------------------------------------------------
+
+#: Name prefix of every shared-memory segment the engine creates, so tests can
+#: assert that no ``/dev/shm`` entries leak after a query.
+SHM_SEGMENT_PREFIX = "lambada_"
+
+
+class SharedObjectExport:
+    """One query's input objects exported into a single shared-memory segment.
+
+    The driver copies the bytes of every input file into one
+    ``multiprocessing.shared_memory`` segment and hands pool workers the
+    segment name plus a ``{path: (offset, length)}`` directory.  Workers mount
+    it as a :class:`SharedSegmentStore` — the column data crosses the process
+    boundary through the page cache, never through pickle.
+
+    The export bypasses the store's GET metering on purpose: it models the
+    *backing* data plane, while the simulated S3 requests are counted by each
+    worker's :class:`SharedSegmentStore` and folded into the ledger by the
+    driver.  The driver owns the segment's lifecycle and must call
+    :meth:`close` (which unlinks) when the query finishes.
+    """
+
+    def __init__(self, shm, directory: Dict[str, Tuple[int, int]]):
+        self._shm = shm
+        self.directory = directory
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name workers attach to."""
+        return self._shm.name
+
+    @classmethod
+    def create(cls, store: ObjectStore, paths: Iterable[str]) -> "SharedObjectExport":
+        from multiprocessing import shared_memory
+        import uuid
+
+        blobs: List[Tuple[str, bytes]] = []
+        with store._lock:
+            for path in paths:
+                bucket, key = parse_s3_path(path)
+                store._require_bucket(bucket)
+                if key not in store._buckets[bucket]:
+                    raise NoSuchKeyError(path)
+                blobs.append((path, store._buckets[bucket][key]))
+        total = sum(len(data) for _, data in blobs)
+        shm = shared_memory.SharedMemory(
+            name=f"{SHM_SEGMENT_PREFIX}q_{uuid.uuid4().hex[:12]}",
+            create=True,
+            size=max(total, 1),
+        )
+        directory: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for path, data in blobs:
+            shm.buf[offset:offset + len(data)] = data
+            directory[path] = (offset, len(data))
+            offset += len(data)
+        return cls(shm, directory)
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the mapping and (by default) remove the segment."""
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live views keep the mapping alive; unlink still removes the
+            # /dev/shm entry and the memory goes away with the last view.
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class SharedSegmentStore:
+    """Read-only object-store facade over a :class:`SharedObjectExport` segment.
+
+    Implements exactly the surface the scan stack touches
+    (:meth:`head_object` / :meth:`get_object`) against the exported
+    ``{path: (offset, length)}`` directory, with the same error and request-
+    accounting semantics as :class:`ObjectStore` — so per-worker scan
+    statistics (and therefore modelled request costs) are identical to a scan
+    against the real simulated store.
+    """
+
+    def __init__(self, buffer, directory: Dict[str, Tuple[int, int]]):
+        self._buf = buffer
+        self._directory = dict(directory)
+        self.request_counts: Dict[str, int] = {"get": 0, "head": 0}
+
+    def _lookup(self, bucket: str, key: str) -> Tuple[int, int]:
+        path = f"s3://{bucket}/{key}"
+        try:
+            return self._directory[path]
+        except KeyError:
+            raise NoSuchKeyError(path) from None
+
+    def head_object(self, bucket: str, key: str) -> ObjectMetadata:
+        offset, size = self._lookup(bucket, key)
+        self.request_counts["head"] += 1
+        return ObjectMetadata(bucket=bucket, key=key, size=size, created_at=0.0)
+
+    def get_object(
+        self,
+        bucket: str,
+        key: str,
+        range_start: int = 0,
+        range_end: Optional[int] = None,
+    ) -> GetResult:
+        offset, size = self._lookup(bucket, key)
+        if range_start < 0:
+            raise InvalidRangeError(f"negative range start {range_start}")
+        if range_start > size or (range_start == size and size > 0):
+            raise InvalidRangeError(
+                f"range start {range_start} beyond object size {size}"
+            )
+        end = size if range_end is None else min(range_end, size)
+        if end < range_start:
+            raise InvalidRangeError(f"range end {end} before range start {range_start}")
+        chunk = bytes(self._buf[offset + range_start:offset + end])
+        self.request_counts["get"] += 1
+        return GetResult(
+            data=chunk,
+            metadata=ObjectMetadata(bucket=bucket, key=key, size=size, created_at=0.0),
+            range_start=range_start,
+            range_end=end,
+        )

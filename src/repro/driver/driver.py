@@ -15,6 +15,7 @@ import json
 import math
 import os
 import uuid
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -23,9 +24,13 @@ import numpy as np
 
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig
-from repro.cloud.s3 import parse_s3_path
+from repro.cloud.s3 import SharedObjectExport, parse_s3_path
 from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
-from repro.driver.worker import WORKER_FUNCTION_NAME, make_worker_handler
+from repro.driver.worker import (
+    COLD_EXECUTION_PENALTY,
+    WORKER_FUNCTION_NAME,
+    make_worker_handler,
+)
 from repro.engine.aggregates import finalize_aggregates, merge_partials
 from repro.engine.payload import decode_table
 from repro.engine.pipeline import WorkerResult
@@ -146,10 +151,18 @@ class LambadaDriver:
         seed implementation did.  ``"threads"`` drives them through a thread
         pool: workers are independent pure functions over the (thread-safe)
         simulated services, so large-fleet runs stop paying serial Python
-        overhead.  Result ordering is deterministic in both modes — results
-        are keyed and merged by worker id, never by arrival order.
+        overhead (but the GIL still serialises their NumPy-adjacent Python
+        sections).  ``"processes"`` runs eligible fragments on a persistent
+        spawn-based process pool with shared-memory input/result planes
+        (:mod:`repro.driver.procpool`), the only mode whose wall-clock time
+        actually scales with cores; plans the pool cannot run (registry UDFs,
+        join schedules) and single-core hosts fall back transparently.
+        Result ordering is deterministic in every mode — results are keyed
+        and merged by worker id, never by arrival order.
+        ``max_parallel_invocations`` bounds the thread pool, and doubles as a
+        forced process-pool size (overriding the core-count default).
         """
-        if execution_mode not in ("serial", "threads"):
+        if execution_mode not in ("serial", "threads", "processes"):
             raise ValueError(f"unknown execution mode {execution_mode!r}")
         self.env = env
         self.memory_mib = memory_mib
@@ -158,6 +171,8 @@ class LambadaDriver:
         self.worker_timeout_seconds = worker_timeout_seconds
         self.execution_mode = execution_mode
         self.max_parallel_invocations = max_parallel_invocations
+        self._pool = None
+        self._pool_unavailable = False
         #: Configuration of the shuffle I/O plane used by join queries
         #: (:class:`~repro.driver.shuffle.ShuffleConfig`); ``None`` selects
         #: the write-combined default.
@@ -280,6 +295,16 @@ class LambadaDriver:
             }
             for worker_id, worker_plan in enumerate(worker_plans)
         ]
+
+        if self.execution_mode == "processes" and self._pool_supported(physical):
+            pooled = self._execute_pooled(
+                physical, payloads, report, cold, max_worker_retries
+            )
+            if pooled is not None:
+                return pooled
+            # Pool unavailable (single core / spawn failure): fall through to
+            # the classic serial dispatch below.
+
         tree = build_invocation_tree(payloads)
 
         self.env.sqs.purge_queue(self.result_queue)
@@ -383,6 +408,240 @@ class LambadaDriver:
             worker_results=worker_results,
             optimizer_report=report,
         )
+
+    # -- process-pool execution plane ------------------------------------------------
+
+    def _pool_supported(self, physical: PhysicalPlan) -> bool:
+        """Whether the process pool can run this plan's fragments.
+
+        Registry UDFs live in the driver process only (the registry is
+        per-process state) and cannot be resolved inside spawned children;
+        the built-in reduce UDFs are module-level and travel by name.
+        """
+        from repro.plan.physical import BUILTIN_REDUCE_UDFS
+
+        template = physical.worker_template
+        if template.predicate_udf is not None or template.map_udf is not None:
+            return False
+        if template.reduce_udf and template.reduce_udf not in BUILTIN_REDUCE_UDFS:
+            return False
+        return True
+
+    def _ensure_pool(self):
+        """The warm process pool, spawning it on first use; ``None`` on fallback.
+
+        Mirrors the threads-mode single-core fallback: on a single-core host
+        (unless a pool size was forced) or when spawning fails (e.g. a
+        sandboxed CI runner), ``processes`` mode degrades to serial dispatch
+        with a one-line warning instead of raising.
+        """
+        if self._pool is not None:
+            return self._pool
+        if self._pool_unavailable:
+            return None
+        size = self.max_parallel_invocations or (os.cpu_count() or 1)
+        if size <= 1 and self.max_parallel_invocations is None:
+            self._pool_unavailable = True
+            warnings.warn(
+                "processes execution mode: single-core host, "
+                "falling back to serial dispatch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        from repro.driver.procpool import ProcessWorkerPool
+
+        try:
+            self._pool = ProcessWorkerPool(size=min(size, 16))
+        except Exception as exc:  # noqa: BLE001 - degrade, don't fail the query
+            self._pool_unavailable = True
+            warnings.warn(
+                f"processes execution mode: worker pool failed to start ({exc}); "
+                "falling back to serial dispatch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the process pool, if one was spawned; idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _execute_pooled(
+        self,
+        physical: PhysicalPlan,
+        payloads: List[Dict],
+        report: Optional[OptimizerReport],
+        cold: bool,
+        max_worker_retries: int,
+    ) -> Optional[QueryResult]:
+        """Run the fleet on the process pool; ``None`` means "fall back".
+
+        The SQS control plane is bypassed — worker results come back through
+        shared-memory segments — but the *modelled* statistics are built by
+        the exact same ``_parse_results``/``_merge``/``_build_statistics``
+        tail as the classic path, and every pool task is metered through
+        ``LambdaService.account_invocation``, so invocation cold/warm
+        bookkeeping, the ledger, and the cost model stay identical.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+
+        all_files = sorted({path for p in payloads for path in p["plan"]["files"]})
+        export: Optional[SharedObjectExport] = None
+        attached: List[Any] = []
+        by_worker: Dict[int, Dict] = {}
+        try:
+            export = SharedObjectExport.create(self.env.s3, all_files)
+            by_worker.update(self._run_pooled_round(pool, export, payloads, attached))
+            payload_by_worker = {p["worker_id"]: p for p in payloads}
+            for _ in range(max_worker_retries):
+                failed = [
+                    payload_by_worker[wid]
+                    for wid, msg in sorted(by_worker.items())
+                    if msg.get("status") != "ok"
+                ]
+                if not failed:
+                    break
+                by_worker.update(
+                    self._run_pooled_round(pool, export, failed, attached)
+                )
+            worker_results = self._parse_results(by_worker, expected=len(payloads))
+
+            # Fold the workers' simulated S3 traffic into the ledger (the
+            # classic path meters it inside ObjectStore per request).
+            now = self.env.clock.now
+            self.env.ledger.record(
+                "s3", "get_requests",
+                sum(r.get_requests for r in worker_results), now,
+            )
+            self.env.ledger.record(
+                "s3", "bytes_read",
+                sum(r.bytes_read for r in worker_results), now,
+            )
+
+            table, reduce_value = self._merge(physical, worker_results)
+            statistics = self._build_statistics(
+                physical, worker_results, num_workers=len(payloads), cold=cold
+            )
+            # Detach the exposed partials from shared memory before the
+            # segments are unlinked: re-encode into the payload form the
+            # classic path ships (copies the column data out).
+            from repro.engine.payload import encode_table
+
+            for result in worker_results:
+                if result.partial:
+                    result.partial = encode_table(result.partial, force_binary=True)
+            return QueryResult(
+                table=table,
+                reduce_value=reduce_value,
+                statistics=statistics,
+                worker_results=worker_results,
+                optimizer_report=report,
+            )
+        finally:
+            # Release the zero-copy views BEFORE unmapping the segments.  On
+            # the success path the exposed partials were already re-encoded;
+            # on the failure path the raised exception's traceback would keep
+            # this frame (and hence the views) alive, making SharedMemory's
+            # finalizer raise BufferError from the garbage collector.
+            for message in by_worker.values():
+                result_payload = message.get("result")
+                if isinstance(result_payload, dict):
+                    partial = result_payload.get("partial")
+                    if isinstance(partial, dict):
+                        partial.clear()
+            for segment in attached:
+                try:
+                    segment.close()
+                except BufferError:
+                    pass
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+            if export is not None:
+                pool.forget_segments([export.name])
+                export.close()
+
+    def _run_pooled_round(
+        self,
+        pool,
+        export: SharedObjectExport,
+        payloads: List[Dict],
+        attached: List[Any],
+    ) -> Dict[int, Dict]:
+        """Dispatch one wave of payloads to the pool and meter each attempt.
+
+        Returns classic-shaped result messages keyed by worker id, so the
+        downstream retry/parse machinery is shared with the SQS path.
+        Invocations are accounted in worker-id order (the dispatch order),
+        keeping cold/warm assignment deterministic like serial invocation.
+        """
+        tasks = [
+            (
+                "run",
+                payload["worker_id"],
+                payload["plan"],
+                export.name,
+                export.directory,
+                self.memory_mib,
+                payload.get("threads", 2),
+            )
+            for payload in payloads
+        ]
+        raw = pool.run_tasks(tasks)
+        by_worker: Dict[int, Dict] = {}
+        for payload in payloads:
+            worker_id = payload["worker_id"]
+            message = self._pooled_message(raw.get(worker_id), worker_id, attached)
+            # Meter the attempt exactly like an invocation of the in-process
+            # handler: cold/warm bookkeeping, ledger, invocation log, and the
+            # cold execution penalty on the modelled duration.
+            invocation = self.env.lambda_service.account_invocation(
+                self.function_name,
+                duration_seconds=message.get("result", {}).get("duration_seconds", 0.0),
+                from_driver=True,
+                cold_penalty=COLD_EXECUTION_PENALTY,
+            )
+            if message.get("status") == "ok":
+                message["result"]["duration_seconds"] = invocation.duration_seconds
+            by_worker[worker_id] = message
+        return by_worker
+
+    def _pooled_message(
+        self, raw: Optional[tuple], worker_id: int, attached: List[Any]
+    ) -> Dict:
+        """Convert one pool child message into the classic result-message shape.
+
+        Result segments are attached here and decoded as zero-copy views; the
+        attached handles collect in ``attached`` so ``_execute_pooled`` can
+        unlink every segment when the query finishes.
+        """
+        if raw is None:
+            return {
+                "worker_id": worker_id,
+                "status": "error",
+                "error": "no result from worker pool",
+            }
+        if raw[0] == "err":
+            return {"worker_id": worker_id, "status": "error", "error": raw[2]}
+        _, _, payload, result_segment, nbytes = raw
+        if result_segment is not None:
+            from multiprocessing import shared_memory
+
+            from repro.exchange.codec import decode_partition
+
+            segment = shared_memory.SharedMemory(name=result_segment)
+            attached.append(segment)
+            payload["partial"] = decode_partition(segment.buf[:nbytes], copy=False)
+        else:
+            payload["partial"] = {}
+        return {"worker_id": worker_id, "status": "ok", "result": payload}
 
     # -- helpers --------------------------------------------------------------------
 
@@ -549,7 +808,11 @@ class LambadaDriver:
             reduce_value = functools.reduce(reduce_fn, values) if values else None
             return {}, reduce_value
 
-        partials = [decode_table(result.partial) for result in worker_results]
+        # Views, not copies: the merge only concatenates the partials (one
+        # concatenate + one vectorised group-by pass), so decoded columns —
+        # including shared-memory views from the process pool — are never
+        # mutated in place.
+        partials = [decode_table(result.partial, copy=False) for result in worker_results]
         if driver_plan.collect_rows:
             table = concat_tables(partials)
         else:

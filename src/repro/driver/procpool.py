@@ -1,0 +1,253 @@
+"""Persistent process pool executing worker-plan fragments over shared memory.
+
+The ``processes`` execution mode gives the simulation *real* core-level
+parallelism: the driver spawns a pool of OS worker processes once per query
+driver (spawn context, so it behaves identically under any start method and
+never forks locks), keeps them warm across waves and queries, and ships work
+through shared memory instead of pickle:
+
+* **Inputs** — the driver exports the query's input objects into one
+  ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.cloud.s3.SharedObjectExport`); each child attaches once per
+  query and mounts it as a read-only
+  :class:`~repro.cloud.s3.SharedSegmentStore`.  Only the segment *name* and
+  the ``{path: (offset, length)}`` directory cross the pipe.
+* **Outputs** — each child writes its partial table as an uncompressed
+  fast-codec partition blob (:func:`repro.exchange.codec.encode_partition`)
+  into a fresh shared-memory segment and sends back the segment name; the
+  driver decodes it with ``decode_partition(..., copy=False)`` into zero-copy
+  views of the segment.  Column arrays never pass through pickle in either
+  direction.
+
+Segment lifecycle: the **driver** owns every segment and unlinks them all
+when the query finishes (success or failure).  Children merely attach.  With
+the spawn start method all children share the parent's ``resource_tracker``,
+which acts as a crash safety net — if the driver dies before unlinking, the
+tracker removes the segments at exit.
+
+A dead child (killed, crashed interpreter) surfaces as ``EOFError`` on its
+pipe: its outstanding tasks come back as error results — flowing into the
+driver's normal per-worker retry machinery — and the child is respawned
+before the next dispatch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import uuid
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Name prefix of result segments created by pool children.
+RESULT_SEGMENT_PREFIX = "lambada_r_"
+
+
+def _child_main(conn) -> None:
+    """Child process loop: execute plan fragments against shared segments.
+
+    Message protocol (parent → child)::
+
+        ("run", task_id, plan_dict, segment_name, directory, memory_mib, threads)
+        ("forget", [segment_names...])     # drop cached attachments
+        ("stop",)
+
+    and child → parent::
+
+        ("ok", task_id, counters_payload, result_segment_or_None, nbytes)
+        ("err", task_id, "ExcType: message")
+
+    Imports happen lazily inside the child so the parent's spawn cost stays
+    low and the module can be imported without NumPy side effects.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.cloud.s3 import SharedSegmentStore
+    from repro.engine.pipeline import execute_worker_plan_table
+    from repro.exchange.codec import encode_partition
+    from repro.formats.compression import Compression
+    from repro.plan.physical import WorkerPlan
+
+    # Cache of attached input segments: name -> (SharedMemory, SharedSegmentStore)
+    segments: Dict[str, Tuple[Any, Any]] = {}
+
+    def release(name: str) -> None:
+        entry = segments.pop(name, None)
+        if entry is not None:
+            try:
+                entry[0].close()
+            except BufferError:
+                pass
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "forget":
+            for name in message[1]:
+                release(name)
+            continue
+
+        _, task_id, plan_dict, segment_name, directory, memory_mib, threads = message
+        try:
+            if segment_name not in segments:
+                shm = shared_memory.SharedMemory(name=segment_name)
+                segments[segment_name] = (shm, SharedSegmentStore(shm.buf, directory))
+            store = segments[segment_name][1]
+            plan = WorkerPlan.from_dict(plan_dict)
+            result, table = execute_worker_plan_table(
+                plan, store, memory_mib=memory_mib, threads=threads
+            )
+            payload = result.to_payload()
+            payload.pop("partial", None)  # travels via shared memory instead
+            result_segment: Optional[str] = None
+            nbytes = 0
+            if table is not None:
+                blob = encode_partition(table, Compression.NONE)
+                out = shared_memory.SharedMemory(
+                    name=f"{RESULT_SEGMENT_PREFIX}{uuid.uuid4().hex[:12]}",
+                    create=True,
+                    size=max(len(blob), 1),
+                )
+                out.buf[: len(blob)] = blob
+                result_segment = out.name
+                nbytes = len(blob)
+                # The driver attaches, decodes, and unlinks; this mapping is
+                # no longer needed (the /dev/shm entry survives the close).
+                out.close()
+            conn.send(("ok", task_id, payload, result_segment, nbytes))
+        except Exception as exc:  # noqa: BLE001 - report, never die silently
+            try:
+                conn.send(("err", task_id, f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+
+
+class _Child:
+    """Bookkeeping for one pool worker process."""
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.pending: List[Any] = []
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ProcessWorkerPool:
+    """Spawn-safe pool of persistent worker processes.
+
+    Children stay warm across :meth:`run_tasks` calls (and therefore across
+    queries and retry waves), mirroring warm Lambda instances.  Tasks are
+    dispatched round-robin; results are collected as they complete via
+    ``multiprocessing.connection.wait``.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self.size = size
+        self._ctx = mp.get_context("spawn")
+        self._children: List[_Child] = []
+        for _ in range(size):
+            self._children.append(self._spawn())
+
+    def _spawn(self) -> _Child:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_child_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Child(process, parent_conn)
+
+    def _ensure_children(self) -> List[_Child]:
+        """Respawn any child that died since the last dispatch."""
+        for index, child in enumerate(self._children):
+            if not child.alive:
+                try:
+                    child.conn.close()
+                except OSError:
+                    pass
+                self._children[index] = self._spawn()
+        return self._children
+
+    def run_tasks(self, tasks: List[tuple]) -> Dict[Any, tuple]:
+        """Dispatch ``("run", task_id, ...)`` tuples; collect all results.
+
+        Returns ``{task_id: child_message}`` where each message is either
+        ``("ok", ...)`` or ``("err", task_id, reason)``.  Tasks stranded on a
+        child that dies mid-flight are synthesised as errors, which the
+        driver's retry loop then re-dispatches (onto a respawned child).
+        """
+        results: Dict[Any, tuple] = {}
+        if not tasks:
+            return results
+        children = self._ensure_children()
+        for index, task in enumerate(tasks):
+            child = children[index % len(children)]
+            child.conn.send(task)
+            child.pending.append(task[1])
+
+        outstanding = len(tasks)
+        by_conn = {child.conn: child for child in children}
+        while outstanding:
+            ready = mp_connection.wait(
+                [child.conn for child in children if child.pending]
+            )
+            for conn in ready:
+                child = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    for task_id in child.pending:
+                        results[task_id] = (
+                            "err", task_id, "worker process terminated unexpectedly",
+                        )
+                    outstanding -= len(child.pending)
+                    child.pending = []
+                    continue
+                task_id = message[1]
+                if task_id in child.pending:
+                    child.pending.remove(task_id)
+                    outstanding -= 1
+                results[task_id] = message
+        return results
+
+    def forget_segments(self, names: List[str]) -> None:
+        """Tell every live child to drop its cached input-segment mappings."""
+        for child in self._children:
+            if child.alive:
+                try:
+                    child.conn.send(("forget", list(names)))
+                except (BrokenPipeError, OSError):
+                    pass
+
+    def close(self) -> None:
+        """Stop and join all children; idempotent."""
+        for child in self._children:
+            try:
+                child.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for child in self._children:
+            child.process.join(timeout=5)
+            if child.process.is_alive():
+                child.process.terminate()
+                child.process.join(timeout=5)
+            try:
+                child.conn.close()
+            except OSError:
+                pass
+        self._children = []
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -65,7 +65,12 @@ from repro.cloud.lambda_service import FunctionConfig, InvocationContext
 from repro.cloud.s3 import ObjectMetadata, parse_s3_path
 from repro.config import S3_REQUEST_LATENCY_SECONDS
 from repro.driver.worker import RESULT_BUCKET, RESULT_SPILL_BYTES
-from repro.engine.aggregates import finalize_aggregates, merge_partials, partial_aggregate
+from repro.engine.aggregates import (
+    finalize_aggregates,
+    merge_partials,
+    partial_aggregate,
+    partial_aggregate_fused,
+)
 from repro.engine.join import hash_join
 from repro.engine.payload import decode_table, encode_table
 from repro.engine.pipeline import WorkerResult
@@ -238,6 +243,9 @@ def _make_map_handler(env: CloudEnvironment):
         compression = Compression(event.get("compression", Compression.FAST.value))
         num_buckets = int(event.get("num_buckets", 10))
 
+        # The predicate is pushed into the scan (selection vectors on encoded
+        # chunks) and the fused kernel folds surviving rows straight into the
+        # partial aggregates — same single-pass pipeline as scan workers.
         scan = S3ScanOperator(
             env.s3,
             files=event["files"],
@@ -245,12 +253,11 @@ def _make_map_handler(env: CloudEnvironment):
             prune_ranges=prune_ranges,
             config=ScanConfig(memory_mib=context.memory_mib),
             bandwidth=env.bandwidth,
+            predicate=predicate,
         )
         partials: List[Table] = []
-        for chunk in scan.scan():
-            if predicate is not None:
-                chunk = filter_table(chunk, np.asarray(evaluate(predicate, chunk), dtype=bool))
-            partials.append(partial_aggregate(chunk, group_by, partials_specs))
+        for batch in scan.scan_fused(group_by):
+            partials.append(partial_aggregate_fused(batch, group_by, partials_specs))
         merged = merge_partials(partials, group_by, partials_specs)
 
         # Partition once into contiguous slices; both formats serialise

@@ -37,6 +37,16 @@ RESULT_SPILL_BYTES = 200 * 1024
 RESULT_BUCKET = "lambada-results"
 
 
+def apply_cold_penalty(duration_seconds: float, cold_start: bool) -> float:
+    """Modelled execution duration with the cold-start slowdown applied.
+
+    Shared between the in-process worker handler and the process-pool
+    accounting path (via ``LambdaService.account_invocation``'s
+    ``cold_penalty``), so both execution planes model cold runs identically.
+    """
+    return duration_seconds * COLD_EXECUTION_PENALTY if cold_start else duration_seconds
+
+
 def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], InvocationContext], Dict]:
     """Create the worker event handler bound to a cloud environment.
 
@@ -75,10 +85,8 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
                 threads=event.get("threads", 2),
                 bandwidth=env.bandwidth,
             )
-            duration = result.duration_seconds
-            if context.cold_start:
-                duration *= COLD_EXECUTION_PENALTY
-                result.duration_seconds = duration
+            duration = apply_cold_penalty(result.duration_seconds, context.cold_start)
+            result.duration_seconds = duration
             context.charge(duration)
             message = {
                 "query_id": query_id,

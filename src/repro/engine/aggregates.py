@@ -152,6 +152,104 @@ def partial_aggregate(
     return result
 
 
+class _FusedEvalTable(dict):
+    """Table view over a :class:`~repro.engine.scan.FusedBatch` for expressions.
+
+    Aggregate-input columns resolve from the batch's gathered ``values``;
+    group keys referenced by an aggregate expression materialise lazily from
+    their code pairs on first access (``uniques[codes]`` — identical to the
+    classic gather).
+    """
+
+    def __init__(self, batch):
+        super().__init__(batch.values)
+        self.update(batch.key_values)
+        self._batch = batch
+
+    def __missing__(self, name):
+        values = self._batch.materialize_key(name)
+        self[name] = values
+        return values
+
+
+def fused_group_indices(batch, group_by: Sequence[str]) -> Tuple[Table, np.ndarray, int]:
+    """:func:`_group_indices` over a fused batch, reusing encoding-level codes.
+
+    Keys delivered in code space by the scan skip the ``np.unique`` pass
+    entirely: their codes index the chunk's sorted unique list, so combining
+    them is rank-preserving exactly like ``_column_codes`` output.  Codes from
+    the encoding range over the chunk's *dictionary* (a superset of the values
+    actually present after filtering); the dense factorisation drops absent
+    entries, which is precisely what ``np.unique`` on the materialised values
+    would have produced — the result is bit-identical to the classic path.
+    """
+    num_rows = batch.num_rows
+    if not group_by:
+        return {}, np.zeros(num_rows, dtype=np.int64), 1
+
+    per_key: List[Tuple[np.ndarray, np.ndarray]] = []
+    cardinality = 1
+    for name in group_by:
+        if name in batch.key_codes:
+            uniques, codes = batch.key_codes[name]
+        else:
+            uniques, codes = _column_codes(batch.key_values[name])
+        per_key.append((uniques, codes))
+        cardinality *= max(len(uniques), 1)
+
+    if cardinality > DENSE_FACTORIZE_MAX_CARDINALITY:
+        # Superset code space too large for the dense kernel: materialise the
+        # keys and take the general (present-values) path.
+        table = {name: batch.materialize_key(name) for name in group_by}
+        return _group_indices(table, group_by)
+
+    combined: Optional[np.ndarray] = None
+    for uniques, codes in per_key:
+        combined = (
+            codes.astype(np.int64, copy=False)
+            if combined is None
+            else combined * len(uniques) + codes
+        )
+    unique_codes, inverse = _dense_factorize(combined, cardinality)
+    key_table: Table = {}
+    remaining = unique_codes
+    for name, (uniques, _) in zip(reversed(group_by), reversed(per_key)):
+        width = max(len(uniques), 1)
+        key_table[name] = uniques[remaining % width]
+        remaining = remaining // width
+    key_table = {name: key_table[name] for name in group_by}
+    return key_table, inverse, len(unique_codes)
+
+
+def partial_aggregate_fused(
+    batch,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """:func:`partial_aggregate` over a :class:`~repro.engine.scan.FusedBatch`.
+
+    Selection vectors feed the aggregate kernels directly — the batch's keys
+    stay in code space and no intermediate filtered table is materialised.
+    The output is bit-identical to running :func:`partial_aggregate` on the
+    equivalent materialised chunk (same bincount accumulation order).
+    """
+    num_rows = batch.num_rows
+    aliases = [spec.alias for spec in aggregates]
+    if num_rows == 0:
+        return {name: np.zeros(0, dtype=np.float64) for name in list(group_by) + aliases}
+
+    key_table, inverse, num_groups = fused_group_indices(batch, group_by)
+    eval_table = _FusedEvalTable(batch)
+    result: Table = dict(key_table)
+    for spec in aggregates:
+        if spec.function == "count" and spec.expression is None:
+            values = np.ones(num_rows, dtype=np.float64)
+        else:
+            values = np.asarray(evaluate(spec.expression, eval_table), dtype=np.float64)
+        result[spec.alias] = _aggregate_column(values, inverse, num_groups, spec.function)
+    return result
+
+
 def merge_partials(
     partials: Sequence[Table],
     group_by: Sequence[str],

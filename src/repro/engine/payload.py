@@ -89,8 +89,15 @@ def encode_table(
     return {PAYLOAD_MARKER: PAYLOAD_VERSION, "num_rows": int(num_rows), "columns": columns}
 
 
-def decode_table(payload: Payload) -> Table:
-    """Inverse of :func:`encode_table`; accepts legacy and binary payloads."""
+def decode_table(payload: Payload, copy: bool = True) -> Table:
+    """Inverse of :func:`encode_table`; accepts legacy and binary payloads.
+
+    ``copy=False`` keeps binary columns as read-only ``frombuffer`` views of
+    the base64-decoded bytes — enough for merge paths that only concatenate,
+    and one copy less per worker partial on the driver's hot path.  (Legacy
+    payloads that already hold ndarrays — e.g. shared-memory partials decoded
+    in-place — pass through untouched in either mode.)
+    """
     if not is_binary_payload(payload):
         return {name: np.asarray(values) for name, values in payload.items()}
 
@@ -104,7 +111,8 @@ def decode_table(payload: Payload) -> Table:
             table[name] = np.asarray(column["values"], dtype=object)
         else:
             buffer = base64.b64decode(column["data"])
-            # frombuffer yields a read-only view of the decoded bytes; copy so
-            # callers can sort/mutate the columns like any other table.
-            table[name] = np.frombuffer(buffer, dtype=np.dtype(column["dtype"])).copy()
+            # frombuffer yields a read-only view of the decoded bytes; copy
+            # (by default) so callers can sort/mutate the columns.
+            view = np.frombuffer(buffer, dtype=np.dtype(column["dtype"]))
+            table[name] = view.copy() if copy else view
     return table

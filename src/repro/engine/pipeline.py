@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.cloud.network import BandwidthModel
 from repro.cloud.s3 import ObjectStore
-from repro.engine.aggregates import merge_partials, partial_aggregate
+from repro.engine.aggregates import (
+    merge_partials,
+    partial_aggregate,
+    partial_aggregate_fused,
+)
 from repro.engine.payload import encode_table
 from repro.engine.scan import S3ScanOperator, ScanConfig
 from repro.engine.table import Table, concat_tables, filter_table, table_num_rows
@@ -170,14 +174,63 @@ def _apply_map(plan: WorkerPlan, chunk: Table, column_order: Sequence[str]) -> T
     return chunk
 
 
+def _plan_supports_fused(plan: WorkerPlan, config: ScanConfig) -> bool:
+    """Whether the fused scan→filter→partial-agg kernel can run this plan.
+
+    The fused path covers expression-only aggregation plans; opaque UDFs and
+    computed map columns need materialised chunks, and without late
+    materialization there is no selection vector to fuse.
+    """
+    return bool(
+        plan.aggregates
+        and plan.predicate_udf is None
+        and plan.map_udf is None
+        and not plan.map_outputs
+        and config.late_materialization
+    )
+
+
 def execute_worker_plan(
     plan: WorkerPlan,
     store: ObjectStore,
     memory_mib: int = 2048,
     threads: int = 2,
     bandwidth: Optional[BandwidthModel] = None,
+    fused: bool = True,
 ) -> WorkerResult:
-    """Execute a worker plan fragment and return its partial result."""
+    """Execute a worker plan fragment and return its partial result.
+
+    The partial table travels in the result as a JSON-compatible payload (see
+    :mod:`repro.engine.payload`); :func:`execute_worker_plan_table` returns
+    the raw table instead, for callers with a binary result plane.
+    """
+    result, table = execute_worker_plan_table(
+        plan, store, memory_mib=memory_mib, threads=threads, bandwidth=bandwidth,
+        fused=fused,
+    )
+    # Always the binary columnar form: the legacy ``{name: list}`` encoding
+    # widens integer dtypes through JSON, which would make serial results
+    # differ bitwise from the shared-memory (dtype-preserving) result plane.
+    result.partial = encode_table(table, force_binary=True) if table is not None else {}
+    return result
+
+
+def execute_worker_plan_table(
+    plan: WorkerPlan,
+    store: ObjectStore,
+    memory_mib: int = 2048,
+    threads: int = 2,
+    bandwidth: Optional[BandwidthModel] = None,
+    fused: bool = True,
+) -> tuple:
+    """Execute a worker plan fragment; return ``(result, table)``.
+
+    ``result.partial`` is left empty — the partial aggregate (or collected
+    rows) comes back as the raw ``table`` (``None`` for reduce plans), so
+    process-pool workers can ship it through shared memory without a
+    serialisation round-trip.  ``fused=False`` forces the classic
+    chunk-materialising pipeline (used by parity tests and benchmarks).
+    """
     config = ScanConfig(
         chunk_bytes=plan.scan_chunk_bytes,
         connections=plan.scan_connections,
@@ -203,6 +256,20 @@ def execute_worker_plan(
     reduce_fn = resolve_udf(plan.reduce_udf) if plan.reduce_udf else None
     reduce_ufunc = _BUILTIN_REDUCE_UFUNCS.get(plan.reduce_udf) if plan.reduce_udf else None
     rows_after_filter = 0
+
+    if fused and _plan_supports_fused(plan, config):
+        # Fused pipeline: the scan's selection vectors feed the aggregate
+        # kernels directly, group keys stay in code space, and no filtered
+        # chunk is ever materialised.
+        for batch in scan.scan_fused(plan.group_by):
+            rows_after_filter += batch.num_rows
+            partials.append(
+                partial_aggregate_fused(batch, plan.group_by, plan.aggregates)
+            )
+        return _finish_worker_plan(
+            plan, scan, partials, collected, reduce_fn, reduce_values,
+            rows_after_filter,
+        )
 
     column_order: List[str] = list(plan.columns)
     for chunk in scan.scan():
@@ -236,27 +303,40 @@ def execute_worker_plan(
         else:
             collected.append(mapped)
 
+    return _finish_worker_plan(
+        plan, scan, partials, collected, reduce_fn, reduce_values, rows_after_filter
+    )
+
+
+def _finish_worker_plan(
+    plan: WorkerPlan,
+    scan: S3ScanOperator,
+    partials: List[Table],
+    collected: List[Table],
+    reduce_fn,
+    reduce_values: List[Any],
+    rows_after_filter: int,
+) -> tuple:
+    """Merge per-chunk outputs and assemble the (result, table) pair."""
     if plan.aggregates:
-        merged = merge_partials(partials, plan.group_by, plan.aggregates)
-        partial_payload = encode_table(merged)
-        rows_output = table_num_rows(merged)
+        table: Optional[Table] = merge_partials(partials, plan.group_by, plan.aggregates)
+        rows_output = table_num_rows(table)
         reduce_value = None
     elif reduce_fn is not None:
         reduce_value = (
             functools.reduce(reduce_fn, reduce_values) if reduce_values else None
         )
-        partial_payload = {}
+        table = None
         rows_output = 0 if reduce_value is None else 1
     else:
-        rows = concat_tables(collected)
-        partial_payload = encode_table(rows)
-        rows_output = table_num_rows(rows)
+        table = concat_tables(collected)
+        rows_output = table_num_rows(table)
         reduce_value = None
 
     counters = scan.counters
     duration = scan.modelled_seconds()
-    return WorkerResult(
-        partial=partial_payload,
+    result = WorkerResult(
+        partial={},
         reduce_value=reduce_value,
         rows_scanned=counters.rows_scanned,
         rows_after_filter=rows_after_filter,
@@ -273,3 +353,4 @@ def execute_worker_plan(
         compute_seconds=counters.decode_seconds,
         duration_seconds=duration,
     )
+    return result, table

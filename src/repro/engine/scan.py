@@ -42,7 +42,12 @@ from repro.config import (
 )
 from repro.engine.s3io import S3ObjectSource, ScanStatistics
 from repro.engine.table import Table
-from repro.formats.encoding import EncodedChunk, decode_gather, evaluate_comparison
+from repro.formats.encoding import (
+    EncodedChunk,
+    decode_gather,
+    encoded_key_codes,
+    evaluate_comparison,
+)
 from repro.formats.parquet import ColumnarFile, RowGroupMeta
 from repro.plan.expressions import CompiledPredicate, Expression, compile_predicate, evaluate
 from repro.plan.physical import PruneRange
@@ -105,6 +110,34 @@ class ScanCounters:
             else self.download_seconds + self.decode_seconds
         )
         return self.metadata_seconds + body
+
+
+@dataclass
+class FusedBatch:
+    """One row group's worth of filtered rows, keys kept in code space.
+
+    Produced by :meth:`S3ScanOperator.scan_fused` for the fused
+    scan→filter→partial-agg pipeline: aggregate-input columns are gathered
+    into ``values`` exactly as the classic path would, but group-key columns
+    stay as ``(sorted uniques, per-row codes)`` pairs when their encoding
+    already provides codes (dictionary/RLE chunks), so the group-by kernel
+    never materialises the key arrays.  Keys whose codes could not be derived
+    (plain chunks) are materialised into ``key_values`` instead.
+    """
+
+    num_rows: int
+    values: Table
+    key_codes: Dict[str, tuple]
+    key_values: Table
+
+    def materialize_key(self, name: str) -> np.ndarray:
+        """The key column as a value array (identical to the classic gather)."""
+        if name in self.key_values:
+            return self.key_values[name]
+        uniques, codes = self.key_codes[name]
+        if len(uniques) == 0:
+            return np.zeros(0, dtype=uniques.dtype)
+        return uniques[codes]
 
 
 class S3ScanOperator:
@@ -177,7 +210,22 @@ class S3ScanOperator:
         for path in self.files:
             yield from self._scan_file(path)
 
-    def _scan_file(self, path: str) -> Iterator[Table]:
+    def scan_fused(self, group_keys: Sequence[str]) -> Iterator[FusedBatch]:
+        """Yield filtered :class:`FusedBatch` batches (one per surviving group).
+
+        Single-pass scan→filter for the fused aggregation pipeline: the
+        pushed-down predicate's selection vector feeds the column gathers
+        directly and group-key columns are kept in code space.  Download,
+        decode-charge, and short-circuit accounting are identical to
+        :meth:`scan` with the same predicate.
+        """
+        group_keys = frozenset(group_keys)
+        for path in self.files:
+            yield from self._scan_file(path, fused_keys=group_keys)
+
+    def _scan_file(
+        self, path: str, fused_keys: Optional[frozenset] = None
+    ) -> Iterator[Table]:
         source = S3ObjectSource(
             self.store,
             path,
@@ -202,6 +250,11 @@ class S3ScanOperator:
                 self.counters.row_groups_pruned += 1
                 continue
             self.counters.rows_scanned += group.num_rows
+            if fused_keys is not None:
+                batch = self._scan_group_fused(reader, group, columns, fused_keys)
+                if batch is not None:
+                    yield batch
+                continue
             if self._compiled is not None:
                 chunk = self._scan_group_filtered(reader, group, columns)
                 if chunk is not None:
@@ -257,29 +310,7 @@ class S3ScanOperator:
                 return {name: decoded[name] for name in columns}
             return {name: decoded[name][mask] for name in columns}
 
-        # 1. Selection vector: encoding-aware comparisons first, cheapest-to-
-        #    reject ordering is the plan's conjunct order; short-circuit as
-        #    soon as the mask empties.
-        mask: Optional[np.ndarray] = None
-        for comparison in compiled.comparisons:
-            comparison_mask = evaluate_comparison(
-                load(comparison.column), comparison.op, comparison.value
-            )
-            mask = comparison_mask if mask is None else mask & comparison_mask
-            if not mask.any():
-                break
-
-        if mask is None or mask.any():
-            if compiled.residual is not None:
-                for name in sorted(compiled.residual_columns):
-                    decoded[name] = load(name).decode()
-                # A residual with no column references (literal-only) still
-                # needs a row count to broadcast over.
-                residual_input = decoded or {"__rows__": np.zeros(num_rows, dtype=np.int8)}
-                residual_mask = np.asarray(
-                    evaluate(compiled.residual, residual_input), dtype=bool
-                )
-                mask = residual_mask if mask is None else mask & residual_mask
+        mask = self._group_selection(load, decoded, num_rows)
 
         # 2. Short-circuit fully-rejected and fully-selected chunks.
         if mask is not None and not mask.any():
@@ -317,6 +348,117 @@ class S3ScanOperator:
                     self.counters.rows_decode_saved += num_rows - selected
         self._charge_decode(group, predicate_columns, gathered_columns, selected)
         return chunk
+
+    def _group_selection(self, load, decoded, num_rows: int) -> Optional[np.ndarray]:
+        """Evaluate the compiled predicate on encoded chunks for one row group.
+
+        Selection vector step shared by the filtered and fused scan paths:
+        encoding-aware comparisons first (cheapest-to-reject ordering is the
+        plan's conjunct order, short-circuiting as soon as the mask empties),
+        then the decoded residual.  Returns the boolean row mask, or ``None``
+        when the predicate constrains nothing.
+        """
+        compiled = self._compiled
+        mask: Optional[np.ndarray] = None
+        for comparison in compiled.comparisons:
+            comparison_mask = evaluate_comparison(
+                load(comparison.column), comparison.op, comparison.value
+            )
+            mask = comparison_mask if mask is None else mask & comparison_mask
+            if not mask.any():
+                break
+
+        if mask is None or mask.any():
+            if compiled.residual is not None:
+                for name in sorted(compiled.residual_columns):
+                    decoded[name] = load(name).decode()
+                # A residual with no column references (literal-only) still
+                # needs a row count to broadcast over.
+                residual_input = decoded or {"__rows__": np.zeros(num_rows, dtype=np.int8)}
+                residual_mask = np.asarray(
+                    evaluate(compiled.residual, residual_input), dtype=bool
+                )
+                mask = residual_mask if mask is None else mask & residual_mask
+        return mask
+
+    # -- fused scan→filter→agg batches ---------------------------------------------
+
+    def _scan_group_fused(
+        self,
+        reader: ColumnarFile,
+        group: RowGroupMeta,
+        columns: Sequence[str],
+        group_keys: frozenset,
+    ) -> Optional[FusedBatch]:
+        """Execute one surviving row group for the fused aggregation pipeline.
+
+        The selection vector, short-circuit, and decode-charge accounting are
+        identical to :meth:`_scan_group_filtered`; the difference is the
+        output shape: instead of materialising a filtered chunk, surviving
+        rows are delivered as a :class:`FusedBatch` whose group-key columns
+        stay in code space whenever the encoding provides codes.
+        """
+        num_rows = group.num_rows
+        encoded: Dict[str, EncodedChunk] = {}
+        decoded: Dict[str, np.ndarray] = {}
+
+        def load(name: str) -> EncodedChunk:
+            if name not in encoded:
+                encoded[name] = reader.read_encoded_chunk(group, name)
+            return encoded[name]
+
+        mask: Optional[np.ndarray] = None
+        if self._compiled is not None:
+            mask = self._group_selection(load, decoded, num_rows)
+            if mask is not None and not mask.any():
+                skipped = [
+                    name for name in columns if name not in encoded and name not in decoded
+                ]
+                self.counters.column_chunks_skipped += len(skipped)
+                self.counters.rows_decode_saved += num_rows * sum(
+                    1 for name in columns if name not in decoded
+                )
+                self.counters.row_groups_shortcircuit_empty += 1
+                self._charge_decode(group, list(encoded), (), 0)
+                return None
+
+        if mask is None or mask.all():
+            selection: Optional[np.ndarray] = None
+            selected = num_rows
+            if self._compiled is not None:
+                self.counters.row_groups_shortcircuit_full += 1
+        else:
+            selection = np.flatnonzero(mask)
+            selected = len(selection)
+
+        predicate_columns = list(encoded)
+        gathered_columns = [name for name in columns if name not in encoded]
+        values: Table = {}
+        key_codes: Dict[str, tuple] = {}
+        key_values: Table = {}
+        for name in columns:
+            is_key = name in group_keys
+            if name in decoded:
+                # Already fully decoded for the residual — sliced, not saved.
+                column = decoded[name]
+                column = column if selection is None else column[selection]
+                (key_values if is_key else values)[name] = column
+                continue
+            chunk = load(name)
+            if is_key:
+                derived = encoded_key_codes(chunk, selection)
+                if derived is not None:
+                    key_codes[name] = derived
+                else:
+                    key_values[name] = decode_gather(chunk, selection)
+            else:
+                values[name] = decode_gather(chunk, selection)
+            if selection is not None:
+                self.counters.rows_decode_saved += num_rows - selected
+        self._charge_decode(group, predicate_columns, gathered_columns, selected)
+        return FusedBatch(
+            num_rows=selected, values=values, key_codes=key_codes, key_values=key_values
+        )
 
     def _charge_decode(
         self,

@@ -58,7 +58,7 @@ FAST_PARTITION_TAG = 0x01
 _PREFIX = struct.Struct("<BI")
 
 
-def is_fast_partition(data: Union[bytes, bytearray]) -> bool:
+def is_fast_partition(data: Union[bytes, bytearray, memoryview]) -> bool:
     """Whether ``data`` is a fast-codec partition object."""
     return len(data) >= _PREFIX.size and data[0] == FAST_PARTITION_TAG
 
@@ -132,7 +132,7 @@ def encode_partition_set(
     return b"".join(blobs), offsets
 
 
-def decode_partition_slice(data: Union[bytes, bytearray], copy: bool = False) -> Table:
+def decode_partition_slice(data: Union[bytes, bytearray, memoryview], copy: bool = False) -> Table:
     """Decode one receiver's slice of a combined partition object.
 
     Zero-length slices (empty partitions) decode to an empty table without
@@ -151,7 +151,7 @@ def decode_partition_slice(data: Union[bytes, bytearray], copy: bool = False) ->
     return ColumnarFile.from_bytes(bytes(data)).read_table()
 
 
-def decode_partition(data: Union[bytes, bytearray], copy: bool = True) -> Table:
+def decode_partition(data: Union[bytes, bytearray, memoryview], copy: bool = True) -> Table:
     """Inverse of :func:`encode_partition`.
 
     ``copy=False`` returns read-only ``frombuffer`` views of the body where
@@ -167,7 +167,14 @@ def decode_partition(data: Union[bytes, bytearray], copy: bool = True) -> Table:
         header = json.loads(bytes(data[_PREFIX.size:header_end]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CorruptFileError(f"invalid fast partition header: {exc}") from exc
-    body = decompress(bytes(data[header_end:]), Compression(header["compression"]))
+    compression = Compression(header["compression"])
+    if compression is Compression.NONE:
+        # Zero-copy hot path: an uncompressed body is sliced, not copied, so a
+        # partition living in a shared-memory segment decodes into views of
+        # the segment itself (``memoryview`` slices reference the same buffer).
+        body = data[header_end:] if isinstance(data, (bytes, memoryview)) else bytes(data[header_end:])
+    else:
+        body = decompress(bytes(data[header_end:]), compression)
 
     table: Table = {}
     num_rows = int(header["num_rows"])

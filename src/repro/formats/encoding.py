@@ -259,6 +259,37 @@ def decode_gather(chunk: EncodedChunk, selection: Optional[np.ndarray]) -> np.nd
     return chunk.dictionary[chunk.codes[selection]]
 
 
+def encoded_key_codes(
+    chunk: EncodedChunk, selection: Optional[np.ndarray]
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Distinct values (ascending) and per-row codes of a group-key chunk.
+
+    The fused scan→agg path consumes group keys as ``(uniques, codes)`` pairs
+    instead of materialised value arrays, so the group-by kernel can combine
+    codes directly.  For DICTIONARY chunks the stored dictionary *is* the
+    sorted unique list (the writer builds it with ``np.unique``) and the codes
+    come for free; RLE chunks factorise the (small) run-value array and map
+    selected rows to their run's code.  Returns ``None`` when codes cannot be
+    derived cheaply (PLAIN chunks, or a dictionary that is not strictly
+    ascending), in which case the caller falls back to ``decode_gather``.
+    """
+    if chunk.encoding is Encoding.DICTIONARY:
+        dictionary = chunk.dictionary
+        if len(dictionary) > 1 and not np.all(dictionary[1:] > dictionary[:-1]):
+            return None
+        codes = chunk.codes if selection is None else chunk.codes[selection]
+        return dictionary, codes.astype(np.int64, copy=False)
+    if chunk.encoding is Encoding.RLE:
+        uniques, run_codes = np.unique(np.asarray(chunk.run_values), return_inverse=True)
+        if selection is None:
+            codes = np.repeat(run_codes, chunk.run_lengths)
+        else:
+            codes = run_codes[np.searchsorted(chunk.run_ends, selection, side="right")]
+        uniques = uniques.astype(chunk.column_type.numpy_dtype, copy=False)
+        return uniques, codes.astype(np.int64, copy=False)
+    return None
+
+
 _COMPARISON_UFUNCS = {
     "==": np.equal,
     "!=": np.not_equal,

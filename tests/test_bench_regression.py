@@ -123,3 +123,59 @@ def test_checker_flags_relative_regression(checker, baseline, tmp_path):
     current = tmp_path / "current.json"
     current.write_text(json.dumps(doctored), encoding="utf-8")
     assert checker.check(BASELINE_PATH, current, tolerance=0.9) != 0
+
+
+def test_baseline_has_conditional_floor_inputs(checker, baseline):
+    """Each conditional floor needs its gate field recorded in the baseline."""
+    results = baseline["results"]
+    for (section, field), spec in checker.CONDITIONAL_FLOORS.items():
+        gate_field, _ = spec["requires"]
+        assert section in results
+        assert field in results[section]
+        assert gate_field in results[section]
+
+
+def _doctored(baseline, tmp_path, **end_to_end_fields):
+    doctored = json.loads(json.dumps(baseline))
+    doctored["results"]["end_to_end_q1"].update(end_to_end_fields)
+    path = tmp_path / "doctored.json"
+    path.write_text(json.dumps(doctored), encoding="utf-8")
+    return path
+
+
+def test_conditional_floor_skipped_with_notice_on_small_host(
+    checker, baseline, tmp_path, capsys
+):
+    # Hardware precondition unmet: not a pass, an explicit skip notice.
+    path = _doctored(baseline, tmp_path, cpu_count=1, wall_speedup=0.5)
+    assert checker.check(path, None, tolerance=0.6) == 0
+    out = capsys.readouterr().out
+    assert "skipped" in out
+    assert "wall_speedup" in out
+
+
+def test_conditional_floor_enforced_on_capable_host(checker, baseline, tmp_path):
+    path = _doctored(baseline, tmp_path, cpu_count=8, wall_speedup=1.2)
+    assert checker.check(path, None, tolerance=0.6) != 0
+
+
+def test_conditional_floor_passes_on_capable_host(checker, baseline, tmp_path):
+    path = _doctored(baseline, tmp_path, cpu_count=8, wall_speedup=2.4)
+    assert checker.check(path, None, tolerance=0.6) == 0
+
+
+def test_conditional_floor_requires_gate_field(checker, baseline, tmp_path):
+    doctored = json.loads(json.dumps(baseline))
+    doctored["results"]["end_to_end_q1"].pop("cpu_count", None)
+    path = tmp_path / "no_gate.json"
+    path.write_text(json.dumps(doctored), encoding="utf-8")
+    assert checker.check(path, None, tolerance=0.6) != 0
+
+
+def test_sections_flag_scopes_the_checks(checker, baseline, tmp_path):
+    doctored = json.loads(json.dumps(baseline))
+    doctored["results"]["join_probe"]["speedup"] = 1.0  # out-of-scope violation
+    path = tmp_path / "scoped.json"
+    path.write_text(json.dumps(doctored), encoding="utf-8")
+    assert checker.check(path, None, tolerance=0.6, sections=["end_to_end_q1"]) == 0
+    assert checker.check(path, None, tolerance=0.6, sections=["join_probe"]) != 0

@@ -6,6 +6,7 @@ import pytest
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig
 from repro.driver.worker import RESULT_BUCKET, WORKER_FUNCTION_NAME, make_worker_handler
+from repro.engine.payload import decode_table
 from repro.formats.parquet import write_table
 from repro.plan.expressions import col
 from repro.plan.logical import AggregateSpec
@@ -52,7 +53,8 @@ def test_handler_executes_plan_and_posts_result(env_with_data):
     payload = messages[0].json()
     assert payload["status"] == "ok"
     assert payload["worker_id"] == 0
-    assert payload["result"]["partial"]["s"][0] == pytest.approx(np.arange(1000).sum())
+    partial = decode_table(payload["result"]["partial"])
+    assert partial["s"][0] == pytest.approx(np.arange(1000).sum())
 
 
 def test_handler_invokes_children_first(env_with_data):
