@@ -734,6 +734,12 @@ def measure_end_to_end(
     over ``processes`` wall time — and only means anything with cores to
     spare, so the record carries ``cpu_count`` and the actual pool size for
     the regression guard's hardware-conditional floor.
+
+    ``faultfree_overhead_ratio`` guards the resilience plane's fault-free
+    cost: the same serial Q1 with a zero-rate :class:`FaultPlan` installed
+    (every S3/Lambda/SQS request consults the plan, nothing ever fires)
+    versus the plain ``is None`` fast path, interleaved best-of-``repeats``
+    pairs.  The regression guard caps the ratio at 1.02.
     """
     import os
     import warnings
@@ -795,6 +801,30 @@ def measure_end_to_end(
     forced_driver.close()
     drivers["processes"].close()
 
+    # Fault-free overhead of the resilience plane.  A zero-rate plan keeps
+    # every per-request fault hook live (the `plan is None` fast path is off)
+    # while guaranteeing nothing ever fires, so the guarded/plain wall-time
+    # ratio isolates the pure bookkeeping cost.  Interleaved best-of pairs
+    # squeeze out scheduler noise on these sub-second runs.
+    from repro.cloud.faults import chaos_plan
+
+    zero_rate_plan = chaos_plan(seed=0, rate=0.0)
+    plain_best = guarded_best = float("inf")
+    guarded_result = None
+    for _ in range(max(repeats, 5)):
+        start = time.perf_counter()
+        run_tpch_query(drivers["serial"], dataset, "q1")
+        plain_best = min(plain_best, time.perf_counter() - start)
+        env.install_fault_plan(zero_rate_plan)
+        try:
+            start = time.perf_counter()
+            guarded_result = run_tpch_query(drivers["serial"], dataset, "q1")
+            guarded_best = min(guarded_best, time.perf_counter() - start)
+        finally:
+            env.install_fault_plan(None)
+    assert tables_allclose(results["serial"].table, guarded_result.table)
+    assert guarded_result.statistics.resilience.clean
+
     return {
         "num_rows": dataset.total_rows,
         "num_files": dataset.num_files,
@@ -811,6 +841,9 @@ def measure_end_to_end(
         "threads_wall_speedup": medians["serial"] / medians["threads"],
         "forced_pool_wall_seconds": forced_seconds,
         "forced_pool_overhead_ratio": forced_seconds / medians["serial"],
+        "faultfree_plain_wall_seconds": plain_best,
+        "faultfree_guarded_wall_seconds": guarded_best,
+        "faultfree_overhead_ratio": guarded_best / plain_best,
         "modelled_latency_seconds": results["processes"].statistics.latency_seconds,
         "result_rows": results["processes"].num_rows,
     }
@@ -1036,8 +1069,12 @@ def test_end_to_end_query(bench_recorder, experiment_report):
         f"serial {measurement['serial_wall_seconds']:.2f}s, "
         f"threads {measurement['threads_wall_seconds']:.2f}s, "
         f"processes {measurement['processes_wall_seconds']:.2f}s wall "
-        f"({measurement['wall_speedup']:.2f}x)"
+        f"({measurement['wall_speedup']:.2f}x), "
+        f"fault-hook overhead {measurement['faultfree_overhead_ratio']:.3f}x"
     )
+    # The resilience plane must be free when no faults fire (PR 7's bar:
+    # fault-free Q1 regresses by less than 2%).
+    assert measurement["faultfree_overhead_ratio"] < 1.02
     assert measurement["result_rows"] > 0
     assert measurement["median_of"] == 3
 

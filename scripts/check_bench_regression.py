@@ -19,6 +19,9 @@ Four kinds of checks:
 * **absolute request ceilings** — the write-combined shuffle plane must stay
   within its O(P) request budget at the benchmark's 32x32 shape (a silent
   fallback to the O(P²) per-receiver path fails here);
+* **absolute ratio ceilings** — overhead ratios that must stay near 1.0 in
+  the *current* run: the resilience plane's fault hooks must cost the
+  fault-free TPC-H Q1 path less than 2% of wall time;
 * **relative regression** — each current speedup must stay within
   ``tolerance`` of the committed baseline (defaults to 60%, loose enough for
   machine-to-machine noise, tight enough to catch an accidental
@@ -95,6 +98,14 @@ ABSOLUTE_REQUEST_CEILINGS = {
     ("join_e2e", "combined_get_requests"): 2 * 16 * 16,
     ("join_e2e", "combined_list_requests"): 0,
     ("join_e2e", "combined_head_requests"): 0,
+}
+
+#: Maximum overhead ratios, keyed ``(section, field)``.  The resilience
+#: plane (PR 7) promises the fault-injection hooks are free when no plan
+#: fires: serial TPC-H Q1 with a zero-rate FaultPlan installed must stay
+#: within 2% of the plain fast path's wall time.
+ABSOLUTE_RATIO_CEILINGS = {
+    ("end_to_end_q1", "faultfree_overhead_ratio"): 1.02,
 }
 
 #: Fields compared against the committed baseline for relative regressions.
@@ -206,6 +217,24 @@ def check(
             )
         else:
             print(f"ok: {name} {field} {observed} requests (ceiling {ceiling})")
+
+    for (name, field), ceiling in ABSOLUTE_RATIO_CEILINGS.items():
+        if not in_scope(name):
+            continue
+        measurement = current.get(name)
+        if measurement is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        observed = measurement.get(field)
+        if observed is None:
+            failures.append(f"{name}: missing the {field!r} ratio")
+        elif observed > ceiling:
+            failures.append(
+                f"{name}: {field} = {observed:.3f} exceeds the ceiling of "
+                f"{ceiling:.2f} (fault hooks taxing the fault-free path?)"
+            )
+        else:
+            print(f"ok: {name} {field} {observed:.3f} (ceiling {ceiling:.2f})")
 
     if current_path is not None:
         for name, measurement in baseline.items():

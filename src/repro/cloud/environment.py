@@ -36,6 +36,8 @@ class CloudEnvironment:
     lambda_service: LambdaService
     bandwidth: BandwidthModel
     region: str = "eu"
+    #: Installed fault-injection plan, or ``None`` for the fault-free path.
+    fault_plan: object = None
 
     @classmethod
     def create(
@@ -63,6 +65,20 @@ class CloudEnvironment:
             bandwidth=bandwidth,
             region=region,
         )
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_fault_plan(self, plan) -> None:
+        """Install (or with ``None`` remove) a fault-injection plan.
+
+        The plan is consulted by S3, the Lambda service, SQS, and the driver's
+        process pool; see :mod:`repro.cloud.faults`.  Installing ``None``
+        restores the fault-free fast path.
+        """
+        self.fault_plan = plan
+        self.s3.fault_plan = plan
+        self.sqs.fault_plan = plan
+        self.lambda_service.fault_plan = plan
 
     # -- convenience ----------------------------------------------------------
 

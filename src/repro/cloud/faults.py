@@ -1,0 +1,320 @@
+"""Seeded, deterministic fault-injection plane for the simulated cloud.
+
+The paper's serverless design assumes workers and storage fail routinely —
+throttled S3 requests, lost invocations, slow ("straggler") instances, lagging
+read-after-write visibility, duplicated queue deliveries.  This module gives
+the simulation a way to *create* those failures on demand so the driver's
+fault-tolerance machinery can be exercised deterministically:
+
+* A :class:`FaultPlan` is a seeded RNG plus an ordered list of
+  :class:`FaultRule`\\ s.  Each rule targets one service (``s3`` / ``lambda`` /
+  ``sqs`` / ``pool``), one fault kind, and fires with probability ``rate`` per
+  eligible request, optionally capped at ``max_count`` total injections so
+  bounded retry budgets provably converge.
+* Services consult the plan only when one is installed
+  (:meth:`repro.cloud.environment.CloudEnvironment.install_fault_plan`); with
+  no plan the hook is a single ``is None`` check, keeping the fault-free path
+  bitwise-unchanged and effectively free.
+* Every injection is counted in :attr:`FaultPlan.injected` so query statistics
+  can report how many faults a run survived.
+
+Fault kinds by service:
+
+========  ====================  =====================================================
+service   fault                 effect
+========  ====================  =====================================================
+s3        ``slowdown``          raises :class:`~repro.errors.SlowDownError` (throttle)
+s3        ``read_after_write``  raises :class:`~repro.errors.NoSuchKeyError` once per
+                                freshly-written key (visibility lag)
+s3        ``crash_after_put``   raises :class:`~repro.errors.WorkerCrashError` *after*
+                                the PUT completed (worker dies mid-shuffle; the
+                                object it wrote stays behind)
+lambda    ``drop``              the invoke request is accepted but the function never
+                                runs — no result message, only the request fee billed
+lambda    ``timeout``           the function hangs and is killed at its configured
+                                timeout — no result message, full duration billed
+lambda    ``straggler``         the handler runs normally but its modelled duration
+                                is multiplied by ``factor``
+sqs       ``duplicate``         a received message is re-delivered again later
+sqs       ``delay``             a message is skipped this receive and moved to the
+                                back of the queue
+pool      ``crash``             a process-pool task is reported as crashed; the
+                                driver must clean up its segment and retry
+========  ====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import NoSuchKeyError, SlowDownError, WorkerCrashError
+
+_S3_FAULTS = {"slowdown", "read_after_write", "crash_after_put"}
+_LAMBDA_FAULTS = {"drop", "timeout", "straggler"}
+_SQS_FAULTS = {"duplicate", "delay"}
+_POOL_FAULTS = {"crash"}
+
+_VALID = {
+    "s3": _S3_FAULTS,
+    "lambda": _LAMBDA_FAULTS,
+    "sqs": _SQS_FAULTS,
+    "pool": _POOL_FAULTS,
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule of a :class:`FaultPlan`.
+
+    ``operation`` narrows S3 rules to one verb (``get``/``put``/``head``/
+    ``list``; empty matches any).  ``match`` is a substring filter against the
+    request target — ``bucket/key`` for S3, function name for Lambda, queue
+    name for SQS — so chaos schedules can scope faults to e.g. the shuffle
+    bucket without touching the base dataset.  ``max_count`` caps the total
+    number of injections from this rule (``None`` = unlimited); capped rules
+    guarantee that bounded retry budgets eventually converge.
+    """
+
+    service: str
+    fault: str
+    rate: float
+    operation: str = ""
+    match: str = ""
+    max_count: Optional[int] = None
+    #: Straggler duration multiplier (``straggler`` rules only).
+    factor: float = 6.0
+    #: Visibility-lag window for ``read_after_write`` rules: only objects
+    #: younger than this (modelled seconds) can be injected as missing.
+    lag_seconds: float = 5.0
+
+    def __post_init__(self):
+        if self.service not in _VALID:
+            raise ValueError(f"unknown fault service {self.service!r}")
+        if self.fault not in _VALID[self.service]:
+            raise ValueError(
+                f"unknown fault {self.fault!r} for service {self.service!r}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1.0")
+
+
+class FaultPlan:
+    """A seeded schedule of fault injections consulted by the cloud services.
+
+    All decisions draw from one seeded :class:`random.Random` under a lock, so
+    a serial run with a given seed injects an identical fault schedule every
+    time.  (Threaded runs interleave requests nondeterministically; results
+    stay bit-identical because every fault is survivable, only the injection
+    *sites* move.)
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int = 0):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._fired: List[int] = [0] * len(self.rules)
+        self._raw_injected: Set[str] = set()
+        #: Injection counts by fault kind, e.g. ``{"s3.slowdown": 3}``.
+        self.injected: Dict[str, int] = {}
+
+    # -- internal -------------------------------------------------------------
+
+    def _roll(self, index: int, rule: FaultRule) -> bool:
+        """Decide (under the lock) whether rule ``index`` fires now."""
+        if rule.max_count is not None and self._fired[index] >= rule.max_count:
+            return False
+        if self._rng.random() >= rule.rate:
+            return False
+        self._fired[index] += 1
+        kind = f"{rule.service}.{rule.fault}"
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        return True
+
+    # -- S3 hooks -------------------------------------------------------------
+
+    def s3_fault(
+        self,
+        operation: str,
+        bucket: str,
+        key: str = "",
+        age_seconds: Optional[float] = None,
+    ) -> None:
+        """Raise an injected fault for one S3 request, or return normally.
+
+        Called by :class:`~repro.cloud.s3.ObjectStore` after the request
+        validated (bucket and, for reads, key exist) and before it is metered —
+        mirroring where the store's own rate limiter raises.
+        """
+        target = f"{bucket}/{key}"
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "s3" or rule.fault == "crash_after_put":
+                    continue
+                if rule.operation and rule.operation != operation:
+                    continue
+                if rule.match and rule.match not in target:
+                    continue
+                if rule.fault == "slowdown":
+                    if self._roll(index, rule):
+                        raise SlowDownError(
+                            f"injected throttle on {operation} {target}"
+                        )
+                elif rule.fault == "read_after_write":
+                    if operation not in ("get", "head"):
+                        continue
+                    if target in self._raw_injected:
+                        # Fire at most once per key so retries converge.
+                        continue
+                    if age_seconds is not None and age_seconds > rule.lag_seconds:
+                        continue
+                    if self._roll(index, rule):
+                        self._raw_injected.add(target)
+                        raise NoSuchKeyError(
+                            f"s3://{target} (injected read-after-write lag)"
+                        )
+
+    def s3_after_put(self, bucket: str, key: str) -> None:
+        """Raise :class:`WorkerCrashError` after a completed PUT, or return.
+
+        The object stays behind — this is the duplicate-write hazard the
+        idempotent shuffle-retry protocol must survive.
+        """
+        target = f"{bucket}/{key}"
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "s3" or rule.fault != "crash_after_put":
+                    continue
+                if rule.match and rule.match not in target:
+                    continue
+                if self._roll(index, rule):
+                    raise WorkerCrashError(
+                        f"injected worker crash after PUT s3://{target}"
+                    )
+
+    # -- Lambda hooks ---------------------------------------------------------
+
+    def invocation_fault(self, function_name: str) -> Optional[str]:
+        """Return ``"drop"``, ``"timeout"``, or ``None`` for one invocation."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "lambda" or rule.fault == "straggler":
+                    continue
+                if rule.match and rule.match not in function_name:
+                    continue
+                if self._roll(index, rule):
+                    return rule.fault
+        return None
+
+    def straggler_factor(self, function_name: str) -> float:
+        """Duration multiplier for one invocation (1.0 = no straggler)."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "lambda" or rule.fault != "straggler":
+                    continue
+                if rule.match and rule.match not in function_name:
+                    continue
+                if self._roll(index, rule):
+                    return rule.factor
+        return 1.0
+
+    # -- SQS hooks ------------------------------------------------------------
+
+    def sqs_duplicate(self, queue: str) -> bool:
+        """Whether a just-received message should be re-delivered later."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "sqs" or rule.fault != "duplicate":
+                    continue
+                if rule.match and rule.match not in queue:
+                    continue
+                if self._roll(index, rule):
+                    return True
+        return False
+
+    def sqs_delay(self, queue: str) -> bool:
+        """Whether a pending message should be skipped this receive."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "sqs" or rule.fault != "delay":
+                    continue
+                if rule.match and rule.match not in queue:
+                    continue
+                if self._roll(index, rule):
+                    return True
+        return False
+
+    # -- process-pool hook ----------------------------------------------------
+
+    def pool_crash(self, function_name: str = "", worker_id: int = -1) -> bool:
+        """Whether a process-pool task should be reported as crashed."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "pool" or rule.fault != "crash":
+                    continue
+                if rule.match and rule.match not in function_name:
+                    continue
+                if self._roll(index, rule):
+                    return True
+        return False
+
+    # -- statistics -----------------------------------------------------------
+
+    def injected_total(self) -> int:
+        """Total number of faults injected so far."""
+        with self._lock:
+            return sum(self.injected.values())
+
+    def to_dict(self) -> Dict[str, int]:
+        """Copy of the per-kind injection counts."""
+        with self._lock:
+            return dict(self.injected)
+
+
+def chaos_plan(
+    seed: int,
+    rate: float = 0.1,
+    max_count: int = 6,
+    match: str = "",
+    straggler_factor: float = 8.0,
+) -> FaultPlan:
+    """A representative all-services chaos schedule, used by the chaos suite.
+
+    Every always-fatal fault kind is capped at ``max_count`` injections so a
+    bounded retry budget is guaranteed to converge regardless of ``rate``;
+    benign kinds (stragglers, duplicate/delayed deliveries) are capped too so
+    poll loops stay short.  ``match`` scopes the S3 rules (substring of
+    ``bucket/key``) so chaos can target e.g. shuffle traffic only.
+    """
+    return FaultPlan(
+        rules=[
+            FaultRule("s3", "slowdown", rate, match=match, max_count=max_count),
+            FaultRule(
+                "s3", "read_after_write", rate, match=match, max_count=max_count
+            ),
+            FaultRule(
+                "s3", "crash_after_put", rate, match=match, max_count=max_count
+            ),
+            FaultRule("lambda", "drop", rate, max_count=max_count),
+            FaultRule("lambda", "timeout", rate / 2, max_count=max_count),
+            FaultRule(
+                "lambda",
+                "straggler",
+                rate,
+                max_count=max_count,
+                factor=straggler_factor,
+            ),
+            FaultRule("sqs", "duplicate", rate, max_count=max_count),
+            FaultRule("sqs", "delay", rate, max_count=max_count),
+            FaultRule("pool", "crash", rate, max_count=max_count),
+        ],
+        seed=seed,
+    )
+
+
+__all__ = ["FaultRule", "FaultPlan", "chaos_plan"]

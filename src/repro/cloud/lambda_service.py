@@ -106,6 +106,10 @@ class InvocationContext:
         self.config = config
         self.invocation_id = invocation_id
         self.cold_start = cold_start
+        #: Injected straggler slowdown (1.0 = none); handlers multiply their
+        #: modelled execution duration by this so the slowdown shows up both
+        #: in billing and in the duration they report to the driver.
+        self.straggler_factor = 1.0
         self._charged_seconds = 0.0
         self._peak_memory_bytes = 0
 
@@ -194,6 +198,8 @@ class LambdaService:
         self._lock = threading.RLock()
         #: All invocation results in order, for post-hoc analysis.
         self.invocation_log: List[InvocationResult] = []
+        #: Optional fault-injection plan (see :mod:`repro.cloud.faults`).
+        self.fault_plan = None
 
     # -- deployment -----------------------------------------------------------
 
@@ -291,15 +297,37 @@ class LambdaService:
         context = InvocationContext(config, invocation_id, cold)
         error: Optional[str] = None
         payload: Any = None
-        try:
-            payload = handler(event, context)
-        except Exception as exc:  # noqa: BLE001 - report any handler failure
-            error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-        finally:
+        injected: Optional[str] = None
+        if self.fault_plan is not None:
+            injected = self.fault_plan.invocation_fault(name)
+        if injected is not None:
+            # "drop": the Invoke call is accepted but the function never runs.
+            # "timeout": the function hangs and is killed at its timeout.
+            # Either way the handler is skipped, so no result message is ever
+            # posted — the driver only notices at its wave deadline.
             with self._lock:
                 self._active -= 1
+        else:
+            if self.fault_plan is not None:
+                context.straggler_factor = self.fault_plan.straggler_factor(name)
+            try:
+                payload = handler(event, context)
+            except Exception as exc:  # noqa: BLE001 - report any handler failure
+                error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            finally:
+                with self._lock:
+                    self._active -= 1
 
         duration = context.charged_seconds
+        if injected == "drop":
+            error = "InvocationDropped: injected invocation drop"
+            duration = 0.0
+        elif injected == "timeout":
+            error = (
+                f"FunctionTimeout: injected hang killed at the "
+                f"{config.timeout_seconds:.1f}s timeout"
+            )
+            duration = config.timeout_seconds
         if duration > config.timeout_seconds:
             error = error or (
                 f"FunctionTimeout: modelled duration {duration:.1f}s exceeds "

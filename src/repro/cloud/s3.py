@@ -103,6 +103,9 @@ class ObjectStore:
         self._read_windows: Dict[str, _RateWindow] = {}
         self._write_windows: Dict[str, _RateWindow] = {}
         self._lock = threading.RLock()
+        #: Optional fault-injection plan (see :mod:`repro.cloud.faults`).
+        #: ``None`` keeps every request on the fault-free fast path.
+        self.fault_plan = None
         # Request counters per bucket, useful for asserting request complexity.
         self.request_counts: Dict[str, Dict[str, int]] = {}
 
@@ -172,6 +175,8 @@ class ObjectStore:
         with self._lock:
             self._require_bucket(bucket)
             self._check_rate(bucket, "write")
+            if self.fault_plan is not None:
+                self.fault_plan.s3_fault("put", bucket, key)
             metadata = ObjectMetadata(
                 bucket=bucket, key=key, size=len(payload), created_at=self.clock.now
             )
@@ -180,6 +185,10 @@ class ObjectStore:
             self.request_counts[bucket]["put"] += 1
             self.ledger.record("s3", "put_requests", 1, self.clock.now)
             self.ledger.record("s3", "bytes_written", len(payload), self.clock.now)
+            if self.fault_plan is not None:
+                # May raise WorkerCrashError *after* the write landed — the
+                # duplicate-object hazard retried shuffle mappers must survive.
+                self.fault_plan.s3_after_put(bucket, key)
             return metadata
 
     def get_object(
@@ -202,6 +211,11 @@ class ObjectStore:
                 raise NoSuchKeyError(f"s3://{bucket}/{key}")
             data = self._buckets[bucket][key]
             metadata = self._metadata[bucket][key]
+            if self.fault_plan is not None:
+                self.fault_plan.s3_fault(
+                    "get", bucket, key,
+                    age_seconds=self.clock.now - metadata.created_at,
+                )
             size = len(data)
             if range_start < 0:
                 raise InvalidRangeError(f"negative range start {range_start}")
@@ -229,6 +243,12 @@ class ObjectStore:
             self._check_rate(bucket, "read")
             if key not in self._metadata[bucket]:
                 raise NoSuchKeyError(f"s3://{bucket}/{key}")
+            if self.fault_plan is not None:
+                meta = self._metadata[bucket][key]
+                self.fault_plan.s3_fault(
+                    "head", bucket, key,
+                    age_seconds=self.clock.now - meta.created_at,
+                )
             self.request_counts[bucket]["get"] += 1
             self.ledger.record("s3", "get_requests", 1, self.clock.now)
             return self._metadata[bucket][key]
@@ -246,6 +266,8 @@ class ObjectStore:
         with self._lock:
             self._require_bucket(bucket)
             self._check_rate(bucket, "write")  # LIST is billed/limited like writes
+            if self.fault_plan is not None:
+                self.fault_plan.s3_fault("list", bucket)
             self.request_counts[bucket]["list"] += 1
             self.ledger.record("s3", "list_requests", 1, self.clock.now)
             # Filter before sorting: LIST-heavy discovery (exchange receivers)

@@ -49,6 +49,8 @@ class QueueService:
         self._queues: Dict[str, Deque[Message]] = {}
         self._next_id = 0
         self._lock = threading.RLock()
+        #: Optional fault-injection plan (see :mod:`repro.cloud.faults`).
+        self.fault_plan = None
 
     # -- queue management ----------------------------------------------------
 
@@ -110,8 +112,20 @@ class QueueService:
             self._require_queue(queue)
             self.ledger.record("sqs", "requests", 1, self.clock.now)
             received: List[Message] = []
+            redeliver: List[Message] = []
+            plan = self.fault_plan
             while self._queues[queue] and len(received) < max_messages:
-                received.append(self._queues[queue].popleft())
+                message = self._queues[queue].popleft()
+                if plan is not None and plan.sqs_delay(queue):
+                    # Injected visibility delay: skipped this receive, back of
+                    # the queue for a later poll.
+                    redeliver.append(message)
+                    continue
+                received.append(message)
+                if plan is not None and plan.sqs_duplicate(queue):
+                    # Injected at-least-once duplicate: delivered again later.
+                    redeliver.append(message)
+            self._queues[queue].extend(redeliver)
             return received
 
     def approximate_message_count(self, queue: str) -> int:

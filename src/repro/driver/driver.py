@@ -14,6 +14,7 @@ import functools
 import json
 import math
 import os
+import random
 import uuid
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -26,6 +27,15 @@ from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig
 from repro.cloud.s3 import SharedObjectExport, parse_s3_path
 from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
+from repro.driver.resilience import (
+    DEFAULT_RESILIENCE_POLICY,
+    AttemptLog,
+    ResiliencePolicy,
+    ResilienceStats,
+    call_with_backoff,
+    decorrelated_jitter,
+    pick_stragglers,
+)
 from repro.driver.worker import (
     COLD_EXECUTION_PENALTY,
     WORKER_FUNCTION_NAME,
@@ -88,10 +98,20 @@ class QueryStatistics:
     join_probe_rows: int = 0
     join_build_rows: int = 0
     join_output_rows: int = 0
+    #: Fault-tolerance counters for this query: retries, hedges won/lost,
+    #: injected faults survived, degradation fallbacks, wasted modelled cost.
+    #: All-zero on a clean run.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def cost_total(self) -> float:
-        """Total dollar cost of the query."""
+        """Total dollar cost of the query.
+
+        Retried and hedged invocations are billed inside the components like
+        any other request; ``resilience.wasted_cost_dollars`` reports which
+        part of this total bought nothing (it is an attribution, not an
+        extra charge).
+        """
         return (
             self.cost_lambda_duration
             + self.cost_lambda_requests
@@ -144,6 +164,7 @@ class LambadaDriver:
         execution_mode: str = "serial",
         max_parallel_invocations: Optional[int] = None,
         shuffle_config: Optional["ShuffleConfig"] = None,
+        resilience_policy: Optional[ResiliencePolicy] = None,
     ):
         """``execution_mode`` selects how the simulated fleet runs.
 
@@ -178,6 +199,9 @@ class LambadaDriver:
         #: the write-combined default.
         self.shuffle_config = shuffle_config
         self._join_coordinator = None
+        #: Retry/backoff/hedging knobs (see :mod:`repro.driver.resilience`).
+        self.resilience_policy = resilience_policy or DEFAULT_RESILIENCE_POLICY
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
         self.install()
 
     # -- installation -------------------------------------------------------------
@@ -287,6 +311,7 @@ class LambadaDriver:
         payloads = [
             {
                 "worker_id": worker_id,
+                "attempt": 0,
                 "plan": worker_plan.to_dict(),
                 "result_queue": self.result_queue,
                 "query_id": query_id,
@@ -296,28 +321,48 @@ class LambadaDriver:
             for worker_id, worker_plan in enumerate(worker_plans)
         ]
 
+        resilience = ResilienceStats()
+        fault_snapshot = self._fault_snapshot()
+
         if self.execution_mode == "processes" and self._pool_supported(physical):
             pooled = self._execute_pooled(
-                physical, payloads, report, cold, max_worker_retries
+                physical, payloads, report, cold, max_worker_retries,
+                resilience, fault_snapshot,
             )
             if pooled is not None:
                 return pooled
-            # Pool unavailable (single core / spawn failure): fall through to
-            # the classic serial dispatch below.
+            # Pool unavailable (single core / spawn failure / respawn storm):
+            # fall through to the classic serial dispatch below.
 
         tree = build_invocation_tree(payloads)
 
         self.env.sqs.purge_queue(self.result_queue)
         self._invoke_tree(tree)
 
-        messages = self._collect_messages(query_id, expected=len(payloads))
-        by_worker = self._group_messages(messages)
-        by_worker = self._retry_failures(by_worker, payloads, query_id, max_worker_retries)
-        worker_results = self._parse_results(by_worker, expected=len(payloads))
+        attempt_log = AttemptLog()
+        messages = self._collect_messages(
+            query_id,
+            expected=len(payloads),
+            want={payload["worker_id"] for payload in payloads},
+            raise_on_timeout=max_worker_retries <= 0,
+        )
+        by_worker = self._group_messages(messages, resilience=resilience)
+        by_worker = self._retry_failures(
+            by_worker, payloads, query_id, max_worker_retries,
+            resilience=resilience, attempt_log=attempt_log,
+        )
+        worker_results = self._parse_results(
+            by_worker, expected=len(payloads), attempt_log=attempt_log
+        )
+        worker_results, hedge_billed_seconds = self._hedge_stragglers(
+            worker_results, by_worker, payloads, query_id, resilience
+        )
 
         table, reduce_value = self._merge(physical, worker_results)
         statistics = self._build_statistics(
-            physical, worker_results, num_workers=len(payloads), cold=cold
+            physical, worker_results, num_workers=len(payloads), cold=cold,
+            resilience=resilience, fault_snapshot=fault_snapshot,
+            extra_billed_seconds=hedge_billed_seconds,
         )
         return QueryResult(
             table=table,
@@ -352,7 +397,10 @@ class LambadaDriver:
 
         if self._join_coordinator is None:
             self._join_coordinator = ShuffleJoinCoordinator(
-                self.env, memory_mib=self.memory_mib, config=self.shuffle_config
+                self.env,
+                memory_mib=self.memory_mib,
+                config=self.shuffle_config,
+                resilience_policy=self.resilience_policy,
             )
         if cold:
             for name in (JOIN_MAP_FUNCTION_NAME, JOIN_REDUCE_FUNCTION_NAME):
@@ -366,10 +414,15 @@ class LambadaDriver:
         invocation = TreeInvocationModel(region=self.env.region)
         num_total = join_stats.num_workers
         result_poll_seconds = 0.3
+        # modelled_latency_seconds already includes the coordinator's backoff.
         latency = (
             invocation.time_to_start_all(num_total, cold=cold)
             + join_stats.modelled_latency_seconds
             + result_poll_seconds
+        )
+        resilience = join_stats.resilience
+        resilience.wasted_cost_dollars += prices.lambda_invocation_cost(
+            resilience.retries
         )
         get_requests = sum(result.get_requests for result in worker_results)
         exchange = join_stats.exchange
@@ -392,7 +445,9 @@ class LambadaDriver:
                 prices.lambda_duration_cost(self.memory_mib, duration)
                 for duration in durations
             ),
-            cost_lambda_requests=prices.lambda_invocation_cost(num_total),
+            cost_lambda_requests=prices.lambda_invocation_cost(
+                num_total + resilience.retries
+            ),
             cost_s3_requests=cost_s3,
             cost_sqs_requests=prices.sqs_cost(sqs_requests),
             worker_durations=durations,
@@ -400,6 +455,7 @@ class LambadaDriver:
             join_probe_rows=join_stats.join_probe_rows,
             join_build_rows=join_stats.join_build_rows,
             join_output_rows=join_stats.join_output_rows,
+            resilience=resilience,
         )
         return QueryResult(
             table=table,
@@ -477,6 +533,8 @@ class LambadaDriver:
         report: Optional[OptimizerReport],
         cold: bool,
         max_worker_retries: int,
+        resilience: Optional[ResilienceStats] = None,
+        fault_snapshot: Optional[Dict[str, int]] = None,
     ) -> Optional[QueryResult]:
         """Run the fleet on the process pool; ``None`` means "fall back".
 
@@ -490,6 +548,11 @@ class LambadaDriver:
         pool = self._ensure_pool()
         if pool is None:
             return None
+        resilience = resilience if resilience is not None else ResilienceStats()
+        policy = self.resilience_policy
+        respawns_before = pool.stats().get("respawns", 0)
+        attempt_log = AttemptLog()
+        prices = self.env.ledger.prices
 
         all_files = sorted({path for p in payloads for path in p["plan"]["files"]})
         export: Optional[SharedObjectExport] = None
@@ -499,6 +562,7 @@ class LambadaDriver:
             export = SharedObjectExport.create(self.env.s3, all_files)
             by_worker.update(self._run_pooled_round(pool, export, payloads, attached))
             payload_by_worker = {p["worker_id"]: p for p in payloads}
+            sleep = 0.0
             for _ in range(max_worker_retries):
                 failed = [
                     payload_by_worker[wid]
@@ -507,10 +571,50 @@ class LambadaDriver:
                 ]
                 if not failed:
                     break
-                by_worker.update(
-                    self._run_pooled_round(pool, export, failed, attached)
+                respawn_delta = pool.stats().get("respawns", 0) - respawns_before
+                if respawn_delta > policy.pool_respawn_limit:
+                    # Respawn storm: the pool keeps losing children mid-query.
+                    # Degrade to serial dispatch instead of thrashing further.
+                    resilience.pool_respawns = respawn_delta
+                    resilience.note_fallback("processes_to_serial")
+                    warnings.warn(
+                        f"processes execution mode: {respawn_delta} pool "
+                        "respawns in one query, falling back to serial dispatch",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self.close()
+                    self._pool_unavailable = True
+                    return None
+                sleep = decorrelated_jitter(
+                    sleep,
+                    self._jitter_rng,
+                    policy.backoff_base_seconds,
+                    policy.backoff_cap_seconds,
                 )
-            worker_results = self._parse_results(by_worker, expected=len(payloads))
+                resilience.backoff_seconds += sleep
+                retries: List[Dict] = []
+                for payload in failed:
+                    worker_id = payload["worker_id"]
+                    attempt_log.record(
+                        worker_id,
+                        payload.get("attempt", 0),
+                        by_worker[worker_id].get("error", "unknown error"),
+                        backoff_seconds=sleep,
+                    )
+                    retry_payload = dict(payload)
+                    retry_payload["attempt"] = payload.get("attempt", 0) + 1
+                    payload_by_worker[worker_id] = retry_payload
+                    retries.append(retry_payload)
+                    resilience.retries += 1
+                    resilience.wasted_cost_dollars += prices.lambda_invocation_cost(1)
+                by_worker.update(
+                    self._run_pooled_round(pool, export, retries, attached)
+                )
+            resilience.pool_respawns = pool.stats().get("respawns", 0) - respawns_before
+            worker_results = self._parse_results(
+                by_worker, expected=len(payloads), attempt_log=attempt_log
+            )
 
             # Fold the workers' simulated S3 traffic into the ledger (the
             # classic path meters it inside ObjectStore per request).
@@ -526,7 +630,8 @@ class LambadaDriver:
 
             table, reduce_value = self._merge(physical, worker_results)
             statistics = self._build_statistics(
-                physical, worker_results, num_workers=len(payloads), cold=cold
+                physical, worker_results, num_workers=len(payloads), cold=cold,
+                resilience=resilience, fault_snapshot=fault_snapshot,
             )
             # Detach the exposed partials from shared memory before the
             # segments are unlinked: re-encode into the payload form the
@@ -581,7 +686,20 @@ class LambadaDriver:
         downstream retry/parse machinery is shared with the SQS path.
         Invocations are accounted in worker-id order (the dispatch order),
         keeping cold/warm assignment deterministic like serial invocation.
+
+        An installed :class:`~repro.cloud.faults.FaultPlan` is consulted here,
+        mirroring the SQS path: dropped/timed-out invocations are decided
+        before dispatch (the fragment never runs), pool-crash injections lose
+        a completed result (its segment is still attached for cleanup), and
+        straggler slowdowns multiply the reported duration.
         """
+        plan = getattr(self.env, "fault_plan", None)
+        faulted: Dict[int, str] = {}
+        if plan is not None:
+            for payload in payloads:
+                fault = plan.invocation_fault(self.function_name)
+                if fault is not None:
+                    faulted[payload["worker_id"]] = fault
         tasks = [
             (
                 "run",
@@ -593,18 +711,71 @@ class LambadaDriver:
                 payload.get("threads", 2),
             )
             for payload in payloads
+            if payload["worker_id"] not in faulted
         ]
         raw = pool.run_tasks(tasks)
         by_worker: Dict[int, Dict] = {}
         for payload in payloads:
             worker_id = payload["worker_id"]
-            message = self._pooled_message(raw.get(worker_id), worker_id, attached)
+            fault = faulted.get(worker_id)
+            if fault is not None:
+                if fault == "drop":
+                    error = "InvocationDropped: injected invocation drop"
+                    duration = 0.0
+                else:
+                    error = (
+                        "FunctionTimeout: injected hang killed at the "
+                        f"{self.worker_timeout_seconds:.1f}s timeout"
+                    )
+                    duration = self.worker_timeout_seconds
+                self.env.lambda_service.account_invocation(
+                    self.function_name, duration_seconds=duration, from_driver=True
+                )
+                by_worker[worker_id] = {
+                    "worker_id": worker_id,
+                    "attempt": payload.get("attempt", 0),
+                    "status": "error",
+                    "error": error,
+                }
+                continue
+            raw_result = raw.get(worker_id)
+            crashed = plan is not None and plan.pool_crash(
+                self.function_name, worker_id
+            )
+            if crashed:
+                # The child did the work, but the injected crash loses its
+                # result.  Attach the orphaned result segment (if any) so the
+                # end-of-query cleanup unlinks it.
+                if (
+                    raw_result is not None
+                    and raw_result[0] == "ok"
+                    and raw_result[3] is not None
+                ):
+                    from multiprocessing import shared_memory
+
+                    try:
+                        attached.append(
+                            shared_memory.SharedMemory(name=raw_result[3])
+                        )
+                    except FileNotFoundError:
+                        pass
+                message = {
+                    "worker_id": worker_id,
+                    "status": "error",
+                    "error": "WorkerCrashError: injected pool worker crash",
+                }
+            else:
+                message = self._pooled_message(raw_result, worker_id, attached)
+            message.setdefault("attempt", payload.get("attempt", 0))
+            duration = message.get("result", {}).get("duration_seconds", 0.0)
+            if plan is not None and message.get("status") == "ok":
+                duration *= plan.straggler_factor(self.function_name)
             # Meter the attempt exactly like an invocation of the in-process
             # handler: cold/warm bookkeeping, ledger, invocation log, and the
             # cold execution penalty on the modelled duration.
             invocation = self.env.lambda_service.account_invocation(
                 self.function_name,
-                duration_seconds=message.get("result", {}).get("duration_seconds", 0.0),
+                duration_seconds=duration,
                 from_driver=True,
                 cold_penalty=COLD_EXECUTION_PENALTY,
             )
@@ -692,9 +863,41 @@ class LambadaDriver:
                 expanded.append(path)
         return expanded
 
-    def _collect_messages(self, query_id: str, expected: int) -> List[Dict]:
-        """Poll the result queue until all workers have reported."""
+    def _fault_snapshot(self) -> Optional[Dict[str, int]]:
+        """Per-kind injection counts of the installed fault plan, or ``None``."""
+        plan = getattr(self.env, "fault_plan", None)
+        if plan is None:
+            return None
+        return plan.to_dict()
+
+    def _fault_delta(self, snapshot: Optional[Dict[str, int]]) -> Dict[str, int]:
+        """Faults injected since ``snapshot`` (the plan outlives single queries)."""
+        if snapshot is None:
+            return {}
+        current = self._fault_snapshot() or {}
+        delta = {
+            kind: count - snapshot.get(kind, 0) for kind, count in current.items()
+        }
+        return {kind: count for kind, count in delta.items() if count > 0}
+
+    def _collect_messages(
+        self,
+        query_id: str,
+        expected: int,
+        want: Optional[set] = None,
+        raise_on_timeout: bool = True,
+    ) -> List[Dict]:
+        """Poll the result queue until ``expected`` distinct workers reported.
+
+        Progress is counted in *distinct* worker ids (restricted to ``want``
+        when given), so duplicated SQS deliveries can no longer satisfy
+        ``expected`` early.  The poll budget is the wave deadline; when it
+        runs out the driver either raises :class:`QueryTimeoutError` or — with
+        ``raise_on_timeout=False`` — returns what arrived so the caller can
+        retry the workers that never reported (dropped invocations, crashes).
+        """
         messages: List[Dict] = []
+        seen: set = set()
         max_polls = max(expected * 4, 64)
         for _ in range(max_polls):
             batch = self.env.sqs.receive_messages(self.result_queue, max_messages=10)
@@ -703,21 +906,76 @@ class LambadaDriver:
                 if payload.get("query_id") != query_id:
                     continue  # stale message from an earlier query
                 messages.append(payload)
-            if len(messages) >= expected:
+                worker_id = payload.get("worker_id")
+                if want is None or worker_id in want:
+                    seen.add(worker_id)
+            if len(seen) >= expected:
                 return messages
-        raise QueryTimeoutError(
-            f"received {len(messages)} of {expected} worker results before giving up"
-        )
+        if raise_on_timeout:
+            raise QueryTimeoutError(
+                f"received {len(seen)} of {expected} worker results before giving up"
+            )
+        return messages
 
-    def _group_messages(self, messages: List[Dict]) -> Dict[int, Dict]:
-        """Group queue messages by worker id, fetching spilled payloads from S3."""
-        by_worker: Dict[int, Dict] = {}
+    @staticmethod
+    def _merge_message(
+        by_worker: Dict[int, Dict],
+        message: Dict,
+        resilience: Optional[ResilienceStats] = None,
+    ) -> None:
+        """Fold one result message into ``by_worker`` with attempt dedup.
+
+        Higher attempts win; at the same attempt an ok beats an error (and
+        anything else is a duplicate delivery).  A late or re-delivered
+        message from an earlier attempt can therefore never clobber a
+        successful retry.
+        """
+        worker_id = message["worker_id"]
+        attempt = message.get("attempt", 0)
+        current = by_worker.get(worker_id)
+        if current is None:
+            by_worker[worker_id] = message
+            return
+        current_attempt = current.get("attempt", 0)
+        if attempt > current_attempt:
+            by_worker[worker_id] = message
+        elif attempt < current_attempt:
+            if resilience is not None:
+                resilience.stale_messages_ignored += 1
+        elif current.get("status") != "ok" and message.get("status") == "ok":
+            by_worker[worker_id] = message
+        elif resilience is not None:
+            resilience.duplicate_messages_ignored += 1
+
+    def _group_messages(
+        self,
+        messages: List[Dict],
+        by_worker: Optional[Dict[int, Dict]] = None,
+        resilience: Optional[ResilienceStats] = None,
+    ) -> Dict[int, Dict]:
+        """Group result messages by worker id with ``(worker, attempt)`` dedup.
+
+        Spilled payloads are fetched from S3 with backoff — the pointed-to
+        object may be transiently invisible under an injected read-after-write
+        lag.
+        """
+        if by_worker is None:
+            by_worker = {}
         for message in messages:
             if "result_s3" in message:
                 bucket, key = parse_s3_path(message["result_s3"])
-                raw = self.env.s3.get_object(bucket, key).data
-                message = json.loads(raw.decode("utf-8"))
-            by_worker[message["worker_id"]] = message
+                raw = call_with_backoff(
+                    self.env.s3.get_object,
+                    bucket,
+                    key,
+                    policy=self.resilience_policy,
+                    rng=self._jitter_rng,
+                    stats=resilience,
+                ).data
+                spilled = json.loads(raw.decode("utf-8"))
+                spilled.setdefault("attempt", message.get("attempt", 0))
+                message = spilled
+            self._merge_message(by_worker, message, resilience)
         return by_worker
 
     def _retry_failures(
@@ -726,29 +984,87 @@ class LambadaDriver:
         payloads: List[Dict],
         query_id: str,
         max_worker_retries: int,
+        resilience: Optional[ResilienceStats] = None,
+        attempt_log: Optional[AttemptLog] = None,
     ) -> Dict[int, Dict]:
-        """Re-invoke failed workers (flat, from the driver) up to the retry limit."""
+        """Re-invoke failed *or missing* workers with jittered backoff.
+
+        Replaces the seed's flat fixed-count loop: each retry round first
+        backs off (exponential with decorrelated jitter, charged to modelled
+        latency — never slept on the wall clock), tags every retry payload
+        with its attempt number, and polls for exactly the retried workers.
+        Workers that never reported at all (dropped invocations, crashed
+        instances) are retried just like reported failures.
+        """
+        resilience = resilience if resilience is not None else ResilienceStats()
+        attempt_log = attempt_log if attempt_log is not None else AttemptLog()
         payload_by_worker = {payload["worker_id"]: payload for payload in payloads}
+        prices = self.env.ledger.prices
+        sleep = 0.0
         for _ in range(max_worker_retries):
-            failed = [wid for wid, msg in by_worker.items() if msg.get("status") != "ok"]
-            if not failed:
+            need = [
+                worker_id
+                for worker_id in sorted(payload_by_worker)
+                if by_worker.get(worker_id, {}).get("status") != "ok"
+            ]
+            if not need:
                 break
-            for worker_id in failed:
-                retry_payload = dict(payload_by_worker[worker_id])
+            sleep = decorrelated_jitter(
+                sleep,
+                self._jitter_rng,
+                self.resilience_policy.backoff_base_seconds,
+                self.resilience_policy.backoff_cap_seconds,
+            )
+            resilience.backoff_seconds += sleep
+            for worker_id in need:
+                message = by_worker.get(worker_id)
+                error = (
+                    message.get("error", "unknown error")
+                    if message is not None
+                    else "no result message (lost invocation or worker crash)"
+                )
+                previous = payload_by_worker[worker_id]
+                failed_attempt = previous.get("attempt", 0)
+                attempt_log.record(
+                    worker_id, failed_attempt, error, backoff_seconds=sleep
+                )
+                retry_payload = dict(previous)
                 retry_payload.pop("children", None)
+                retry_payload["attempt"] = failed_attempt + 1
+                payload_by_worker[worker_id] = retry_payload
+                resilience.retries += 1
+                # The failed attempt's request fee bought nothing.
+                resilience.wasted_cost_dollars += prices.lambda_invocation_cost(1)
                 self.env.lambda_service.invoke(
                     self.function_name, retry_payload, from_driver=True
                 )
-            retry_messages = self._collect_messages(query_id, expected=len(failed))
-            by_worker.update(self._group_messages(retry_messages))
+            retry_messages = self._collect_messages(
+                query_id, expected=len(need), want=set(need), raise_on_timeout=False
+            )
+            self._group_messages(
+                retry_messages, by_worker=by_worker, resilience=resilience
+            )
         return by_worker
 
-    def _parse_results(self, by_worker: Dict[int, Dict], expected: int) -> List[WorkerResult]:
+    def _parse_results(
+        self,
+        by_worker: Dict[int, Dict],
+        expected: int,
+        attempt_log: Optional[AttemptLog] = None,
+    ) -> List[WorkerResult]:
         """Turn grouped messages into WorkerResults, surfacing remaining failures."""
-        failures = [m for m in by_worker.values() if m.get("status") != "ok"]
+        failures = sorted(
+            (m for m in by_worker.values() if m.get("status") != "ok"),
+            key=lambda message: message["worker_id"],
+        )
         if failures:
             first = failures[0]
-            raise WorkerFailedError(first["worker_id"], first.get("error", "unknown error"))
+            error = first.get("error", "unknown error")
+            attempts: List[Dict] = []
+            if attempt_log is not None:
+                attempts = list(attempt_log.for_worker(first["worker_id"]))
+            attempts.append({"attempt": first.get("attempt", 0), "error": error})
+            raise WorkerFailedError(first["worker_id"], error, attempts=attempts)
         if len(by_worker) != expected:
             raise QueryTimeoutError(
                 f"got results from {len(by_worker)} distinct workers, expected {expected}"
@@ -757,6 +1073,90 @@ class LambadaDriver:
             WorkerResult.from_payload(by_worker[worker_id]["result"])
             for worker_id in sorted(by_worker)
         ]
+
+    def _hedge_stragglers(
+        self,
+        worker_results: List[WorkerResult],
+        by_worker: Dict[int, Dict],
+        payloads: List[Dict],
+        query_id: str,
+        resilience: ResilienceStats,
+    ) -> Tuple[List[WorkerResult], float]:
+        """Speculatively re-invoke straggler workers; first result wins.
+
+        Post-wave quantile detection: workers whose modelled duration exceeds
+        both ``hedge_factor`` x the fleet median and the absolute
+        ``hedge_min_seconds`` floor are re-invoked once, flat.  The hedge can
+        only start once the straggler is *detected*, so its effective
+        completion is ``threshold + hedge duration``; if that beats the
+        original, the hedge's result replaces it (the recompute is
+        deterministic — data identical, only duration/counters differ) and
+        the original run's duration cost is attributed as wasted.  A
+        homogeneous clean fleet never crosses the threshold, so fault-free
+        runs take none of this path.
+        """
+        policy = self.resilience_policy
+        ordered_ids = sorted(by_worker)
+        durations = {
+            worker_id: worker_results[index].duration_seconds
+            for index, worker_id in enumerate(ordered_ids)
+        }
+        stragglers = pick_stragglers(durations, policy)
+        if not stragglers:
+            return worker_results, 0.0
+        fleet_median = sorted(durations.values())[len(durations) // 2]
+        threshold = max(policy.hedge_min_seconds, policy.hedge_factor * fleet_median)
+        payload_by_worker = {payload["worker_id"]: payload for payload in payloads}
+        prices = self.env.ledger.prices
+        index_of = {worker_id: index for index, worker_id in enumerate(ordered_ids)}
+        for worker_id in stragglers:
+            hedge_payload = dict(payload_by_worker[worker_id])
+            hedge_payload.pop("children", None)
+            hedge_payload["attempt"] = by_worker[worker_id].get("attempt", 0) + 1
+            resilience.hedges_launched += 1
+            self.env.lambda_service.invoke(
+                self.function_name, hedge_payload, from_driver=True
+            )
+        hedge_messages = self._collect_messages(
+            query_id,
+            expected=len(stragglers),
+            want=set(stragglers),
+            raise_on_timeout=False,
+        )
+        hedged: Dict[int, Dict] = {}
+        self._group_messages(hedge_messages, by_worker=hedged, resilience=resilience)
+        # Both racers run to completion and bill their full duration (a real
+        # Lambda cannot be cancelled); the loser's extra seconds are billed on
+        # top of the per-worker winner durations and attributed as waste.
+        extra_billed_seconds = 0.0
+        for worker_id in stragglers:
+            message = hedged.get(worker_id)
+            if message is None or message.get("status") != "ok":
+                # The hedge itself failed or vanished — it simply loses.
+                resilience.hedges_lost += 1
+                resilience.wasted_cost_dollars += prices.lambda_invocation_cost(1)
+                continue
+            hedge_result = WorkerResult.from_payload(message["result"])
+            effective = threshold + hedge_result.duration_seconds
+            original = durations[worker_id]
+            if effective < original:
+                hedge_result.duration_seconds = effective
+                worker_results[index_of[worker_id]] = hedge_result
+                resilience.hedges_won += 1
+                extra_billed_seconds += original
+                resilience.wasted_cost_dollars += prices.lambda_duration_cost(
+                    self.memory_mib, original
+                )
+            else:
+                resilience.hedges_lost += 1
+                extra_billed_seconds += hedge_result.duration_seconds
+                resilience.wasted_cost_dollars += (
+                    prices.lambda_invocation_cost(1)
+                    + prices.lambda_duration_cost(
+                        self.memory_mib, hedge_result.duration_seconds
+                    )
+                )
+        return worker_results, extra_billed_seconds
 
     def _empty_result(
         self,
@@ -833,8 +1233,19 @@ class LambadaDriver:
         worker_results: List[WorkerResult],
         num_workers: int,
         cold: bool,
+        resilience: Optional[ResilienceStats] = None,
+        fault_snapshot: Optional[Dict[str, int]] = None,
+        extra_billed_seconds: float = 0.0,
     ) -> QueryStatistics:
-        """Compute modelled latency and dollar cost of the query."""
+        """Compute modelled latency and dollar cost of the query.
+
+        ``extra_billed_seconds`` bills execution time that bought no used
+        result but was still charged (e.g. the losing side of a hedge race);
+        it affects cost, never latency.
+        """
+        resilience = resilience if resilience is not None else ResilienceStats()
+        if fault_snapshot is not None:
+            resilience.faults_injected = self._fault_delta(fault_snapshot)
         prices = self.env.ledger.prices
         durations = [result.duration_seconds for result in worker_results]
         invocation = TreeInvocationModel(region=self.env.region)
@@ -843,6 +1254,8 @@ class LambadaDriver:
         # Result collection: one additional round of SQS polling.
         result_poll_seconds = 0.3
         latency = float(completion.max()) + result_poll_seconds if durations else 0.0
+        # Backoff between retry rounds is charged to the modelled latency.
+        latency += resilience.backoff_seconds
 
         rows_scanned = sum(result.rows_scanned for result in worker_results)
         bytes_read = sum(result.bytes_read for result in worker_results)
@@ -857,8 +1270,12 @@ class LambadaDriver:
 
         cost_lambda_duration = sum(
             prices.lambda_duration_cost(self.memory_mib, duration) for duration in durations
+        ) + prices.lambda_duration_cost(self.memory_mib, extra_billed_seconds)
+        # Every actually-made invocation request is billed, including retries
+        # and hedges (their wasted share is attributed in the resilience block).
+        cost_lambda_requests = prices.lambda_invocation_cost(
+            num_workers + resilience.retries + resilience.hedges_launched
         )
-        cost_lambda_requests = prices.lambda_invocation_cost(num_workers)
         cost_s3 = prices.s3_get_cost(get_requests)
         # Each worker sends one result message; the driver polls in batches.
         sqs_requests = num_workers + math.ceil(num_workers / 10) + 1
@@ -884,4 +1301,5 @@ class LambadaDriver:
             rows_decode_saved=decode_saved,
             column_chunks_skipped=chunks_skipped,
             exchange=exchange,
+            resilience=resilience,
         )

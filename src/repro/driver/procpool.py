@@ -47,9 +47,16 @@ def _child_main(conn) -> None:
 
     Message protocol (parent → child)::
 
-        ("run", task_id, plan_dict, segment_name, directory, memory_mib, threads)
+        ("run", task_id, plan_dict, segment_name, directory, memory_mib, threads,
+         result_name)
         ("forget", [segment_names...])     # drop cached attachments
         ("stop",)
+
+    ``result_name`` is the shared-memory segment name the child must use for
+    its result.  The *parent* assigns it (in :meth:`ProcessWorkerPool.
+    run_tasks`) so that when a child dies mid-task the parent can unlink the
+    segment the child may already have created — otherwise it would leak in
+    ``/dev/shm`` until reboot.
 
     and child → parent::
 
@@ -91,7 +98,8 @@ def _child_main(conn) -> None:
                 release(name)
             continue
 
-        _, task_id, plan_dict, segment_name, directory, memory_mib, threads = message
+        _, task_id, plan_dict, segment_name, directory, memory_mib, threads = message[:7]
+        assigned_name = message[7] if len(message) > 7 else None
         try:
             if segment_name not in segments:
                 shm = shared_memory.SharedMemory(name=segment_name)
@@ -108,7 +116,8 @@ def _child_main(conn) -> None:
             if table is not None:
                 blob = encode_partition(table, Compression.NONE)
                 out = shared_memory.SharedMemory(
-                    name=f"{RESULT_SEGMENT_PREFIX}{uuid.uuid4().hex[:12]}",
+                    name=assigned_name
+                    or f"{RESULT_SEGMENT_PREFIX}{uuid.uuid4().hex[:12]}",
                     create=True,
                     size=max(len(blob), 1),
                 )
@@ -132,7 +141,9 @@ class _Child:
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
-        self.pending: List[Any] = []
+        #: In-flight task ids mapped to their parent-assigned result-segment
+        #: names (``None`` for tasks dispatched without one).
+        self.pending: Dict[Any, Optional[str]] = {}
 
     @property
     def alive(self) -> bool:
@@ -152,6 +163,8 @@ class ProcessWorkerPool:
         if size < 1:
             raise ValueError("pool size must be at least 1")
         self.size = size
+        #: Children respawned after dying mid-query, since pool creation.
+        self.respawns = 0
         self._ctx = mp.get_context("spawn")
         self._children: List[_Child] = []
         for _ in range(size):
@@ -174,8 +187,43 @@ class ProcessWorkerPool:
                     child.conn.close()
                 except OSError:
                     pass
+                self._release_orphans(child)
                 self._children[index] = self._spawn()
+                self.respawns += 1
         return self._children
+
+    @staticmethod
+    def _release_orphans(child: _Child) -> None:
+        """Unlink result segments a dead child may have created but not reported.
+
+        The parent assigned every in-flight task's result-segment name, so a
+        child that died after creating its segment (but before sending the
+        result) cannot leak the ``/dev/shm`` entry.
+        """
+        if not child.pending:
+            return
+        from multiprocessing import shared_memory
+
+        for result_name in child.pending.values():
+            if result_name is None:
+                continue
+            try:
+                orphan = shared_memory.SharedMemory(name=result_name)
+            except FileNotFoundError:
+                continue
+            orphan.close()
+            try:
+                orphan.unlink()
+            except FileNotFoundError:
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        """Pool health counters (size, live children, respawns so far)."""
+        return {
+            "size": self.size,
+            "alive": sum(1 for child in self._children if child.alive),
+            "respawns": self.respawns,
+        }
 
     def run_tasks(self, tasks: List[tuple]) -> Dict[Any, tuple]:
         """Dispatch ``("run", task_id, ...)`` tuples; collect all results.
@@ -190,9 +238,18 @@ class ProcessWorkerPool:
             return results
         children = self._ensure_children()
         for index, task in enumerate(tasks):
+            result_name: Optional[str] = None
+            if task[0] == "run":
+                if len(task) > 7:
+                    result_name = task[7]
+                else:
+                    # Assign the result-segment name here so a child death
+                    # mid-task cannot leak the segment it may have created.
+                    result_name = f"{RESULT_SEGMENT_PREFIX}{uuid.uuid4().hex[:12]}"
+                    task = task + (result_name,)
             child = children[index % len(children)]
             child.conn.send(task)
-            child.pending.append(task[1])
+            child.pending[task[1]] = result_name
 
         outstanding = len(tasks)
         by_conn = {child.conn: child for child in children}
@@ -210,11 +267,12 @@ class ProcessWorkerPool:
                             "err", task_id, "worker process terminated unexpectedly",
                         )
                     outstanding -= len(child.pending)
-                    child.pending = []
+                    self._release_orphans(child)
+                    child.pending = {}
                     continue
                 task_id = message[1]
                 if task_id in child.pending:
-                    child.pending.remove(task_id)
+                    child.pending.pop(task_id)
                     outstanding -= 1
                 results[task_id] = message
         return results

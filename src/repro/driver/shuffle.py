@@ -54,9 +54,10 @@ ranged GET per non-empty slice is all it issues.
 
 from __future__ import annotations
 
+import random
 import uuid
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -64,6 +65,14 @@ from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig, InvocationContext
 from repro.cloud.s3 import ObjectMetadata, parse_s3_path
 from repro.config import S3_REQUEST_LATENCY_SECONDS
+from repro.driver.resilience import (
+    DEFAULT_RESILIENCE_POLICY,
+    AttemptLog,
+    ResiliencePolicy,
+    ResilienceStats,
+    call_with_backoff,
+    decorrelated_jitter,
+)
 from repro.driver.worker import RESULT_BUCKET, RESULT_SPILL_BYTES
 from repro.engine.aggregates import (
     finalize_aggregates,
@@ -88,6 +97,7 @@ from repro.errors import (
     ExecutionError,
     NoSuchBucketError,
     QueryTimeoutError,
+    WorkerCrashError,
     WorkerFailedError,
 )
 from repro.exchange.basic import (
@@ -158,11 +168,18 @@ class ShuffleStatistics:
     #: exchange request the worker issued).
     modelled_map_seconds: float = 0.0
     modelled_reduce_seconds: float = 0.0
+    #: Retries, wave re-runs, fallbacks, and injected-fault counts survived.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def modelled_latency_seconds(self) -> float:
-        """Modelled end-to-end shuffle latency (the waves are barriered)."""
-        return self.modelled_map_seconds + self.modelled_reduce_seconds
+        """Modelled end-to-end shuffle latency (the waves are barriered),
+        including any backoff the retry machinery charged."""
+        return (
+            self.modelled_map_seconds
+            + self.modelled_reduce_seconds
+            + self.resilience.backoff_seconds
+        )
 
 
 def _expand_glob_paths(s3, paths: Sequence[str]) -> List[str]:
@@ -183,48 +200,258 @@ def _expand_glob_paths(s3, paths: Sequence[str]) -> List[str]:
     return expanded
 
 
-def _collect_wave_messages(
-    sqs, queue: str, query_id: str, expected: int, what: str
-) -> List[Dict]:
-    """Poll ``queue`` until ``expected`` ok-messages of ``query_id`` arrived.
+def _message_key(payload: Dict):
+    """Wave-local identity of a result message.
 
-    Messages of other queries are skipped; a non-ok message aborts with
-    :class:`~repro.errors.WorkerFailedError`.  Shared by the shuffle
-    aggregation and shuffle join coordinators.
+    Join map waves run both sides concurrently with overlapping worker ids,
+    so their messages are keyed ``(side, worker_id)``; every other wave keys
+    by the bare worker id (the reduce waves report their partition there).
     """
-    messages: List[Dict] = []
+    side = payload.get("side")
+    worker = payload.get("worker_id", -1)
+    return (side, worker) if side is not None else worker
+
+
+def _merge_wave_message(
+    by_key: Dict, key, payload: Dict, resilience: Optional[ResilienceStats]
+) -> None:
+    """Fold one result message into ``by_key`` under (key, attempt) dedup.
+
+    A higher attempt supersedes a lower one; within the same attempt an ok
+    result beats an error (an injected SQS duplicate of either is dropped).
+    Superseded and duplicate deliveries are counted, never double-applied.
+    """
+    current = by_key.get(key)
+    if current is None:
+        by_key[key] = payload
+        return
+    current_attempt = int(current.get("attempt", 0))
+    new_attempt = int(payload.get("attempt", 0))
+    if new_attempt > current_attempt:
+        by_key[key] = payload
+    elif new_attempt < current_attempt:
+        if resilience is not None:
+            resilience.stale_messages_ignored += 1
+    elif current.get("status") != "ok" and payload.get("status") == "ok":
+        by_key[key] = payload
+    else:
+        if resilience is not None:
+            resilience.duplicate_messages_ignored += 1
+
+
+def _collect_wave_messages(
+    sqs,
+    queue: str,
+    query_id: str,
+    expected: int,
+    what: str,
+    want: Optional[Set] = None,
+    min_attempt: Optional[Dict] = None,
+    by_key: Optional[Dict] = None,
+    resilience: Optional[ResilienceStats] = None,
+    raise_on_timeout: bool = True,
+) -> Dict:
+    """Poll ``queue`` until every wanted worker of ``query_id`` reported.
+
+    Returns ``{key: message}`` with (key, attempt) dedup applied — duplicate
+    and stale deliveries (injected or real) are counted into ``resilience``
+    and dropped.  A key is satisfied once it holds a message (ok *or* error)
+    of at least ``min_attempt[key]`` — older messages cannot end the poll,
+    so a wave retry is never confused with the attempt it superseded.  The
+    bounded poll budget models the wave deadline; on exhaustion the caller
+    either gets the partial dict back (``raise_on_timeout=False``, the retry
+    loops) or :class:`~repro.errors.QueryTimeoutError`.
+    """
+    by_key = {} if by_key is None else by_key
+    min_attempt = min_attempt or {}
+
+    def satisfied() -> int:
+        keys = want if want is not None else set(by_key)
+        count = 0
+        for key in keys:
+            message = by_key.get(key)
+            if message is None:
+                continue
+            if int(message.get("attempt", 0)) >= min_attempt.get(key, 0):
+                count += 1
+        return count
+
+    target = len(want) if want is not None else expected
     for _ in range(max(64, expected * 4)):
         for message in sqs.receive_messages(queue, max_messages=10):
             payload = message.json()
             if payload.get("query_id") != query_id:
                 continue
-            if payload.get("status") != "ok":
-                raise WorkerFailedError(payload.get("worker_id", -1),
-                                        payload.get("error", "unknown error"))
-            messages.append(payload)
-        if len(messages) >= expected:
-            return messages
-    raise QueryTimeoutError(
-        f"received {len(messages)} of {expected} {what} results before giving up"
+            key = _message_key(payload)
+            if want is not None and key not in want:
+                continue
+            _merge_wave_message(by_key, key, payload, resilience)
+        if satisfied() >= target:
+            return by_key
+    if raise_on_timeout:
+        raise QueryTimeoutError(
+            f"received {satisfied()} of {target} {what} results before giving up"
+        )
+    return by_key
+
+
+def _run_wave(
+    env: CloudEnvironment,
+    function_name: str,
+    events: Dict,
+    queue: str,
+    query_id: str,
+    what: str,
+    policy: ResiliencePolicy,
+    rng: random.Random,
+    resilience: ResilienceStats,
+    on_retry: Optional[Callable[[object, Dict], None]] = None,
+) -> Dict:
+    """Invoke one wave of workers and collect one ok-result per event.
+
+    ``events`` maps wave keys (worker id, or ``(side, worker_id)`` for the
+    join map wave) to invocation payloads carrying ``"attempt": 0``.  Workers
+    that failed or never reported (dropped invocation, timeout, crash) are
+    re-invoked with the next attempt number after a jittered backoff charged
+    to the modelled ledger, up to ``policy.max_attempts``; ``on_retry(key,
+    event)`` lets the coordinator degrade a retry (combined → legacy).  On
+    an exhausted budget the first failing worker raises
+    :class:`~repro.errors.WorkerFailedError` with its full attempt history.
+    """
+    for key in sorted(events):
+        env.lambda_service.invoke(function_name, events[key])
+    by_key: Dict = {}
+    attempt_log = AttemptLog()
+    rounds = max(1, policy.max_attempts)
+    sleep = 0.0
+    failed: List = []
+    for round_index in range(rounds):
+        _collect_wave_messages(
+            env.sqs,
+            queue,
+            query_id,
+            len(events),
+            what,
+            want=set(events),
+            min_attempt={k: int(e.get("attempt", 0)) for k, e in events.items()},
+            by_key=by_key,
+            resilience=resilience,
+            raise_on_timeout=False,
+        )
+        failed = sorted(
+            key for key in events if by_key.get(key, {}).get("status") != "ok"
+        )
+        if not failed:
+            return by_key
+        if round_index == rounds - 1:
+            break
+        sleep = decorrelated_jitter(
+            sleep, rng, policy.backoff_base_seconds, policy.backoff_cap_seconds
+        )
+        resilience.backoff_seconds += sleep
+        resilience.wave_retries += 1
+        for key in failed:
+            message = by_key.get(key)
+            previous = int(events[key].get("attempt", 0))
+            error = (message or {}).get("error") or (
+                "no result message (lost invocation or worker crash)"
+            )
+            worker_id = key[1] if isinstance(key, tuple) else key
+            attempt_log.record(worker_id, previous, error=error, backoff_seconds=sleep)
+            retry = dict(events[key])
+            retry["attempt"] = previous + 1
+            if on_retry is not None:
+                on_retry(key, retry)
+            events[key] = retry
+            resilience.retries += 1
+            env.lambda_service.invoke(function_name, retry)
+    key = failed[0]
+    worker_id = key[1] if isinstance(key, tuple) else key
+    message = by_key.get(key) or {}
+    error = message.get("error") or (
+        "no result message (lost invocation or worker crash)"
     )
+    history = attempt_log.for_worker(worker_id) + [
+        {"attempt": int(events[key].get("attempt", 0)), "error": error}
+    ]
+    raise WorkerFailedError(worker_id, f"{what}: {error}", attempts=history)
 
 
-def _map_naming(query_id: str, num_buckets: int) -> WriteCombiningNaming:
+def _fault_delta(env: CloudEnvironment, snapshot: Optional[Dict]) -> Dict[str, int]:
+    """Faults the installed plan injected since ``snapshot`` (per kind)."""
+    plan = getattr(env, "fault_plan", None)
+    if plan is None or snapshot is None:
+        return {}
+    now = plan.to_dict()
+    return {
+        kind: count - snapshot.get(kind, 0)
+        for kind, count in now.items()
+        if count > snapshot.get(kind, 0)
+    }
+
+
+def _attempt_prefix(query_id: str, attempt: int) -> str:
+    """Key prefix of one attempt's map outputs.
+
+    Retries write under a fresh ``r{attempt}`` prefix, so a mapper that
+    crashed *after* its PUT (duplicate-object hazard) can never have its
+    orphaned first-attempt object confused with the retry's: the reduce wave
+    reads only the keys announced by the attempt the driver accepted.
+    """
+    return f"{query_id}/" if attempt <= 0 else f"{query_id}/r{attempt}/"
+
+
+def _map_naming(
+    query_id: str, num_buckets: int, attempt: int = 0
+) -> WriteCombiningNaming:
     """Naming of the combined (write-combined) map outputs."""
     return WriteCombiningNaming(
         bucket=SHUFFLE_BUCKET_PREFIX,
-        prefix=f"{query_id}/",
+        prefix=_attempt_prefix(query_id, attempt),
         num_buckets=num_buckets,
     )
 
 
-def _legacy_naming(query_id: str, num_buckets: int) -> MultiBucketNaming:
+def _legacy_naming(
+    query_id: str, num_buckets: int, attempt: int = 0
+) -> MultiBucketNaming:
     """Naming of the legacy one-object-per-receiver map outputs."""
     return MultiBucketNaming(
         num_buckets=num_buckets,
         bucket_prefix=SHUFFLE_BUCKET_PREFIX,
-        prefix=f"{query_id}/",
+        prefix=_attempt_prefix(query_id, attempt),
     )
+
+
+def _guarded(env: CloudEnvironment, run):
+    """Wrap a wave handler so failures surface as error result messages.
+
+    Any exception (throttle, visibility lag, execution bug) becomes an
+    attempt-tagged error message on the result queue for the wave retry loop
+    to act on — except :class:`~repro.errors.WorkerCrashError`, which models
+    the instance dying: it propagates so *no* message is posted and the
+    driver sees a silently-lost worker.
+    """
+
+    def handler(event: Dict, context: InvocationContext) -> Dict:
+        try:
+            return run(event, context)
+        except WorkerCrashError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - every failure must surface
+            message = {
+                "query_id": event.get("query_id"),
+                "worker_id": event.get("worker_id", event.get("partition", -1)),
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "attempt": int(event.get("attempt", 0)),
+            }
+            if event.get("side") is not None:
+                message["side"] = event["side"]
+            env.sqs.send_json(event["result_queue"], message)
+            return message
+
+    return handler
 
 
 def _make_map_handler(env: CloudEnvironment):
@@ -233,6 +460,7 @@ def _make_map_handler(env: CloudEnvironment):
     def handler(event: Dict, context: InvocationContext) -> Dict:
         query_id = event["query_id"]
         worker_id = event["worker_id"]
+        attempt = int(event.get("attempt", 0))
         group_by = list(event["group_by"])
         partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
         predicate = expression_from_dict(event.get("predicate"))
@@ -269,7 +497,7 @@ def _make_map_handler(env: CloudEnvironment):
         written = 0
         combined_written = False
         if write_combining:
-            naming = _map_naming(query_id, num_buckets)
+            naming = _map_naming(query_id, num_buckets, attempt)
             payload, offsets = encode_partition_set(reordered, boundaries, compression)
             try:
                 path = naming.combined_path(worker_id, offsets)
@@ -286,7 +514,7 @@ def _make_map_handler(env: CloudEnvironment):
                 written = 1
                 combined_written = True
         if not combined_written:
-            naming = _legacy_naming(query_id, num_buckets)
+            naming = _legacy_naming(query_id, num_buckets, attempt)
             for receiver in range(num_partitions):
                 data = serialize_partition(
                     slice_partition(reordered, boundaries, receiver),
@@ -308,7 +536,7 @@ def _make_map_handler(env: CloudEnvironment):
         modelled_seconds = (
             scan.modelled_seconds()
             + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
-        )
+        ) * getattr(context, "straggler_factor", 1.0)
         context.charge(modelled_seconds)
 
         result = WorkerResult(
@@ -323,15 +551,23 @@ def _make_map_handler(env: CloudEnvironment):
             "query_id": query_id,
             "worker_id": worker_id,
             "status": "ok",
+            "attempt": attempt,
             "format": "combined" if combined_written else "objects",
             "rows_scanned": scan.counters.rows_scanned,
             "partitions_written": written,
             "worker_result": result.to_payload(),
         }
+        if combined_written:
+            # Announcing the offset-bearing path through the map barrier lets
+            # the driver hand the reduce wave a manifest: zero discovery
+            # LISTs, and an orphaned duplicate from a crashed earlier attempt
+            # is never read.
+            message["combined_path"] = path
+            message["combined_size"] = len(payload)
         env.sqs.send_json(event["result_queue"], message)
         return message
 
-    return handler
+    return _guarded(env, handler)
 
 
 def _discover_legacy(
@@ -369,12 +605,29 @@ def _discover_legacy(
     return found
 
 
+def _normalize_senders(entries: Sequence) -> List[tuple]:
+    """Normalize sender entries to ``(sender, attempt)`` pairs.
+
+    Driver-built events ship ``[sender, attempt]`` pairs (retried mappers
+    write under attempt-suffixed prefixes); bare ints from older callers mean
+    attempt 0.
+    """
+    normalized: List[tuple] = []
+    for entry in entries or []:
+        if isinstance(entry, (list, tuple)):
+            normalized.append((int(entry[0]), int(entry[1])))
+        else:
+            normalized.append((int(entry), 0))
+    return normalized
+
+
 def _collect_partition_pieces(
     env: CloudEnvironment,
     combined_naming: WriteCombiningNaming,
-    legacy_naming: MultiBucketNaming,
+    legacy_naming_for,
+    combined_entries: Sequence,
     combined_senders: Sequence[int],
-    object_senders: Sequence[int],
+    object_senders: Sequence,
     partition: int,
     num_partitions: int,
     max_poll_rounds: int,
@@ -382,26 +635,55 @@ def _collect_partition_pieces(
 ) -> tuple:
     """Read every sender's slice addressed to ``partition``.
 
-    Combined senders are discovered through batched LISTs (offsets ride in
-    the keys) and served with one ranged GET per non-empty slice; legacy
-    senders are located with one LIST and served with whole-object GETs.
-    Returns ``(pieces, objects_read)`` with empty pieces dropped; both the
-    shuffle-aggregation reduce wave and the join wave (once per side) share
-    this path.
+    ``combined_entries`` is the driver-built manifest — ``(sender, path,
+    size)`` of each combined object, announced by the accepted map attempt
+    through the barrier.  Manifest slices need no discovery requests (the
+    offsets ride in the keys) and, crucially, an orphaned object from a
+    mapper attempt that crashed after its PUT is never read: only announced
+    keys are touched.  ``combined_senders`` is the manifest-less fallback
+    (batched discovery LISTs against ``combined_naming``); ``object_senders``
+    are legacy per-receiver senders as ``(sender, attempt)`` pairs, located
+    with one LIST per attempt prefix via ``legacy_naming_for(attempt)``.
+    Returns ``(pieces, objects_read)`` with empty pieces dropped, in global
+    sender order regardless of format — the reduce output is bit-identical
+    however each sender shipped its partitions.
     """
-    combined = discover_combined_objects(
-        env.s3, combined_naming, combined_senders, max_poll_rounds, stats
-    )
-    legacy = _discover_legacy(env, legacy_naming, object_senders, partition, stats)
+    sliced: Dict[int, tuple] = {}
+    for sender, path, size in combined_entries or []:
+        sliced[int(sender)] = (path, int(size), None)
+    if combined_senders:
+        discovered = discover_combined_objects(
+            env.s3, combined_naming, combined_senders, max_poll_rounds, stats
+        )
+        for sender, (meta, offsets) in discovered.items():
+            sliced[sender] = (meta.path, meta.size, offsets)
+
+    legacy_by_attempt: Dict[int, List[int]] = {}
+    for sender, attempt in _normalize_senders(object_senders):
+        legacy_by_attempt.setdefault(attempt, []).append(sender)
+    legacy: Dict[int, ObjectMetadata] = {}
+    for attempt in sorted(legacy_by_attempt):
+        legacy.update(
+            _discover_legacy(
+                env,
+                legacy_naming_for(attempt),
+                legacy_by_attempt[attempt],
+                partition,
+                stats,
+            )
+        )
 
     pieces: List[Table] = []
     objects_read = 0
-    for sender in sorted(list(combined_senders) + list(object_senders)):
-        if sender in combined:
-            meta, offsets = combined[sender]
+    for sender in sorted(set(sliced) | set(legacy)):
+        if sender in sliced:
+            path, size, offsets = sliced[sender]
+            if offsets is None:
+                _, key = parse_s3_path(path)
+                _, offsets = WriteCombiningNaming.parse_offsets(key)
             if len(offsets) != num_partitions + 1:
                 raise ExchangeError(
-                    f"combined object {meta.path!r} has {len(offsets) - 1} "
+                    f"combined object {path!r} has {len(offsets) - 1} "
                     f"parts, expected {num_partitions}"
                 )
             start, end = offsets[partition], offsets[partition + 1]
@@ -409,14 +691,14 @@ def _collect_partition_pieces(
                 # Empty slice: zero bytes in the object, no GET at all.
                 stats.empty_parts_elided += 1
                 continue
-            result = env.s3.get_path(meta.path, start, end)
+            result = env.s3.get_path(path, start, end)
             stats.get_requests += 1
             stats.ranged_get_requests += 1
             stats.bytes_read += len(result.data)
-            stats.bytes_touched += meta.size
+            stats.bytes_touched += int(size)
             objects_read += 1
             piece = decode_partition_slice(result.data)
-        elif sender in legacy:
+        else:
             meta = legacy[sender]
             result = env.s3.get_path(meta.path)
             stats.get_requests += 1
@@ -424,8 +706,6 @@ def _collect_partition_pieces(
             stats.bytes_touched += meta.size
             objects_read += 1
             piece = deserialize_partition(result.data)
-        else:
-            continue  # elided empty partition (already counted)
         if table_num_rows(piece):
             pieces.append(piece)
     return pieces, objects_read
@@ -439,7 +719,9 @@ def _make_reduce_handler(env: CloudEnvironment):
 
         query_id = event["query_id"]
         partition = event["partition"]
+        attempt = int(event.get("attempt", 0))
         num_partitions = event["num_partitions"]
+        combined_entries = list(event.get("combined", []))
         combined_senders = list(event.get("combined_senders", []))
         object_senders = list(event.get("object_senders", []))
         group_by = list(event["group_by"])
@@ -451,7 +733,8 @@ def _make_reduce_handler(env: CloudEnvironment):
         pieces, objects_read = _collect_partition_pieces(
             env,
             _map_naming(query_id, num_buckets),
-            _legacy_naming(query_id, num_buckets),
+            lambda map_attempt: _legacy_naming(query_id, num_buckets, map_attempt),
+            combined_entries,
             combined_senders,
             object_senders,
             partition,
@@ -466,7 +749,7 @@ def _make_reduce_handler(env: CloudEnvironment):
             0.1
             + 0.001 * objects_read
             + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
-        )
+        ) * getattr(context, "straggler_factor", 1.0)
         context.charge(modelled_seconds)
 
         result = WorkerResult(
@@ -479,6 +762,7 @@ def _make_reduce_handler(env: CloudEnvironment):
             "query_id": query_id,
             "worker_id": partition,
             "status": "ok",
+            "attempt": attempt,
             "objects_read": objects_read,
             "worker_result": result.to_payload(),
             "result": encode_table(merged),
@@ -486,7 +770,9 @@ def _make_reduce_handler(env: CloudEnvironment):
         encoded = json.dumps(payload).encode("utf-8")
         if len(encoded) > RESULT_SPILL_BYTES:
             env.s3.ensure_bucket(RESULT_BUCKET)
-            key = f"{query_id}/reduce-{partition}.json"
+            # The attempt suffix keeps a retried reducer from overwriting an
+            # earlier attempt's spill mid-read.
+            key = f"{query_id}/reduce-{partition}.a{attempt}.json"
             env.s3.put_object(RESULT_BUCKET, key, encoded)
             env.sqs.send_json(
                 event["result_queue"],
@@ -494,6 +780,7 @@ def _make_reduce_handler(env: CloudEnvironment):
                     "query_id": query_id,
                     "worker_id": partition,
                     "status": "ok",
+                    "attempt": attempt,
                     "objects_read": objects_read,
                     "worker_result": result.to_payload(),
                     "result_s3": f"s3://{RESULT_BUCKET}/{key}",
@@ -504,10 +791,80 @@ def _make_reduce_handler(env: CloudEnvironment):
             env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
         return payload
 
-    return handler
+    return _guarded(env, handler)
 
 
-class ShuffleAggregateCoordinator:
+class _ResilientWaves:
+    """Shared wave-retry plumbing of the shuffle coordinators.
+
+    Expects the subclass to provide ``env``, ``result_queue``,
+    ``resilience_policy``, and ``_jitter_rng``.
+    """
+
+    def _expand(self, paths: Sequence[str]) -> List[str]:
+        return _expand_glob_paths(self.env.s3, paths)
+
+    def _fault_snapshot(self) -> Optional[Dict]:
+        plan = getattr(self.env, "fault_plan", None)
+        return plan.to_dict() if plan is not None else None
+
+    def _wave(
+        self,
+        function_name: str,
+        events: Dict,
+        query_id: str,
+        what: str,
+        resilience: ResilienceStats,
+        on_retry=None,
+    ) -> List[Dict]:
+        """Run one wave with retries; messages in wave-key order."""
+        by_key = _run_wave(
+            self.env,
+            function_name,
+            events,
+            self.result_queue,
+            query_id,
+            what,
+            self.resilience_policy,
+            self._jitter_rng,
+            resilience,
+            on_retry=on_retry,
+        )
+        return [by_key[key] for key in sorted(by_key)]
+
+    def _degrade_map_retry(self, resilience: ResilienceStats):
+        """Retry hook flipping a repeatedly-failing mapper to the legacy plane.
+
+        A mapper whose combined write keeps failing (e.g. throttles or
+        crash-after-PUT aimed at its one big object) degrades to the legacy
+        one-object-per-receiver format from
+        ``policy.combined_fallback_attempt`` on — the reduce wave handles
+        mixed formats within one query, so correctness is unaffected.
+        """
+
+        def on_retry(key, retry: Dict) -> None:
+            if (
+                retry.get("write_combining")
+                and retry["attempt"] >= self.resilience_policy.combined_fallback_attempt
+            ):
+                retry["write_combining"] = False
+                resilience.note_fallback("combined_to_legacy")
+
+        return on_retry
+
+    def _fetch_spilled(self, path: str, resilience: ResilienceStats) -> Dict:
+        """Fetch and decode a spilled result message, retrying transients."""
+        import json
+
+        bucket, key = parse_s3_path(path)
+        spilled = call_with_backoff(
+            self.env.s3.get_object, bucket, key,
+            policy=self.resilience_policy, rng=self._jitter_rng, stats=resilience,
+        )
+        return json.loads(spilled.data.decode("utf-8"))
+
+
+class ShuffleAggregateCoordinator(_ResilientWaves):
     """Coordinates two-wave (map + reduce) aggregation over serverless workers."""
 
     def __init__(
@@ -517,12 +874,15 @@ class ShuffleAggregateCoordinator:
         num_buckets: int = 10,
         result_queue: str = SHUFFLE_RESULT_QUEUE,
         config: Optional[ShuffleConfig] = None,
+        resilience_policy: Optional[ResiliencePolicy] = None,
     ):
         self.env = env
         self.memory_mib = memory_mib
         self.num_buckets = num_buckets
         self.result_queue = result_queue
         self.config = config or ShuffleConfig()
+        self.resilience_policy = resilience_policy or DEFAULT_RESILIENCE_POLICY
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
         env.sqs.create_queue(result_queue)
         # The handlers are stateless (per-query naming is derived from the
         # event), so coordinators sharing an environment can interleave.
@@ -574,13 +934,18 @@ class ShuffleAggregateCoordinator:
             for bucket in naming.buckets():
                 self.env.s3.ensure_bucket(bucket)
 
+        resilience = ResilienceStats()
+        fault_snapshot = self._fault_snapshot()
+
         # -- map wave -------------------------------------------------------------
         assignments = [paths[i::num_workers] for i in range(num_workers)]
         assignments = [files for files in assignments if files]
+        map_events = {}
         for worker_id, files in enumerate(assignments):
-            event = {
+            map_events[worker_id] = {
                 "query_id": query_id,
                 "worker_id": worker_id,
+                "attempt": 0,
                 "files": files,
                 "columns": list(columns) if columns else None,
                 "predicate": expression_to_dict(predicate),
@@ -594,27 +959,41 @@ class ShuffleAggregateCoordinator:
                 "compression": self.config.compression.value,
                 "num_buckets": self.num_buckets,
             }
-            self.env.lambda_service.invoke(MAP_FUNCTION_NAME, event)
-        map_messages = self._collect(query_id, expected=len(assignments))
+        map_messages = self._wave(
+            MAP_FUNCTION_NAME, map_events, query_id, "shuffle map", resilience,
+            on_retry=self._degrade_map_retry(resilience),
+        )
         rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
         objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
+        # Reduce manifest: combined objects are announced with their
+        # offset-bearing paths (zero discovery requests, and an orphaned
+        # earlier-attempt duplicate is never read); legacy senders travel as
+        # (sender, attempt) pairs so retried mappers' prefixes are found.
+        combined_entries = sorted(
+            [m["worker_id"], m["combined_path"], m["combined_size"]]
+            for m in map_messages
+            if m.get("format") == "combined" and "combined_path" in m
+        )
         combined_senders = sorted(
-            message["worker_id"]
-            for message in map_messages
-            if message.get("format") == "combined"
+            m["worker_id"]
+            for m in map_messages
+            if m.get("format") == "combined" and "combined_path" not in m
         )
         object_senders = sorted(
-            message["worker_id"]
-            for message in map_messages
-            if message.get("format") != "combined"
+            [m["worker_id"], int(m.get("attempt", 0))]
+            for m in map_messages
+            if m.get("format") != "combined"
         )
 
         # -- reduce wave ------------------------------------------------------------
+        reduce_events = {}
         for partition in range(len(assignments)):
-            event = {
+            reduce_events[partition] = {
                 "query_id": query_id,
                 "partition": partition,
+                "attempt": 0,
                 "num_partitions": len(assignments),
+                "combined": combined_entries,
                 "combined_senders": combined_senders,
                 "object_senders": object_senders,
                 "group_by": list(group_by),
@@ -623,8 +1002,9 @@ class ShuffleAggregateCoordinator:
                 "num_buckets": self.num_buckets,
                 "max_poll_rounds": self.config.max_poll_rounds,
             }
-            self.env.lambda_service.invoke(REDUCE_FUNCTION_NAME, event)
-        reduce_messages = self._collect(query_id, expected=len(assignments))
+        reduce_messages = self._wave(
+            REDUCE_FUNCTION_NAME, reduce_events, query_id, "shuffle reduce", resilience
+        )
         objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
 
         exchange = ExchangeStats()
@@ -641,16 +1021,14 @@ class ShuffleAggregateCoordinator:
         pieces = []
         for message in reduce_messages:
             if "result_s3" in message:
-                import json
-
-                bucket, key = parse_s3_path(message["result_s3"])
-                message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
+                message = self._fetch_spilled(message["result_s3"], resilience)
             pieces.append(decode_table(message["result"]))
         merged = concat_tables([piece for piece in pieces if table_num_rows(piece)])
         result = finalize_aggregates(merged, list(group_by), list(finals))
         if order_by:
             result = sort_table(result, list(order_by))
 
+        resilience.faults_injected = _fault_delta(self.env, fault_snapshot)
         statistics = ShuffleStatistics(
             map_workers=len(assignments),
             reduce_workers=len(assignments),
@@ -661,19 +1039,9 @@ class ShuffleAggregateCoordinator:
             exchange=exchange,
             modelled_map_seconds=wave_seconds["map"],
             modelled_reduce_seconds=wave_seconds["reduce"],
+            resilience=resilience,
         )
         return result, statistics
-
-    # -- helpers --------------------------------------------------------------------------
-
-    def _expand(self, paths: Sequence[str]) -> List[str]:
-        return _expand_glob_paths(self.env.s3, paths)
-
-    def _collect(self, query_id: str, expected: int) -> List[Dict]:
-        return _collect_wave_messages(
-            self.env.sqs, self.result_queue, query_id, expected, "shuffle"
-        )
-
 
 # ---------------------------------------------------------------------------
 # Distributed shuffle join
@@ -686,21 +1054,25 @@ JOIN_RESULT_QUEUE = "lambada-join-results"
 JOIN_SIDES = ("L", "R")
 
 
-def _join_map_naming(query_id: str, side: str, num_buckets: int) -> WriteCombiningNaming:
+def _join_map_naming(
+    query_id: str, side: str, num_buckets: int, attempt: int = 0
+) -> WriteCombiningNaming:
     """Naming of one side's combined (write-combined) map outputs."""
     return WriteCombiningNaming(
         bucket=SHUFFLE_BUCKET_PREFIX,
-        prefix=f"{query_id}/{side}/",
+        prefix=f"{_attempt_prefix(query_id, attempt)}{side}/",
         num_buckets=num_buckets,
     )
 
 
-def _join_legacy_naming(query_id: str, side: str, num_buckets: int) -> MultiBucketNaming:
+def _join_legacy_naming(
+    query_id: str, side: str, num_buckets: int, attempt: int = 0
+) -> MultiBucketNaming:
     """Naming of one side's legacy one-object-per-receiver map outputs."""
     return MultiBucketNaming(
         num_buckets=num_buckets,
         bucket_prefix=SHUFFLE_BUCKET_PREFIX,
-        prefix=f"{query_id}/{side}/",
+        prefix=f"{_attempt_prefix(query_id, attempt)}{side}/",
     )
 
 
@@ -718,6 +1090,7 @@ def _make_join_map_handler(env: CloudEnvironment):
         query_id = event["query_id"]
         worker_id = event["worker_id"]
         side = event["side"]
+        attempt = int(event.get("attempt", 0))
         side_plan = JoinSidePlan.from_dict(event)
         num_partitions = event["num_partitions"]
         write_combining = bool(event.get("write_combining", True))
@@ -745,7 +1118,7 @@ def _make_join_map_handler(env: CloudEnvironment):
         written = 0
         combined_written = False
         if write_combining:
-            naming = _join_map_naming(query_id, side, num_buckets)
+            naming = _join_map_naming(query_id, side, num_buckets, attempt)
             payload, offsets = encode_partition_set(reordered, boundaries, compression)
             try:
                 path = naming.combined_path(worker_id, offsets)
@@ -761,7 +1134,7 @@ def _make_join_map_handler(env: CloudEnvironment):
                 written = 1
                 combined_written = True
         if not combined_written:
-            naming = _join_legacy_naming(query_id, side, num_buckets)
+            naming = _join_legacy_naming(query_id, side, num_buckets, attempt)
             for receiver in range(num_partitions):
                 data = serialize_partition(
                     slice_partition(reordered, boundaries, receiver),
@@ -778,7 +1151,7 @@ def _make_join_map_handler(env: CloudEnvironment):
         modelled_seconds = (
             scan.modelled_seconds()
             + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
-        )
+        ) * getattr(context, "straggler_factor", 1.0)
         context.charge(modelled_seconds)
 
         result = WorkerResult(
@@ -795,6 +1168,7 @@ def _make_join_map_handler(env: CloudEnvironment):
             "worker_id": worker_id,
             "side": side,
             "status": "ok",
+            "attempt": attempt,
             "format": "combined" if combined_written else "objects",
             "rows_scanned": scan.counters.rows_scanned,
             "partitions_written": written,
@@ -809,48 +1183,7 @@ def _make_join_map_handler(env: CloudEnvironment):
         env.sqs.send_json(event["result_queue"], message)
         return message
 
-    return handler
-
-
-def _read_combined_slices(
-    env: CloudEnvironment,
-    combined_objects: Sequence,
-    partition: int,
-    num_partitions: int,
-    stats: ExchangeStats,
-) -> tuple:
-    """Read one partition's slice of each pre-announced combined object.
-
-    ``combined_objects`` is a list of ``(sender, path, size)`` entries whose
-    keys embed the offset directory (announced by the mappers through the
-    driver's map-wave barrier), so no LIST/HEAD discovery is needed: empty
-    slices are recognised from the offsets at zero request cost and every
-    non-empty slice costs exactly one ranged GET.
-    """
-    pieces: List[Table] = []
-    objects_read = 0
-    for _sender, path, size in combined_objects:
-        _, key = parse_s3_path(path)
-        _, offsets = WriteCombiningNaming.parse_offsets(key)
-        if len(offsets) != num_partitions + 1:
-            raise ExchangeError(
-                f"combined object {path!r} has {len(offsets) - 1} "
-                f"parts, expected {num_partitions}"
-            )
-        start, end = offsets[partition], offsets[partition + 1]
-        if end <= start:
-            stats.empty_parts_elided += 1
-            continue
-        result = env.s3.get_path(path, start, end)
-        stats.get_requests += 1
-        stats.ranged_get_requests += 1
-        stats.bytes_read += len(result.data)
-        stats.bytes_touched += int(size)
-        objects_read += 1
-        piece = decode_partition_slice(result.data)
-        if table_num_rows(piece):
-            pieces.append(piece)
-    return pieces, objects_read
+    return _guarded(env, handler)
 
 
 def _make_join_reduce_handler(env: CloudEnvironment):
@@ -871,6 +1204,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
 
         query_id = event["query_id"]
         partition = event["partition"]
+        attempt = int(event.get("attempt", 0))
         num_partitions = event["num_partitions"]
         group_by = list(event["group_by"])
         partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
@@ -878,40 +1212,28 @@ def _make_join_reduce_handler(env: CloudEnvironment):
         collect_rows = bool(event.get("collect_rows", False))
         suffix = event.get("suffix", "_right")
         num_buckets = int(event.get("num_buckets", 10))
+        max_poll_rounds = int(event.get("max_poll_rounds", 10))
 
         stats = ExchangeStats()
         side_tables: Dict[str, Table] = {}
         objects_read = 0
         for side in JOIN_SIDES:
             spec = event["sides"][side]
-            pieces, side_objects = _read_combined_slices(
+            pieces, side_objects = _collect_partition_pieces(
                 env,
+                _join_map_naming(query_id, side, num_buckets),
+                lambda map_attempt, side=side: _join_legacy_naming(
+                    query_id, side, num_buckets, map_attempt
+                ),
                 spec.get("combined", []),
+                spec.get("combined_senders", []),
+                spec.get("object_senders", []),
                 partition,
                 num_partitions,
+                max_poll_rounds,
                 stats,
             )
             objects_read += side_objects
-            object_senders = list(spec.get("object_senders", []))
-            legacy = _discover_legacy(
-                env,
-                _join_legacy_naming(query_id, side, num_buckets),
-                object_senders,
-                partition,
-                stats,
-            )
-            for sender in sorted(object_senders):
-                if sender not in legacy:
-                    continue  # elided empty partition (already counted)
-                meta = legacy[sender]
-                result = env.s3.get_path(meta.path)
-                stats.get_requests += 1
-                stats.bytes_read += len(result.data)
-                stats.bytes_touched += meta.size
-                objects_read += 1
-                piece = deserialize_partition(result.data)
-                if table_num_rows(piece):
-                    pieces.append(piece)
             side_tables[side] = concat_tables(pieces) if pieces else {}
 
         left, right = side_tables["L"], side_tables["R"]
@@ -939,7 +1261,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             0.1
             + 0.001 * objects_read
             + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
-        )
+        ) * getattr(context, "straggler_factor", 1.0)
         context.charge(modelled_seconds)
 
         result = WorkerResult(
@@ -955,6 +1277,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             "query_id": query_id,
             "worker_id": partition,
             "status": "ok",
+            "attempt": attempt,
             "objects_read": objects_read,
             "worker_result": result.to_payload(),
             "result": encode_table(partial_table),
@@ -962,7 +1285,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
         encoded = json.dumps(payload).encode("utf-8")
         if len(encoded) > RESULT_SPILL_BYTES:
             env.s3.ensure_bucket(RESULT_BUCKET)
-            spill_key = f"{query_id}/join-{partition}.json"
+            spill_key = f"{query_id}/join-{partition}.a{attempt}.json"
             env.s3.put_object(RESULT_BUCKET, spill_key, encoded)
             env.sqs.send_json(
                 event["result_queue"],
@@ -970,6 +1293,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
                     "query_id": query_id,
                     "worker_id": partition,
                     "status": "ok",
+                    "attempt": attempt,
                     "objects_read": objects_read,
                     "worker_result": result.to_payload(),
                     "result_s3": f"s3://{RESULT_BUCKET}/{spill_key}",
@@ -979,7 +1303,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
         return payload
 
-    return handler
+    return _guarded(env, handler)
 
 
 @dataclass
@@ -1003,11 +1327,18 @@ class JoinStatistics:
     exchange: ExchangeStats = field(default_factory=ExchangeStats)
     modelled_map_seconds: float = 0.0
     modelled_reduce_seconds: float = 0.0
+    #: Retries, wave re-runs, fallbacks, and injected-fault counts survived.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def modelled_latency_seconds(self) -> float:
-        """Modelled end-to-end join latency (map and join waves are barriered)."""
-        return self.modelled_map_seconds + self.modelled_reduce_seconds
+        """Modelled end-to-end join latency (map and join waves are
+        barriered), including any backoff the retry machinery charged."""
+        return (
+            self.modelled_map_seconds
+            + self.modelled_reduce_seconds
+            + self.resilience.backoff_seconds
+        )
 
     @property
     def num_workers(self) -> int:
@@ -1015,7 +1346,7 @@ class JoinStatistics:
         return self.left_map_workers + self.right_map_workers + self.reduce_workers
 
 
-class ShuffleJoinCoordinator:
+class ShuffleJoinCoordinator(_ResilientWaves):
     """Coordinates a distributed equi-join as map waves + a join wave.
 
     Execution plan of a :class:`~repro.plan.physical.JoinPhysicalPlan`:
@@ -1039,12 +1370,15 @@ class ShuffleJoinCoordinator:
         num_buckets: int = 10,
         result_queue: str = JOIN_RESULT_QUEUE,
         config: Optional[ShuffleConfig] = None,
+        resilience_policy: Optional[ResiliencePolicy] = None,
     ):
         self.env = env
         self.memory_mib = memory_mib
         self.num_buckets = num_buckets
         self.result_queue = result_queue
         self.config = config or ShuffleConfig()
+        self.resilience_policy = resilience_policy or DEFAULT_RESILIENCE_POLICY
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
         env.sqs.create_queue(result_queue)
         env.lambda_service.deploy(
             FunctionConfig(name=JOIN_MAP_FUNCTION_NAME, memory_mib=memory_mib),
@@ -1093,8 +1427,12 @@ class ShuffleJoinCoordinator:
                 for bucket in naming.buckets():
                     self.env.s3.ensure_bucket(bucket)
 
+        resilience = ResilienceStats()
+        fault_snapshot = self._fault_snapshot()
+
         # -- map waves (both sides dispatched before collecting either) ------------
         assignments: Dict[str, List[List[str]]] = {}
+        map_events: Dict = {}
         for side in JOIN_SIDES:
             plan = sides[side]
             side_assignments = [paths[side][i::mappers[side]] for i in range(mappers[side])]
@@ -1105,11 +1443,12 @@ class ShuffleJoinCoordinator:
                 # (with the worker's file assignment substituted in).
                 fragment = plan.to_dict()
                 fragment["files"] = files
-                event = {
+                map_events[(side, worker_id)] = {
                     **fragment,
                     "query_id": query_id,
                     "worker_id": worker_id,
                     "side": side,
+                    "attempt": 0,
                     "num_partitions": num_partitions,
                     "result_queue": self.result_queue,
                     "write_combining": self._map_mode(side, worker_id),
@@ -1117,9 +1456,10 @@ class ShuffleJoinCoordinator:
                     "compression": self.config.compression.value,
                     "num_buckets": self.num_buckets,
                 }
-                self.env.lambda_service.invoke(JOIN_MAP_FUNCTION_NAME, event)
-        expected_mappers = sum(len(assignments[side]) for side in JOIN_SIDES)
-        map_messages = self._collect(query_id, expected=expected_mappers)
+        map_messages = self._wave(
+            JOIN_MAP_FUNCTION_NAME, map_events, query_id, "join map", resilience,
+            on_retry=self._degrade_map_retry(resilience),
+        )
 
         sender_spec: Dict[str, Dict] = {}
         for side in JOIN_SIDES:
@@ -1127,24 +1467,31 @@ class ShuffleJoinCoordinator:
             sender_spec[side] = {
                 "key": sides[side].key,
                 # Combined objects are announced with their offset-bearing
-                # paths: the join wave needs no discovery requests for them.
+                # paths: the join wave needs no discovery requests for them,
+                # and an orphaned earlier-attempt duplicate is never read.
                 "combined": sorted(
                     [m["worker_id"], m["combined_path"], m["combined_size"]]
                     for m in side_messages
                     if m.get("format") == "combined"
                 ),
+                # Legacy senders as (sender, attempt) pairs: retried mappers
+                # wrote under attempt-suffixed prefixes.
                 "object_senders": sorted(
-                    m["worker_id"] for m in side_messages if m.get("format") != "combined"
+                    [m["worker_id"], int(m.get("attempt", 0))]
+                    for m in side_messages
+                    if m.get("format") != "combined"
                 ),
             }
         rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
         objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
 
         # -- join wave --------------------------------------------------------------
+        reduce_events: Dict = {}
         for partition in range(num_partitions):
-            event = {
+            reduce_events[partition] = {
                 "query_id": query_id,
                 "partition": partition,
+                "attempt": 0,
                 "num_partitions": num_partitions,
                 "sides": sender_spec,
                 "group_by": list(physical.group_by),
@@ -1154,9 +1501,11 @@ class ShuffleJoinCoordinator:
                 "suffix": physical.suffix,
                 "result_queue": self.result_queue,
                 "num_buckets": self.num_buckets,
+                "max_poll_rounds": self.config.max_poll_rounds,
             }
-            self.env.lambda_service.invoke(JOIN_REDUCE_FUNCTION_NAME, event)
-        reduce_messages = self._collect(query_id, expected=num_partitions)
+        reduce_messages = self._wave(
+            JOIN_REDUCE_FUNCTION_NAME, reduce_events, query_id, "join", resilience
+        )
         objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
 
         # -- fold statistics ---------------------------------------------------------
@@ -1178,13 +1527,10 @@ class ShuffleJoinCoordinator:
                 counters["output"] += parsed.join_output_rows
 
         # -- driver scope ------------------------------------------------------------
-        import json
-
         partials: List[Table] = []
         for message in reduce_messages:
             if "result_s3" in message:
-                bucket, key = parse_s3_path(message["result_s3"])
-                message = json.loads(self.env.s3.get_object(bucket, key).data.decode("utf-8"))
+                message = self._fetch_spilled(message["result_s3"], resilience)
             partials.append(decode_table(message["result"]))
 
         driver_plan = physical.driver
@@ -1206,6 +1552,7 @@ class ShuffleJoinCoordinator:
             count = min(driver_plan.limit, table_num_rows(result))
             result = {name: np.asarray(column)[:count] for name, column in result.items()}
 
+        resilience.faults_injected = _fault_delta(self.env, fault_snapshot)
         statistics = JoinStatistics(
             left_map_workers=len(assignments["L"]),
             right_map_workers=len(assignments["R"]),
@@ -1220,15 +1567,6 @@ class ShuffleJoinCoordinator:
             exchange=exchange,
             modelled_map_seconds=wave_seconds["map"],
             modelled_reduce_seconds=wave_seconds["reduce"],
+            resilience=resilience,
         )
         return result, statistics, worker_results
-
-    # -- helpers --------------------------------------------------------------------------
-
-    def _expand(self, paths: Sequence[str]) -> List[str]:
-        return _expand_glob_paths(self.env.s3, paths)
-
-    def _collect(self, query_id: str, expected: int) -> List[Dict]:
-        return _collect_wave_messages(
-            self.env.sqs, self.result_queue, query_id, expected, "join"
-        )

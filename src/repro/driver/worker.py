@@ -17,6 +17,7 @@ from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import InvocationContext
 from repro.config import INVOCATION_RATE_INTRA_REGION
 from repro.engine.pipeline import execute_worker_plan
+from repro.errors import WorkerCrashError
 from repro.plan.physical import WorkerPlan
 
 #: Name under which the worker function is deployed at installation time.
@@ -57,6 +58,7 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
 
     def handler(event: Dict[str, Any], context: InvocationContext) -> Dict[str, Any]:
         worker_id = event["worker_id"]
+        attempt = event.get("attempt", 0)
         result_queue: Optional[str] = event.get("result_queue")
         query_id = event.get("query_id", "query")
         function_name = event.get("function_name", WORKER_FUNCTION_NAME)
@@ -86,18 +88,25 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
                 bandwidth=env.bandwidth,
             )
             duration = apply_cold_penalty(result.duration_seconds, context.cold_start)
+            duration *= getattr(context, "straggler_factor", 1.0)
             result.duration_seconds = duration
+            result.attempt = attempt
             context.charge(duration)
             message = {
                 "query_id": query_id,
                 "worker_id": worker_id,
+                "attempt": attempt,
                 "status": "ok",
                 "result": result.to_payload(),
             }
+        except WorkerCrashError:
+            # The instance died — no result message reaches the driver.
+            raise
         except Exception as exc:  # noqa: BLE001 - report, never die silently
             message = {
                 "query_id": query_id,
                 "worker_id": worker_id,
+                "attempt": attempt,
                 "status": "error",
                 "error": f"{type(exc).__name__}: {exc}",
             }
@@ -107,11 +116,14 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
             if len(encoded) > RESULT_SPILL_BYTES:
                 # Stage large results through S3 and send only a pointer.
                 env.s3.ensure_bucket(RESULT_BUCKET)
-                key = f"{query_id}/worker-{worker_id}.json"
+                # Attempt-suffixed so a retry never overwrites (or races with)
+                # an earlier attempt's spilled result object.
+                key = f"{query_id}/worker-{worker_id}.a{attempt}.json"
                 env.s3.put_object(RESULT_BUCKET, key, encoded)
                 pointer = {
                     "query_id": query_id,
                     "worker_id": worker_id,
+                    "attempt": attempt,
                     "status": message["status"],
                     "result_s3": f"s3://{RESULT_BUCKET}/{key}",
                 }

@@ -82,10 +82,14 @@ class WorkerResult:
     #: :class:`repro.exchange.basic.ExchangeStats` (``None`` for scan-only
     #: workers, which never touch the exchange plane).
     exchange_stats: Optional[Dict[str, int]] = None
+    #: Which attempt produced this result (0 = first invocation); set by the
+    #: worker from its payload so the driver can dedup late re-deliveries.
+    attempt: int = 0
 
     def to_payload(self) -> Dict:
         """Serialise for the SQS result message / invocation response."""
         return {
+            "attempt": self.attempt,
             "exchange_stats": self.exchange_stats,
             "partial": self.partial,
             "reduce_value": self.reduce_value,

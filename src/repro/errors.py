@@ -73,6 +73,16 @@ class FunctionOutOfMemoryError(CloudError):
     """A function invocation exceeded its configured memory limit."""
 
 
+class WorkerCrashError(CloudError):
+    """The execution environment died mid-invocation (injected by a FaultPlan).
+
+    Unlike ordinary handler exceptions this models the *instance* crashing —
+    the worker's catch-all error reporting deliberately re-raises it, so no
+    result message is ever posted and the driver only notices the worker is
+    missing at the wave deadline.
+    """
+
+
 class PayloadTooLargeError(CloudError):
     """An invocation payload or message exceeded the service limit."""
 
@@ -122,12 +132,31 @@ class ExecutionError(LambadaError):
 
 
 class WorkerFailedError(ExecutionError):
-    """A serverless worker reported a failure to the driver."""
+    """A serverless worker reported a failure to the driver.
 
-    def __init__(self, worker_id: int, message: str):
-        super().__init__(f"worker {worker_id} failed: {message}")
+    ``attempts`` optionally carries the full attempt history — a list of
+    ``{"attempt": int, "error": str, "backoff_seconds": float}`` dicts — so
+    the exception text shows every attempt, not just the first failure.
+    """
+
+    def __init__(self, worker_id: int, message: str, attempts=None):
+        text = f"worker {worker_id} failed: {message}"
+        if attempts:
+            lines = [
+                f"  attempt {a.get('attempt', i)}: "
+                f"{a.get('error', '') or 'ok'}"
+                + (
+                    f" (backoff {a['backoff_seconds']:.3f}s)"
+                    if a.get("backoff_seconds")
+                    else ""
+                )
+                for i, a in enumerate(attempts)
+            ]
+            text += "\nattempt history:\n" + "\n".join(lines)
+        super().__init__(text)
         self.worker_id = worker_id
         self.message = message
+        self.attempts = list(attempts) if attempts else []
 
 
 class QueryTimeoutError(ExecutionError):

@@ -97,6 +97,21 @@ def test_checker_flags_request_ceiling_violation(checker, baseline, tmp_path):
     assert checker.check(fallback, None, tolerance=0.6) != 0
 
 
+def test_baseline_passes_ratio_ceilings(checker, baseline):
+    results = baseline["results"]
+    for (section, field), ceiling in checker.ABSOLUTE_RATIO_CEILINGS.items():
+        assert results[section][field] <= ceiling
+
+
+def test_checker_flags_ratio_ceiling_violation(checker, baseline, tmp_path):
+    # Fault hooks taxing the fault-free path by 50% must fail the guard.
+    doctored = json.loads(json.dumps(baseline))
+    doctored["results"]["end_to_end_q1"]["faultfree_overhead_ratio"] = 1.5
+    taxed = tmp_path / "taxed.json"
+    taxed.write_text(json.dumps(doctored), encoding="utf-8")
+    assert checker.check(taxed, None, tolerance=0.6) != 0
+
+
 def test_baseline_passes_absolute_floors(checker):
     assert checker.check(BASELINE_PATH, None, tolerance=0.6) == 0
 

@@ -1,0 +1,271 @@
+"""Tests of the driver-side resilience primitives and their e2e wiring.
+
+Unit-level: decorrelated jitter, `call_with_backoff`, straggler picking,
+`ResilienceStats` accounting, `AttemptLog` → `WorkerFailedError` history.
+End-to-end: clean runs report all-zero resilience stats; injected drops are
+retried to a correct result; injected stragglers are hedged.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.faults import FaultPlan, FaultRule
+from repro.driver.resilience import (
+    DEFAULT_RESILIENCE_POLICY,
+    AttemptLog,
+    ResiliencePolicy,
+    ResilienceStats,
+    call_with_backoff,
+    decorrelated_jitter,
+    pick_stragglers,
+)
+from repro.errors import SlowDownError, WorkerFailedError
+from repro.workload.queries import q1_plan, q6_plan, reference_q6
+
+
+# -- decorrelated jitter -----------------------------------------------------
+
+
+def test_jitter_stays_within_base_and_cap():
+    rng = random.Random(7)
+    sleep = 0.0
+    for _ in range(200):
+        sleep = decorrelated_jitter(sleep, rng, base_seconds=0.05, cap_seconds=2.0)
+        assert 0.05 <= sleep <= 2.0
+
+
+def test_jitter_clamps_to_cap_for_large_previous():
+    rng = random.Random(7)
+    sleeps = [
+        decorrelated_jitter(100.0, rng, base_seconds=0.05, cap_seconds=2.0)
+        for _ in range(50)
+    ]
+    assert max(sleeps) == 2.0
+
+
+def test_jitter_grows_from_base():
+    """Expected sleep grows round over round (decorrelated exponential)."""
+    rng = random.Random(3)
+    first_round, fifth_round = [], []
+    for _ in range(300):
+        sleep = 0.0
+        history = []
+        for _ in range(5):
+            sleep = decorrelated_jitter(sleep, rng, 0.05, 60.0)
+            history.append(sleep)
+        first_round.append(history[0])
+        fifth_round.append(history[4])
+    assert sum(fifth_round) / len(fifth_round) > sum(first_round) / len(first_round)
+
+
+# -- call_with_backoff -------------------------------------------------------
+
+
+def _fail_n_times(n, exc=SlowDownError):
+    state = {"left": n}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc("transient")
+        return "done"
+
+    return fn
+
+
+def test_backoff_retries_transient_errors():
+    stats = ResilienceStats()
+    result = call_with_backoff(_fail_n_times(2), stats=stats)
+    assert result == "done"
+    assert stats.retries == 2
+    assert stats.backoff_seconds > 0.0
+
+
+def test_backoff_exhausts_attempt_budget():
+    policy = ResiliencePolicy(max_attempts=3)
+    with pytest.raises(SlowDownError):
+        call_with_backoff(_fail_n_times(99), policy=policy)
+
+
+def test_backoff_does_not_catch_fatal_errors():
+    stats = ResilienceStats()
+    with pytest.raises(ValueError):
+        call_with_backoff(_fail_n_times(1, exc=ValueError), stats=stats)
+    assert stats.retries == 0
+
+
+# -- pick_stragglers ---------------------------------------------------------
+
+
+def test_small_fleets_never_hedge():
+    durations = {0: 0.1, 1: 0.1, 2: 99.0}
+    assert pick_stragglers(durations, DEFAULT_RESILIENCE_POLICY) == []
+
+
+def test_hedging_can_be_disabled():
+    durations = {i: 0.1 for i in range(8)}
+    durations[7] = 99.0
+    policy = ResiliencePolicy(hedge_enabled=False)
+    assert pick_stragglers(durations, policy) == []
+
+
+def test_clear_straggler_is_picked():
+    durations = {0: 0.1, 1: 0.1, 2: 0.1, 3: 10.0}
+    assert pick_stragglers(durations, DEFAULT_RESILIENCE_POLICY) == [3]
+
+
+def test_uniform_fleet_has_no_stragglers():
+    durations = {i: 0.1 for i in range(8)}
+    assert pick_stragglers(durations, DEFAULT_RESILIENCE_POLICY) == []
+
+
+def test_absolute_floor_suppresses_tiny_hedges():
+    """4x the median but under hedge_min_seconds: not worth a hedge."""
+    durations = {0: 0.01, 1: 0.01, 2: 0.01, 3: 0.3}
+    assert pick_stragglers(durations, DEFAULT_RESILIENCE_POLICY) == []
+
+
+def test_hedge_budget_caps_fraction_of_fleet():
+    durations = {i: 0.1 for i in range(8)}
+    durations.update({5: 30.0, 6: 20.0, 7: 40.0})
+    picked = pick_stragglers(durations, DEFAULT_RESILIENCE_POLICY)
+    # 25% of 8 = 2 hedges, slowest first.
+    assert picked == [7, 5]
+
+
+# -- ResilienceStats ---------------------------------------------------------
+
+
+def test_fresh_stats_are_clean():
+    stats = ResilienceStats()
+    assert stats.clean
+    stats.retries += 1
+    assert not stats.clean
+
+
+def test_note_fallback_counts_events():
+    stats = ResilienceStats()
+    stats.note_fallback("combined_to_legacy")
+    stats.note_fallback("combined_to_legacy")
+    stats.note_fallback("processes_to_serial")
+    assert stats.fallbacks == {"combined_to_legacy": 2, "processes_to_serial": 1}
+    assert not stats.clean
+
+
+def test_merge_folds_counters_and_dicts():
+    a = ResilienceStats(retries=1, backoff_seconds=0.5, wave_retries=2)
+    a.fallbacks["combined_to_legacy"] = 1
+    a.faults_injected["s3.slowdown"] = 3
+    b = ResilienceStats(retries=2, hedges_launched=1, hedges_won=1)
+    b.fallbacks["combined_to_legacy"] = 2
+    b.faults_injected["lambda.drop"] = 1
+    a.merge(b)
+    assert a.retries == 3
+    assert a.hedges_launched == 1
+    assert a.backoff_seconds == 0.5
+    assert a.wave_retries == 2
+    assert a.fallbacks == {"combined_to_legacy": 3}
+    assert a.faults_injected == {"s3.slowdown": 3, "lambda.drop": 1}
+
+
+def test_to_dict_is_a_full_snapshot():
+    stats = ResilienceStats(retries=2, stale_messages_ignored=1)
+    snapshot = stats.to_dict()
+    assert snapshot["retries"] == 2
+    assert snapshot["stale_messages_ignored"] == 1
+    snapshot["fallbacks"]["x"] = 1
+    assert stats.fallbacks == {}  # dicts are copies
+
+
+# -- AttemptLog and WorkerFailedError ----------------------------------------
+
+
+def test_attempt_log_records_per_worker_history():
+    log = AttemptLog()
+    log.record(3, attempt=0, error="SlowDownError: throttled")
+    log.record(3, attempt=1, error="", backoff_seconds=0.25)
+    assert log.for_worker(3) == [
+        {"attempt": 0, "error": "SlowDownError: throttled"},
+        {"attempt": 1, "error": "", "backoff_seconds": 0.25},
+    ]
+    assert log.for_worker(99) == []
+
+
+def test_worker_failed_error_shows_full_history():
+    log = AttemptLog()
+    log.record(5, attempt=0, error="InvocationDropped")
+    log.record(5, attempt=1, error="SlowDownError: throttle", backoff_seconds=0.1)
+    error = WorkerFailedError(5, "gave up", attempts=log.for_worker(5))
+    text = str(error)
+    assert "worker 5 failed" in text
+    assert "attempt 0: InvocationDropped" in text
+    assert "attempt 1: SlowDownError: throttle (backoff 0.100s)" in text
+
+
+# -- end-to-end: clean runs stay clean ---------------------------------------
+
+
+def test_clean_run_reports_zero_resilience_stats(driver, dataset, lineitem_table):
+    result = driver.execute(q1_plan(dataset.paths))
+    resilience = result.statistics.resilience
+    assert resilience.clean
+    assert resilience.to_dict()["retries"] == 0
+    assert resilience.wasted_cost_dollars == 0.0
+
+
+# -- end-to-end: injected faults are survived --------------------------------
+
+
+def test_dropped_invocation_is_retried_to_correct_result(driver, dataset, lineitem_table):
+    driver.env.install_fault_plan(
+        FaultPlan([FaultRule("lambda", "drop", 1.0, max_count=1)], seed=5)
+    )
+    try:
+        result = driver.execute(q6_plan(dataset.paths), max_worker_retries=2)
+    finally:
+        driver.env.install_fault_plan(None)
+    assert result.scalar() == pytest.approx(reference_q6(lineitem_table), rel=1e-9)
+    resilience = result.statistics.resilience
+    assert resilience.retries >= 1
+    assert resilience.faults_injected.get("lambda.drop") == 1
+    assert resilience.backoff_seconds > 0.0
+    assert resilience.wasted_cost_dollars > 0.0
+
+
+def test_straggler_is_hedged(driver, dataset, lineitem_table):
+    """One worker slowed 400x gets a speculative duplicate invocation."""
+    driver.env.install_fault_plan(
+        FaultPlan(
+            [FaultRule("lambda", "straggler", 1.0, max_count=1, factor=400.0)],
+            seed=5,
+        )
+    )
+    try:
+        result = driver.execute(q6_plan(dataset.paths))
+    finally:
+        driver.env.install_fault_plan(None)
+    assert result.scalar() == pytest.approx(reference_q6(lineitem_table), rel=1e-9)
+    resilience = result.statistics.resilience
+    assert resilience.faults_injected.get("lambda.straggler") == 1
+    assert resilience.hedges_launched >= 1
+    assert (
+        resilience.hedges_won + resilience.hedges_lost == resilience.hedges_launched
+    )
+
+
+def test_injected_faults_do_not_leak_across_queries(driver, dataset, lineitem_table):
+    """The per-query faults_injected delta resets between executions."""
+    driver.env.install_fault_plan(
+        FaultPlan([FaultRule("lambda", "drop", 1.0, max_count=1)], seed=5)
+    )
+    try:
+        faulted = driver.execute(q6_plan(dataset.paths), max_worker_retries=2)
+        clean = driver.execute(q6_plan(dataset.paths), max_worker_retries=2)
+    finally:
+        driver.env.install_fault_plan(None)
+    assert faulted.statistics.resilience.faults_injected == {"lambda.drop": 1}
+    assert clean.statistics.resilience.faults_injected == {}
+    assert clean.scalar() == pytest.approx(reference_q6(lineitem_table), rel=1e-9)

@@ -63,8 +63,10 @@ def test_partition_objects_follow_expected_counts(env, dataset, coordinator):
         aggregates=[AggregateSpec("sum", col("l_quantity"), "s")],
     )
     # Write combining (the default): each of the W map workers writes exactly
-    # one combined object; the reduce wave reads at most one non-empty slice
-    # per sender×receiver pair, discovering offsets through LIST only.
+    # one combined object and announces its offset-bearing path through the
+    # map barrier, so the reduce wave reads at most one non-empty slice per
+    # sender×receiver pair off the driver-built manifest with zero discovery
+    # requests.
     W = statistics.map_workers
     assert statistics.partition_objects_written == W
     assert statistics.exchange.put_requests == W
@@ -74,7 +76,7 @@ def test_partition_objects_follow_expected_counts(env, dataset, coordinator):
         statistics.exchange.ranged_get_requests + statistics.exchange.empty_parts_elided
         == W * W
     )
-    assert statistics.exchange.list_requests >= W  # one discovery round per reducer
+    assert statistics.exchange.list_requests == 0  # manifest replaces discovery
     assert statistics.exchange.bytes_touched >= statistics.exchange.bytes_read
     assert statistics.rows_scanned > 0
 
