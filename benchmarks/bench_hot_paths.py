@@ -740,6 +740,13 @@ def measure_end_to_end(
     (every S3/Lambda/SQS request consults the plan, nothing ever fires)
     versus the plain ``is None`` fast path, interleaved best-of-``repeats``
     pairs.  The regression guard caps the ratio at 1.02.
+
+    ``integrity_overhead_ratio`` guards the integrity plane the same way:
+    serial Q1 at the checksummed default (crc-bearing dataset files, LPQ
+    chunk verification on scan, payload crcs and message digests generated
+    and verified) versus the same query with ``IntegrityConfig`` fully off
+    over a crc-free copy of the dataset.  The regression guard caps the
+    ratio at 1.03.
     """
     import os
     import warnings
@@ -825,6 +832,61 @@ def measure_end_to_end(
     assert tables_allclose(results["serial"].table, guarded_result.table)
     assert guarded_result.statistics.resilience.clean
 
+    # Integrity overhead: the checksummed default versus integrity fully off
+    # over a crc-free copy of the dataset (same rows, no crcs to generate on
+    # the write side or verify on the read side).  Interleaved best-of pairs,
+    # as above.
+    from repro.config import IntegrityConfig
+
+    nocrc_dataset = generate_lineitem_dataset(
+        env.s3,
+        prefix="lineitem-nocrc",
+        scale_factor=scale_factor,
+        num_files=num_files,
+        row_group_rows=32_768,
+        compression=Compression.FAST,
+        checksum=False,
+    )
+    unchecked_driver = LambadaDriver(
+        env, integrity=IntegrityConfig(generate=False, verify=False)
+    )
+    run_tpch_query(unchecked_driver, nocrc_dataset, "q1")  # untimed warmup
+    unchecked_best = checked_best = float("inf")
+    checked_result = unchecked_result = None
+    # The true crc cost is ~2% of a ~0.2s query — smaller than run-to-run
+    # scheduler drift — so this needs the most noise-immune estimator in the
+    # file: serial Q1 is a pure in-process CPU workload, so each half is
+    # timed with ``time.process_time`` (preemption by other processes does
+    # not count against either half), and the ratio is the *median of
+    # per-pair ratios* over many back-to-back pairs (ambient slowdowns hit
+    # both halves of a pair alike and cancel, where a ratio of independent
+    # minima would not converge).  32 pairs brings the median's spread under
+    # half a percent on a busy single-core host.
+    pair_ratios = []
+    for index in range(max(10 * repeats, 32)):
+        # Alternate which half of the pair runs first, so cache position
+        # inside the pair cannot systematically favour either side.
+        halves = ["unchecked", "checked"]
+        if index % 2:
+            halves.reverse()
+        seconds = {}
+        for half in halves:
+            start = time.process_time()
+            if half == "unchecked":
+                unchecked_result = run_tpch_query(
+                    unchecked_driver, nocrc_dataset, "q1"
+                )
+            else:
+                checked_result = run_tpch_query(drivers["serial"], dataset, "q1")
+            seconds[half] = time.process_time() - start
+        unchecked_best = min(unchecked_best, seconds["unchecked"])
+        checked_best = min(checked_best, seconds["checked"])
+        pair_ratios.append(seconds["checked"] / seconds["unchecked"])
+    integrity_ratio = sorted(pair_ratios)[len(pair_ratios) // 2]
+    assert tables_allclose(checked_result.table, unchecked_result.table)
+    assert checked_result.statistics.integrity.clean
+    assert unchecked_result.statistics.integrity.clean
+
     return {
         "num_rows": dataset.total_rows,
         "num_files": dataset.num_files,
@@ -844,6 +906,9 @@ def measure_end_to_end(
         "faultfree_plain_wall_seconds": plain_best,
         "faultfree_guarded_wall_seconds": guarded_best,
         "faultfree_overhead_ratio": guarded_best / plain_best,
+        "integrity_unchecked_cpu_seconds": unchecked_best,
+        "integrity_checked_cpu_seconds": checked_best,
+        "integrity_overhead_ratio": integrity_ratio,
         "modelled_latency_seconds": results["processes"].statistics.latency_seconds,
         "result_rows": results["processes"].num_rows,
     }
@@ -1070,11 +1135,14 @@ def test_end_to_end_query(bench_recorder, experiment_report):
         f"threads {measurement['threads_wall_seconds']:.2f}s, "
         f"processes {measurement['processes_wall_seconds']:.2f}s wall "
         f"({measurement['wall_speedup']:.2f}x), "
-        f"fault-hook overhead {measurement['faultfree_overhead_ratio']:.3f}x"
+        f"fault-hook overhead {measurement['faultfree_overhead_ratio']:.3f}x, "
+        f"integrity overhead {measurement['integrity_overhead_ratio']:.3f}x"
     )
     # The resilience plane must be free when no faults fire (PR 7's bar:
-    # fault-free Q1 regresses by less than 2%).
+    # fault-free Q1 regresses by less than 2%), and the integrity plane's
+    # checksums must cost less than 3% of wall time.
     assert measurement["faultfree_overhead_ratio"] < 1.02
+    assert measurement["integrity_overhead_ratio"] < 1.03
     assert measurement["result_rows"] > 0
     assert measurement["median_of"] == 3
 

@@ -21,7 +21,8 @@ Four kinds of checks:
   fallback to the O(P²) per-receiver path fails here);
 * **absolute ratio ceilings** — overhead ratios that must stay near 1.0 in
   the *current* run: the resilience plane's fault hooks must cost the
-  fault-free TPC-H Q1 path less than 2% of wall time;
+  fault-free TPC-H Q1 path less than 2% of wall time, and the integrity
+  plane's end-to-end checksumming less than 3%;
 * **relative regression** — each current speedup must stay within
   ``tolerance`` of the committed baseline (defaults to 60%, loose enough for
   machine-to-machine noise, tight enough to catch an accidental
@@ -103,9 +104,13 @@ ABSOLUTE_REQUEST_CEILINGS = {
 #: Maximum overhead ratios, keyed ``(section, field)``.  The resilience
 #: plane (PR 7) promises the fault-injection hooks are free when no plan
 #: fires: serial TPC-H Q1 with a zero-rate FaultPlan installed must stay
-#: within 2% of the plain fast path's wall time.
+#: within 2% of the plain fast path's wall time.  The integrity plane
+#: (PR 8) promises end-to-end checksumming — crc generation at write,
+#: verification at every read, message digests — costs the checksummed
+#: TPC-H Q1 less than 3% over the same query with integrity off.
 ABSOLUTE_RATIO_CEILINGS = {
     ("end_to_end_q1", "faultfree_overhead_ratio"): 1.02,
+    ("end_to_end_q1", "integrity_overhead_ratio"): 1.03,
 }
 
 #: Fields compared against the committed baseline for relative regressions.

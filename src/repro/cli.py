@@ -22,6 +22,11 @@ and the bill.  Subcommands:
     Print the Figure 12 comparison (Lambada vs Athena vs BigQuery) for a
     query and scale factor.
 
+``verify-dataset``
+    Generate a dataset and checksum-scan every object end to end (footer,
+    per-chunk crcs, full decode), optionally flipping a byte in some files
+    first to demonstrate detection.  Exits non-zero if corruption is found.
+
 Run ``python -m repro.cli <subcommand> --help`` for the options of each
 subcommand.
 """
@@ -72,6 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
     qaas.add_argument("--query", default="q1", choices=["q1", "q6"])
     qaas.add_argument("--scale-factor", type=int, default=1000)
     qaas.add_argument("--memory-mib", type=int, default=1792)
+
+    verify = subparsers.add_parser(
+        "verify-dataset", help="checksum-scan every object of a generated dataset"
+    )
+    verify.add_argument("--scale-factor", type=float, default=0.002, help="LINEITEM scale factor")
+    verify.add_argument("--files", type=int, default=8, help="number of dataset files")
+    verify.add_argument("--corrupt", type=int, default=0,
+                        help="flip one byte in this many files before verifying")
+    verify.add_argument("--seed", type=int, default=0, help="corruption placement seed")
 
     return parser
 
@@ -163,6 +177,50 @@ def _run_qaas(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_verify_dataset(args: argparse.Namespace, out) -> int:
+    import random
+
+    from repro.cloud.s3 import parse_s3_path
+    from repro.engine.table import table_num_rows
+    from repro.formats.parquet import ColumnarFile
+
+    env = CloudEnvironment.create()
+    dataset = generate_lineitem_dataset(
+        env.s3, scale_factor=args.scale_factor, num_files=args.files
+    )
+    rng = random.Random(args.seed)
+    targets = set(
+        rng.sample(range(dataset.num_files), min(args.corrupt, dataset.num_files))
+    )
+    for index in sorted(targets):
+        bucket, key = parse_s3_path(dataset.paths[index])
+        data = bytearray(env.s3.get_object(bucket, key).data)
+        data[rng.randrange(len(data))] ^= 0xFF
+        env.s3.put_object(bucket, key, bytes(data))
+
+    print(f"verifying {dataset.num_files} files "
+          f"({len(targets)} deliberately corrupted)", file=out)
+    corrupt = 0
+    for path in dataset.paths:
+        bucket, key = parse_s3_path(path)
+        data = env.s3.get_object(bucket, key).data
+        try:
+            file = ColumnarFile.from_bytes(data, verify=True, name=path)
+            rows = table_num_rows(file.read_table())
+            print(f"  ok       {path}  rows={rows} "
+                  f"row_groups={len(file.row_groups)} bytes={len(data)}", file=out)
+        except Exception as exc:  # noqa: BLE001 - any decode failure = corrupt
+            corrupt += 1
+            layer = getattr(exc, "layer", None) or "unknown"
+            offset = getattr(exc, "offset", None)
+            where = f" offset={offset}" if offset is not None else ""
+            print(f"  CORRUPT  {path}  layer={layer}{where}: {exc}", file=out)
+    status = "FAILED" if corrupt else "clean"
+    print(f"verification {status}: {dataset.num_files - corrupt}/{dataset.num_files} "
+          f"files intact", file=out)
+    return 1 if corrupt else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -172,6 +230,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "exchange-cost": _run_exchange_cost,
         "invocation": _run_invocation,
         "qaas": _run_qaas,
+        "verify-dataset": _run_verify_dataset,
     }
     return handlers[args.command](args, out)
 

@@ -35,6 +35,12 @@ lambda    ``timeout``           the function hangs and is killed at its configur
                                 timeout — no result message, full duration billed
 lambda    ``straggler``         the handler runs normally but its modelled duration
                                 is multiplied by ``factor``
+s3        ``bitflip``           a served GET body has 1–4 bytes XOR-flipped
+                                (in-flight corruption; the stored object is intact)
+s3        ``truncate``          a served GET body is cut short at a random length
+s3        ``stale_body``        a GET serves the key's *previous* version, when one
+                                exists (an eventually-consistent overwrite)
+sqs       ``corrupt_payload``   a delivered message body has one character rewritten
 sqs       ``duplicate``         a received message is re-delivered again later
 sqs       ``delay``             a message is skipped this receive and moved to the
                                 back of the queue
@@ -52,9 +58,12 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import NoSuchKeyError, SlowDownError, WorkerCrashError
 
-_S3_FAULTS = {"slowdown", "read_after_write", "crash_after_put"}
+#: Corruption kinds that mutate a served S3 body instead of failing the request.
+_S3_BODY_FAULTS = {"bitflip", "truncate", "stale_body"}
+
+_S3_FAULTS = {"slowdown", "read_after_write", "crash_after_put"} | _S3_BODY_FAULTS
 _LAMBDA_FAULTS = {"drop", "timeout", "straggler"}
-_SQS_FAULTS = {"duplicate", "delay"}
+_SQS_FAULTS = {"duplicate", "delay", "corrupt_payload"}
 _POOL_FAULTS = {"crash"}
 
 _VALID = {
@@ -179,6 +188,53 @@ class FaultPlan:
                             f"s3://{target} (injected read-after-write lag)"
                         )
 
+    def s3_body_fault(
+        self, operation: str, bucket: str, key: str = "", has_previous: bool = False
+    ) -> Optional[str]:
+        """Pick a body-corruption kind for one S3 read, or return ``None``.
+
+        Consulted by the object store *after* a GET succeeded, on the bytes
+        about to be served — these faults corrupt the response, never the
+        stored object (except ``stale_body``, which substitutes the key's
+        retained previous version and is skipped unless one exists, as
+        signalled by ``has_previous``).
+        """
+        if operation != "get":
+            return None
+        target = f"{bucket}/{key}"
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "s3" or rule.fault not in _S3_BODY_FAULTS:
+                    continue
+                if rule.operation and rule.operation != operation:
+                    continue
+                if rule.match and rule.match not in target:
+                    continue
+                if rule.fault == "stale_body" and not has_previous:
+                    continue
+                if self._roll(index, rule):
+                    return rule.fault
+        return None
+
+    def corrupt_body(self, data: bytes, kind: str) -> bytes:
+        """Deterministically mutate a served body for an injected corruption.
+
+        ``bitflip`` XOR-flips 1–4 bytes at RNG-chosen positions; ``truncate``
+        cuts the body at an RNG-chosen shorter length.  Draws from the plan's
+        single seeded RNG under the lock, so a given seed always produces the
+        same mutation schedule.
+        """
+        if len(data) == 0:
+            return bytes(data)
+        with self._lock:
+            if kind == "truncate":
+                return bytes(data[: self._rng.randrange(len(data))])
+            flipped = bytearray(data)
+            for _ in range(self._rng.randint(1, 4)):
+                position = self._rng.randrange(len(flipped))
+                flipped[position] ^= self._rng.randint(1, 255)
+            return bytes(flipped)
+
     def s3_after_put(self, bucket: str, key: str) -> None:
         """Raise :class:`WorkerCrashError` after a completed PUT, or return.
 
@@ -249,6 +305,29 @@ class FaultPlan:
                     return True
         return False
 
+    def sqs_corrupt(self, queue: str) -> bool:
+        """Whether a just-delivered message body should be corrupted."""
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "sqs" or rule.fault != "corrupt_payload":
+                    continue
+                if rule.match and rule.match not in queue:
+                    continue
+                if self._roll(index, rule):
+                    return True
+        return False
+
+    def corrupt_text(self, body: str) -> str:
+        """Deterministically rewrite one character of a message body."""
+        if not body:
+            return body
+        with self._lock:
+            position = self._rng.randrange(len(body))
+            replacement = chr(33 + self._rng.randrange(94))
+            while replacement == body[position]:
+                replacement = chr(33 + self._rng.randrange(94))
+        return body[:position] + replacement + body[position + 1:]
+
     # -- process-pool hook ----------------------------------------------------
 
     def pool_crash(self, function_name: str = "", worker_id: int = -1) -> bool:
@@ -317,4 +396,39 @@ def chaos_plan(
     )
 
 
-__all__ = ["FaultRule", "FaultPlan", "chaos_plan"]
+def corruption_chaos_plan(
+    seed: int,
+    rate: float = 0.15,
+    max_count: int = 8,
+    match: str = "",
+) -> FaultPlan:
+    """A corruption-focused chaos schedule, used by the corruption parity suite.
+
+    Every served-body and message-payload corruption kind fires at ``rate``
+    per eligible request, capped at ``max_count`` injections each so the
+    driver's bounded re-read/re-execute budget provably converges.  ``match``
+    scopes the S3 rules (substring of ``bucket/key``), e.g. to shuffle
+    traffic only.  Kept separate from :func:`chaos_plan` so the loss-fault
+    suite's injection budget (exactly 9 rules) is unchanged.
+    """
+    return FaultPlan(
+        rules=[
+            FaultRule(
+                "s3", "bitflip", rate, operation="get", match=match,
+                max_count=max_count,
+            ),
+            FaultRule(
+                "s3", "truncate", rate, operation="get", match=match,
+                max_count=max_count,
+            ),
+            FaultRule(
+                "s3", "stale_body", rate, operation="get", match=match,
+                max_count=max_count,
+            ),
+            FaultRule("sqs", "corrupt_payload", rate, max_count=max_count),
+        ],
+        seed=seed,
+    )
+
+
+__all__ = ["FaultRule", "FaultPlan", "chaos_plan", "corruption_chaos_plan"]

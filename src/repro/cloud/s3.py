@@ -100,6 +100,10 @@ class ObjectStore:
         self.write_rate_limit_per_s = write_rate_limit_per_s
         self._buckets: Dict[str, Dict[str, bytes]] = {}
         self._metadata: Dict[str, Dict[str, ObjectMetadata]] = {}
+        #: Previous object versions, retained (only while a fault plan is
+        #: installed) so ``s3.stale_body`` can serve an eventually-consistent
+        #: overwrite.  Never consulted on the fault-free path.
+        self._previous: Dict[str, Dict[str, bytes]] = {}
         self._read_windows: Dict[str, _RateWindow] = {}
         self._write_windows: Dict[str, _RateWindow] = {}
         self._lock = threading.RLock()
@@ -132,6 +136,7 @@ class ObjectStore:
             self._require_bucket(bucket)
             del self._buckets[bucket]
             del self._metadata[bucket]
+            self._previous.pop(bucket, None)
             self.request_counts.pop(bucket, None)
             self._read_windows.pop(bucket, None)
             self._write_windows.pop(bucket, None)
@@ -177,6 +182,10 @@ class ObjectStore:
             self._check_rate(bucket, "write")
             if self.fault_plan is not None:
                 self.fault_plan.s3_fault("put", bucket, key)
+            if self.fault_plan is not None:
+                existing = self._buckets[bucket].get(key)
+                if existing is not None and existing != payload:
+                    self._previous.setdefault(bucket, {})[key] = existing
             metadata = ObjectMetadata(
                 bucket=bucket, key=key, size=len(payload), created_at=self.clock.now
             )
@@ -211,11 +220,20 @@ class ObjectStore:
                 raise NoSuchKeyError(f"s3://{bucket}/{key}")
             data = self._buckets[bucket][key]
             metadata = self._metadata[bucket][key]
+            corruption = None
             if self.fault_plan is not None:
                 self.fault_plan.s3_fault(
                     "get", bucket, key,
                     age_seconds=self.clock.now - metadata.created_at,
                 )
+                previous = self._previous.get(bucket, {}).get(key)
+                corruption = self.fault_plan.s3_body_fault(
+                    "get", bucket, key, has_previous=previous is not None
+                )
+                if corruption == "stale_body":
+                    # Serve the retained previous version — the stored object
+                    # is untouched, exactly like a lagging replica.
+                    data = previous
             size = len(data)
             if range_start < 0:
                 raise InvalidRangeError(f"negative range start {range_start}")
@@ -232,6 +250,10 @@ class ObjectStore:
             self.request_counts[bucket]["get"] += 1
             self.ledger.record("s3", "get_requests", 1, self.clock.now)
             self.ledger.record("s3", "bytes_read", len(chunk), self.clock.now)
+            if corruption in ("bitflip", "truncate"):
+                # In-flight response corruption: metered as the clean transfer
+                # (the bytes were sent; they arrived wrong).
+                chunk = self.fault_plan.corrupt_body(chunk, corruption)
             return GetResult(
                 data=chunk, metadata=metadata, range_start=range_start, range_end=end
             )
@@ -287,6 +309,7 @@ class ObjectStore:
             self.request_counts[bucket]["delete"] += 1
             self._buckets[bucket].pop(key, None)
             self._metadata[bucket].pop(key, None)
+            self._previous.get(bucket, {}).pop(key, None)
 
     # -- convenience path-based API ------------------------------------------
 

@@ -121,7 +121,17 @@ class QueueService:
                     # the queue for a later poll.
                     redeliver.append(message)
                     continue
-                received.append(message)
+                delivered = message
+                if plan is not None and plan.sqs_corrupt(queue):
+                    # Injected payload corruption: the delivered copy has one
+                    # character rewritten; the stored message stays intact, so
+                    # a later redelivery serves the clean body.
+                    delivered = Message(
+                        body=plan.corrupt_text(message.body),
+                        sent_at=message.sent_at,
+                        message_id=message.message_id,
+                    )
+                received.append(delivered)
                 if plan is not None and plan.sqs_duplicate(queue):
                     # Injected at-least-once duplicate: delivered again later.
                     redeliver.append(message)

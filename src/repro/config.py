@@ -8,6 +8,8 @@ it came from.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 # ---------------------------------------------------------------------------
 # Byte sizes
 # ---------------------------------------------------------------------------
@@ -150,6 +152,45 @@ TARGET_PARQUET_FILE_BYTES = 500 * MB
 #: GZIP-compressed Parquet file (about 18.75 M rows) in 2-3 seconds
 #: (paper Figure 11).
 VCPU_ROWS_PER_SECOND = 7_500_000.0
+
+# ---------------------------------------------------------------------------
+# Data-integrity plane
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """End-to-end content-checksum knobs.
+
+    ``generate`` embeds crc32 checksums in everything the engine writes (LPQ
+    chunks and footers, fast-codec partition frames, binary worker payloads,
+    combined-object slice directories, SQS result messages).  ``verify``
+    makes every consumer check them on read and raise
+    :class:`~repro.errors.IntegrityError` on mismatch.  Both default on;
+    objects written without checksums (pre-integrity format, no flag bit)
+    always still decode, so readers never require the writer to have
+    generated them.
+    """
+
+    generate: bool = True
+    verify: bool = True
+
+    def to_dict(self) -> dict:
+        return {"generate": self.generate, "verify": self.verify}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntegrityConfig":
+        if not data:
+            # Events from pre-integrity callers carry no block: defaults apply.
+            return cls()
+        return cls(
+            generate=bool(data.get("generate", True)),
+            verify=bool(data.get("verify", True)),
+        )
+
+
+#: Checksums on, verification on: the production default.
+DEFAULT_INTEGRITY = IntegrityConfig()
 
 #: Number of LINEITEM rows per scale factor (about 6M rows per SF).
 LINEITEM_ROWS_PER_SF = 6_001_215

@@ -26,6 +26,8 @@ import numpy as np
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig
 from repro.cloud.s3 import SharedObjectExport, parse_s3_path
+from repro.config import IntegrityConfig
+from repro.driver.integrity import IntegrityStats, message_intact
 from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
 from repro.driver.resilience import (
     DEFAULT_RESILIENCE_POLICY,
@@ -52,7 +54,12 @@ from repro.engine.table import (
     table_num_rows,
     take_rows,
 )
-from repro.errors import ExecutionError, QueryTimeoutError, WorkerFailedError
+from repro.errors import (
+    ExecutionError,
+    IntegrityError,
+    QueryTimeoutError,
+    WorkerFailedError,
+)
 from repro.plan.logical import LogicalPlan
 from repro.plan.optimizer import OptimizerReport, optimize
 from repro.plan.physical import JoinPhysicalPlan, PhysicalPlan, resolve_udf
@@ -102,6 +109,10 @@ class QueryStatistics:
     #: injected faults survived, degradation fallbacks, wasted modelled cost.
     #: All-zero on a clean run.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: Data-integrity counters: bytes whose checksums were verified on read,
+    #: detected mismatches by site, and how recovery resolved them (re-reads
+    #: vs re-executions).  All-zero mismatches on a corruption-free run.
+    integrity: IntegrityStats = field(default_factory=IntegrityStats)
 
     @property
     def cost_total(self) -> float:
@@ -165,6 +176,7 @@ class LambadaDriver:
         max_parallel_invocations: Optional[int] = None,
         shuffle_config: Optional["ShuffleConfig"] = None,
         resilience_policy: Optional[ResiliencePolicy] = None,
+        integrity: Optional[IntegrityConfig] = None,
     ):
         """``execution_mode`` selects how the simulated fleet runs.
 
@@ -202,6 +214,9 @@ class LambadaDriver:
         #: Retry/backoff/hedging knobs (see :mod:`repro.driver.resilience`).
         self.resilience_policy = resilience_policy or DEFAULT_RESILIENCE_POLICY
         self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
+        #: Content-checksum knobs: workers embed checksums in everything they
+        #: write and every consumer verifies on read (both default on).
+        self.integrity = integrity or IntegrityConfig()
         self.install()
 
     # -- installation -------------------------------------------------------------
@@ -317,11 +332,13 @@ class LambadaDriver:
                 "query_id": query_id,
                 "function_name": self.function_name,
                 "threads": threads,
+                "integrity": self.integrity.to_dict(),
             }
             for worker_id, worker_plan in enumerate(worker_plans)
         ]
 
         resilience = ResilienceStats()
+        integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
 
         if self.execution_mode == "processes" and self._pool_supported(physical):
@@ -345,17 +362,22 @@ class LambadaDriver:
             expected=len(payloads),
             want={payload["worker_id"] for payload in payloads},
             raise_on_timeout=max_worker_retries <= 0,
+            integrity=integrity_stats,
         )
-        by_worker = self._group_messages(messages, resilience=resilience)
+        by_worker = self._group_messages(
+            messages, resilience=resilience, integrity=integrity_stats
+        )
         by_worker = self._retry_failures(
             by_worker, payloads, query_id, max_worker_retries,
             resilience=resilience, attempt_log=attempt_log,
+            integrity=integrity_stats,
         )
         worker_results = self._parse_results(
             by_worker, expected=len(payloads), attempt_log=attempt_log
         )
         worker_results, hedge_billed_seconds = self._hedge_stragglers(
-            worker_results, by_worker, payloads, query_id, resilience
+            worker_results, by_worker, payloads, query_id, resilience,
+            integrity=integrity_stats,
         )
 
         table, reduce_value = self._merge(physical, worker_results)
@@ -363,6 +385,7 @@ class LambadaDriver:
             physical, worker_results, num_workers=len(payloads), cold=cold,
             resilience=resilience, fault_snapshot=fault_snapshot,
             extra_billed_seconds=hedge_billed_seconds,
+            integrity=integrity_stats,
         )
         return QueryResult(
             table=table,
@@ -392,14 +415,18 @@ class LambadaDriver:
         from repro.driver.shuffle import (
             JOIN_MAP_FUNCTION_NAME,
             JOIN_REDUCE_FUNCTION_NAME,
+            ShuffleConfig,
             ShuffleJoinCoordinator,
         )
 
         if self._join_coordinator is None:
+            # An explicit shuffle config wins; otherwise the driver's
+            # integrity knobs carry over to the join exchange plane.
+            config = self.shuffle_config or ShuffleConfig(integrity=self.integrity)
             self._join_coordinator = ShuffleJoinCoordinator(
                 self.env,
                 memory_mib=self.memory_mib,
-                config=self.shuffle_config,
+                config=config,
                 resilience_policy=self.resilience_policy,
             )
         if cold:
@@ -456,6 +483,7 @@ class LambadaDriver:
             join_build_rows=join_stats.join_build_rows,
             join_output_rows=join_stats.join_output_rows,
             resilience=resilience,
+            integrity=join_stats.integrity,
         )
         return QueryResult(
             table=table,
@@ -886,6 +914,7 @@ class LambadaDriver:
         expected: int,
         want: Optional[set] = None,
         raise_on_timeout: bool = True,
+        integrity: Optional[IntegrityStats] = None,
     ) -> List[Dict]:
         """Poll the result queue until ``expected`` distinct workers reported.
 
@@ -895,14 +924,36 @@ class LambadaDriver:
         runs out the driver either raises :class:`QueryTimeoutError` or — with
         ``raise_on_timeout=False`` — returns what arrived so the caller can
         retry the workers that never reported (dropped invocations, crashes).
+
+        Messages that fail to parse or whose content digest mismatches
+        (payload corrupted on the queue) are dropped and counted into
+        ``integrity``; the retry machinery then re-invokes the
+        silently-missing worker, so a corrupt message can never contribute
+        rows to the result.
         """
+        verify = self.integrity.verify
         messages: List[Dict] = []
         seen: set = set()
         max_polls = max(expected * 4, 64)
         for _ in range(max_polls):
             batch = self.env.sqs.receive_messages(self.result_queue, max_messages=10)
             for message in batch:
-                payload = message.json()
+                try:
+                    payload = message.json()
+                    if not isinstance(payload, dict):
+                        raise ValueError("result message is not an object")
+                except ValueError:
+                    # Corrupted beyond JSON: the producing worker looks
+                    # missing and the retry loop re-invokes it.
+                    if integrity is not None:
+                        integrity.note_mismatch("sqs.parse")
+                        integrity.re_executions += 1
+                    continue
+                if verify and not message_intact(payload):
+                    if integrity is not None:
+                        integrity.note_mismatch("sqs.digest")
+                        integrity.re_executions += 1
+                    continue
                 if payload.get("query_id") != query_id:
                     continue  # stale message from an earlier query
                 messages.append(payload)
@@ -952,31 +1003,71 @@ class LambadaDriver:
         messages: List[Dict],
         by_worker: Optional[Dict[int, Dict]] = None,
         resilience: Optional[ResilienceStats] = None,
+        integrity: Optional[IntegrityStats] = None,
     ) -> Dict[int, Dict]:
         """Group result messages by worker id with ``(worker, attempt)`` dedup.
 
         Spilled payloads are fetched from S3 with backoff — the pointed-to
         object may be transiently invisible under an injected read-after-write
-        lag.
+        lag — and, with verification on, must parse and match their content
+        digest; a corrupt first read (in-flight corruption) is cured by one
+        re-issued GET counted as a re-read.
         """
         if by_worker is None:
             by_worker = {}
         for message in messages:
             if "result_s3" in message:
-                bucket, key = parse_s3_path(message["result_s3"])
-                raw = call_with_backoff(
-                    self.env.s3.get_object,
-                    bucket,
-                    key,
-                    policy=self.resilience_policy,
-                    rng=self._jitter_rng,
-                    stats=resilience,
-                ).data
-                spilled = json.loads(raw.decode("utf-8"))
+                spilled = self._fetch_spilled_result(
+                    message["result_s3"], resilience, integrity
+                )
                 spilled.setdefault("attempt", message.get("attempt", 0))
                 message = spilled
             self._merge_message(by_worker, message, resilience)
         return by_worker
+
+    def _fetch_spilled_result(
+        self,
+        path: str,
+        resilience: Optional[ResilienceStats],
+        integrity: Optional[IntegrityStats],
+    ) -> Dict:
+        """Fetch a spilled result object, verifying its content digest."""
+        bucket, key = parse_s3_path(path)
+        verify = self.integrity.verify
+        last_error: Optional[IntegrityError] = None
+        for read_attempt in range(2):
+            raw = call_with_backoff(
+                self.env.s3.get_object,
+                bucket,
+                key,
+                policy=self.resilience_policy,
+                rng=self._jitter_rng,
+                stats=resilience,
+            ).data
+            try:
+                spilled = json.loads(raw.decode("utf-8"))
+                if not isinstance(spilled, dict):
+                    raise ValueError("spilled result is not an object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                last_error = IntegrityError(
+                    f"spilled result does not parse: {exc}",
+                    key=path, layer="spill.digest",
+                )
+            else:
+                if not verify or message_intact(spilled):
+                    if integrity is not None:
+                        if verify:
+                            integrity.verified_bytes += len(raw)
+                        if read_attempt:
+                            integrity.re_reads += 1
+                    return spilled
+                last_error = IntegrityError(
+                    "spilled result failed its content digest",
+                    key=path, layer="spill.digest",
+                )
+            if integrity is not None:
+                integrity.note_mismatch("spill.digest")
+        raise last_error
 
     def _retry_failures(
         self,
@@ -986,6 +1077,7 @@ class LambadaDriver:
         max_worker_retries: int,
         resilience: Optional[ResilienceStats] = None,
         attempt_log: Optional[AttemptLog] = None,
+        integrity: Optional[IntegrityStats] = None,
     ) -> Dict[int, Dict]:
         """Re-invoke failed *or missing* workers with jittered backoff.
 
@@ -1028,6 +1120,10 @@ class LambadaDriver:
                 attempt_log.record(
                     worker_id, failed_attempt, error, backoff_seconds=sleep
                 )
+                if integrity is not None and error.startswith("IntegrityError"):
+                    # The worker detected at-rest corruption that re-GETs
+                    # could not cure; this retry re-executes the attempt.
+                    integrity.re_executions += 1
                 retry_payload = dict(previous)
                 retry_payload.pop("children", None)
                 retry_payload["attempt"] = failed_attempt + 1
@@ -1039,10 +1135,12 @@ class LambadaDriver:
                     self.function_name, retry_payload, from_driver=True
                 )
             retry_messages = self._collect_messages(
-                query_id, expected=len(need), want=set(need), raise_on_timeout=False
+                query_id, expected=len(need), want=set(need),
+                raise_on_timeout=False, integrity=integrity,
             )
             self._group_messages(
-                retry_messages, by_worker=by_worker, resilience=resilience
+                retry_messages, by_worker=by_worker, resilience=resilience,
+                integrity=integrity,
             )
         return by_worker
 
@@ -1081,6 +1179,7 @@ class LambadaDriver:
         payloads: List[Dict],
         query_id: str,
         resilience: ResilienceStats,
+        integrity: Optional[IntegrityStats] = None,
     ) -> Tuple[List[WorkerResult], float]:
         """Speculatively re-invoke straggler workers; first result wins.
 
@@ -1122,9 +1221,13 @@ class LambadaDriver:
             expected=len(stragglers),
             want=set(stragglers),
             raise_on_timeout=False,
+            integrity=integrity,
         )
         hedged: Dict[int, Dict] = {}
-        self._group_messages(hedge_messages, by_worker=hedged, resilience=resilience)
+        self._group_messages(
+            hedge_messages, by_worker=hedged, resilience=resilience,
+            integrity=integrity,
+        )
         # Both racers run to completion and bill their full duration (a real
         # Lambda cannot be cancelled); the loser's extra seconds are billed on
         # top of the per-worker winner durations and attributed as waste.
@@ -1236,6 +1339,7 @@ class LambadaDriver:
         resilience: Optional[ResilienceStats] = None,
         fault_snapshot: Optional[Dict[str, int]] = None,
         extra_billed_seconds: float = 0.0,
+        integrity: Optional[IntegrityStats] = None,
     ) -> QueryStatistics:
         """Compute modelled latency and dollar cost of the query.
 
@@ -1244,6 +1348,7 @@ class LambadaDriver:
         it affects cost, never latency.
         """
         resilience = resilience if resilience is not None else ResilienceStats()
+        integrity = integrity if integrity is not None else IntegrityStats()
         if fault_snapshot is not None:
             resilience.faults_injected = self._fault_delta(fault_snapshot)
         prices = self.env.ledger.prices
@@ -1267,6 +1372,8 @@ class LambadaDriver:
         for result in worker_results:
             if result.exchange_stats:
                 exchange.merge(ExchangeStats.from_dict(result.exchange_stats))
+            if result.integrity_stats:
+                integrity.merge(IntegrityStats.from_dict(result.integrity_stats))
 
         cost_lambda_duration = sum(
             prices.lambda_duration_cost(self.memory_mib, duration) for duration in durations
@@ -1302,4 +1409,5 @@ class LambadaDriver:
             column_chunks_skipped=chunks_skipped,
             exchange=exchange,
             resilience=resilience,
+            integrity=integrity,
         )

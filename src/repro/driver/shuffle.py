@@ -54,8 +54,10 @@ ranged GET per non-empty slice is all it issues.
 
 from __future__ import annotations
 
+import json
 import random
 import uuid
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
@@ -64,7 +66,8 @@ import numpy as np
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig, InvocationContext
 from repro.cloud.s3 import ObjectMetadata, parse_s3_path
-from repro.config import S3_REQUEST_LATENCY_SECONDS
+from repro.config import IntegrityConfig, S3_REQUEST_LATENCY_SECONDS
+from repro.driver.integrity import IntegrityStats, message_intact, sign_message
 from repro.driver.resilience import (
     DEFAULT_RESILIENCE_POLICY,
     AttemptLog,
@@ -93,8 +96,10 @@ from repro.engine.table import (
     table_num_rows,
 )
 from repro.errors import (
+    CorruptFileError,
     ExchangeError,
     ExecutionError,
+    IntegrityError,
     NoSuchBucketError,
     QueryTimeoutError,
     WorkerCrashError,
@@ -146,6 +151,10 @@ class ShuffleConfig:
     compression: Compression = Compression.FAST
     #: How often a reducer repeats its discovery LIST round before failing.
     max_poll_rounds: int = 10
+    #: Content-checksum generation/verification knobs (both default on):
+    #: slice crcs in the combined-object keys, embedded frame checksums, and
+    #: digests on every result message.
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
 
 @dataclass
@@ -170,6 +179,8 @@ class ShuffleStatistics:
     modelled_reduce_seconds: float = 0.0
     #: Retries, wave re-runs, fallbacks, and injected-fault counts survived.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: Checksum verification and corruption-recovery counters.
+    integrity: IntegrityStats = field(default_factory=IntegrityStats)
 
     @property
     def modelled_latency_seconds(self) -> float:
@@ -250,6 +261,8 @@ def _collect_wave_messages(
     by_key: Optional[Dict] = None,
     resilience: Optional[ResilienceStats] = None,
     raise_on_timeout: bool = True,
+    verify: bool = True,
+    integrity: Optional[IntegrityStats] = None,
 ) -> Dict:
     """Poll ``queue`` until every wanted worker of ``query_id`` reported.
 
@@ -261,6 +274,11 @@ def _collect_wave_messages(
     bounded poll budget models the wave deadline; on exhaustion the caller
     either gets the partial dict back (``raise_on_timeout=False``, the retry
     loops) or :class:`~repro.errors.QueryTimeoutError`.
+
+    Messages that fail to parse or whose content digest mismatches (payload
+    corrupted on the queue) are dropped and counted into ``integrity``; the
+    wave machinery then re-invokes the silently-missing worker, so a corrupt
+    message can never contribute rows to the result.
     """
     by_key = {} if by_key is None else by_key
     min_attempt = min_attempt or {}
@@ -279,7 +297,22 @@ def _collect_wave_messages(
     target = len(want) if want is not None else expected
     for _ in range(max(64, expected * 4)):
         for message in sqs.receive_messages(queue, max_messages=10):
-            payload = message.json()
+            try:
+                payload = message.json()
+                if not isinstance(payload, dict):
+                    raise ValueError("result message is not an object")
+            except ValueError:
+                # Corrupted beyond JSON: the producing worker looks missing
+                # and the wave machinery re-invokes it.
+                if integrity is not None:
+                    integrity.note_mismatch("sqs.parse")
+                    integrity.re_executions += 1
+                continue
+            if verify and not message_intact(payload):
+                if integrity is not None:
+                    integrity.note_mismatch("sqs.digest")
+                    integrity.re_executions += 1
+                continue
             if payload.get("query_id") != query_id:
                 continue
             key = _message_key(payload)
@@ -306,6 +339,8 @@ def _run_wave(
     rng: random.Random,
     resilience: ResilienceStats,
     on_retry: Optional[Callable[[object, Dict], None]] = None,
+    verify: bool = True,
+    integrity: Optional[IntegrityStats] = None,
 ) -> Dict:
     """Invoke one wave of workers and collect one ok-result per event.
 
@@ -337,6 +372,8 @@ def _run_wave(
             by_key=by_key,
             resilience=resilience,
             raise_on_timeout=False,
+            verify=verify,
+            integrity=integrity,
         )
         failed = sorted(
             key for key in events if by_key.get(key, {}).get("status") != "ok"
@@ -358,6 +395,11 @@ def _run_wave(
             )
             worker_id = key[1] if isinstance(key, tuple) else key
             attempt_log.record(worker_id, previous, error=error, backoff_seconds=sleep)
+            if integrity is not None and error.startswith("IntegrityError"):
+                # The worker detected at-rest corruption that re-GETs could
+                # not cure; this retry re-executes the producing attempt
+                # under a fresh attempt-suffixed prefix.
+                integrity.re_executions += 1
             retry = dict(events[key])
             retry["attempt"] = previous + 1
             if on_retry is not None:
@@ -388,6 +430,21 @@ def _fault_delta(env: CloudEnvironment, snapshot: Optional[Dict]) -> Dict[str, i
         for kind, count in now.items()
         if count > snapshot.get(kind, 0)
     }
+
+
+def _slice_crcs(payload: bytes, offsets: Sequence[int]) -> List[int]:
+    """Per-receiver crc32 digests of a combined object's slices.
+
+    They ride in the object key next to the offset directory
+    (:meth:`~repro.exchange.naming.WriteCombiningNaming.combined_key`), so a
+    reducer verifies each ranged GET against a directory it already holds —
+    no extra request, and a truncated or bit-flipped slice is caught before
+    it is decoded.
+    """
+    return [
+        zlib.crc32(payload[offsets[index]:offsets[index + 1]])
+        for index in range(len(offsets) - 1)
+    ]
 
 
 def _attempt_prefix(query_id: str, attempt: int) -> str:
@@ -448,6 +505,8 @@ def _guarded(env: CloudEnvironment, run):
             }
             if event.get("side") is not None:
                 message["side"] = event["side"]
+            if IntegrityConfig.from_dict(event.get("integrity")).generate:
+                sign_message(message)
             env.sqs.send_json(event["result_queue"], message)
             return message
 
@@ -470,6 +529,7 @@ def _make_map_handler(env: CloudEnvironment):
         fast_codec = bool(event.get("fast_codec", True))
         compression = Compression(event.get("compression", Compression.FAST.value))
         num_buckets = int(event.get("num_buckets", 10))
+        integrity = IntegrityConfig.from_dict(event.get("integrity"))
 
         # The predicate is pushed into the scan (selection vectors on encoded
         # chunks) and the fused kernel folds surviving rows straight into the
@@ -498,9 +558,12 @@ def _make_map_handler(env: CloudEnvironment):
         combined_written = False
         if write_combining:
             naming = _map_naming(query_id, num_buckets, attempt)
-            payload, offsets = encode_partition_set(reordered, boundaries, compression)
+            payload, offsets = encode_partition_set(
+                reordered, boundaries, compression, checksum=integrity.generate
+            )
+            crcs = _slice_crcs(payload, offsets) if integrity.generate else None
             try:
-                path = naming.combined_path(worker_id, offsets)
+                path = naming.combined_path(worker_id, offsets, crcs)
             except ExchangeError:
                 # The offset directory of a very wide fleet overflows the S3
                 # key limit; fall back to per-receiver objects for this
@@ -520,6 +583,7 @@ def _make_map_handler(env: CloudEnvironment):
                     slice_partition(reordered, boundaries, receiver),
                     compression,
                     fast=fast_codec,
+                    checksum=integrity.generate,
                 )
                 if not data:
                     # Empty partition: skip the PUT entirely (the reduce wave
@@ -564,6 +628,8 @@ def _make_map_handler(env: CloudEnvironment):
             # is never read.
             message["combined_path"] = path
             message["combined_size"] = len(payload)
+        if integrity.generate:
+            sign_message(message)
         env.sqs.send_json(event["result_queue"], message)
         return message
 
@@ -621,6 +687,36 @@ def _normalize_senders(entries: Sequence) -> List[tuple]:
     return normalized
 
 
+def _verified_read(read, integrity: Optional[IntegrityStats]):
+    """Run ``read`` with one verification-failure retry.
+
+    ``read`` issues the GET and raises
+    :class:`~repro.errors.CorruptFileError` (usually its
+    :class:`~repro.errors.IntegrityError` subclass) when any check fails.
+    Injected corruption is applied in flight — the object at rest is clean —
+    so a re-issued GET returns intact bytes; the cure is counted into
+    ``integrity.re_reads``.  A second failure means the stored bytes
+    themselves are bad: the error propagates with full provenance and the
+    wave retry re-executes the producing attempt.
+    """
+    try:
+        return read()
+    except CorruptFileError as exc:
+        if integrity is not None:
+            integrity.note_mismatch(getattr(exc, "layer", None) or "slice.decode")
+        try:
+            value = read()
+        except CorruptFileError as again:
+            if integrity is not None:
+                integrity.note_mismatch(
+                    getattr(again, "layer", None) or "slice.decode"
+                )
+            raise
+        if integrity is not None:
+            integrity.re_reads += 1
+        return value
+
+
 def _collect_partition_pieces(
     env: CloudEnvironment,
     combined_naming: WriteCombiningNaming,
@@ -632,6 +728,8 @@ def _collect_partition_pieces(
     num_partitions: int,
     max_poll_rounds: int,
     stats: ExchangeStats,
+    verify: bool = True,
+    integrity: Optional[IntegrityStats] = None,
 ) -> tuple:
     """Read every sender's slice addressed to ``partition``.
 
@@ -647,6 +745,15 @@ def _collect_partition_pieces(
     Returns ``(pieces, objects_read)`` with empty pieces dropped, in global
     sender order regardless of format — the reduce output is bit-identical
     however each sender shipped its partitions.
+
+    With ``verify`` on, every read is checked before its rows are used:
+    ranged-GET lengths against the offset directory, slice bytes against the
+    per-slice crcs riding in the key, and the frame's embedded checksums on
+    decode.  A failed check triggers one re-issued GET (in-flight corruption
+    is cured by a clean second read, counted as ``integrity.re_reads``); if
+    the second read also fails, the :class:`~repro.errors.IntegrityError`
+    propagates with full provenance and the driver's wave retry re-executes
+    the consuming attempt.
     """
     sliced: Dict[int, tuple] = {}
     for sender, path, size in combined_entries or []:
@@ -678,9 +785,10 @@ def _collect_partition_pieces(
     for sender in sorted(set(sliced) | set(legacy)):
         if sender in sliced:
             path, size, offsets = sliced[sender]
+            _, key = parse_s3_path(path)
+            _, parsed_offsets, crcs = WriteCombiningNaming.parse_directory(key)
             if offsets is None:
-                _, key = parse_s3_path(path)
-                _, offsets = WriteCombiningNaming.parse_offsets(key)
+                offsets = parsed_offsets
             if len(offsets) != num_partitions + 1:
                 raise ExchangeError(
                     f"combined object {path!r} has {len(offsets) - 1} "
@@ -691,21 +799,54 @@ def _collect_partition_pieces(
                 # Empty slice: zero bytes in the object, no GET at all.
                 stats.empty_parts_elided += 1
                 continue
-            result = env.s3.get_path(path, start, end)
-            stats.get_requests += 1
-            stats.ranged_get_requests += 1
-            stats.bytes_read += len(result.data)
-            stats.bytes_touched += int(size)
+            expected_crc = crcs[partition] if crcs is not None else None
+
+            def read_slice(path=path, start=start, end=end,
+                           size=size, expected_crc=expected_crc):
+                result = env.s3.get_path(path, start, end)
+                stats.get_requests += 1
+                stats.ranged_get_requests += 1
+                stats.bytes_read += len(result.data)
+                stats.bytes_touched += int(size)
+                if verify and len(result.data) != end - start:
+                    raise IntegrityError(
+                        "ranged GET returned wrong slice length",
+                        key=path, layer="slice.length", offset=start,
+                        expected=end - start, actual=len(result.data),
+                    )
+                if verify and expected_crc is not None:
+                    actual = zlib.crc32(result.data)
+                    if actual != expected_crc:
+                        raise IntegrityError(
+                            f"slice of partition {partition} failed its "
+                            "directory crc",
+                            key=path, layer="slice.crc", offset=start,
+                            expected=expected_crc, actual=actual,
+                        )
+                piece = decode_partition_slice(
+                    result.data, verify=verify, key=path
+                )
+                return piece, len(result.data)
+
+            piece, nbytes = _verified_read(read_slice, integrity)
             objects_read += 1
-            piece = decode_partition_slice(result.data)
         else:
             meta = legacy[sender]
-            result = env.s3.get_path(meta.path)
-            stats.get_requests += 1
-            stats.bytes_read += len(result.data)
-            stats.bytes_touched += meta.size
+
+            def read_object(meta=meta):
+                result = env.s3.get_path(meta.path)
+                stats.get_requests += 1
+                stats.bytes_read += len(result.data)
+                stats.bytes_touched += meta.size
+                piece = deserialize_partition(
+                    result.data, verify=verify, key=meta.path
+                )
+                return piece, len(result.data)
+
+            piece, nbytes = _verified_read(read_object, integrity)
             objects_read += 1
-            piece = deserialize_partition(result.data)
+        if integrity is not None and verify:
+            integrity.verified_bytes += nbytes
         if table_num_rows(piece):
             pieces.append(piece)
     return pieces, objects_read
@@ -728,6 +869,8 @@ def _make_reduce_handler(env: CloudEnvironment):
         partials_specs = [AggregateSpec.from_dict(item) for item in event["aggregates"]]
         num_buckets = int(event.get("num_buckets", 10))
         max_poll_rounds = int(event.get("max_poll_rounds", 10))
+        integrity = IntegrityConfig.from_dict(event.get("integrity"))
+        istats = IntegrityStats()
 
         stats = ExchangeStats()
         pieces, objects_read = _collect_partition_pieces(
@@ -741,6 +884,8 @@ def _make_reduce_handler(env: CloudEnvironment):
             num_partitions,
             max_poll_rounds,
             stats,
+            verify=integrity.verify,
+            integrity=istats,
         )
         # Single merge pass: the zero-copy slice views are folded (and thereby
         # materialised into fresh group buffers) exactly once.
@@ -757,6 +902,7 @@ def _make_reduce_handler(env: CloudEnvironment):
             rows_output=table_num_rows(merged),
             duration_seconds=modelled_seconds,
             exchange_stats=stats.to_dict(),
+            integrity_stats=istats.to_dict(),
         )
         payload = {
             "query_id": query_id,
@@ -765,8 +911,10 @@ def _make_reduce_handler(env: CloudEnvironment):
             "attempt": attempt,
             "objects_read": objects_read,
             "worker_result": result.to_payload(),
-            "result": encode_table(merged),
+            "result": encode_table(merged, checksum=integrity.generate),
         }
+        if integrity.generate:
+            sign_message(payload)
         encoded = json.dumps(payload).encode("utf-8")
         if len(encoded) > RESULT_SPILL_BYTES:
             env.s3.ensure_bucket(RESULT_BUCKET)
@@ -774,18 +922,18 @@ def _make_reduce_handler(env: CloudEnvironment):
             # earlier attempt's spill mid-read.
             key = f"{query_id}/reduce-{partition}.a{attempt}.json"
             env.s3.put_object(RESULT_BUCKET, key, encoded)
-            env.sqs.send_json(
-                event["result_queue"],
-                {
-                    "query_id": query_id,
-                    "worker_id": partition,
-                    "status": "ok",
-                    "attempt": attempt,
-                    "objects_read": objects_read,
-                    "worker_result": result.to_payload(),
-                    "result_s3": f"s3://{RESULT_BUCKET}/{key}",
-                },
-            )
+            pointer = {
+                "query_id": query_id,
+                "worker_id": partition,
+                "status": "ok",
+                "attempt": attempt,
+                "objects_read": objects_read,
+                "worker_result": result.to_payload(),
+                "result_s3": f"s3://{RESULT_BUCKET}/{key}",
+            }
+            if integrity.generate:
+                sign_message(pointer)
+            env.sqs.send_json(event["result_queue"], pointer)
         else:
             # Reuse the bytes already serialised for the spill-size check.
             env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
@@ -816,6 +964,7 @@ class _ResilientWaves:
         what: str,
         resilience: ResilienceStats,
         on_retry=None,
+        integrity: Optional[IntegrityStats] = None,
     ) -> List[Dict]:
         """Run one wave with retries; messages in wave-key order."""
         by_key = _run_wave(
@@ -829,6 +978,8 @@ class _ResilientWaves:
             self._jitter_rng,
             resilience,
             on_retry=on_retry,
+            verify=self.config.integrity.verify,
+            integrity=integrity,
         )
         return [by_key[key] for key in sorted(by_key)]
 
@@ -852,16 +1003,57 @@ class _ResilientWaves:
 
         return on_retry
 
-    def _fetch_spilled(self, path: str, resilience: ResilienceStats) -> Dict:
-        """Fetch and decode a spilled result message, retrying transients."""
+    def _fetch_spilled(
+        self,
+        path: str,
+        resilience: ResilienceStats,
+        integrity: Optional[IntegrityStats] = None,
+    ) -> Dict:
+        """Fetch and decode a spilled result message, retrying transients.
+
+        With verification on, the spilled JSON must parse and match its
+        content digest; a corrupt first read (in-flight corruption) is cured
+        by one re-issued GET counted into ``integrity.re_reads``.
+        """
         import json
 
         bucket, key = parse_s3_path(path)
-        spilled = call_with_backoff(
-            self.env.s3.get_object, bucket, key,
-            policy=self.resilience_policy, rng=self._jitter_rng, stats=resilience,
-        )
-        return json.loads(spilled.data.decode("utf-8"))
+        verify = self.config.integrity.verify
+        last_error: Optional[IntegrityError] = None
+        for read_attempt in range(2):
+            spilled = call_with_backoff(
+                self.env.s3.get_object, bucket, key,
+                policy=self.resilience_policy, rng=self._jitter_rng,
+                stats=resilience,
+            )
+            try:
+                payload = json.loads(spilled.data.decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("spilled result is not an object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                last_error = IntegrityError(
+                    f"spilled result does not parse: {exc}",
+                    key=path, layer="spill.digest",
+                )
+            else:
+                if not verify or message_intact(payload):
+                    if integrity is not None:
+                        if verify:
+                            integrity.verified_bytes += len(spilled.data)
+                        if read_attempt:
+                            integrity.re_reads += 1
+                    return payload
+                last_error = IntegrityError(
+                    "spilled result failed its content digest",
+                    key=path, layer="spill.digest",
+                )
+            if integrity is not None:
+                integrity.note_mismatch("spill.digest")
+            if not verify:
+                # Unverified mode still needs parseable JSON; one blind
+                # re-read is the best recovery available.
+                continue
+        raise last_error
 
 
 class ShuffleAggregateCoordinator(_ResilientWaves):
@@ -935,6 +1127,7 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
                 self.env.s3.ensure_bucket(bucket)
 
         resilience = ResilienceStats()
+        integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
 
         # -- map wave -------------------------------------------------------------
@@ -958,10 +1151,12 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
                 "fast_codec": self.config.fast_codec,
                 "compression": self.config.compression.value,
                 "num_buckets": self.num_buckets,
+                "integrity": self.config.integrity.to_dict(),
             }
         map_messages = self._wave(
             MAP_FUNCTION_NAME, map_events, query_id, "shuffle map", resilience,
             on_retry=self._degrade_map_retry(resilience),
+            integrity=integrity_stats,
         )
         rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
         objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
@@ -1001,9 +1196,11 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
                 "result_queue": self.result_queue,
                 "num_buckets": self.num_buckets,
                 "max_poll_rounds": self.config.max_poll_rounds,
+                "integrity": self.config.integrity.to_dict(),
             }
         reduce_messages = self._wave(
-            REDUCE_FUNCTION_NAME, reduce_events, query_id, "shuffle reduce", resilience
+            REDUCE_FUNCTION_NAME, reduce_events, query_id, "shuffle reduce",
+            resilience, integrity=integrity_stats,
         )
         objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
 
@@ -1016,13 +1213,22 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
                     continue
                 parsed = WorkerResult.from_payload(worker_result)
                 exchange.merge(ExchangeStats.from_dict(parsed.exchange_stats))
+                integrity_stats.merge(IntegrityStats.from_dict(parsed.integrity_stats))
                 wave_seconds[wave] = max(wave_seconds[wave], parsed.duration_seconds)
 
         pieces = []
         for message in reduce_messages:
             if "result_s3" in message:
-                message = self._fetch_spilled(message["result_s3"], resilience)
-            pieces.append(decode_table(message["result"]))
+                message = self._fetch_spilled(
+                    message["result_s3"], resilience, integrity_stats
+                )
+            pieces.append(
+                decode_table(
+                    message["result"],
+                    verify=self.config.integrity.verify,
+                    key=f"reduce-{message.get('worker_id')}",
+                )
+            )
         merged = concat_tables([piece for piece in pieces if table_num_rows(piece)])
         result = finalize_aggregates(merged, list(group_by), list(finals))
         if order_by:
@@ -1040,6 +1246,7 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
             modelled_map_seconds=wave_seconds["map"],
             modelled_reduce_seconds=wave_seconds["reduce"],
             resilience=resilience,
+            integrity=integrity_stats,
         )
         return result, statistics
 
@@ -1097,6 +1304,7 @@ def _make_join_map_handler(env: CloudEnvironment):
         fast_codec = bool(event.get("fast_codec", True))
         compression = Compression(event.get("compression", Compression.FAST.value))
         num_buckets = int(event.get("num_buckets", 10))
+        integrity = IntegrityConfig.from_dict(event.get("integrity"))
 
         scan = S3ScanOperator(
             env.s3,
@@ -1119,9 +1327,12 @@ def _make_join_map_handler(env: CloudEnvironment):
         combined_written = False
         if write_combining:
             naming = _join_map_naming(query_id, side, num_buckets, attempt)
-            payload, offsets = encode_partition_set(reordered, boundaries, compression)
+            payload, offsets = encode_partition_set(
+                reordered, boundaries, compression, checksum=integrity.generate
+            )
+            crcs = _slice_crcs(payload, offsets) if integrity.generate else None
             try:
-                path = naming.combined_path(worker_id, offsets)
+                path = naming.combined_path(worker_id, offsets, crcs)
             except ExchangeError:
                 # Offset directory overflows the S3 key limit (very wide
                 # fleet): fall back to per-receiver objects for this mapper.
@@ -1140,6 +1351,7 @@ def _make_join_map_handler(env: CloudEnvironment):
                     slice_partition(reordered, boundaries, receiver),
                     compression,
                     fast=fast_codec,
+                    checksum=integrity.generate,
                 )
                 if not data:
                     stats.empty_parts_elided += 1
@@ -1180,6 +1392,8 @@ def _make_join_map_handler(env: CloudEnvironment):
             # entirely (zero requests beyond the ranged slice GETs).
             message["combined_path"] = path
             message["combined_size"] = len(payload)
+        if integrity.generate:
+            sign_message(message)
         env.sqs.send_json(event["result_queue"], message)
         return message
 
@@ -1213,6 +1427,8 @@ def _make_join_reduce_handler(env: CloudEnvironment):
         suffix = event.get("suffix", "_right")
         num_buckets = int(event.get("num_buckets", 10))
         max_poll_rounds = int(event.get("max_poll_rounds", 10))
+        integrity = IntegrityConfig.from_dict(event.get("integrity"))
+        istats = IntegrityStats()
 
         stats = ExchangeStats()
         side_tables: Dict[str, Table] = {}
@@ -1232,6 +1448,8 @@ def _make_join_reduce_handler(env: CloudEnvironment):
                 num_partitions,
                 max_poll_rounds,
                 stats,
+                verify=integrity.verify,
+                integrity=istats,
             )
             objects_read += side_objects
             side_tables[side] = concat_tables(pieces) if pieces else {}
@@ -1272,6 +1490,7 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             join_output_rows=output_rows,
             duration_seconds=modelled_seconds,
             exchange_stats=stats.to_dict(),
+            integrity_stats=istats.to_dict(),
         )
         payload = {
             "query_id": query_id,
@@ -1280,25 +1499,27 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             "attempt": attempt,
             "objects_read": objects_read,
             "worker_result": result.to_payload(),
-            "result": encode_table(partial_table),
+            "result": encode_table(partial_table, checksum=integrity.generate),
         }
+        if integrity.generate:
+            sign_message(payload)
         encoded = json.dumps(payload).encode("utf-8")
         if len(encoded) > RESULT_SPILL_BYTES:
             env.s3.ensure_bucket(RESULT_BUCKET)
             spill_key = f"{query_id}/join-{partition}.a{attempt}.json"
             env.s3.put_object(RESULT_BUCKET, spill_key, encoded)
-            env.sqs.send_json(
-                event["result_queue"],
-                {
-                    "query_id": query_id,
-                    "worker_id": partition,
-                    "status": "ok",
-                    "attempt": attempt,
-                    "objects_read": objects_read,
-                    "worker_result": result.to_payload(),
-                    "result_s3": f"s3://{RESULT_BUCKET}/{spill_key}",
-                },
-            )
+            pointer = {
+                "query_id": query_id,
+                "worker_id": partition,
+                "status": "ok",
+                "attempt": attempt,
+                "objects_read": objects_read,
+                "worker_result": result.to_payload(),
+                "result_s3": f"s3://{RESULT_BUCKET}/{spill_key}",
+            }
+            if integrity.generate:
+                sign_message(pointer)
+            env.sqs.send_json(event["result_queue"], pointer)
         else:
             env.sqs.send_message(event["result_queue"], encoded.decode("utf-8"))
         return payload
@@ -1329,6 +1550,8 @@ class JoinStatistics:
     modelled_reduce_seconds: float = 0.0
     #: Retries, wave re-runs, fallbacks, and injected-fault counts survived.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: Checksum verification and corruption-recovery counters.
+    integrity: IntegrityStats = field(default_factory=IntegrityStats)
 
     @property
     def modelled_latency_seconds(self) -> float:
@@ -1428,6 +1651,7 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                     self.env.s3.ensure_bucket(bucket)
 
         resilience = ResilienceStats()
+        integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
 
         # -- map waves (both sides dispatched before collecting either) ------------
@@ -1455,10 +1679,12 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                     "fast_codec": self.config.fast_codec,
                     "compression": self.config.compression.value,
                     "num_buckets": self.num_buckets,
+                    "integrity": self.config.integrity.to_dict(),
                 }
         map_messages = self._wave(
             JOIN_MAP_FUNCTION_NAME, map_events, query_id, "join map", resilience,
             on_retry=self._degrade_map_retry(resilience),
+            integrity=integrity_stats,
         )
 
         sender_spec: Dict[str, Dict] = {}
@@ -1502,9 +1728,11 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                 "result_queue": self.result_queue,
                 "num_buckets": self.num_buckets,
                 "max_poll_rounds": self.config.max_poll_rounds,
+                "integrity": self.config.integrity.to_dict(),
             }
         reduce_messages = self._wave(
-            JOIN_REDUCE_FUNCTION_NAME, reduce_events, query_id, "join", resilience
+            JOIN_REDUCE_FUNCTION_NAME, reduce_events, query_id, "join",
+            resilience, integrity=integrity_stats,
         )
         objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
 
@@ -1521,6 +1749,7 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                 parsed = WorkerResult.from_payload(payload)
                 worker_results.append(parsed)
                 exchange.merge(ExchangeStats.from_dict(parsed.exchange_stats))
+                integrity_stats.merge(IntegrityStats.from_dict(parsed.integrity_stats))
                 wave_seconds[wave] = max(wave_seconds[wave], parsed.duration_seconds)
                 counters["probe"] += parsed.join_probe_rows
                 counters["build"] += parsed.join_build_rows
@@ -1530,8 +1759,16 @@ class ShuffleJoinCoordinator(_ResilientWaves):
         partials: List[Table] = []
         for message in reduce_messages:
             if "result_s3" in message:
-                message = self._fetch_spilled(message["result_s3"], resilience)
-            partials.append(decode_table(message["result"]))
+                message = self._fetch_spilled(
+                    message["result_s3"], resilience, integrity_stats
+                )
+            partials.append(
+                decode_table(
+                    message["result"],
+                    verify=self.config.integrity.verify,
+                    key=f"join-{message.get('worker_id')}",
+                )
+            )
 
         driver_plan = physical.driver
         if driver_plan.collect_rows:
@@ -1568,5 +1805,6 @@ class ShuffleJoinCoordinator(_ResilientWaves):
             modelled_map_seconds=wave_seconds["map"],
             modelled_reduce_seconds=wave_seconds["reduce"],
             resilience=resilience,
+            integrity=integrity_stats,
         )
         return result, statistics, worker_results

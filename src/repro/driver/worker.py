@@ -15,7 +15,8 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import InvocationContext
-from repro.config import INVOCATION_RATE_INTRA_REGION
+from repro.config import INVOCATION_RATE_INTRA_REGION, IntegrityConfig
+from repro.driver.integrity import sign_message
 from repro.engine.pipeline import execute_worker_plan
 from repro.errors import WorkerCrashError
 from repro.plan.physical import WorkerPlan
@@ -62,6 +63,7 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
         result_queue: Optional[str] = event.get("result_queue")
         query_id = event.get("query_id", "query")
         function_name = event.get("function_name", WORKER_FUNCTION_NAME)
+        integrity = IntegrityConfig.from_dict(event.get("integrity"))
 
         # 1. Invoke second-generation children first so the whole fleet starts
         #    as quickly as possible (tree invocation, §4.2).
@@ -112,6 +114,11 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
             }
 
         if result_queue:
+            if integrity.generate:
+                # The content digest lets the driver detect a payload that
+                # was corrupted on the queue (or in the spilled object)
+                # before acting on it.
+                sign_message(message)
             encoded = json.dumps(message).encode("utf-8")
             if len(encoded) > RESULT_SPILL_BYTES:
                 # Stage large results through S3 and send only a pointer.
@@ -127,6 +134,8 @@ def make_worker_handler(env: CloudEnvironment) -> Callable[[Dict[str, Any], Invo
                     "status": message["status"],
                     "result_s3": f"s3://{RESULT_BUCKET}/{key}",
                 }
+                if integrity.generate:
+                    sign_message(pointer)
                 env.sqs.send_json(result_queue, pointer)
             else:
                 # Reuse the bytes already serialised for the spill-size check.

@@ -33,12 +33,14 @@ produced by earlier versions keep replaying correctly.
 from __future__ import annotations
 
 import base64
-from typing import Dict, List, Union
+import json
+import zlib
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.engine.table import Table, table_num_rows
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, IntegrityError
 
 #: Marker key identifying (and versioning) the binary columnar payload form.
 PAYLOAD_MARKER = "__columnar__"
@@ -59,37 +61,77 @@ def is_binary_payload(payload: Payload) -> bool:
     return isinstance(payload, dict) and PAYLOAD_MARKER in payload
 
 
+def _object_column_crc(values: List) -> int:
+    """crc32 of an object column's JSON-canonical serialisation.
+
+    JSON round-trips of strings/ints/floats are representation-stable, so the
+    receiver recomputes the identical digest from the parsed values.
+    """
+    return zlib.crc32(json.dumps(values).encode("utf-8"))
+
+
+def _payload_digest(num_rows: int, entries: List[List]) -> int:
+    """Structural digest over ``(num_rows, [[name, dtype, crc], ...])``.
+
+    Covers what the per-column crcs cannot: the column *names*, their dtype
+    tags (a flipped dtype reinterprets an intact buffer), and the row count.
+    """
+    return zlib.crc32(json.dumps([int(num_rows), entries]).encode("utf-8"))
+
+
 def encode_table(
     table: Table,
     small_table_rows: int = SMALL_TABLE_ROWS,
     force_binary: bool = False,
+    checksum: bool = True,
 ) -> Payload:
     """Serialise a table into a JSON-compatible payload.
 
     Tables with fewer than ``small_table_rows`` rows use the legacy
-    ``{name: list}`` form unless ``force_binary`` is set.
+    ``{name: list}`` form unless ``force_binary`` is set.  ``checksum``
+    (default on) embeds a crc32 per column plus a structural ``digest`` in
+    binary payloads; the legacy list form has no room for checksums and is
+    covered by the message-level digest instead.
     """
     num_rows = table_num_rows(table)
     if not force_binary and num_rows < small_table_rows:
         return {name: np.asarray(column).tolist() for name, column in table.items()}
 
     columns: List[Dict] = []
+    entries: List[List] = []
     for name, column in table.items():
         array = np.ascontiguousarray(column)
         if array.dtype.hasobject:
-            columns.append({"name": name, "dtype": "object", "values": array.tolist()})
+            values = array.tolist()
+            entry = {"name": name, "dtype": "object", "values": values}
+            if checksum:
+                entry["crc"] = _object_column_crc(values)
         else:
-            columns.append(
-                {
-                    "name": name,
-                    "dtype": array.dtype.str,
-                    "data": base64.b64encode(array.tobytes()).decode("ascii"),
-                }
-            )
-    return {PAYLOAD_MARKER: PAYLOAD_VERSION, "num_rows": int(num_rows), "columns": columns}
+            raw = array.tobytes()
+            entry = {
+                "name": name,
+                "dtype": array.dtype.str,
+                "data": base64.b64encode(raw).decode("ascii"),
+            }
+            if checksum:
+                entry["crc"] = zlib.crc32(raw)
+        columns.append(entry)
+        if checksum:
+            entries.append([name, entry["dtype"], entry["crc"]])
+    payload: Payload = {
+        PAYLOAD_MARKER: PAYLOAD_VERSION, "num_rows": int(num_rows), "columns": columns
+    }
+    if checksum:
+        payload["digest"] = _payload_digest(num_rows, entries)
+    return payload
 
 
-def decode_table(payload: Payload, copy: bool = True) -> Table:
+def decode_table(
+    payload: Payload,
+    copy: bool = True,
+    verify: bool = True,
+    key: Optional[str] = None,
+) -> Table:
     """Inverse of :func:`encode_table`; accepts legacy and binary payloads.
 
     ``copy=False`` keeps binary columns as read-only ``frombuffer`` views of
@@ -97,6 +139,11 @@ def decode_table(payload: Payload, copy: bool = True) -> Table:
     and one copy less per worker partial on the driver's hot path.  (Legacy
     payloads that already hold ndarrays — e.g. shared-memory partials decoded
     in-place — pass through untouched in either mode.)
+
+    Payloads carrying checksums are verified on decode unless
+    ``verify=False``; a mismatch raises :class:`~repro.errors.IntegrityError`
+    with ``key`` naming the payload's origin.  Pre-integrity payloads (no
+    ``crc``/``digest`` keys) always decode without verification.
     """
     if not is_binary_payload(payload):
         return {name: np.asarray(values) for name, values in payload.items()}
@@ -105,14 +152,43 @@ def decode_table(payload: Payload, copy: bool = True) -> Table:
     if version != PAYLOAD_VERSION:
         raise ExecutionError(f"unsupported payload version {version!r}")
     table: Table = {}
+    entries: List[List] = []
+    verify_digest = verify and payload.get("digest") is not None
     for column in payload["columns"]:
         name = column["name"]
+        expected_crc = column.get("crc")
         if column["dtype"] == "object":
+            if verify and expected_crc is not None:
+                actual = _object_column_crc(column["values"])
+                if actual != expected_crc:
+                    raise IntegrityError(
+                        f"object column {name!r} checksum mismatch",
+                        key=key, layer="payload.column",
+                        expected=expected_crc, actual=actual,
+                    )
             table[name] = np.asarray(column["values"], dtype=object)
         else:
             buffer = base64.b64decode(column["data"])
+            if verify and expected_crc is not None:
+                actual = zlib.crc32(buffer)
+                if actual != expected_crc:
+                    raise IntegrityError(
+                        f"column {name!r} buffer checksum mismatch",
+                        key=key, layer="payload.column",
+                        expected=expected_crc, actual=actual,
+                    )
             # frombuffer yields a read-only view of the decoded bytes; copy
             # (by default) so callers can sort/mutate the columns.
             view = np.frombuffer(buffer, dtype=np.dtype(column["dtype"]))
             table[name] = view.copy() if copy else view
+        if verify_digest:
+            entries.append([name, column["dtype"], expected_crc])
+    if verify_digest:
+        actual = _payload_digest(payload.get("num_rows", 0), entries)
+        if actual != payload["digest"]:
+            raise IntegrityError(
+                "payload structural digest mismatch",
+                key=key, layer="payload.digest",
+                expected=payload["digest"], actual=actual,
+            )
     return table

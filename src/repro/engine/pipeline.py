@@ -82,6 +82,10 @@ class WorkerResult:
     #: :class:`repro.exchange.basic.ExchangeStats` (``None`` for scan-only
     #: workers, which never touch the exchange plane).
     exchange_stats: Optional[Dict[str, int]] = None
+    #: Integrity counters of this worker's reads, as the dict form of
+    #: :class:`repro.driver.integrity.IntegrityStats` (``None`` when the
+    #: worker verified nothing).
+    integrity_stats: Optional[Dict[str, Any]] = None
     #: Which attempt produced this result (0 = first invocation); set by the
     #: worker from its payload so the driver can dedup late re-deliveries.
     attempt: int = 0
@@ -91,6 +95,7 @@ class WorkerResult:
         return {
             "attempt": self.attempt,
             "exchange_stats": self.exchange_stats,
+            "integrity_stats": self.integrity_stats,
             "partial": self.partial,
             "reduce_value": self.reduce_value,
             "rows_scanned": self.rows_scanned,

@@ -95,8 +95,51 @@ class FormatError(LambadaError):
     """Base class for errors in the columnar file format."""
 
 
+def _integrity_context(
+    key=None, layer=None, offset=None, expected=None, actual=None
+) -> str:
+    """Render the structured corruption context shared by the integrity errors."""
+    parts = []
+    if key:
+        parts.append(f"object={key}")
+    if layer:
+        parts.append(f"layer={layer}")
+    if offset is not None:
+        parts.append(f"offset={offset}")
+    if expected is not None:
+        parts.append(f"expected=0x{expected:08x}")
+    if actual is not None:
+        parts.append(f"actual=0x{actual:08x}")
+    return f" [{', '.join(parts)}]" if parts else ""
+
+
 class CorruptFileError(FormatError):
-    """The file footer or a page failed validation."""
+    """The file footer or a page failed validation.
+
+    Carries optional structured context so a corruption report names the
+    object it came from: ``key`` (object key or path), ``layer`` (which
+    validation failed, e.g. ``"lpq.chunk"``), ``offset`` (byte offset of the
+    corrupt region within the object, when known), and the ``expected`` /
+    ``actual`` crc32 digests for checksum mismatches.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key=None,
+        layer=None,
+        offset=None,
+        expected=None,
+        actual=None,
+    ):
+        super().__init__(
+            message + _integrity_context(key, layer, offset, expected, actual)
+        )
+        self.key = key
+        self.layer = layer
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual
 
 
 class UnsupportedTypeError(FormatError):
@@ -165,3 +208,47 @@ class QueryTimeoutError(ExecutionError):
 
 class ExchangeError(ExecutionError):
     """An exchange operator failed (missing partition files, bad offsets...)."""
+
+
+class IntegrityError(ExecutionError, CorruptFileError):
+    """A content checksum failed verification on read.
+
+    Also a :class:`CorruptFileError`: callers that already treat structural
+    corruption as fatal-or-retryable handle checksum mismatches identically
+    without naming the new class.
+
+    Raised by every integrity-checking consumer — the LPQ scan, the exchange
+    slice decode, the reduce wave's ranged-GET length validation, and the
+    driver's message-digest check.  Carries full provenance so the recovery
+    escalation (re-GET, then re-execute the producing attempt, then fail)
+    can report exactly what was corrupt and where:
+
+    ``key``
+        The object key / path / queue the corrupt bytes were served from.
+    ``layer``
+        The verification site, e.g. ``"codec.body"``, ``"lpq.chunk"``,
+        ``"slice.length"``, ``"sqs.digest"``.
+    ``offset``
+        Byte offset of the corrupt region within the object, when known.
+    ``expected`` / ``actual``
+        The crc32 digests (or byte lengths, for truncation checks) that
+        disagreed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key=None,
+        layer=None,
+        offset=None,
+        expected=None,
+        actual=None,
+    ):
+        super().__init__(
+            message + _integrity_context(key, layer, offset, expected, actual)
+        )
+        self.key = key
+        self.layer = layer
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual

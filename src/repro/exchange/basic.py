@@ -14,14 +14,16 @@ of the paper's cost analysis.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.s3 import ObjectMetadata, ObjectStore, parse_s3_path
+from repro.config import IntegrityConfig
 from repro.engine.table import Table, concat_tables, table_num_rows
-from repro.errors import ExchangeError, NoSuchBucketError, NoSuchKeyError
+from repro.errors import ExchangeError, IntegrityError, NoSuchBucketError, NoSuchKeyError
 from repro.exchange.codec import (
     decode_partition,
     decode_partition_slice,
@@ -57,6 +59,8 @@ class ExchangeConfig:
     fast_codec: bool = True
     #: How often a receiver re-checks for a missing sender file before failing.
     max_poll_attempts: int = 100
+    #: Content-checksum generation/verification knobs (both default on).
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
 
 @dataclass
@@ -168,31 +172,37 @@ def serialize_partition(
     table: Table,
     compression: Compression = Compression.FAST,
     fast: bool = True,
+    checksum: bool = True,
 ) -> bytes:
     """Serialise a partition table into bytes (empty table -> empty bytes).
 
     By default the single-pass fast codec of :mod:`repro.exchange.codec` is
     used; ``fast=False`` writes a full LPQ columnar file instead (the seed
     behaviour, kept for durable outputs and legacy-format tests).
+    ``checksum=False`` emits the pre-integrity format without embedded crcs.
     """
     if table_num_rows(table) == 0:
         return b""
     if fast:
-        return encode_partition(table, compression)
-    return write_table(table, compression=compression)
+        return encode_partition(table, compression, checksum=checksum)
+    return write_table(table, compression=compression, checksum=checksum)
 
 
-def deserialize_partition(data: bytes) -> Table:
+def deserialize_partition(
+    data: bytes, verify: bool = True, key: Optional[str] = None
+) -> Table:
     """Inverse of :func:`serialize_partition` (empty bytes -> empty table).
 
     Sniffs the leading format byte, so fast-codec objects and legacy LPQ
     objects (including parts of old write-combined objects) both decode.
+    Embedded checksums (when present) are verified unless ``verify=False``;
+    ``key`` names the object in corruption reports.
     """
     if not data:
         return {}
     if is_fast_partition(data):
-        return decode_partition(data)
-    return ColumnarFile.from_bytes(data).read_table()
+        return decode_partition(data, verify=verify, key=key)
+    return ColumnarFile.from_bytes(data, verify=verify, name=key).read_table()
 
 
 class BasicGroupExchange:
@@ -277,6 +287,7 @@ class BasicGroupExchange:
                     slice_partition(reordered, boundaries, slot),
                     self.config.compression,
                     fast=self.config.fast_codec,
+                    checksum=self.config.integrity.generate,
                 )
                 path = self.naming.path(worker, receiver)
                 self.store.put_path(path, data)
@@ -293,9 +304,13 @@ class BasicGroupExchange:
         if not isinstance(self.naming, WriteCombiningNaming):
             raise ExchangeError("write combining requires WriteCombiningNaming")
         num_slots = len(self.group)
+        generate = self.config.integrity.generate
         if self.config.fast_codec:
             payload, offsets = encode_partition_set(
-                reordered, boundaries[: num_slots + 1], self.config.compression
+                reordered,
+                boundaries[: num_slots + 1],
+                self.config.compression,
+                checksum=generate,
             )
         else:
             # Legacy LPQ parts: frame each non-empty slot with the full
@@ -305,6 +320,7 @@ class BasicGroupExchange:
                     slice_partition(reordered, boundaries, slot),
                     self.config.compression,
                     fast=False,
+                    checksum=generate,
                 )
                 for slot in range(num_slots)
             ]
@@ -312,7 +328,17 @@ class BasicGroupExchange:
             for blob in blobs:
                 offsets.append(offsets[-1] + len(blob))
             payload = b"".join(blobs)
-        path = self.naming.combined_path(worker, offsets)
+        # Per-slice crcs ride in the key next to the offsets: receivers verify
+        # their ranged GET against the directory they already hold, for free.
+        crcs = (
+            [
+                zlib.crc32(payload[offsets[slot]:offsets[slot + 1]])
+                for slot in range(num_slots)
+            ]
+            if generate
+            else None
+        )
+        path = self.naming.combined_path(worker, offsets, crcs)
         self.store.put_path(path, payload)
         stats.put_requests += 1
         stats.combined_put_requests += 1
@@ -336,7 +362,9 @@ class BasicGroupExchange:
             stats.get_requests += 1
             stats.bytes_read += len(result.data)
             stats.bytes_touched += result.metadata.size
-            piece = deserialize_partition(result.data)
+            piece = deserialize_partition(
+                result.data, verify=self.config.integrity.verify, key=path
+            )
             if table_num_rows(piece):
                 pieces.append(piece)
         return concat_tables(pieces)
@@ -390,6 +418,7 @@ class BasicGroupExchange:
             self.store, naming, self.group, self.config.max_poll_attempts, stats
         )
 
+        verify = self.config.integrity.verify
         pieces: List[Table] = []
         for sender in self.group:
             meta, offsets = found[sender]
@@ -398,6 +427,10 @@ class BasicGroupExchange:
                     f"combined object {meta.path!r} has {len(offsets) - 1} parts, "
                     f"expected {len(self.group)}"
                 )
+            try:
+                _, _, crcs = WriteCombiningNaming.parse_directory(meta.key)
+            except ExchangeError:
+                crcs = None
             start, end = offsets[my_slot], offsets[my_slot + 1]
             if end > start:
                 result = self.store.get_path(meta.path, start, end)
@@ -405,7 +438,23 @@ class BasicGroupExchange:
                 stats.ranged_get_requests += 1
                 stats.bytes_read += len(result.data)
                 stats.bytes_touched += meta.size
-                piece = decode_partition_slice(result.data)
+                if verify and len(result.data) != end - start:
+                    raise IntegrityError(
+                        "ranged GET returned wrong slice length",
+                        key=meta.path, layer="slice.length", offset=start,
+                        expected=end - start, actual=len(result.data),
+                    )
+                if verify and crcs is not None:
+                    actual = zlib.crc32(result.data)
+                    if actual != crcs[my_slot]:
+                        raise IntegrityError(
+                            f"slice of receiver {worker} failed its directory crc",
+                            key=meta.path, layer="slice.crc", offset=start,
+                            expected=crcs[my_slot], actual=actual,
+                        )
+                piece = decode_partition_slice(
+                    result.data, verify=verify, key=meta.path
+                )
                 if table_num_rows(piece):
                     pieces.append(piece)
             else:

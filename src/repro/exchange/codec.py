@@ -43,24 +43,40 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, List, Sequence, Tuple, Union
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.engine.table import Table, table_num_rows
-from repro.errors import CorruptFileError
+from repro.errors import CorruptFileError, IntegrityError
 from repro.formats.compression import Compression, compress, decompress
 
 #: Format byte of fast-codec partition objects (legacy LPQ starts with 0x4C).
 FAST_PARTITION_TAG = 0x01
 
+#: Format byte of *checksummed* fast-codec partition objects.  Same layout as
+#: :data:`FAST_PARTITION_TAG` frames, except the prefix also carries a crc32
+#: of the header bytes, the header carries a ``body_crc`` over the framed
+#: (compressed) body, and every raw column entry carries a ``crc`` over its
+#: decompressed buffer — complete byte coverage, so any flipped bit in the
+#: frame fails either the prefix parse or one of the three checksum layers.
+CHECKED_PARTITION_TAG = 0x02
+
 #: Framing prefix: format byte + uint32 header length, little endian.
 _PREFIX = struct.Struct("<BI")
 
+#: Checksummed framing prefix: format byte + uint32 header length + uint32
+#: crc32 of the header bytes, little endian.
+_CHECKED_PREFIX = struct.Struct("<BII")
+
 
 def is_fast_partition(data: Union[bytes, bytearray, memoryview]) -> bool:
-    """Whether ``data`` is a fast-codec partition object."""
-    return len(data) >= _PREFIX.size and data[0] == FAST_PARTITION_TAG
+    """Whether ``data`` is a fast-codec partition object (either tag)."""
+    return len(data) >= _PREFIX.size and data[0] in (
+        FAST_PARTITION_TAG,
+        CHECKED_PARTITION_TAG,
+    )
 
 
 def _encode_blob(
@@ -68,6 +84,7 @@ def _encode_blob(
     arrays: Sequence[np.ndarray],
     num_rows: int,
     compression: Compression,
+    checksum: bool = True,
 ) -> bytes:
     """Frame one partition's columns as a self-contained fast-codec blob."""
     columns: List[Dict] = []
@@ -77,26 +94,49 @@ def _encode_blob(
             columns.append({"name": name, "dtype": "object", "values": array.tolist()})
         else:
             raw = array.tobytes()
-            columns.append({"name": name, "dtype": array.dtype.str, "nbytes": len(raw)})
+            column = {"name": name, "dtype": array.dtype.str, "nbytes": len(raw)}
+            if checksum:
+                column["crc"] = zlib.crc32(raw)
+            columns.append(column)
             buffers.append(raw)
     body = compress(b"".join(buffers), compression)
-    header = json.dumps(
-        {"num_rows": int(num_rows), "compression": compression.value, "columns": columns}
-    ).encode("utf-8")
+    payload = {
+        "num_rows": int(num_rows), "compression": compression.value, "columns": columns
+    }
+    if checksum:
+        payload["body_crc"] = zlib.crc32(body)
+        header = json.dumps(payload).encode("utf-8")
+        prefix = _CHECKED_PREFIX.pack(
+            CHECKED_PARTITION_TAG, len(header), zlib.crc32(header)
+        )
+        return prefix + header + body
+    header = json.dumps(payload).encode("utf-8")
     return _PREFIX.pack(FAST_PARTITION_TAG, len(header)) + header + body
 
 
-def encode_partition(table: Table, compression: Compression = Compression.FAST) -> bytes:
-    """Serialise a partition table into the fast single-pass format."""
+def encode_partition(
+    table: Table,
+    compression: Compression = Compression.FAST,
+    checksum: bool = True,
+) -> bytes:
+    """Serialise a partition table into the fast single-pass format.
+
+    ``checksum`` (default on, per :class:`~repro.config.IntegrityConfig`)
+    embeds header/body/per-column crc32 digests; pass ``False`` to emit the
+    pre-integrity ``0x01`` frame.
+    """
     names = list(table.keys())
     arrays = [np.ascontiguousarray(table[name]) for name in names]
-    return _encode_blob(names, arrays, table_num_rows(table), compression)
+    return _encode_blob(
+        names, arrays, table_num_rows(table), compression, checksum=checksum
+    )
 
 
 def encode_partition_set(
     reordered: Table,
     boundaries: Union[Sequence[int], np.ndarray],
     compression: Compression = Compression.FAST,
+    checksum: bool = True,
 ) -> Tuple[bytes, List[int]]:
     """Serialise every partition of a scattered table into one buffer.
 
@@ -125,14 +165,23 @@ def encode_partition_set(
             offsets.append(offsets[-1])
             continue
         blob = _encode_blob(
-            names, [array[start:end] for array in arrays], end - start, compression
+            names,
+            [array[start:end] for array in arrays],
+            end - start,
+            compression,
+            checksum=checksum,
         )
         blobs.append(blob)
         offsets.append(offsets[-1] + len(blob))
     return b"".join(blobs), offsets
 
 
-def decode_partition_slice(data: Union[bytes, bytearray, memoryview], copy: bool = False) -> Table:
+def decode_partition_slice(
+    data: Union[bytes, bytearray, memoryview],
+    copy: bool = False,
+    verify: bool = True,
+    key: Optional[str] = None,
+) -> Table:
     """Decode one receiver's slice of a combined partition object.
 
     Zero-length slices (empty partitions) decode to an empty table without
@@ -140,33 +189,75 @@ def decode_partition_slice(data: Union[bytes, bytearray, memoryview], copy: bool
     whose parts were written by an old LPQ sender still decode.  By default
     the columns are read-only zero-copy views of the slice bytes (the reduce
     side folds them straight into a merge); pass ``copy=True`` for mutable
-    columns.
+    columns.  ``key`` names the object in corruption reports.
     """
     if not data:
         return {}
     if is_fast_partition(data):
-        return decode_partition(data, copy=copy)
+        return decode_partition(data, copy=copy, verify=verify, key=key)
     from repro.formats.parquet import ColumnarFile
 
-    return ColumnarFile.from_bytes(bytes(data)).read_table()
+    return ColumnarFile.from_bytes(bytes(data), name=key).read_table()
 
 
-def decode_partition(data: Union[bytes, bytearray, memoryview], copy: bool = True) -> Table:
+def decode_partition(
+    data: Union[bytes, bytearray, memoryview],
+    copy: bool = True,
+    verify: bool = True,
+    key: Optional[str] = None,
+) -> Table:
     """Inverse of :func:`encode_partition`.
 
     ``copy=False`` returns read-only ``frombuffer`` views of the body where
-    possible instead of materialising fresh arrays.
+    possible instead of materialising fresh arrays.  Checksummed (``0x02``)
+    frames are verified on read unless ``verify=False``; a mismatch raises
+    :class:`~repro.errors.IntegrityError` with ``key`` as the provenance.
+    Pre-integrity ``0x01`` frames always decode without verification.
     """
     if not is_fast_partition(data):
-        raise CorruptFileError("not a fast-codec partition object")
-    _, header_length = _PREFIX.unpack_from(data)
-    header_end = _PREFIX.size + header_length
+        raise CorruptFileError(
+            "not a fast-codec partition object", key=key, layer="codec.prefix"
+        )
+    checked = data[0] == CHECKED_PARTITION_TAG
+    prefix = _CHECKED_PREFIX if checked else _PREFIX
+    if len(data) < prefix.size:
+        raise CorruptFileError(
+            "truncated fast partition prefix", key=key, layer="codec.prefix"
+        )
+    header_crc: Optional[int] = None
+    if checked:
+        _, header_length, header_crc = prefix.unpack_from(data)
+    else:
+        _, header_length = prefix.unpack_from(data)
+    header_end = prefix.size + header_length
     if len(data) < header_end:
-        raise CorruptFileError("truncated fast partition header")
+        raise CorruptFileError(
+            "truncated fast partition header", key=key, layer="codec.header"
+        )
+    header_bytes = bytes(data[prefix.size:header_end])
+    if verify and header_crc is not None:
+        actual = zlib.crc32(header_bytes)
+        if actual != header_crc:
+            raise IntegrityError(
+                "fast partition header checksum mismatch",
+                key=key, layer="codec.header",
+                expected=header_crc, actual=actual,
+            )
     try:
-        header = json.loads(bytes(data[_PREFIX.size:header_end]).decode("utf-8"))
+        header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise CorruptFileError(f"invalid fast partition header: {exc}") from exc
+        raise CorruptFileError(
+            f"invalid fast partition header: {exc}", key=key, layer="codec.header"
+        ) from exc
+    body_crc = header.get("body_crc")
+    if verify and body_crc is not None:
+        actual = zlib.crc32(bytes(data[header_end:]))
+        if actual != body_crc:
+            raise IntegrityError(
+                "fast partition body checksum mismatch",
+                key=key, layer="codec.body",
+                expected=body_crc, actual=actual,
+            )
     compression = Compression(header["compression"])
     if compression is Compression.NONE:
         # Zero-copy hot path: an uncompressed body is sliced, not copied, so a
@@ -187,7 +278,19 @@ def decode_partition(data: Union[bytes, bytearray, memoryview], copy: bool = Tru
             dtype = np.dtype(column["dtype"])
             nbytes = int(column["nbytes"])
             if offset + nbytes > len(body) or nbytes % dtype.itemsize:
-                raise CorruptFileError(f"truncated column buffer for {name!r}")
+                raise CorruptFileError(
+                    f"truncated column buffer for {name!r}",
+                    key=key, layer="codec.column", offset=offset,
+                )
+            expected_crc = column.get("crc")
+            if verify and expected_crc is not None:
+                actual = zlib.crc32(bytes(body[offset:offset + nbytes]))
+                if actual != expected_crc:
+                    raise IntegrityError(
+                        f"column {name!r} buffer checksum mismatch",
+                        key=key, layer="codec.column", offset=offset,
+                        expected=expected_crc, actual=actual,
+                    )
             # frombuffer is a read-only view of the body; copy (by default) so
             # callers can sort/mutate the columns like any other table.
             view = np.frombuffer(
@@ -197,6 +300,7 @@ def decode_partition(data: Union[bytes, bytearray, memoryview], copy: bool = Tru
             offset += nbytes
         if len(table[name]) != num_rows:
             raise CorruptFileError(
-                f"column {name!r} has {len(table[name])} values, expected {num_rows}"
+                f"column {name!r} has {len(table[name])} values, expected {num_rows}",
+                key=key, layer="codec.column",
             )
     return table

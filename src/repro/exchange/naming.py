@@ -17,7 +17,7 @@ provided:
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import S3_MAX_KEY_LENGTH
 from repro.errors import ExchangeError
@@ -101,15 +101,26 @@ class WriteCombiningNaming(FileNaming):
     def path(self, sender: int, receiver: int) -> str:
         return f"s3://{self.bucket_for(sender)}/{self.prefix}sender-{sender}"
 
-    def combined_key(self, sender: int, offsets: Sequence[int]) -> str:
+    def combined_key(
+        self,
+        sender: int,
+        offsets: Sequence[int],
+        crcs: Optional[Sequence[int]] = None,
+    ) -> str:
         """Key for the combined object, with ``offsets`` encoded at the end.
 
         ``offsets`` has one entry per receiver slot plus a final total length,
         i.e. ``offsets[r]`` is the first byte of receiver ``r``'s part and
-        ``offsets[r+1]`` its end.
+        ``offsets[r+1]`` its end.  ``crcs`` optionally appends a ``.crc-``
+        segment with one crc32 (hex, 8 chars) per receiver slice, so a
+        receiver can verify its ranged GET against the directory it already
+        holds — no extra request, and truncated or bit-flipped slices are
+        caught before decode.
         """
         encoded = "-".join(str(value) for value in offsets)
         key = f"{self.prefix}sender-{sender}.off-{encoded}"
+        if crcs is not None:
+            key += ".crc-" + "-".join(f"{value:08x}" for value in crcs)
         if len(key) > S3_MAX_KEY_LENGTH:
             raise ExchangeError(
                 f"encoded offsets of {len(offsets)} receivers exceed the "
@@ -117,23 +128,47 @@ class WriteCombiningNaming(FileNaming):
             )
         return key
 
-    def combined_path(self, sender: int, offsets: Sequence[int]) -> str:
+    def combined_path(
+        self,
+        sender: int,
+        offsets: Sequence[int],
+        crcs: Optional[Sequence[int]] = None,
+    ) -> str:
         """Full path of the combined object."""
-        return f"s3://{self.bucket_for(sender)}/{self.combined_key(sender, offsets)}"
+        return (
+            f"s3://{self.bucket_for(sender)}/"
+            f"{self.combined_key(sender, offsets, crcs)}"
+        )
 
     def list_prefix(self, sender: int) -> str:
         """Prefix that matches the combined object of ``sender``."""
         return f"{self.prefix}sender-{sender}.off-"
 
     @staticmethod
-    def parse_offsets(key: str) -> Tuple[int, List[int]]:
-        """Extract ``(sender, offsets)`` from a combined-object key."""
+    def parse_directory(key: str) -> Tuple[int, List[int], Optional[List[int]]]:
+        """Extract ``(sender, offsets, slice crcs or None)`` from a key.
+
+        Keys written before the integrity plane carry no ``.crc-`` segment
+        and parse with ``crcs=None`` — verification is simply skipped.
+        """
         try:
             head, encoded = key.rsplit(".off-", 1)
             sender = int(head.rsplit("sender-", 1)[1])
+            encoded, _, crc_part = encoded.partition(".crc-")
             offsets = [int(value) for value in encoded.split("-")]
+            crcs = (
+                [int(value, 16) for value in crc_part.split("-")]
+                if crc_part
+                else None
+            )
         except (ValueError, IndexError) as exc:
             raise ExchangeError(f"cannot parse combined key {key!r}") from exc
+        return sender, offsets, crcs
+
+    @staticmethod
+    def parse_offsets(key: str) -> Tuple[int, List[int]]:
+        """Extract ``(sender, offsets)`` from a combined-object key."""
+        sender, offsets, _ = WriteCombiningNaming.parse_directory(key)
         return sender, offsets
 
     def buckets(self) -> List[str]:

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import DEFAULT_ROW_GROUP_ROWS
-from repro.errors import CorruptFileError, UnknownColumnError
+from repro.errors import CorruptFileError, IntegrityError, UnknownColumnError
 from repro.formats.compression import Compression, compress, decompress
 from repro.formats.encoding import (
     EncodedChunk,
@@ -42,6 +43,12 @@ from repro.formats.source import BytesSource, RandomAccessSource
 
 MAGIC = b"LPQ1"
 _TAIL_STRUCT = struct.Struct("<Q4s")  # footer length + magic
+
+#: Tail magic of files whose footer carries a crc32 (the integrity format).
+#: The *leading* magic stays ``LPQ1`` either way; only the tail grows, so the
+#: reader distinguishes the formats from the same single tail read.
+CHECKED_MAGIC = b"LPQ2"
+_CHECKED_TAIL_STRUCT = struct.Struct("<IQ4s")  # footer crc + length + magic
 
 
 @dataclass(frozen=True)
@@ -58,10 +65,13 @@ class ColumnChunkMeta:
     num_values: int
     min_value: float
     max_value: float
+    #: crc32 of the chunk's stored (compressed) bytes; ``None`` for chunks
+    #: written before the integrity format (verification is skipped).
+    crc: Optional[int] = None
 
     def to_dict(self) -> Dict:
         """JSON-serialisable representation."""
-        return {
+        payload = {
             "column": self.column,
             "type": self.type.value,
             "encoding": self.encoding.value,
@@ -73,6 +83,9 @@ class ColumnChunkMeta:
             "min": self.min_value,
             "max": self.max_value,
         }
+        if self.crc is not None:
+            payload["crc"] = self.crc
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ColumnChunkMeta":
@@ -88,6 +101,7 @@ class ColumnChunkMeta:
             num_values=int(data["num_values"]),
             min_value=float(data["min"]),
             max_value=float(data["max"]),
+            crc=data.get("crc"),
         )
 
 
@@ -151,12 +165,14 @@ class FileMetadata:
         return json.dumps(payload).encode("utf-8")
 
     @classmethod
-    def from_json(cls, data: bytes) -> "FileMetadata":
+    def from_json(cls, data: bytes, key: Optional[str] = None) -> "FileMetadata":
         """Parse a footer produced by :meth:`to_json`."""
         try:
             payload = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise CorruptFileError(f"invalid footer: {exc}") from exc
+            raise CorruptFileError(
+                f"invalid footer: {exc}", key=key, layer="lpq.footer"
+            ) from exc
         return cls(
             schema=Schema.from_dict(payload["schema"]),
             row_groups=[RowGroupMeta.from_dict(item) for item in payload["row_groups"]],
@@ -174,6 +190,7 @@ class ColumnarWriter:
         row_group_rows: int = DEFAULT_ROW_GROUP_ROWS,
         compression: Compression = Compression.GZIP,
         encodings: Optional[Dict[str, Encoding]] = None,
+        checksum: bool = True,
     ):
         if row_group_rows <= 0:
             raise ValueError("row_group_rows must be positive")
@@ -181,6 +198,9 @@ class ColumnarWriter:
         self.row_group_rows = row_group_rows
         self.compression = compression
         self.encodings = dict(encodings or {})
+        #: Embed per-chunk crc32s and the crc-bearing ``LPQ2`` tail (default
+        #: on); ``False`` writes the pre-integrity format byte-for-byte.
+        self.checksum = checksum
 
     def write(self, table: Dict[str, np.ndarray]) -> bytes:
         """Serialise ``table`` into a complete LPQ file."""
@@ -219,6 +239,7 @@ class ColumnarWriter:
                     num_values=group_rows,
                     min_value=min_value,
                     max_value=max_value,
+                    crc=zlib.crc32(compressed) if self.checksum else None,
                 )
             row_groups.append(
                 RowGroupMeta(index=group_index, num_rows=group_rows, columns=columns)
@@ -229,7 +250,12 @@ class ColumnarWriter:
         metadata = FileMetadata(schema=self.schema, row_groups=row_groups, num_rows=num_rows)
         footer = metadata.to_json()
         buffer.extend(footer)
-        buffer.extend(_TAIL_STRUCT.pack(len(footer), MAGIC))
+        if self.checksum:
+            buffer.extend(
+                _CHECKED_TAIL_STRUCT.pack(zlib.crc32(footer), len(footer), CHECKED_MAGIC)
+            )
+        else:
+            buffer.extend(_TAIL_STRUCT.pack(len(footer), MAGIC))
         return bytes(buffer)
 
 
@@ -238,10 +264,16 @@ def write_table(
     schema: Optional[Schema] = None,
     row_group_rows: int = DEFAULT_ROW_GROUP_ROWS,
     compression: Compression = Compression.GZIP,
+    checksum: bool = True,
 ) -> bytes:
     """Convenience wrapper: serialise a table with an inferred schema."""
     schema = schema or Schema.from_table(table)
-    writer = ColumnarWriter(schema, row_group_rows=row_group_rows, compression=compression)
+    writer = ColumnarWriter(
+        schema,
+        row_group_rows=row_group_rows,
+        compression=compression,
+        checksum=checksum,
+    )
     return writer.write(table)
 
 
@@ -254,33 +286,82 @@ class ColumnarFile:
     bytes — the property Lambada's scan operator depends on.
     """
 
-    def __init__(self, source: RandomAccessSource):
+    def __init__(
+        self,
+        source: RandomAccessSource,
+        verify: bool = True,
+        name: Optional[str] = None,
+    ):
         self.source = source
+        #: Object key / path the file was read from, for corruption reports.
+        self.name = name if name is not None else getattr(source, "path", None)
+        #: Verify embedded checksums on read (``IntegrityConfig.verify``).
+        self.verify = verify
         self.metadata = self._read_metadata()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "ColumnarFile":
+    def from_bytes(
+        cls, data: bytes, verify: bool = True, name: Optional[str] = None
+    ) -> "ColumnarFile":
         """Open a file held fully in memory."""
-        return cls(BytesSource(data))
+        return cls(BytesSource(data), verify=verify, name=name)
 
     # -- metadata ---------------------------------------------------------------
 
     def _read_metadata(self) -> FileMetadata:
         size = self.source.size()
         if size < len(MAGIC) + _TAIL_STRUCT.size:
-            raise CorruptFileError(f"file of {size} bytes is too small to be LPQ")
-        tail = self.source.read_at(size - _TAIL_STRUCT.size, _TAIL_STRUCT.size)
-        footer_length, magic = _TAIL_STRUCT.unpack(tail)
-        if magic != MAGIC:
-            raise CorruptFileError("bad trailing magic; not an LPQ file")
-        footer_start = size - _TAIL_STRUCT.size - footer_length
+            raise CorruptFileError(
+                f"file of {size} bytes is too small to be LPQ",
+                key=self.name, layer="lpq.tail",
+            )
+        # One tail read serves both formats: the last 12 bytes are always
+        # ``<length><magic>``, and a ``LPQ2`` magic means 4 crc bytes precede
+        # them (already fetched when the file is big enough to hold them).
+        tail_size = (
+            _CHECKED_TAIL_STRUCT.size
+            if size >= len(MAGIC) + _CHECKED_TAIL_STRUCT.size
+            else _TAIL_STRUCT.size
+        )
+        tail = self.source.read_at(size - tail_size, tail_size)
+        footer_length, magic = _TAIL_STRUCT.unpack(tail[-_TAIL_STRUCT.size:])
+        footer_crc: Optional[int] = None
+        if magic == CHECKED_MAGIC:
+            if tail_size < _CHECKED_TAIL_STRUCT.size:
+                raise CorruptFileError(
+                    f"file of {size} bytes is too small for the checked tail",
+                    key=self.name, layer="lpq.tail",
+                )
+            footer_crc, footer_length, _ = _CHECKED_TAIL_STRUCT.unpack(tail)
+        elif magic != MAGIC:
+            raise CorruptFileError(
+                "bad trailing magic; not an LPQ file",
+                key=self.name, layer="lpq.tail",
+            )
+        tail_used = (
+            _CHECKED_TAIL_STRUCT.size if magic == CHECKED_MAGIC else _TAIL_STRUCT.size
+        )
+        footer_start = size - tail_used - footer_length
         if footer_start < len(MAGIC):
-            raise CorruptFileError("footer length exceeds file size")
+            raise CorruptFileError(
+                "footer length exceeds file size", key=self.name, layer="lpq.tail"
+            )
         footer = self.source.read_at(footer_start, footer_length)
+        if self.verify and footer_crc is not None:
+            actual = zlib.crc32(footer)
+            if actual != footer_crc:
+                raise IntegrityError(
+                    "LPQ footer checksum mismatch",
+                    key=self.name, layer="lpq.footer", offset=footer_start,
+                    expected=footer_crc, actual=actual,
+                )
         header = self.source.read_at(0, len(MAGIC))
         if header != MAGIC:
-            raise CorruptFileError("bad leading magic; not an LPQ file")
-        return FileMetadata.from_json(footer)
+            raise CorruptFileError(
+                "bad leading magic; not an LPQ file",
+                key=self.name, layer="lpq.magic", offset=0,
+            )
+        return FileMetadata.from_json(footer, key=self.name)
 
     @property
     def schema(self) -> Schema:
@@ -310,8 +391,19 @@ class ColumnarFile:
         raw = self.source.read_at(meta.offset, meta.compressed_size)
         if len(raw) != meta.compressed_size:
             raise CorruptFileError(
-                f"short read for column {column!r} of row group {group.index}"
+                f"short read for column {column!r} of row group {group.index}",
+                key=self.name, layer="lpq.chunk", offset=meta.offset,
+                expected=meta.compressed_size, actual=len(raw),
             )
+        if self.verify and meta.crc is not None:
+            actual = zlib.crc32(raw)
+            if actual != meta.crc:
+                raise IntegrityError(
+                    f"column chunk {column!r} of row group {group.index} "
+                    "checksum mismatch",
+                    key=self.name, layer="lpq.chunk", offset=meta.offset,
+                    expected=meta.crc, actual=actual,
+                )
         encoded = decompress(raw, meta.compression)
         return parse_encoded_chunk(encoded, meta.type, meta.encoding, meta.num_values)
 

@@ -63,6 +63,26 @@ def test_qaas_comparison_output():
     assert "bigquery (cold)" in output
 
 
+def test_verify_dataset_clean():
+    output = _run("verify-dataset", "--scale-factor", "0.0005", "--files", "3")
+    assert output.count("  ok       ") == 3
+    assert "verification clean: 3/3 files intact" in output
+
+
+def test_verify_dataset_detects_flipped_bytes():
+    out = io.StringIO()
+    code = main(
+        ["verify-dataset", "--scale-factor", "0.0005", "--files", "4",
+         "--corrupt", "2", "--seed", "3"],
+        out=out,
+    )
+    output = out.getvalue()
+    assert code == 1
+    assert output.count("  CORRUPT  ") == 2
+    assert "layer=" in output
+    assert "verification FAILED: 2/4 files intact" in output
+
+
 def test_unknown_command_exits_with_error():
     with pytest.raises(SystemExit):
         main(["not-a-command"])

@@ -7,6 +7,7 @@ from repro.engine.table import table_num_rows, tables_allclose
 from repro.errors import CorruptFileError
 from repro.exchange.basic import deserialize_partition, serialize_partition
 from repro.exchange.codec import (
+    CHECKED_PARTITION_TAG,
     FAST_PARTITION_TAG,
     decode_partition,
     decode_partition_slice,
@@ -68,7 +69,12 @@ def test_serialize_partition_uses_fast_codec_by_default():
     table = {"k": np.arange(5, dtype=np.int64)}
     data = serialize_partition(table)
     assert is_fast_partition(data)
-    assert data[0] == FAST_PARTITION_TAG
+    # Checksums are on by default, so the checked frame tag is written; the
+    # pre-integrity tag survives with checksum=False.
+    assert data[0] == CHECKED_PARTITION_TAG
+    unchecked = serialize_partition(table, checksum=False)
+    assert is_fast_partition(unchecked)
+    assert unchecked[0] == FAST_PARTITION_TAG
 
 
 def test_legacy_lpq_objects_still_decode():
