@@ -747,6 +747,14 @@ def measure_end_to_end(
     and verified) versus the same query with ``IntegrityConfig`` fully off
     over a crc-free copy of the dataset.  The regression guard caps the
     ratio at 1.03.
+
+    ``admission_overhead_ratio`` guards the overload control plane (PR 9):
+    the same serial Q1 submitted through a :class:`QuerySession` — admission
+    gate, tenant token buckets, shared breaker board, per-query retry budget
+    and cancellation token all armed — versus a bare ``driver.execute``.
+    Everything the plane does on the happy path is per-*query* (a few bucket
+    adjustments and counter updates), so the ratio must hug 1.0; the
+    regression guard caps it at 1.02.
     """
     import os
     import warnings
@@ -887,6 +895,44 @@ def measure_end_to_end(
     assert checked_result.statistics.integrity.clean
     assert unchecked_result.statistics.integrity.clean
 
+    # Overload-plane overhead: the same serial Q1 through a QuerySession
+    # (admission + budgets + breakers + cancellation armed) versus a bare
+    # execute.  ``process_time`` covers all threads of the process, so the
+    # session's worker-thread execution is fully charged to its half of the
+    # pair; per-pair ratio medians cancel ambient slowdowns, as above.
+    from repro.driver.driver import QuerySession
+    from repro.workload.queries import q1_plan
+
+    q1 = q1_plan(dataset.paths)
+    bare_best = armed_best = float("inf")
+    bare_result = armed_result = None
+    admission_pair_ratios = []
+    with QuerySession(env) as session:
+        session.submit(q1).result()  # untimed: builds the thread's driver
+        for index in range(max(10 * repeats, 32)):
+            halves = ["bare", "armed"]
+            if index % 2:
+                halves.reverse()
+            seconds = {}
+            for half in halves:
+                start = time.process_time()
+                if half == "bare":
+                    bare_result = drivers["serial"].execute(q1)
+                else:
+                    armed_result = session.submit(
+                        q1, deadline_seconds=3600.0
+                    ).result()
+                seconds[half] = time.process_time() - start
+            bare_best = min(bare_best, seconds["bare"])
+            armed_best = min(armed_best, seconds["armed"])
+            admission_pair_ratios.append(seconds["armed"] / seconds["bare"])
+        admission_stats = session.stats
+    admission_ratio = sorted(admission_pair_ratios)[len(admission_pair_ratios) // 2]
+    assert tables_allclose(bare_result.table, armed_result.table)
+    assert armed_result.statistics.resilience.clean
+    assert armed_result.statistics.overload["retry_budget"]["spent_total"] == 0
+    assert admission_stats.failed == 0 and admission_stats.cancelled == 0
+
     return {
         "num_rows": dataset.total_rows,
         "num_files": dataset.num_files,
@@ -909,6 +955,9 @@ def measure_end_to_end(
         "integrity_unchecked_cpu_seconds": unchecked_best,
         "integrity_checked_cpu_seconds": checked_best,
         "integrity_overhead_ratio": integrity_ratio,
+        "admission_bare_cpu_seconds": bare_best,
+        "admission_armed_cpu_seconds": armed_best,
+        "admission_overhead_ratio": admission_ratio,
         "modelled_latency_seconds": results["processes"].statistics.latency_seconds,
         "result_rows": results["processes"].num_rows,
     }
@@ -1136,13 +1185,16 @@ def test_end_to_end_query(bench_recorder, experiment_report):
         f"processes {measurement['processes_wall_seconds']:.2f}s wall "
         f"({measurement['wall_speedup']:.2f}x), "
         f"fault-hook overhead {measurement['faultfree_overhead_ratio']:.3f}x, "
-        f"integrity overhead {measurement['integrity_overhead_ratio']:.3f}x"
+        f"integrity overhead {measurement['integrity_overhead_ratio']:.3f}x, "
+        f"admission overhead {measurement['admission_overhead_ratio']:.3f}x"
     )
     # The resilience plane must be free when no faults fire (PR 7's bar:
-    # fault-free Q1 regresses by less than 2%), and the integrity plane's
-    # checksums must cost less than 3% of wall time.
+    # fault-free Q1 regresses by less than 2%), the integrity plane's
+    # checksums must cost less than 3% of wall time, and the armed overload
+    # plane (PR 9: admission, budgets, breakers, cancellation) less than 2%.
     assert measurement["faultfree_overhead_ratio"] < 1.02
     assert measurement["integrity_overhead_ratio"] < 1.03
+    assert measurement["admission_overhead_ratio"] < 1.02
     assert measurement["result_rows"] > 0
     assert measurement["median_of"] == 3
 

@@ -21,8 +21,9 @@ Four kinds of checks:
   fallback to the O(P²) per-receiver path fails here);
 * **absolute ratio ceilings** — overhead ratios that must stay near 1.0 in
   the *current* run: the resilience plane's fault hooks must cost the
-  fault-free TPC-H Q1 path less than 2% of wall time, and the integrity
-  plane's end-to-end checksumming less than 3%;
+  fault-free TPC-H Q1 path less than 2% of wall time, the integrity
+  plane's end-to-end checksumming less than 3%, and the armed overload
+  plane (admission, budgets, breakers, cancellation) less than 2%;
 * **relative regression** — each current speedup must stay within
   ``tolerance`` of the committed baseline (defaults to 60%, loose enough for
   machine-to-machine noise, tight enough to catch an accidental
@@ -107,10 +108,14 @@ ABSOLUTE_REQUEST_CEILINGS = {
 #: within 2% of the plain fast path's wall time.  The integrity plane
 #: (PR 8) promises end-to-end checksumming — crc generation at write,
 #: verification at every read, message digests — costs the checksummed
-#: TPC-H Q1 less than 3% over the same query with integrity off.
+#: TPC-H Q1 less than 3% over the same query with integrity off.  The
+#: overload control plane (PR 9) promises that an armed QuerySession —
+#: admission gate, tenant budgets, breaker board, retry budget, cancellation
+#: token — costs serial TPC-H Q1 less than 2% over a bare execute.
 ABSOLUTE_RATIO_CEILINGS = {
     ("end_to_end_q1", "faultfree_overhead_ratio"): 1.02,
     ("end_to_end_q1", "integrity_overhead_ratio"): 1.03,
+    ("end_to_end_q1", "admission_overhead_ratio"): 1.02,
 }
 
 #: Fields compared against the committed baseline for relative regressions.

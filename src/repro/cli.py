@@ -27,6 +27,12 @@ and the bill.  Subcommands:
     per-chunk crcs, full decode), optionally flipping a byte in some files
     first to demonstrate detection.  Exits non-zero if corruption is found.
 
+``overload-demo``
+    Submit a batch of concurrent queries from several tenants through the
+    admission-controlled :class:`~repro.driver.driver.QuerySession`,
+    optionally under a seeded brownout storm, and print the per-query
+    outcomes, admission counters, and circuit-breaker states.
+
 Run ``python -m repro.cli <subcommand> --help`` for the options of each
 subcommand.
 """
@@ -86,6 +92,26 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--corrupt", type=int, default=0,
                         help="flip one byte in this many files before verifying")
     verify.add_argument("--seed", type=int, default=0, help="corruption placement seed")
+
+    overload = subparsers.add_parser(
+        "overload-demo",
+        help="concurrent multi-tenant submission with admission control",
+    )
+    overload.add_argument("--tenants", type=int, default=3, help="number of tenants")
+    overload.add_argument("--queries", type=int, default=8,
+                          help="total queries submitted (round-robin over tenants)")
+    overload.add_argument("--scale-factor", type=float, default=0.002,
+                          help="LINEITEM scale factor")
+    overload.add_argument("--files", type=int, default=4, help="number of dataset files")
+    overload.add_argument("--max-concurrent", type=int, default=4,
+                          help="admission gate: queries executing at once")
+    overload.add_argument("--max-queued", type=int, default=4,
+                          help="admission queue bound before fail-fast rejection")
+    overload.add_argument("--dollar-budget", type=float, default=1.0,
+                          help="per-tenant modelled-dollar budget")
+    overload.add_argument("--brownout", action="store_true",
+                          help="install a seeded S3 throttle storm + Lambda capacity cap")
+    overload.add_argument("--seed", type=int, default=7, help="brownout fault seed")
 
     return parser
 
@@ -221,6 +247,70 @@ def _run_verify_dataset(args: argparse.Namespace, out) -> int:
     return 1 if corrupt else 0
 
 
+def _run_overload_demo(args: argparse.Namespace, out) -> int:
+    from repro.cloud.faults import brownout_plan
+    from repro.driver.admission import AdmissionConfig
+    from repro.driver.driver import QuerySession
+    from repro.errors import QueryRejectedError
+
+    env = CloudEnvironment.create()
+    dataset = generate_lineitem_dataset(
+        env.s3, scale_factor=args.scale_factor, num_files=args.files
+    )
+    catalog = SqlCatalog({"lineitem": dataset.paths})
+    plan = parse_sql(q6_sql(), catalog)
+    if args.brownout:
+        env.install_fault_plan(brownout_plan(seed=args.seed))
+        print(f"brownout installed: seeded S3 throttle storm + Lambda capacity cap "
+              f"(seed {args.seed})", file=out)
+
+    admission = AdmissionConfig(
+        max_concurrent_queries=args.max_concurrent,
+        max_queued_queries=args.max_queued,
+        tenant_dollar_capacity=args.dollar_budget,
+    )
+    tenants = [f"tenant-{index}" for index in range(args.tenants)]
+    outcomes = {"completed": 0, "rejected": 0, "failed": 0}
+    with QuerySession(env, admission=admission) as session:
+        handles = []
+        for index in range(args.queries):
+            tenant = tenants[index % len(tenants)]
+            try:
+                handles.append((index, tenant, session.submit(plan, tenant=tenant)))
+            except QueryRejectedError as error:
+                outcomes["rejected"] += 1
+                print(f"  query {index:>2} [{tenant}]  REJECTED ({error.reason})", file=out)
+        for index, tenant, handle in handles:
+            error = handle.exception()
+            if error is None:
+                stats = handle.result().statistics
+                outcomes["completed"] += 1
+                print(f"  query {index:>2} [{tenant}]  ok  "
+                      f"latency={stats.latency_seconds:.2f}s  "
+                      f"retries={stats.resilience.retries}  "
+                      f"cost=${stats.cost_total:.6f}", file=out)
+            else:
+                outcomes["failed"] += 1
+                print(f"  query {index:>2} [{tenant}]  FAILED "
+                      f"({type(error).__name__}: {error})", file=out)
+        stats = session.stats
+        print(f"admission: {stats.admitted}/{stats.submitted} admitted, "
+              f"peak {stats.peak_in_flight} in flight / {stats.peak_queued} queued",
+              file=out)
+        for tenant in tenants:
+            levels = session.tenant_levels(tenant)
+            row = stats.tenants.get(tenant, {})
+            print(f"  {tenant}: spent {row.get('invocations_spent', 0.0):.0f} "
+                  f"invocations / ${row.get('dollars_spent', 0.0):.6f}; "
+                  f"budget left ${levels['dollars']:.6f}", file=out)
+        breaker_states = {
+            service: block["state"]
+            for service, block in session.breakers.to_dict().items()
+        }
+        print(f"breakers: {breaker_states}", file=out)
+    return 0 if outcomes["failed"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -231,6 +321,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "invocation": _run_invocation,
         "qaas": _run_qaas,
         "verify-dataset": _run_verify_dataset,
+        "overload-demo": _run_overload_demo,
     }
     return handlers[args.command](args, out)
 

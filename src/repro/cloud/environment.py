@@ -79,6 +79,9 @@ class CloudEnvironment:
         self.s3.fault_plan = plan
         self.sqs.fault_plan = plan
         self.lambda_service.fault_plan = plan
+        if plan is not None:
+            # Windowed (brownout) rules key off this environment's clock.
+            plan.bind_clock(self.clock)
 
     # -- convenience ----------------------------------------------------------
 

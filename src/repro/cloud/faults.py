@@ -46,7 +46,21 @@ sqs       ``delay``             a message is skipped this receive and moved to t
                                 back of the queue
 pool      ``crash``             a process-pool task is reported as crashed; the
                                 driver must clean up its segment and retry
+s3        ``throttle_storm``    a *sustained* brownout: every matching request
+                                raises :class:`~repro.errors.SlowDownError` while
+                                the rule's clock window is active
+lambda    ``capacity``          the fleet is capped: invocations above
+                                ``capacity_limit`` concurrently-active instances
+                                are rejected (TooManyRequests) during the window
 ========  ====================  =====================================================
+
+Sustained brownouts (PR 9) are *time-windowed*: any rule may carry
+``window_start_seconds``/``window_seconds`` and then only fires while the
+environment's modelled clock is inside the window (the plan is bound to the
+clock by :meth:`~repro.cloud.environment.CloudEnvironment.install_fault_plan`).
+A windowed ``slowdown`` rule at rate 1.0 is a full outage window; the
+dedicated ``throttle_storm``/``capacity`` kinds are the canonical brownout
+schedule used by :func:`brownout_plan` and the overload chaos suite.
 """
 
 from __future__ import annotations
@@ -61,8 +75,11 @@ from repro.errors import NoSuchKeyError, SlowDownError, WorkerCrashError
 #: Corruption kinds that mutate a served S3 body instead of failing the request.
 _S3_BODY_FAULTS = {"bitflip", "truncate", "stale_body"}
 
-_S3_FAULTS = {"slowdown", "read_after_write", "crash_after_put"} | _S3_BODY_FAULTS
-_LAMBDA_FAULTS = {"drop", "timeout", "straggler"}
+_S3_FAULTS = (
+    {"slowdown", "read_after_write", "crash_after_put", "throttle_storm"}
+    | _S3_BODY_FAULTS
+)
+_LAMBDA_FAULTS = {"drop", "timeout", "straggler", "capacity"}
 _SQS_FAULTS = {"duplicate", "delay", "corrupt_payload"}
 _POOL_FAULTS = {"crash"}
 
@@ -98,6 +115,16 @@ class FaultRule:
     #: Visibility-lag window for ``read_after_write`` rules: only objects
     #: younger than this (modelled seconds) can be injected as missing.
     lag_seconds: float = 5.0
+    #: Brownout window (any rule): the rule only fires while the bound
+    #: clock reads ``window_start_seconds <= now < window_start_seconds +
+    #: window_seconds``.  ``None`` window_seconds = always armed (the
+    #: pre-PR-9 behaviour).  Plans with windowed rules must be installed via
+    #: ``install_fault_plan`` so the environment binds its clock.
+    window_start_seconds: float = 0.0
+    window_seconds: Optional[float] = None
+    #: Fleet cap for ``lambda.capacity`` rules: invocations are rejected
+    #: while at least this many instances are already active.
+    capacity_limit: int = 0
 
     def __post_init__(self):
         if self.service not in _VALID:
@@ -110,6 +137,10 @@ class FaultRule:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.factor < 1.0:
             raise ValueError("straggler factor must be >= 1.0")
+        if self.window_seconds is not None and self.window_seconds <= 0.0:
+            raise ValueError("window_seconds must be positive (or None)")
+        if self.fault == "capacity" and self.capacity_limit < 1:
+            raise ValueError("capacity rules need capacity_limit >= 1")
 
 
 class FaultPlan:
@@ -129,13 +160,50 @@ class FaultPlan:
         self._lock = threading.Lock()
         self._fired: List[int] = [0] * len(self.rules)
         self._raw_injected: Set[str] = set()
+        self._clock = None
+        self._has_windows = any(r.window_seconds is not None for r in self.rules)
         #: Injection counts by fault kind, e.g. ``{"s3.slowdown": 3}``.
         self.injected: Dict[str, int] = {}
 
+    def bind_clock(self, clock) -> None:
+        """Attach the environment's clock so windowed rules can fire.
+
+        Called by ``install_fault_plan``; a plan with windowed rules but no
+        bound clock treats every window as inactive (fails safe to
+        no-injection rather than firing at arbitrary times).
+        """
+        self._clock = clock
+
+    def reset(self) -> None:
+        """Re-arm the plan: re-seed the RNG and zero every counter.
+
+        Restores the exact post-construction state so one plan object can be
+        reused across queries or pytest cases with a reproducible schedule —
+        cumulative ``injected`` counts, per-rule ``max_count`` exhaustion, and
+        the once-per-key read-after-write memory are all cleared.
+        """
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._fired = [0] * len(self.rules)
+            self._raw_injected.clear()
+            self.injected.clear()
+
     # -- internal -------------------------------------------------------------
+
+    def _window_active(self, rule: FaultRule) -> bool:
+        """Whether ``rule``'s brownout window is currently open (under lock)."""
+        if rule.window_seconds is None:
+            return True
+        if self._clock is None:
+            return False
+        now = self._clock.now
+        start = rule.window_start_seconds
+        return start <= now < start + rule.window_seconds
 
     def _roll(self, index: int, rule: FaultRule) -> bool:
         """Decide (under the lock) whether rule ``index`` fires now."""
+        if not self._window_active(rule):
+            return False
         if rule.max_count is not None and self._fired[index] >= rule.max_count:
             return False
         if self._rng.random() >= rule.rate:
@@ -169,10 +237,15 @@ class FaultPlan:
                     continue
                 if rule.match and rule.match not in target:
                     continue
-                if rule.fault == "slowdown":
+                if rule.fault in ("slowdown", "throttle_storm"):
                     if self._roll(index, rule):
                         raise SlowDownError(
                             f"injected throttle on {operation} {target}"
+                            + (
+                                " (brownout storm)"
+                                if rule.fault == "throttle_storm"
+                                else ""
+                            )
                         )
                 elif rule.fault == "read_after_write":
                     if operation not in ("get", "head"):
@@ -259,13 +332,38 @@ class FaultPlan:
         """Return ``"drop"``, ``"timeout"``, or ``None`` for one invocation."""
         with self._lock:
             for index, rule in enumerate(self.rules):
-                if rule.service != "lambda" or rule.fault == "straggler":
+                if rule.service != "lambda" or rule.fault not in (
+                    "drop",
+                    "timeout",
+                ):
                     continue
                 if rule.match and rule.match not in function_name:
                     continue
                 if self._roll(index, rule):
                     return rule.fault
         return None
+
+    def invocation_capacity(self, function_name: str, active: int) -> bool:
+        """Whether a brownout fleet cap rejects this invocation.
+
+        Consulted by :meth:`~repro.cloud.lambda_service.LambdaService.invoke`
+        with the number of already-active instances; ``True`` means the
+        service should raise :class:`~repro.errors.TooManyRequestsError`
+        exactly as its own concurrency limiter would.  Only invocations at or
+        above ``capacity_limit`` active instances are eligible, so a query
+        that stays under the cap never sees the storm.
+        """
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.service != "lambda" or rule.fault != "capacity":
+                    continue
+                if rule.match and rule.match not in function_name:
+                    continue
+                if active < rule.capacity_limit:
+                    continue
+                if self._roll(index, rule):
+                    return True
+        return False
 
     def straggler_factor(self, function_name: str) -> float:
         """Duration multiplier for one invocation (1.0 = no straggler)."""
@@ -431,4 +529,53 @@ def corruption_chaos_plan(
     )
 
 
-__all__ = ["FaultRule", "FaultPlan", "chaos_plan", "corruption_chaos_plan"]
+def brownout_plan(
+    seed: int,
+    storm_start_seconds: float = 0.0,
+    storm_seconds: float = 120.0,
+    storm_rate: float = 0.35,
+    capacity_limit: int = 6,
+    max_count: int = 24,
+    match: str = "",
+) -> FaultPlan:
+    """A sustained-brownout schedule, used by the overload chaos suite.
+
+    Models the regional bad afternoon PR 9's control plane exists for: an S3
+    throttle storm plus a Lambda fleet cap, both confined to one clock window
+    (``storm_start_seconds`` .. ``+ storm_seconds``) so tests can drive the
+    environment's clock into and out of the brownout deterministically.  Both
+    rules stay capped at ``max_count`` injections each, so bounded retry
+    budgets provably converge even inside the window.
+    """
+    return FaultPlan(
+        rules=[
+            FaultRule(
+                "s3",
+                "throttle_storm",
+                storm_rate,
+                match=match,
+                max_count=max_count,
+                window_start_seconds=storm_start_seconds,
+                window_seconds=storm_seconds,
+            ),
+            FaultRule(
+                "lambda",
+                "capacity",
+                1.0,
+                max_count=max_count,
+                capacity_limit=capacity_limit,
+                window_start_seconds=storm_start_seconds,
+                window_seconds=storm_seconds,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "chaos_plan",
+    "corruption_chaos_plan",
+    "brownout_plan",
+]

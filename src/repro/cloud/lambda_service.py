@@ -279,6 +279,15 @@ class LambdaService:
                 raise TooManyRequestsError(
                     f"concurrency limit of {self.concurrency_limit} reached"
                 )
+            if self.fault_plan is not None and self.fault_plan.invocation_capacity(
+                name, self._active
+            ):
+                # Injected brownout fleet cap: same shape as the service's own
+                # concurrency rejection, so driver retry/breaker paths treat
+                # both identically.
+                raise TooManyRequestsError(
+                    f"injected capacity brownout: fleet cap reached invoking {name}"
+                )
             self._active += 1
             invocation_id = self._next_invocation_id
             self._next_invocation_id += 1

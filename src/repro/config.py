@@ -154,6 +154,99 @@ TARGET_PARQUET_FILE_BYTES = 500 * MB
 VCPU_ROWS_PER_SECOND = 7_500_000.0
 
 # ---------------------------------------------------------------------------
+# Resilience / overload-control plane
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry, backoff, hedging, breaker, and budget knobs in one place.
+
+    Every retry/backoff magic number that used to be scattered across
+    :mod:`repro.driver.resilience`, :mod:`repro.driver.shuffle`, and
+    :mod:`repro.driver.procpool` is defined here exactly once;
+    :class:`repro.driver.resilience.ResiliencePolicy` takes its defaults from
+    :data:`DEFAULT_RESILIENCE`, so tuning a number here retunes every plane.
+    The circuit breakers and the per-query retry budget (PR 9) configure
+    through the same object.
+    """
+
+    # -- retry / backoff (formerly ResiliencePolicy literals) ---------------
+    #: Total attempts per worker including the first (>= 1).
+    max_attempts: int = 4
+    #: First backoff sleep (modelled seconds).
+    backoff_base_seconds: float = 0.05
+    #: Backoff ceiling (modelled seconds).
+    backoff_cap_seconds: float = 2.0
+    #: Modelled deadline for one wave of workers.
+    wave_deadline_seconds: float = 60.0
+    #: Result-queue poll budget: ``max(min_poll_rounds, expected *
+    #: poll_rounds_per_worker)`` rounds (formerly duplicated as
+    #: ``max(64, expected * 4)`` in driver.py and shuffle.py).
+    min_poll_rounds: int = 64
+    poll_rounds_per_worker: int = 4
+    #: Modelled cost of the final result-collection SQS polling round
+    #: (formerly a ``0.3`` literal in two places in driver.py).
+    result_poll_seconds: float = 0.3
+    #: Reads attempted on a spilled result object before the corruption is
+    #: declared uncurable (formerly ``range(2)`` in driver.py and shuffle.py).
+    spill_read_attempts: int = 2
+
+    # -- hedging ------------------------------------------------------------
+    hedge_enabled: bool = True
+    hedge_factor: float = 4.0
+    hedge_min_seconds: float = 0.5
+    hedge_max_fraction: float = 0.25
+
+    # -- graceful degradation ------------------------------------------------
+    #: Shuffle mappers degrade combined -> legacy from this attempt on.
+    combined_fallback_attempt: int = 2
+    #: Pool respawns tolerated per query before processes -> serial.
+    pool_respawn_limit: int = 3
+    #: Largest process pool the driver will spawn (formerly ``min(size, 16)``).
+    pool_max_children: int = 16
+    #: Seconds to wait for a pool child to exit before terminating it.
+    pool_join_timeout_seconds: float = 5.0
+    #: Seed of the backoff/jitter RNG (independent of any fault plan).
+    jitter_seed: int = 20260808
+
+    # -- per-query retry budget (PR 9) ---------------------------------------
+    #: Combined cap on what ``call_with_backoff`` retries, wave retries,
+    #: driver re-invocations, and hedges may spend in one query.  Exhausting
+    #: it raises :class:`~repro.errors.RetryBudgetExhaustedError` instead of
+    #: burning backoff and dollars forever under a sustained brownout.
+    retry_budget: int = 256
+
+    # -- per-service circuit breakers (PR 9) ---------------------------------
+    #: Failures within the rolling window that trip a breaker open.
+    breaker_failure_threshold: int = 16
+    #: Rolling failure-count window (modelled seconds).
+    breaker_window_seconds: float = 30.0
+    #: Open -> half-open cooldown (modelled seconds).  While open, retry
+    #: sites charge the remaining cooldown to modelled latency instead of
+    #: issuing doomed requests.
+    breaker_cooldown_seconds: float = 10.0
+    #: Probe successes required to close a half-open breaker.
+    breaker_half_open_probes: int = 2
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base_seconds": self.backoff_base_seconds,
+            "backoff_cap_seconds": self.backoff_cap_seconds,
+            "retry_budget": self.retry_budget,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_window_seconds": self.breaker_window_seconds,
+            "breaker_cooldown_seconds": self.breaker_cooldown_seconds,
+            "breaker_half_open_probes": self.breaker_half_open_probes,
+        }
+
+
+#: The single source of the resilience plane's numeric defaults.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+# ---------------------------------------------------------------------------
 # Data-integrity plane
 # ---------------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ import json
 import math
 import os
 import random
+import threading
 import uuid
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -26,11 +27,19 @@ import numpy as np
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig
 from repro.cloud.s3 import SharedObjectExport, parse_s3_path
-from repro.config import IntegrityConfig
+from repro.config import DEFAULT_RESILIENCE, IntegrityConfig
+from repro.driver.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    CancellationToken,
+)
+from repro.driver.breakers import BreakerBoard, RetryBudget
 from repro.driver.integrity import IntegrityStats, message_intact
 from repro.driver.invocation import TreeInvocationModel, build_invocation_tree
 from repro.driver.resilience import (
     DEFAULT_RESILIENCE_POLICY,
+    TRANSIENT_CLOUD_ERRORS,
     AttemptLog,
     ResiliencePolicy,
     ResilienceStats,
@@ -40,6 +49,7 @@ from repro.driver.resilience import (
 )
 from repro.driver.worker import (
     COLD_EXECUTION_PENALTY,
+    RESULT_BUCKET,
     WORKER_FUNCTION_NAME,
     make_worker_handler,
 )
@@ -55,9 +65,12 @@ from repro.engine.table import (
     take_rows,
 )
 from repro.errors import (
+    CloudError,
     ExecutionError,
     IntegrityError,
+    QueryCancelledError,
     QueryTimeoutError,
+    RetryBudgetExhaustedError,
     WorkerFailedError,
 )
 from repro.plan.logical import LogicalPlan
@@ -113,6 +126,11 @@ class QueryStatistics:
     #: detected mismatches by site, and how recovery resolved them (re-reads
     #: vs re-executions).  All-zero mismatches on a corruption-free run.
     integrity: IntegrityStats = field(default_factory=IntegrityStats)
+    #: Overload-control block: this query's retry-budget spend plus the
+    #: owning driver's circuit-breaker states and transition log at query
+    #: end.  ``None`` only for catalog-pruned empty results, which never
+    #: touch the fleet.
+    overload: Optional[Dict[str, Any]] = None
 
     @property
     def cost_total(self) -> float:
@@ -177,6 +195,7 @@ class LambadaDriver:
         shuffle_config: Optional["ShuffleConfig"] = None,
         resilience_policy: Optional[ResiliencePolicy] = None,
         integrity: Optional[IntegrityConfig] = None,
+        breakers: Optional[BreakerBoard] = None,
     ):
         """``execution_mode`` selects how the simulated fleet runs.
 
@@ -214,6 +233,17 @@ class LambadaDriver:
         #: Retry/backoff/hedging knobs (see :mod:`repro.driver.resilience`).
         self.resilience_policy = resilience_policy or DEFAULT_RESILIENCE_POLICY
         self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
+        #: Per-service circuit breakers.  Breaker state is fleet health, not
+        #: query state, so the board lives as long as the driver — and a
+        #: :class:`QuerySession` shares one board across all its drivers.
+        self.breakers = breakers or BreakerBoard()
+        # Per-query overload context, armed by execute() and read by the
+        # retry/hedge/collect helpers (avoids threading four extra arguments
+        # through every call chain).  A driver runs one query at a time;
+        # concurrency comes from one driver per session worker thread.
+        self._active_cancel: Optional[CancellationToken] = None
+        self._active_budget: Optional[RetryBudget] = None
+        self._active_now = None
         #: Content-checksum knobs: workers embed checksums in everything they
         #: write and every consumer verifies on read (both default on).
         self.integrity = integrity or IntegrityConfig()
@@ -253,6 +283,8 @@ class LambadaDriver:
         catalog: Optional["StatisticsCatalog"] = None,
         dataset_name: Optional[str] = None,
         max_worker_retries: int = 1,
+        deadline_seconds: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Execute a query and return its result and statistics.
 
@@ -275,7 +307,24 @@ class LambadaDriver:
         query without retries (the waves are barriered), and catalog-based
         file pruning is rejected explicitly (its single-dataset statistics
         cannot describe two relations).
+
+        ``deadline_seconds``/``cancel`` arm cooperative cancellation: the
+        query unwinds with a typed
+        :class:`~repro.errors.QueryCancelledError` at its next pump point
+        (poll round, retry round, wave round), releasing shared-memory
+        segments and garbage-collecting its S3/SQS state on the way out.
+        Each query also draws from a retry budget
+        (``resilience_policy.retry_budget``) covering backoff retries, wave
+        retries, and hedges combined; exhaustion raises
+        :class:`~repro.errors.RetryBudgetExhaustedError` instead of grinding
+        through a sustained brownout.
         """
+        # Per-query jitter stream: reseeding here makes backoff draws a
+        # function of this query alone, not of how many ran before it.
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
+        if cancel is None and deadline_seconds is not None:
+            cancel = CancellationToken(deadline_seconds=deadline_seconds)
+
         report: Optional[OptimizerReport] = None
         if isinstance(plan, LogicalPlan):
             physical, report = optimize(plan)
@@ -288,7 +337,8 @@ class LambadaDriver:
                     "catalog-based file pruning is not supported for join plans"
                 )
             return self._execute_join(
-                physical, report, num_workers=num_workers, cold=cold
+                physical, report, num_workers=num_workers, cold=cold,
+                cancel=cancel,
             )
 
         input_files = self._expand_paths(physical.input_files)
@@ -341,59 +391,86 @@ class LambadaDriver:
         integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
 
-        if self.execution_mode == "processes" and self._pool_supported(physical):
-            pooled = self._execute_pooled(
-                physical, payloads, report, cold, max_worker_retries,
-                resilience, fault_snapshot,
+        def now_fn() -> float:
+            # Modelled "now" for breaker windows and deadlines: environment
+            # clock plus the backoff this query has already accrued.
+            return self.env.clock.now + resilience.backoff_seconds
+
+        budget = RetryBudget(
+            self.resilience_policy.retry_budget,
+            query_id=query_id,
+            breaker_states=self.breakers.states,
+        )
+        if cancel is not None:
+            cancel.bind(now_fn, query_id=query_id)
+        self._active_cancel = cancel
+        self._active_budget = budget
+        self._active_now = now_fn
+        try:
+            if self.execution_mode == "processes" and self._pool_supported(physical):
+                pooled = self._execute_pooled(
+                    physical, payloads, report, cold, max_worker_retries,
+                    resilience, fault_snapshot,
+                )
+                if pooled is not None:
+                    return pooled
+                # Pool unavailable (single core / spawn failure / respawn
+                # storm / open invocation breaker): fall through to the
+                # classic serial dispatch below.
+
+            tree = build_invocation_tree(payloads)
+
+            self.env.sqs.purge_queue(self.result_queue)
+            self._invoke_tree(tree, resilience)
+
+            attempt_log = AttemptLog()
+            messages = self._collect_messages(
+                query_id,
+                expected=len(payloads),
+                want={payload["worker_id"] for payload in payloads},
+                raise_on_timeout=max_worker_retries <= 0,
+                integrity=integrity_stats,
             )
-            if pooled is not None:
-                return pooled
-            # Pool unavailable (single core / spawn failure / respawn storm):
-            # fall through to the classic serial dispatch below.
+            by_worker = self._group_messages(
+                messages, resilience=resilience, integrity=integrity_stats
+            )
+            by_worker = self._retry_failures(
+                by_worker, payloads, query_id, max_worker_retries,
+                resilience=resilience, attempt_log=attempt_log,
+                integrity=integrity_stats,
+            )
+            worker_results = self._parse_results(
+                by_worker, expected=len(payloads), attempt_log=attempt_log
+            )
+            worker_results, hedge_billed_seconds = self._hedge_stragglers(
+                worker_results, by_worker, payloads, query_id, resilience,
+                integrity=integrity_stats,
+            )
 
-        tree = build_invocation_tree(payloads)
-
-        self.env.sqs.purge_queue(self.result_queue)
-        self._invoke_tree(tree)
-
-        attempt_log = AttemptLog()
-        messages = self._collect_messages(
-            query_id,
-            expected=len(payloads),
-            want={payload["worker_id"] for payload in payloads},
-            raise_on_timeout=max_worker_retries <= 0,
-            integrity=integrity_stats,
-        )
-        by_worker = self._group_messages(
-            messages, resilience=resilience, integrity=integrity_stats
-        )
-        by_worker = self._retry_failures(
-            by_worker, payloads, query_id, max_worker_retries,
-            resilience=resilience, attempt_log=attempt_log,
-            integrity=integrity_stats,
-        )
-        worker_results = self._parse_results(
-            by_worker, expected=len(payloads), attempt_log=attempt_log
-        )
-        worker_results, hedge_billed_seconds = self._hedge_stragglers(
-            worker_results, by_worker, payloads, query_id, resilience,
-            integrity=integrity_stats,
-        )
-
-        table, reduce_value = self._merge(physical, worker_results)
-        statistics = self._build_statistics(
-            physical, worker_results, num_workers=len(payloads), cold=cold,
-            resilience=resilience, fault_snapshot=fault_snapshot,
-            extra_billed_seconds=hedge_billed_seconds,
-            integrity=integrity_stats,
-        )
-        return QueryResult(
-            table=table,
-            reduce_value=reduce_value,
-            statistics=statistics,
-            worker_results=worker_results,
-            optimizer_report=report,
-        )
+            table, reduce_value = self._merge(physical, worker_results)
+            statistics = self._build_statistics(
+                physical, worker_results, num_workers=len(payloads), cold=cold,
+                resilience=resilience, fault_snapshot=fault_snapshot,
+                extra_billed_seconds=hedge_billed_seconds,
+                integrity=integrity_stats,
+            )
+            statistics.overload = self._overload_block(budget)
+            return QueryResult(
+                table=table,
+                reduce_value=reduce_value,
+                statistics=statistics,
+                worker_results=worker_results,
+                optimizer_report=report,
+            )
+        except (QueryCancelledError, RetryBudgetExhaustedError):
+            # Typed teardown: a query that will never consume its results
+            # must not leave spilled objects or queued messages behind.
+            self._gc_cancelled_scan(query_id)
+            raise
+        finally:
+            self._active_cancel = None
+            self._active_budget = None
+            self._active_now = None
 
     def _execute_join(
         self,
@@ -401,6 +478,7 @@ class LambadaDriver:
         report: Optional[OptimizerReport],
         num_workers: Optional[int],
         cold: bool,
+        cancel: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Execute a join plan through the shuffle-join coordinator.
 
@@ -432,15 +510,24 @@ class LambadaDriver:
         if cold:
             for name in (JOIN_MAP_FUNCTION_NAME, JOIN_REDUCE_FUNCTION_NAME):
                 self.env.lambda_service.reset_warm_instances(name)
+        budget = RetryBudget(
+            self.resilience_policy.retry_budget,
+            breaker_states=self.breakers.states,
+        )
         table, join_stats, worker_results = self._join_coordinator.execute(
-            physical, num_workers=num_workers
+            physical,
+            num_workers=num_workers,
+            cancel=cancel,
+            breakers=self.breakers,
+            budget=budget,
+            now_fn=lambda: self.env.clock.now,
         )
 
         prices = self.env.ledger.prices
         durations = [result.duration_seconds for result in worker_results]
         invocation = TreeInvocationModel(region=self.env.region)
         num_total = join_stats.num_workers
-        result_poll_seconds = 0.3
+        result_poll_seconds = DEFAULT_RESILIENCE.result_poll_seconds
         # modelled_latency_seconds already includes the coordinator's backoff.
         latency = (
             invocation.time_to_start_all(num_total, cold=cold)
@@ -485,6 +572,7 @@ class LambadaDriver:
             resilience=resilience,
             integrity=join_stats.integrity,
         )
+        statistics.overload = self._overload_block(budget)
         return QueryResult(
             table=table,
             reduce_value=None,
@@ -536,7 +624,9 @@ class LambadaDriver:
         from repro.driver.procpool import ProcessWorkerPool
 
         try:
-            self._pool = ProcessWorkerPool(size=min(size, 16))
+            self._pool = ProcessWorkerPool(
+                size=min(size, DEFAULT_RESILIENCE.pool_max_children)
+            )
         except Exception as exc:  # noqa: BLE001 - degrade, don't fail the query
             self._pool_unavailable = True
             warnings.warn(
@@ -576,6 +666,11 @@ class LambadaDriver:
         pool = self._ensure_pool()
         if pool is None:
             return None
+        cancel = self._active_cancel
+        if cancel is not None:
+            # Pre-dispatch pump point: a cancelled query never touches the
+            # pool (no segments to clean up).
+            cancel.check("pooled dispatch")
         resilience = resilience if resilience is not None else ResilienceStats()
         policy = self.resilience_policy
         respawns_before = pool.stats().get("respawns", 0)
@@ -599,6 +694,16 @@ class LambadaDriver:
                 ]
                 if not failed:
                     break
+                if cancel is not None:
+                    # Mid-wave pump point: the finally block below unlinks
+                    # every attached segment on the way out.
+                    cancel.check("pooled retry")
+                if "lambda" in self.breakers.open_services():
+                    # Invocation-plane brownout: stop feeding the pool and
+                    # run this query serially.  Unlike the respawn-storm path
+                    # the pool stays up — the breaker recovers on its own.
+                    resilience.note_fallback("processes_to_serial")
+                    return None
                 respawn_delta = pool.stats().get("respawns", 0) - respawns_before
                 if respawn_delta > policy.pool_respawn_limit:
                     # Respawn storm: the pool keeps losing children mid-query.
@@ -624,17 +729,21 @@ class LambadaDriver:
                 retries: List[Dict] = []
                 for payload in failed:
                     worker_id = payload["worker_id"]
+                    error = by_worker[worker_id].get("error", "unknown error")
                     attempt_log.record(
                         worker_id,
                         payload.get("attempt", 0),
-                        by_worker[worker_id].get("error", "unknown error"),
+                        error,
                         backoff_seconds=sleep,
                     )
+                    self._record_worker_failure(error)
                     retry_payload = dict(payload)
                     retry_payload["attempt"] = payload.get("attempt", 0) + 1
                     payload_by_worker[worker_id] = retry_payload
                     retries.append(retry_payload)
                     resilience.retries += 1
+                    if self._active_budget is not None:
+                        self._active_budget.charge("pool_retries")
                     resilience.wasted_cost_dollars += prices.lambda_invocation_cost(1)
                 by_worker.update(
                     self._run_pooled_round(pool, export, retries, attached)
@@ -661,6 +770,7 @@ class LambadaDriver:
                 physical, worker_results, num_workers=len(payloads), cold=cold,
                 resilience=resilience, fault_snapshot=fault_snapshot,
             )
+            statistics.overload = self._overload_block(self._active_budget)
             # Detach the exposed partials from shared memory before the
             # segments are unlinked: re-encode into the payload form the
             # classic path ships (copies the column data out).
@@ -844,8 +954,31 @@ class LambadaDriver:
 
     # -- helpers --------------------------------------------------------------------
 
-    def _invoke_tree(self, tree: List[Dict]) -> None:
-        """Invoke the tree roots, serially or through the thread pool."""
+    def _invoke_tree(
+        self, tree: List[Dict], resilience: Optional[ResilienceStats] = None
+    ) -> None:
+        """Invoke the tree roots, serially or through the thread pool.
+
+        Invocations retry transient rejections (capacity brownouts throttle
+        the fleet with :class:`~repro.errors.TooManyRequestsError`) with
+        backoff through the driver's breaker board and the active query's
+        retry budget, instead of aborting the wave on the first rejection.
+        """
+
+        def invoke(parent: Dict) -> None:
+            call_with_backoff(
+                self.env.lambda_service.invoke,
+                self.function_name,
+                parent,
+                from_driver=True,
+                policy=self.resilience_policy,
+                rng=self._jitter_rng,
+                stats=resilience,
+                breakers=self.breakers,
+                budget=self._active_budget,
+                now_fn=self._active_now,
+            )
+
         # On a single-core host the pool cannot overlap the workers' numpy
         # sections and only adds dispatch overhead (~10% on TPC-H Q1 at 1M
         # rows, see README "Performance notes"), so fall back to serial
@@ -853,21 +986,13 @@ class LambadaDriver:
         single_core = (os.cpu_count() or 1) <= 1 and self.max_parallel_invocations is None
         if self.execution_mode != "threads" or len(tree) <= 1 or single_core:
             for parent in tree:
-                self.env.lambda_service.invoke(self.function_name, parent, from_driver=True)
+                invoke(parent)
             return
         max_workers = self.max_parallel_invocations or min(
             32, 4 * (os.cpu_count() or 4), len(tree)
         )
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(
-                    self.env.lambda_service.invoke,
-                    self.function_name,
-                    parent,
-                    from_driver=True,
-                )
-                for parent in tree
-            ]
+            futures = [pool.submit(invoke, parent) for parent in tree]
             for future in futures:
                 future.result()
 
@@ -890,6 +1015,64 @@ class LambadaDriver:
             else:
                 expanded.append(path)
         return expanded
+
+    #: Worker-reported error prefixes that mean the invocation plane itself
+    #: failed (vs. a data error inside a healthy worker).
+    _LAMBDA_FAILURE_PREFIXES = (
+        "InvocationDropped",
+        "FunctionTimeout",
+        "WorkerCrashError",
+        "no result message",
+    )
+
+    def _record_worker_failure(self, error: str) -> None:
+        """Charge an invocation-plane worker failure to the lambda breaker.
+
+        Worker failures arrive as strings in result messages (or as missing
+        messages), never as raised exceptions, so
+        :meth:`~repro.driver.breakers.BreakerBoard.classify` cannot see them;
+        a sustained invocation-side failure storm still needs to trip the
+        lambda breaker and drive degradation.
+        """
+        if error.startswith(self._LAMBDA_FAILURE_PREFIXES):
+            now = self._active_now
+            self.breakers.breakers["lambda"].record_failure(
+                now() if now is not None else self.env.clock.now
+            )
+
+    def _overload_block(self, budget: Optional[RetryBudget]) -> Dict[str, Any]:
+        """The per-query overload-control statistics block."""
+        return {
+            "retry_budget": budget.to_dict() if budget is not None else None,
+            "breakers": self.breakers.to_dict(),
+            "breaker_transitions": self.breakers.transition_count(),
+        }
+
+    def _gc_cancelled_scan(self, query_id: str) -> int:
+        """Best-effort cleanup after a cancelled/budget-killed scan query.
+
+        Purges the result queue (nobody will consume the remaining messages
+        — per-session drivers own their queue exclusively) and deletes every
+        spilled result object under this query's prefix, so a cancelled query
+        leaves no orphaned cloud state.  Returns the number of objects
+        deleted; cleanup never masks the typed error being raised.
+        """
+        deleted = 0
+        try:
+            self.env.sqs.purge_queue(self.result_queue)
+        except CloudError:
+            pass
+        try:
+            objects = self.env.s3.list_objects(RESULT_BUCKET, prefix=f"{query_id}/")
+        except CloudError:
+            return deleted
+        for meta in objects:
+            try:
+                self.env.s3.delete_object(RESULT_BUCKET, meta.key)
+                deleted += 1
+            except CloudError:
+                continue
+        return deleted
 
     def _fault_snapshot(self) -> Optional[Dict[str, int]]:
         """Per-kind injection counts of the installed fault plan, or ``None``."""
@@ -934,8 +1117,14 @@ class LambadaDriver:
         verify = self.integrity.verify
         messages: List[Dict] = []
         seen: set = set()
-        max_polls = max(expected * 4, 64)
+        cancel = self._active_cancel
+        max_polls = max(
+            DEFAULT_RESILIENCE.min_poll_rounds,
+            expected * DEFAULT_RESILIENCE.poll_rounds_per_worker,
+        )
         for _ in range(max_polls):
+            if cancel is not None:
+                cancel.check("collect")
             batch = self.env.sqs.receive_messages(self.result_queue, max_messages=10)
             for message in batch:
                 try:
@@ -1035,7 +1224,7 @@ class LambadaDriver:
         bucket, key = parse_s3_path(path)
         verify = self.integrity.verify
         last_error: Optional[IntegrityError] = None
-        for read_attempt in range(2):
+        for read_attempt in range(DEFAULT_RESILIENCE.spill_read_attempts):
             raw = call_with_backoff(
                 self.env.s3.get_object,
                 bucket,
@@ -1043,6 +1232,9 @@ class LambadaDriver:
                 policy=self.resilience_policy,
                 rng=self._jitter_rng,
                 stats=resilience,
+                breakers=self.breakers,
+                budget=self._active_budget,
+                now_fn=self._active_now,
             ).data
             try:
                 spilled = json.loads(raw.decode("utf-8"))
@@ -1101,6 +1293,8 @@ class LambadaDriver:
             ]
             if not need:
                 break
+            if self._active_cancel is not None:
+                self._active_cancel.check("retry round")
             sleep = decorrelated_jitter(
                 sleep,
                 self._jitter_rng,
@@ -1124,15 +1318,27 @@ class LambadaDriver:
                     # The worker detected at-rest corruption that re-GETs
                     # could not cure; this retry re-executes the attempt.
                     integrity.re_executions += 1
+                self._record_worker_failure(error)
                 retry_payload = dict(previous)
                 retry_payload.pop("children", None)
                 retry_payload["attempt"] = failed_attempt + 1
                 payload_by_worker[worker_id] = retry_payload
                 resilience.retries += 1
+                if self._active_budget is not None:
+                    self._active_budget.charge("driver_retries")
                 # The failed attempt's request fee bought nothing.
                 resilience.wasted_cost_dollars += prices.lambda_invocation_cost(1)
-                self.env.lambda_service.invoke(
-                    self.function_name, retry_payload, from_driver=True
+                call_with_backoff(
+                    self.env.lambda_service.invoke,
+                    self.function_name,
+                    retry_payload,
+                    from_driver=True,
+                    policy=self.resilience_policy,
+                    rng=self._jitter_rng,
+                    stats=resilience,
+                    breakers=self.breakers,
+                    budget=self._active_budget,
+                    now_fn=self._active_now,
                 )
             retry_messages = self._collect_messages(
                 query_id, expected=len(need), want=set(need),
@@ -1208,14 +1414,35 @@ class LambadaDriver:
         payload_by_worker = {payload["worker_id"]: payload for payload in payloads}
         prices = self.env.ledger.prices
         index_of = {worker_id: index for index, worker_id in enumerate(ordered_ids)}
+        budget = self._active_budget
+        launched: List[int] = []
         for worker_id in stragglers:
+            if budget is not None and not budget.try_charge("hedges"):
+                # Hedging is optional work: when the retry budget runs dry it
+                # is suppressed (and attributed), never fatal.
+                resilience.note_fallback("hedge_suppressed")
+                continue
             hedge_payload = dict(payload_by_worker[worker_id])
             hedge_payload.pop("children", None)
             hedge_payload["attempt"] = by_worker[worker_id].get("attempt", 0) + 1
+            try:
+                self.env.lambda_service.invoke(
+                    self.function_name, hedge_payload, from_driver=True
+                )
+            except TRANSIENT_CLOUD_ERRORS as error:
+                # A brownout-rejected hedge simply never enters the race;
+                # the original attempt's result stands.
+                now = self._active_now
+                self.breakers.record_failure(
+                    error, now() if now is not None else self.env.clock.now
+                )
+                resilience.note_fallback("hedge_rejected")
+                continue
             resilience.hedges_launched += 1
-            self.env.lambda_service.invoke(
-                self.function_name, hedge_payload, from_driver=True
-            )
+            launched.append(worker_id)
+        if not launched:
+            return worker_results, 0.0
+        stragglers = launched
         hedge_messages = self._collect_messages(
             query_id,
             expected=len(stragglers),
@@ -1357,7 +1584,7 @@ class LambadaDriver:
         start_times = invocation.worker_start_times(num_workers, cold=cold)
         completion = start_times[: len(durations)] + np.asarray(durations)
         # Result collection: one additional round of SQS polling.
-        result_poll_seconds = 0.3
+        result_poll_seconds = DEFAULT_RESILIENCE.result_poll_seconds
         latency = float(completion.max()) + result_poll_seconds if durations else 0.0
         # Backoff between retry rounds is charged to the modelled latency.
         latency += resilience.backoff_seconds
@@ -1411,3 +1638,186 @@ class LambadaDriver:
             resilience=resilience,
             integrity=integrity,
         )
+
+
+class QueryHandle:
+    """Tracking handle for one admitted query in a :class:`QuerySession`."""
+
+    def __init__(
+        self, tenant: str, cancel: CancellationToken, permit: Any
+    ):
+        self.tenant = tenant
+        self.cancel_token = cancel
+        self.permit = permit
+        self.future = None
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; the query unwinds at its next
+        pump point with a typed :class:`~repro.errors.QueryCancelledError`."""
+        self.cancel_token.cancel()
+
+    def done(self) -> bool:
+        return self.future is not None and self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block for the result; re-raises the query's typed failure."""
+        return self.future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        return self.future.exception(timeout)
+
+
+class QuerySession:
+    """Concurrent query submission over one simulated fleet.
+
+    :meth:`submit` admits a query through the
+    :class:`~repro.driver.admission.AdmissionController` — raising
+    :class:`~repro.errors.QueryRejectedError` *synchronously* when the
+    admission queue is full or the tenant is over budget — and hands it to a
+    bounded thread pool.  Each worker thread lazily creates its own
+    :class:`LambadaDriver` on a **unique** result queue: result-queue polling
+    consumes messages, so two drivers sharing one queue would eat each
+    other's results.  All drivers share one
+    :class:`~repro.driver.breakers.BreakerBoard`, because breaker state is
+    fleet health — a brownout seen by one query should shed load from all of
+    them.
+
+    At completion each tenant's token buckets are reconciled against the
+    query's actual metered spend (invocations made, modelled dollars), so
+    budgets track real consumption rather than admission-time estimates.
+    Use as a context manager, or call :meth:`close` to drain and shut down.
+    """
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        admission: Optional[AdmissionConfig] = None,
+        breakers: Optional[BreakerBoard] = None,
+        **driver_kwargs: Any,
+    ):
+        self.env = env
+        self.admission_config = admission or AdmissionConfig()
+        self.breakers = breakers or BreakerBoard()
+        self.controller = AdmissionController(
+            self.admission_config, now_fn=lambda: env.clock.now
+        )
+        self._driver_kwargs = driver_kwargs
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission_config.max_concurrent_queries
+        )
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._drivers: List[LambadaDriver] = []
+        self._driver_serial = 0
+        self._closed = False
+
+    # -- submission -----------------------------------------------------------------
+
+    def submit(
+        self,
+        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan],
+        tenant: str = "default",
+        deadline_seconds: Optional[float] = None,
+        cancel: Optional[CancellationToken] = None,
+        invocation_estimate: Optional[float] = None,
+        dollar_estimate: Optional[float] = None,
+        **execute_kwargs: Any,
+    ) -> QueryHandle:
+        """Admit and launch one query; returns a :class:`QueryHandle`.
+
+        Rejections (queue full, over budget) raise synchronously; every
+        execution-time failure — including typed cancellation and retry-budget
+        exhaustion — surfaces from ``handle.result()``.  ``execute_kwargs``
+        are forwarded to :meth:`LambadaDriver.execute`.
+        """
+        if self._closed:
+            raise ExecutionError("cannot submit to a closed session")
+        permit = self.controller.admit(
+            tenant,
+            invocation_estimate=invocation_estimate,
+            dollar_estimate=dollar_estimate,
+        )
+        token = cancel or CancellationToken(deadline_seconds=deadline_seconds)
+        handle = QueryHandle(tenant=tenant, cancel=token, permit=permit)
+
+        def run() -> QueryResult:
+            self.controller.start(permit)
+            outcome = "failed"
+            actual_invocations = 0.0
+            actual_dollars = 0.0
+            try:
+                driver = self._thread_driver()
+                result = driver.execute(plan, cancel=token, **execute_kwargs)
+                stats = result.statistics
+                outcome = "completed"
+                actual_invocations = float(
+                    stats.num_workers
+                    + stats.resilience.retries
+                    + stats.resilience.hedges_launched
+                )
+                actual_dollars = stats.cost_total
+                return result
+            except QueryCancelledError:
+                outcome = "cancelled"
+                raise
+            finally:
+                self.controller.finish(
+                    permit,
+                    outcome,
+                    actual_invocations=actual_invocations,
+                    actual_dollars=actual_dollars,
+                )
+
+        handle.future = self._executor.submit(run)
+        return handle
+
+    def _thread_driver(self) -> LambadaDriver:
+        """This worker thread's driver, created on first use."""
+        driver = getattr(self._tls, "driver", None)
+        if driver is None:
+            with self._lock:
+                self._driver_serial += 1
+                queue = f"lambada-result-queue-s{self._driver_serial}"
+            driver = LambadaDriver(
+                self.env,
+                result_queue=queue,
+                breakers=self.breakers,
+                **self._driver_kwargs,
+            )
+            with self._lock:
+                self._drivers.append(driver)
+            self._tls.driver = driver
+        return driver
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> AdmissionStats:
+        """Session-wide admission counters."""
+        return self.controller.stats
+
+    def tenant_levels(self, tenant: str) -> Dict[str, float]:
+        """Current budget-bucket levels of one tenant."""
+        return self.controller.tenant_levels(tenant)
+
+    def to_dict(self) -> dict:
+        return {
+            "admission": self.controller.stats.to_dict(),
+            "config": self.admission_config.to_dict(),
+            "breakers": self.breakers.to_dict(),
+        }
+
+    def close(self) -> None:
+        """Drain in-flight queries and shut down every per-thread driver."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for driver in self._drivers:
+            driver.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -288,16 +288,19 @@ class ProcessWorkerPool:
 
     def close(self) -> None:
         """Stop and join all children; idempotent."""
+        from repro.config import DEFAULT_RESILIENCE
+
+        join_timeout = DEFAULT_RESILIENCE.pool_join_timeout_seconds
         for child in self._children:
             try:
                 child.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for child in self._children:
-            child.process.join(timeout=5)
+            child.process.join(timeout=join_timeout)
             if child.process.is_alive():
                 child.process.terminate()
-                child.process.join(timeout=5)
+                child.process.join(timeout=join_timeout)
             try:
                 child.conn.close()
             except OSError:

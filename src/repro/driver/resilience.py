@@ -28,39 +28,49 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.config import DEFAULT_RESILIENCE
 from repro.errors import NoSuchKeyError, SlowDownError, TooManyRequestsError
 
 
 @dataclass(frozen=True)
 class ResiliencePolicy:
-    """Knobs of the driver's fault-tolerance machinery."""
+    """Knobs of the driver's fault-tolerance machinery.
+
+    Every numeric default comes from
+    :data:`repro.config.DEFAULT_RESILIENCE`, the single home of the
+    retry/backoff/breaker/budget numbers — this class only re-exposes them as
+    a per-driver override surface.
+    """
 
     #: Total attempts per worker including the first (>= 1).
-    max_attempts: int = 4
+    max_attempts: int = DEFAULT_RESILIENCE.max_attempts
     #: First backoff sleep (modelled seconds).
-    backoff_base_seconds: float = 0.05
+    backoff_base_seconds: float = DEFAULT_RESILIENCE.backoff_base_seconds
     #: Backoff ceiling (modelled seconds).
-    backoff_cap_seconds: float = 2.0
+    backoff_cap_seconds: float = DEFAULT_RESILIENCE.backoff_cap_seconds
     #: Modelled deadline for one wave of workers; workers still missing when
     #: the poll budget runs out are treated as failed and retried.
-    wave_deadline_seconds: float = 60.0
+    wave_deadline_seconds: float = DEFAULT_RESILIENCE.wave_deadline_seconds
     #: Hedged (speculative) re-invocation of stragglers.
-    hedge_enabled: bool = True
+    hedge_enabled: bool = DEFAULT_RESILIENCE.hedge_enabled
     #: A worker is a straggler when its modelled duration exceeds
     #: ``hedge_factor`` x the fleet median ...
-    hedge_factor: float = 4.0
+    hedge_factor: float = DEFAULT_RESILIENCE.hedge_factor
     #: ... and this absolute floor (so tiny fleets/queries never hedge).
-    hedge_min_seconds: float = 0.5
+    hedge_min_seconds: float = DEFAULT_RESILIENCE.hedge_min_seconds
     #: At most this fraction of the fleet is hedged per query.
-    hedge_max_fraction: float = 0.25
+    hedge_max_fraction: float = DEFAULT_RESILIENCE.hedge_max_fraction
     #: Shuffle mappers whose combined write keeps failing fall back to the
     #: legacy one-object-per-receiver plane from this attempt number on.
-    combined_fallback_attempt: int = 2
+    combined_fallback_attempt: int = DEFAULT_RESILIENCE.combined_fallback_attempt
     #: Process-pool respawns tolerated within one query before the driver
     #: degrades to serial dispatch.
-    pool_respawn_limit: int = 3
+    pool_respawn_limit: int = DEFAULT_RESILIENCE.pool_respawn_limit
     #: Seed for the backoff/jitter RNG (independent of any fault plan).
-    jitter_seed: int = 20260808
+    jitter_seed: int = DEFAULT_RESILIENCE.jitter_seed
+    #: Per-query cap on combined retry/hedge spend (see
+    #: :class:`repro.driver.breakers.RetryBudget`).
+    retry_budget: int = DEFAULT_RESILIENCE.retry_budget
 
 
 DEFAULT_RESILIENCE_POLICY = ResiliencePolicy()
@@ -92,6 +102,9 @@ def call_with_backoff(
     rng: Optional[random.Random] = None,
     stats: Optional["ResilienceStats"] = None,
     retry_on: tuple = TRANSIENT_CLOUD_ERRORS,
+    breakers: Optional[Any] = None,
+    budget: Optional[Any] = None,
+    now_fn: Optional[Callable[[], float]] = None,
     **kwargs: Any,
 ) -> Any:
     """Call ``fn`` retrying transient cloud errors with jittered backoff.
@@ -99,21 +112,50 @@ def call_with_backoff(
     The backoff is accounted to ``stats.backoff_seconds`` (modelled time, no
     wall-clock sleeping).  After ``policy.max_attempts`` attempts the last
     error propagates.
+
+    With a :class:`~repro.driver.breakers.BreakerBoard` (``breakers``) each
+    failure is charged to its service's breaker and, when that breaker is
+    open, the remaining cooldown is charged to modelled backoff before the
+    next attempt proceeds as a half-open probe; a probe success closes the
+    loop.  With a :class:`~repro.driver.breakers.RetryBudget` (``budget``)
+    every retry spends one unit — exhaustion raises
+    :class:`~repro.errors.RetryBudgetExhaustedError` instead of retrying.
+    ``now_fn`` supplies modelled "now" for breaker bookkeeping (typically
+    environment clock + accumulated backoff).
     """
     rng = rng or random.Random(policy.jitter_seed)
+    now_fn = now_fn or (lambda: 0.0)
     sleep = 0.0
+    failed_service: Optional[str] = None
     for attempt in range(policy.max_attempts):
         try:
-            return fn(*args, **kwargs)
-        except retry_on:
+            result = fn(*args, **kwargs)
+        except retry_on as error:
+            service = None
+            if breakers is not None:
+                service = breakers.record_failure(error, now_fn())
+                failed_service = service or failed_service
             if attempt == policy.max_attempts - 1:
                 raise
+            if budget is not None:
+                budget.charge("backoff_retries")
             sleep = decorrelated_jitter(
                 sleep, rng, policy.backoff_base_seconds, policy.backoff_cap_seconds
             )
             if stats is not None:
                 stats.retries += 1
                 stats.backoff_seconds += sleep
+            if breakers is not None and service is not None:
+                # An open breaker converts doomed hammering into a modelled
+                # wait: charge the cooldown to latency and probe half-open.
+                cooldown = breakers.wait_seconds(service, now_fn())
+                if cooldown > 0.0 and stats is not None:
+                    stats.backoff_seconds += cooldown
+                    breakers.wait_seconds(service, now_fn())
+        else:
+            if breakers is not None and failed_service is not None:
+                breakers.record_success(failed_service, now_fn())
+            return result
 
 
 @dataclass

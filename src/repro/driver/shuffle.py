@@ -66,10 +66,15 @@ import numpy as np
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.lambda_service import FunctionConfig, InvocationContext
 from repro.cloud.s3 import ObjectMetadata, parse_s3_path
-from repro.config import IntegrityConfig, S3_REQUEST_LATENCY_SECONDS
+from repro.config import (
+    DEFAULT_RESILIENCE,
+    IntegrityConfig,
+    S3_REQUEST_LATENCY_SECONDS,
+)
 from repro.driver.integrity import IntegrityStats, message_intact, sign_message
 from repro.driver.resilience import (
     DEFAULT_RESILIENCE_POLICY,
+    TRANSIENT_CLOUD_ERRORS,
     AttemptLog,
     ResiliencePolicy,
     ResilienceStats,
@@ -96,11 +101,13 @@ from repro.engine.table import (
     table_num_rows,
 )
 from repro.errors import (
+    CloudError,
     CorruptFileError,
     ExchangeError,
     ExecutionError,
     IntegrityError,
     NoSuchBucketError,
+    QueryCancelledError,
     QueryTimeoutError,
     WorkerCrashError,
     WorkerFailedError,
@@ -295,7 +302,11 @@ def _collect_wave_messages(
         return count
 
     target = len(want) if want is not None else expected
-    for _ in range(max(64, expected * 4)):
+    max_polls = max(
+        DEFAULT_RESILIENCE.min_poll_rounds,
+        expected * DEFAULT_RESILIENCE.poll_rounds_per_worker,
+    )
+    for _ in range(max_polls):
         for message in sqs.receive_messages(queue, max_messages=10):
             try:
                 payload = message.json()
@@ -341,6 +352,10 @@ def _run_wave(
     on_retry: Optional[Callable[[object, Dict], None]] = None,
     verify: bool = True,
     integrity: Optional[IntegrityStats] = None,
+    cancel=None,
+    breakers=None,
+    budget=None,
+    now_fn: Optional[Callable[[], float]] = None,
 ) -> Dict:
     """Invoke one wave of workers and collect one ok-result per event.
 
@@ -352,15 +367,42 @@ def _run_wave(
     event)`` lets the coordinator degrade a retry (combined → legacy).  On
     an exhausted budget the first failing worker raises
     :class:`~repro.errors.WorkerFailedError` with its full attempt history.
+
+    The overload plane (PR 9) threads through here: ``cancel`` is checked at
+    wave dispatch and every retry round, ``breakers``/``budget``/``now_fn``
+    make the Invoke requests themselves breaker-aware (a brownout fleet cap
+    rejecting invocations is retried with backoff instead of aborting the
+    wave) and cap total retry spend.
     """
+
+    def invoke(payload: Dict) -> None:
+        call_with_backoff(
+            env.lambda_service.invoke,
+            function_name,
+            payload,
+            policy=policy,
+            rng=rng,
+            stats=resilience,
+            retry_on=TRANSIENT_CLOUD_ERRORS,
+            breakers=breakers,
+            budget=budget,
+            now_fn=now_fn,
+        )
+
+    if cancel is not None:
+        cancel.check(f"{what} dispatch")
     for key in sorted(events):
-        env.lambda_service.invoke(function_name, events[key])
+        invoke(events[key])
     by_key: Dict = {}
     attempt_log = AttemptLog()
     rounds = max(1, policy.max_attempts)
     sleep = 0.0
     failed: List = []
     for round_index in range(rounds):
+        if cancel is not None:
+            # Mid-wave pump point: the wave is dispatched (workers may have
+            # written exchange state) but not yet collected.
+            cancel.check(what)
         _collect_wave_messages(
             env.sqs,
             queue,
@@ -405,8 +447,10 @@ def _run_wave(
             if on_retry is not None:
                 on_retry(key, retry)
             events[key] = retry
+            if budget is not None:
+                budget.charge("wave_retries")
             resilience.retries += 1
-            env.lambda_service.invoke(function_name, retry)
+            invoke(retry)
     key = failed[0]
     worker_id = key[1] if isinstance(key, tuple) else key
     message = by_key.get(key) or {}
@@ -445,6 +489,36 @@ def _slice_crcs(payload: bytes, offsets: Sequence[int]) -> List[int]:
         zlib.crc32(payload[offsets[index]:offsets[index + 1]])
         for index in range(len(offsets) - 1)
     ]
+
+
+def _gc_cancelled_query(env: CloudEnvironment, query_id: str, namings, queue: str) -> int:
+    """Garbage-collect a cancelled query's cloud state; returns keys deleted.
+
+    Deletes every exchange object the query's attempts wrote (all attempt
+    prefixes live under ``{query_id}/`` in every naming's buckets) and purges
+    the result queue so no orphaned message can leak into a later query's
+    poll.  Best-effort: an injected fault during cleanup (the brownout that
+    provoked the cancellation may still be raging) skips that bucket rather
+    than masking the cancellation itself.
+    """
+    deleted = 0
+    for naming in namings:
+        for bucket in naming.buckets():
+            try:
+                metas = env.s3.list_objects(bucket, prefix=f"{query_id}/")
+            except CloudError:
+                continue
+            for meta in metas:
+                try:
+                    env.s3.delete_object(bucket, meta.key)
+                    deleted += 1
+                except CloudError:
+                    continue
+    try:
+        env.sqs.purge_queue(queue)
+    except CloudError:
+        pass
+    return deleted
 
 
 def _attempt_prefix(query_id: str, attempt: int) -> str:
@@ -947,7 +1021,25 @@ class _ResilientWaves:
 
     Expects the subclass to provide ``env``, ``result_queue``,
     ``resilience_policy``, and ``_jitter_rng``.
+
+    The overload-control context (PR 9) is armed per query through
+    :meth:`_arm_overload`: the driver passes its cancellation token, breaker
+    board, retry budget, and modelled now-function before delegating, and
+    every wave threads them into :func:`_run_wave`.
     """
+
+    #: Per-query overload context; ``None`` on plain (pre-PR-9) calls.
+    _cancel = None
+    _breakers = None
+    _budget = None
+    _now_fn = None
+
+    def _arm_overload(self, cancel=None, breakers=None, budget=None, now_fn=None):
+        """Install the per-query overload context (cleared by the caller)."""
+        self._cancel = cancel
+        self._breakers = breakers
+        self._budget = budget
+        self._now_fn = now_fn
 
     def _expand(self, paths: Sequence[str]) -> List[str]:
         return _expand_glob_paths(self.env.s3, paths)
@@ -980,6 +1072,10 @@ class _ResilientWaves:
             on_retry=on_retry,
             verify=self.config.integrity.verify,
             integrity=integrity,
+            cancel=self._cancel,
+            breakers=self._breakers,
+            budget=self._budget,
+            now_fn=self._now_fn,
         )
         return [by_key[key] for key in sorted(by_key)]
 
@@ -994,10 +1090,15 @@ class _ResilientWaves:
         """
 
         def on_retry(key, retry: Dict) -> None:
-            if (
-                retry.get("write_combining")
-                and retry["attempt"] >= self.resilience_policy.combined_fallback_attempt
-            ):
+            if not retry.get("write_combining"):
+                return
+            threshold = self.resilience_policy.combined_fallback_attempt
+            if self._breakers is not None and "s3" in self._breakers.open_services():
+                # Brownout response: with the S3 breaker open the combined
+                # write plane (one big PUT per mapper) is the most exposed,
+                # so degrade to the legacy format on the first retry already.
+                threshold = 1
+            if retry["attempt"] >= threshold:
                 retry["write_combining"] = False
                 resilience.note_fallback("combined_to_legacy")
 
@@ -1107,8 +1208,18 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
         columns: Optional[Sequence[str]] = None,
         num_workers: Optional[int] = None,
         order_by: Optional[Sequence[str]] = None,
+        cancel=None,
+        breakers=None,
+        budget=None,
+        now_fn=None,
     ):
-        """Run a repartitioned group-by aggregation and return (table, statistics)."""
+        """Run a repartitioned group-by aggregation and return (table, statistics).
+
+        ``cancel``/``breakers``/``budget``/``now_fn`` arm the overload plane
+        for this query (see :class:`_ResilientWaves`); a cancellation raised
+        mid-wave garbage-collects every exchange object the query wrote and
+        purges its result-queue messages before propagating.
+        """
         paths = self._expand(paths)
         if not paths:
             raise ExecutionError("shuffle aggregation has no input files")
@@ -1119,13 +1230,44 @@ class ShuffleAggregateCoordinator(_ResilientWaves):
 
         partials, finals = _decompose_aggregates(list(aggregates))
         query_id = uuid.uuid4().hex[:12]
-        for naming in (
+        namings = (
             _map_naming(query_id, self.num_buckets),
             _legacy_naming(query_id, self.num_buckets),
-        ):
+        )
+        for naming in namings:
             for bucket in naming.buckets():
                 self.env.s3.ensure_bucket(bucket)
 
+        # Per-query jitter reseed: backoff schedules must not depend on how
+        # many queries this coordinator ran before (order-independent chaos).
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
+        self._arm_overload(cancel, breakers, budget, now_fn)
+        if cancel is not None and now_fn is not None:
+            cancel.bind(now_fn, query_id=query_id)
+        try:
+            return self._execute_waves(
+                paths, group_by, partials, finals, predicate, columns,
+                num_workers, order_by, query_id,
+            )
+        except QueryCancelledError:
+            _gc_cancelled_query(self.env, query_id, namings, self.result_queue)
+            raise
+        finally:
+            self._arm_overload()
+
+    def _execute_waves(
+        self,
+        paths: Sequence[str],
+        group_by: Sequence[str],
+        partials,
+        finals,
+        predicate,
+        columns: Optional[Sequence[str]],
+        num_workers: int,
+        order_by: Optional[Sequence[str]],
+        query_id: str,
+    ):
+        """The wave body of :meth:`execute` (split out for cancellation GC)."""
         resilience = ResilienceStats()
         integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
@@ -1623,8 +1765,18 @@ class ShuffleJoinCoordinator(_ResilientWaves):
         self,
         physical: JoinPhysicalPlan,
         num_workers: Optional[int] = None,
+        cancel=None,
+        breakers=None,
+        budget=None,
+        now_fn=None,
     ):
-        """Run the join plan; returns ``(table, statistics, worker_results)``."""
+        """Run the join plan; returns ``(table, statistics, worker_results)``.
+
+        ``cancel``/``breakers``/``budget``/``now_fn`` arm the overload plane
+        for this query (see :class:`_ResilientWaves`); a cancellation raised
+        mid-wave garbage-collects both sides' exchange objects and purges the
+        query's result-queue messages before propagating.
+        """
         sides: Dict[str, JoinSidePlan] = {"L": physical.left, "R": physical.right}
         paths: Dict[str, List[str]] = {}
         for side, plan in sides.items():
@@ -1642,14 +1794,44 @@ class ShuffleJoinCoordinator(_ResilientWaves):
         num_partitions = num_workers or max(mappers.values())
 
         query_id = uuid.uuid4().hex[:12]
+        namings = []
         for side in JOIN_SIDES:
-            for naming in (
-                _join_map_naming(query_id, side, self.num_buckets),
-                _join_legacy_naming(query_id, side, self.num_buckets),
-            ):
-                for bucket in naming.buckets():
-                    self.env.s3.ensure_bucket(bucket)
+            namings.extend(
+                (
+                    _join_map_naming(query_id, side, self.num_buckets),
+                    _join_legacy_naming(query_id, side, self.num_buckets),
+                )
+            )
+        for naming in namings:
+            for bucket in naming.buckets():
+                self.env.s3.ensure_bucket(bucket)
 
+        # Per-query jitter reseed: backoff schedules must not depend on how
+        # many queries this coordinator ran before (order-independent chaos).
+        self._jitter_rng = random.Random(self.resilience_policy.jitter_seed)
+        self._arm_overload(cancel, breakers, budget, now_fn)
+        if cancel is not None and now_fn is not None:
+            cancel.bind(now_fn, query_id=query_id)
+        try:
+            return self._execute_waves(
+                physical, sides, paths, mappers, num_partitions, query_id
+            )
+        except QueryCancelledError:
+            _gc_cancelled_query(self.env, query_id, namings, self.result_queue)
+            raise
+        finally:
+            self._arm_overload()
+
+    def _execute_waves(
+        self,
+        physical: JoinPhysicalPlan,
+        sides: Dict[str, JoinSidePlan],
+        paths: Dict[str, List[str]],
+        mappers: Dict[str, int],
+        num_partitions: int,
+        query_id: str,
+    ):
+        """The wave body of :meth:`execute` (split out for cancellation GC)."""
         resilience = ResilienceStats()
         integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()

@@ -206,6 +206,71 @@ class QueryTimeoutError(ExecutionError):
     """The driver gave up waiting for worker results."""
 
 
+class QueryRejectedError(ExecutionError):
+    """The admission controller refused a query submission outright.
+
+    Raised *before* any fleet resource is spent: the admission queue is
+    full (``reason="queue_full"``), the tenant's invocation token bucket is
+    empty (``reason="invocation_budget"``), or its modelled-dollar bucket is
+    (``reason="dollar_budget"``).  Failing fast here is the point — an
+    over-budget tenant degrades only itself, never the shared fleet.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = ""):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class QueryCancelledError(ExecutionError):
+    """A query was cancelled (explicitly or by its deadline) mid-flight.
+
+    ``stage`` names where the cancellation was observed (e.g.
+    ``"map-wave"``, ``"collect"``); ``deadline`` is True when the trigger
+    was deadline expiry rather than an explicit ``cancel()``.  By the time
+    this propagates, in-flight attempts have been drained: shared-memory
+    segments released, the query's shuffle prefixes and queue messages
+    garbage-collected.
+    """
+
+    def __init__(self, message: str, query_id: str = "", stage: str = "",
+                 deadline: bool = False):
+        super().__init__(message)
+        self.query_id = query_id
+        self.stage = stage
+        self.deadline = deadline
+
+
+class RetryBudgetExhaustedError(ExecutionError):
+    """A query spent its whole per-query retry budget and was aborted.
+
+    Converts the sustained-brownout failure mode from "slow, expensive,
+    and invisible" into a fast, attributed failure: ``spent`` spells out
+    how the budget went (retries, wave retries, hedges) and
+    ``breaker_states`` records which service breakers were open at abort.
+    """
+
+    def __init__(self, message: str, query_id: str = "", spent=None,
+                 breaker_states=None):
+        super().__init__(message)
+        self.query_id = query_id
+        self.spent = dict(spent) if spent else {}
+        self.breaker_states = dict(breaker_states) if breaker_states else {}
+
+
+class BreakerOpenError(ExecutionError):
+    """A request was refused because its service's circuit breaker is open.
+
+    Raised by breaker-aware call sites that cannot degrade (everything that
+    can degrade — combined→legacy, processes→serial — does so instead of
+    raising).  ``service`` is ``"s3"``/``"lambda"``/``"sqs"``.
+    """
+
+    def __init__(self, message: str, service: str = ""):
+        super().__init__(message)
+        self.service = service
+
+
 class ExchangeError(ExecutionError):
     """An exchange operator failed (missing partition files, bad offsets...)."""
 
