@@ -3,41 +3,39 @@
 This example reproduces the workflow of the paper's Listing 1 on a generated
 TPC-H LINEITEM dataset:
 
-1. create a (simulated) cloud environment,
+1. connect to a (simulated) cloud with the public ``repro.connect()`` facade,
 2. generate and upload a dataset to the object store,
-3. install the Lambada worker function (the one-off installation step),
-4. run a filter-map-reduce query written with Python lambdas, and
-5. run the same computation with push-down-friendly expressions and compare.
+3. run a filter-map-reduce query written with Python lambdas,
+4. run the same computation with push-down-friendly expressions, and
+5. run it once more as plain SQL through ``session.sql``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import CloudEnvironment, LambadaDriver, LambadaSession, col
+import repro
+from repro import col
 from repro.workload import generate_lineitem_dataset
 
 
 def main() -> None:
-    # 1. A fresh simulated cloud: S3, SQS, DynamoDB, and a Lambda runtime that
-    #    share one clock and one billing ledger.
-    env = CloudEnvironment.create(region="eu")
+    # 1. A fresh simulated cloud behind one Session: S3, SQS, DynamoDB, and a
+    #    Lambda runtime that share one clock and one billing ledger.
+    session = repro.connect(memory_mib=2048)
 
     # 2. Generate LINEITEM at a small scale factor and upload it as columnar
     #    files (sorted by l_shipdate, like the paper's dataset).
     dataset = generate_lineitem_dataset(
-        env.s3, scale_factor=0.002, num_files=8, row_group_rows=2048
+        session.env.s3, scale_factor=0.002, num_files=8, row_group_rows=2048
     )
+    session.register(dataset)
     print(f"dataset: {dataset.num_files} files, {dataset.total_rows} rows, "
           f"{dataset.total_bytes / 1e6:.1f} MB compressed")
 
-    # 3. Install the worker function and create the result queue.
-    driver = LambadaDriver(env, memory_mib=2048)
-    session = LambadaSession(driver)
-
-    # 4. The paper's Listing 1: UDF-based filter + map + reduce.
+    # 3. The paper's Listing 1: UDF-based filter + map + reduce.
     #    Records are tuples in schema order; l_extendedprice is column 5 and
     #    l_discount column 6.
     listing1 = (
-        session.from_parquet(dataset.glob)
+        session.dataflow(dataset.glob)
         .filter(lambda x: x[6] >= 0.05)
         .map(lambda x: x[5] * x[6])
         .reduce(lambda a, b: a + b)
@@ -45,17 +43,24 @@ def main() -> None:
     )
     print(f"revenue (UDF pipeline):        {listing1.reduce_value:,.2f}")
 
-    # 5. The same query with expressions: the optimizer pushes the selection
+    # 4. The same query with expressions: the optimizer pushes the selection
     #    and projection into the scan, so workers read fewer bytes.
     expression_query = (
-        session.from_parquet(dataset.glob)
+        session.dataflow(dataset.glob)
         .filter(col("l_discount") >= 0.05)
         .sum(col("l_extendedprice") * col("l_discount"), alias="revenue")
         .collect()
     )
     print(f"revenue (expression pipeline): {expression_query.column('revenue')[0]:,.2f}")
 
-    stats = expression_query.statistics
+    # 5. And once more as SQL against the registered table.
+    sql_query = session.sql(
+        "SELECT sum(l_extendedprice * l_discount) AS revenue "
+        "FROM lineitem WHERE l_discount >= 0.05"
+    )
+    print(f"revenue (SQL):                 {sql_query.rows[0]['revenue']:,.2f}")
+
+    stats = sql_query.statistics
     print(f"\nworkers: {stats.num_workers}, "
           f"modelled latency: {stats.latency_seconds:.2f} s, "
           f"modelled cost: {stats.cost_total * 100:.4f} ¢")

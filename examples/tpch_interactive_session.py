@@ -18,8 +18,7 @@ frontend:
 Run with:  python examples/tpch_interactive_session.py
 """
 
-from repro import CloudEnvironment, LambadaDriver
-from repro.frontend.sql import SqlCatalog, parse_sql
+import repro
 from repro.workload import generate_lineitem_dataset, q1_sql, q6_sql
 
 
@@ -34,20 +33,20 @@ def describe(result, label: str) -> None:
 
 
 def main() -> None:
-    env = CloudEnvironment.create(region="eu")
+    session = repro.connect(memory_mib=1792)
     dataset = generate_lineitem_dataset(
-        env.s3, scale_factor=0.005, num_files=16, row_group_rows=2048
+        session.env.s3, scale_factor=0.005, num_files=16, row_group_rows=2048
     )
-    driver = LambadaDriver(env, memory_mib=1792)
-    catalog = SqlCatalog({"lineitem": dataset.paths, "sample": dataset.paths[:2]})
+    session.register(dataset)
+    session.register_table("sample", dataset.paths[:2])
 
     print(f"dataset: {dataset.num_files} files, {dataset.total_rows} rows\n")
 
     # -- explore a sample first (the 'sample query' of the usage model) -----------
     print("1. sample exploration")
-    sample = driver.execute(parse_sql(
+    sample = session.sql(
         "SELECT l_returnflag, count(*) AS n, avg(l_extendedprice) AS avg_price "
-        "FROM sample GROUP BY l_returnflag ORDER BY l_returnflag", catalog))
+        "FROM sample GROUP BY l_returnflag ORDER BY l_returnflag")
     describe(sample, "sample group-by")
     for flag, n, price in zip(sample.column("l_returnflag"),
                               sample.column("n"),
@@ -56,29 +55,28 @@ def main() -> None:
 
     # -- the real queries on the full dataset ---------------------------------------
     print("\n2. full-dataset queries")
-    q6 = driver.execute(parse_sql(q6_sql(), catalog))
+    q6 = session.sql(q6_sql())
     describe(q6, "TPC-H Q6 (selective)")
     print(f"      revenue = {q6.column('revenue')[0]:,.2f}")
 
-    q1 = driver.execute(parse_sql(q1_sql(), catalog))
+    q1 = session.sql(q1_sql())
     describe(q1, "TPC-H Q1 (scan-heavy)")
     print(f"      groups = {q1.num_rows}")
 
     # -- worker configuration exploration (the paper's Figure 10) --------------------
     print("\n3. worker configurations for Q1 (memory x files-per-worker)")
     for memory in (1024, 1792, 3008):
-        driver.set_memory(memory)
+        session.driver.set_memory(memory)
         for files_per_worker in (1, 4):
-            result = driver.execute(parse_sql(q1_sql(), catalog),
-                                    files_per_worker=files_per_worker)
+            result = session.sql(q1_sql(), files_per_worker=files_per_worker)
             describe(result, f"M={memory} MiB, F={files_per_worker}")
 
     # -- the bill ----------------------------------------------------------------------
     print("\n4. session bill (everything metered by the simulated cloud)")
-    for dimension, dollars in sorted(env.cost_breakdown().items()):
+    for dimension, dollars in sorted(session.env.cost_breakdown().items()):
         if dollars:
             print(f"      {dimension:<24} ${dollars:.6f}")
-    print(f"      {'total':<24} ${env.total_cost():.6f}")
+    print(f"      {'total':<24} ${session.env.total_cost():.6f}")
 
 
 if __name__ == "__main__":

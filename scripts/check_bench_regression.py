@@ -4,8 +4,12 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hot_paths.py   # writes BENCH_hot_paths.json
+    PYTHONPATH=src python scripts/run_tpch_experiments.py # writes BENCH_tpch.json
     python scripts/check_bench_regression.py [--baseline BENCH_hot_paths.json] \
-        [--current fresh.json] [--tolerance 0.6]
+        [--baseline BENCH_tpch.json] [--current fresh.json] [--tolerance 0.6]
+
+``--baseline`` is repeatable; with none given, both committed trajectories
+(``BENCH_hot_paths.json`` and ``BENCH_tpch.json``) are loaded and merged.
 
 Four kinds of checks:
 
@@ -66,6 +70,11 @@ ABSOLUTE_FLOORS = {
     ("join_e2e", "put_collapse"): 8.0,
     ("join_e2e", "request_cost_collapse"): 4.0,
     ("join_e2e", "modelled_speedup"): 1.2,
+    # PR 10: the five N-way join DAGs (Q5/Q7/Q9/Q10/Q18) in BENCH_tpch.json
+    # must all be bit-identical to their NumPy references, and each must
+    # have lowered to a genuine multi-stage DAG (>= 2 join stages).
+    ("dag_join", "correct_fraction"): 1.0,
+    ("dag_join", "min_dag_stages"): 2.0,
 }
 
 #: Floors that only hold on suitable hardware, keyed ``(section, field)``.
@@ -100,6 +109,12 @@ ABSOLUTE_REQUEST_CEILINGS = {
     ("join_e2e", "combined_get_requests"): 2 * 16 * 16,
     ("join_e2e", "combined_list_requests"): 0,
     ("join_e2e", "combined_head_requests"): 0,
+    # PR 10: every wave of an N-way DAG learns its inputs from the combined
+    # objects announced through the result-queue barrier — across all five
+    # TPC-H DAG queries and all of their waves, zero LIST/HEAD discovery
+    # requests.  A single regression to discovery-by-listing fails here.
+    ("dag_join", "discovery_list_requests"): 0,
+    ("dag_join", "discovery_head_requests"): 0,
 }
 
 #: Maximum overhead ratios, keyed ``(section, field)``.  The resilience
@@ -147,12 +162,16 @@ def load_results(path: Path) -> dict:
 
 
 def check(
-    baseline_path: Path,
+    baseline_paths: Path | list[Path],
     current_path: Path | None,
     tolerance: float,
     sections: list[str] | None = None,
 ) -> int:
-    baseline = load_results(baseline_path)
+    if isinstance(baseline_paths, (str, Path)):
+        baseline_paths = [baseline_paths]
+    baseline: dict = {}
+    for path in baseline_paths:
+        baseline.update(load_results(path))
     current = load_results(current_path) if current_path else baseline
     failures = []
 
@@ -278,8 +297,10 @@ def main() -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_hot_paths.json",
-        help="committed trajectory to compare against",
+        action="append",
+        default=None,
+        help="committed trajectory to compare against (repeatable; defaults "
+        "to BENCH_hot_paths.json + BENCH_tpch.json)",
     )
     parser.add_argument(
         "--current",
@@ -301,8 +322,13 @@ def main() -> int:
         help="check only this section (repeatable); defaults to all sections",
     )
     arguments = parser.parse_args()
+    repo_root = Path(__file__).resolve().parent.parent
+    baselines = arguments.baseline or [
+        repo_root / "BENCH_hot_paths.json",
+        repo_root / "BENCH_tpch.json",
+    ]
     return check(
-        arguments.baseline,
+        baselines,
         arguments.current,
         arguments.tolerance,
         sections=arguments.sections,

@@ -10,29 +10,50 @@ communicating only through shared serverless storage.
 Quickstart
 ----------
 
->>> from repro import CloudEnvironment, LambadaDriver, LambadaSession, col, lit
+The stable entry point is :func:`repro.connect`, which opens a
+:class:`~repro.frontend.session.Session` against a (simulated) cloud:
+
+>>> import repro
 >>> from repro.workload import generate_lineitem_dataset
->>> env = CloudEnvironment.create()
->>> dataset = generate_lineitem_dataset(env.s3, scale_factor=0.001, num_files=4)
->>> driver = LambadaDriver(env, memory_mib=2048)
->>> session = LambadaSession(driver)
->>> result = (
-...     session.from_parquet(dataset.glob)
-...     .filter(col("l_discount") >= lit(0.05))
-...     .sum(col("l_extendedprice") * col("l_discount"), alias="revenue")
-...     .collect()
+>>> session = repro.connect()
+>>> dataset = generate_lineitem_dataset(session.env.s3, scale_factor=0.001)
+>>> session = session.register(dataset)
+>>> result = session.sql(
+...     "SELECT sum(l_extendedprice * l_discount) AS revenue "
+...     "FROM lineitem WHERE l_discount >= 0.05"
 ... )
 >>> result.num_rows
+1
+>>> print(result.explain())  # optimizer decisions + wave schedule
+
+The Listing-1 dataflow DSL stays available through ``session.dataflow(...)``
+(or the lower-level :class:`LambadaSession`):
+
+>>> from repro import col, lit
+>>> flow = (
+...     session.dataflow(dataset.glob)
+...     .filter(col("l_discount") >= lit(0.05))
+...     .sum(col("l_extendedprice") * col("l_discount"), alias="revenue")
+... )
+>>> flow.collect().num_rows
 1
 """
 
 from repro.cloud import CloudEnvironment
 from repro.driver import LambadaDriver, QueryResult, QueryStatistics
-from repro.frontend import DataFlow, LambadaSession, from_files, parse_sql, SqlCatalog
+from repro.frontend import (
+    DataFlow,
+    LambadaSession,
+    Session,
+    connect,
+    from_files,
+    parse_sql,
+    SqlCatalog,
+)
 from repro.plan import col, lit
 from repro.errors import LambadaError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CloudEnvironment",
@@ -41,6 +62,8 @@ __all__ = [
     "QueryStatistics",
     "DataFlow",
     "LambadaSession",
+    "Session",
+    "connect",
     "from_files",
     "parse_sql",
     "SqlCatalog",

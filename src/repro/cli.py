@@ -6,9 +6,12 @@ registers) a dataset, executes the requested action, and prints the results
 and the bill.  Subcommands:
 
 ``demo-query``
-    Generate a LINEITEM dataset and run a SQL query (default: TPC-H Q6)
-    end to end on the serverless stack, printing the result, the modelled
-    latency, and the cost breakdown.
+    Generate a TPC-H dataset and run a SQL query (default: TPC-H Q6) end to
+    end on the serverless stack through the public ``repro.connect()``
+    session, printing the result, the modelled latency, and the cost
+    breakdown.  ``--tpch q5`` (or q7/q9/q10/q18) generates every relation
+    the query joins and schedules it as a multi-wave join DAG;
+    ``--explain`` prints the optimizer's join order and the wave plan.
 
 ``exchange-cost``
     Print the Table 2 / Figure 9 request counts and per-worker costs of the
@@ -47,12 +50,45 @@ from repro.analysis.experiments import PaperScaleModel
 from repro.baselines.qaas import AthenaModel, BigQueryModel
 from repro.cloud.environment import CloudEnvironment
 from repro.driver.catalog import StatisticsCatalog
-from repro.driver.driver import LambadaDriver
 from repro.driver.invocation import FlatInvocationModel, TreeInvocationModel
 from repro.exchange.cost_model import EXCHANGE_VARIANTS, ExchangeCostModel
+from repro.frontend.session import connect
 from repro.frontend.sql import SqlCatalog, parse_sql
+from repro.workload import queries as tpch_queries
 from repro.workload.queries import q6_sql
-from repro.workload.tpch import generate_lineitem_dataset
+from repro.workload.tpch import (
+    generate_customer_dataset,
+    generate_lineitem_dataset,
+    generate_nation_dataset,
+    generate_orders_dataset,
+    generate_part_dataset,
+    generate_region_dataset,
+    generate_supplier_dataset,
+)
+
+#: The SQL text and the relations each packaged TPC-H query needs.
+TPCH_QUERIES = {
+    "q1": ("q1_sql", ("lineitem",)),
+    "q3": ("q3_sql", ("lineitem", "orders")),
+    "q5": ("q5_sql", ("lineitem", "orders", "customer", "supplier", "nation", "region")),
+    "q6": ("q6_sql", ("lineitem",)),
+    "q7": ("q7_sql", ("lineitem", "orders", "customer", "supplier")),
+    "q9": ("q9_sql", ("lineitem", "part", "supplier", "orders", "nation")),
+    "q10": ("q10_sql", ("lineitem", "orders", "customer", "nation")),
+    "q12": ("q12_sql", ("lineitem", "orders")),
+    "q14": ("q14_sql", ("lineitem", "part")),
+    "q18": ("q18_sql", ("lineitem", "orders", "customer")),
+}
+
+_RELATION_GENERATORS = {
+    "lineitem": generate_lineitem_dataset,
+    "orders": generate_orders_dataset,
+    "customer": generate_customer_dataset,
+    "supplier": generate_supplier_dataset,
+    "part": generate_part_dataset,
+    "nation": generate_nation_dataset,
+    "region": generate_region_dataset,
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,14 +99,22 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     demo = subparsers.add_parser("demo-query", help="run a SQL query on a generated dataset")
-    demo.add_argument("--sql", default=None, help="SQL statement (default: TPC-H Q6)")
-    demo.add_argument("--scale-factor", type=float, default=0.002, help="LINEITEM scale factor")
-    demo.add_argument("--files", type=int, default=8, help="number of dataset files")
+    demo.add_argument("--sql", default=None, help="SQL statement (default: the --tpch query)")
+    demo.add_argument("--tpch", default="q6", choices=sorted(TPCH_QUERIES),
+                      help="packaged TPC-H query; its relations are generated "
+                           "automatically (N-way queries run as a join DAG)")
+    demo.add_argument("--scale-factor", type=float, default=0.002, help="TPC-H scale factor")
+    demo.add_argument("--files", type=int, default=8, help="number of LINEITEM files")
     demo.add_argument("--memory-mib", type=int, default=1792, help="worker memory size")
     demo.add_argument("--files-per-worker", type=int, default=1, help="files per worker (F)")
+    demo.add_argument("--num-workers", type=int, default=None,
+                      help="fleet size (join queries size both waves from this)")
     demo.add_argument("--cold", action="store_true", help="force cold starts")
+    demo.add_argument("--explain", action="store_true",
+                      help="print the optimizer report and wave schedule")
     demo.add_argument("--use-catalog", action="store_true",
-                      help="skip fully-pruned files via the statistics catalog")
+                      help="skip fully-pruned files via the statistics catalog "
+                           "(single-table queries only)")
 
     exchange = subparsers.add_parser("exchange-cost", help="exchange request-cost model (Table 2 / Figure 9)")
     exchange.add_argument("--workers", type=int, default=1024, help="fleet size P")
@@ -117,31 +161,42 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_demo_query(args: argparse.Namespace, out) -> int:
-    env = CloudEnvironment.create()
-    dataset = generate_lineitem_dataset(
-        env.s3, scale_factor=args.scale_factor, num_files=args.files
-    )
-    driver = LambadaDriver(env, memory_mib=args.memory_mib)
-    sql = args.sql or q6_sql()
-    catalog = SqlCatalog({"lineitem": dataset.paths})
+    session = connect(memory_mib=args.memory_mib)
+    sql_builder, relations = TPCH_QUERIES[args.tpch]
+    datasets = {}
+    for relation in relations:
+        generator = _RELATION_GENERATORS[relation]
+        kwargs = {"scale_factor": args.scale_factor}
+        if relation == "lineitem":
+            kwargs["num_files"] = args.files
+        datasets[relation] = generator(session.env.s3, **kwargs)
+        session.register(datasets[relation])
+    sql = args.sql or getattr(tpch_queries, sql_builder)()
+    lineitem = datasets.get("lineitem")
 
-    statistics_catalog: Optional[StatisticsCatalog] = None
-    dataset_name: Optional[str] = None
-    if args.use_catalog:
-        statistics_catalog = StatisticsCatalog(env.dynamodb)
-        statistics_catalog.register_dataset(env.s3, "lineitem", dataset.paths)
-        dataset_name = "lineitem"
+    execute_kwargs = {"cold": args.cold}
+    if args.num_workers is not None:
+        execute_kwargs["num_workers"] = args.num_workers
+    if len(relations) == 1:
+        execute_kwargs["files_per_worker"] = args.files_per_worker
+        if args.use_catalog:
+            statistics_catalog = StatisticsCatalog(session.env.dynamodb)
+            statistics_catalog.register_dataset(
+                session.env.s3, "lineitem", lineitem.paths
+            )
+            execute_kwargs["catalog"] = statistics_catalog
+            execute_kwargs["dataset_name"] = "lineitem"
 
-    result = driver.execute(
-        parse_sql(sql, catalog),
-        files_per_worker=args.files_per_worker,
-        cold=args.cold,
-        catalog=statistics_catalog,
-        dataset_name=dataset_name,
-    )
+    result = session.sql(sql, **execute_kwargs)
 
-    print(f"dataset: {dataset.num_files} files, {dataset.total_rows} rows", file=out)
+    for relation, dataset in datasets.items():
+        print(f"dataset: {relation}: {dataset.num_files} files, "
+              f"{dataset.total_rows} rows", file=out)
     print(f"query:   {sql}", file=out)
+    if args.explain:
+        print("plan:", file=out)
+        for line in result.explain().splitlines():
+            print(f"  {line}", file=out)
     print(f"result ({result.num_rows} rows):", file=out)
     names = list(result.table.keys())
     print("  " + " | ".join(f"{name:>16}" for name in names), file=out)
@@ -151,6 +206,10 @@ def _run_demo_query(args: argparse.Namespace, out) -> int:
     stats = result.statistics
     print(f"workers: {stats.num_workers}   modelled latency: {stats.latency_seconds:.2f} s   "
           f"cost: {stats.cost_total * 100:.4f} cents", file=out)
+    if stats.dag_stages > 1:
+        print(f"join DAG: {stats.dag_stages} stages   "
+              f"exchange discovery requests: {stats.exchange.list_requests + stats.exchange.head_requests}   "
+              f"gc'd intermediates: {stats.gc_objects_deleted}", file=out)
     print("cost breakdown:", file=out)
     print(f"  lambda duration  ${stats.cost_lambda_duration:.6f}", file=out)
     print(f"  lambda requests  ${stats.cost_lambda_requests:.6f}", file=out)

@@ -75,7 +75,12 @@ from repro.errors import (
 )
 from repro.plan.logical import LogicalPlan
 from repro.plan.optimizer import OptimizerReport, optimize
-from repro.plan.physical import JoinPhysicalPlan, PhysicalPlan, resolve_udf
+from repro.plan.physical import (
+    DagPhysicalPlan,
+    JoinPhysicalPlan,
+    PhysicalPlan,
+    resolve_udf,
+)
 
 
 @dataclass
@@ -118,6 +123,13 @@ class QueryStatistics:
     join_probe_rows: int = 0
     join_build_rows: int = 0
     join_output_rows: int = 0
+    #: Number of join waves in the executed schedule (1 for a binary join,
+    #: ``len(dag.stages)`` for an N-way join DAG; 1 for scan queries too,
+    #: where no join wave exists but the field keeps a uniform meaning).
+    dag_stages: int = 1
+    #: Intermediate exchange objects deleted by the coordinator's per-stage
+    #: and end-of-query garbage collection (0 for scan and binary joins).
+    gc_objects_deleted: int = 0
     #: Fault-tolerance counters for this query: retries, hedges won/lost,
     #: injected faults survived, degradation fallbacks, wasted modelled cost.
     #: All-zero on a clean run.
@@ -158,10 +170,35 @@ class QueryResult:
     statistics: QueryStatistics
     worker_results: List[WorkerResult]
     optimizer_report: Optional[OptimizerReport] = None
+    #: Rendering of the executed physical plan (``physical.explain()``).
+    plan_explain: str = ""
 
     def column(self, name: str) -> np.ndarray:
         """One result column as a NumPy array."""
         return np.asarray(self.table[name])
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """Result rows as plain dicts of Python scalars, in result order."""
+        names = list(self.table)
+        columns = [np.asarray(self.table[name]) for name in names]
+        return [
+            {name: column[index].item() for name, column in zip(names, columns)}
+            for index in range(self.num_rows)
+        ]
+
+    def explain(self) -> str:
+        """The executed schedule: join order, waves, and push-downs.
+
+        Combines the optimizer's report (join order, pruned columns,
+        estimated costs) with the physical plan's wave-by-wave rendering.
+        """
+        parts = []
+        if self.optimizer_report is not None:
+            parts.append(self.optimizer_report.describe())
+        if self.plan_explain:
+            parts.append(self.plan_explain)
+        return "\n".join(parts) if parts else "(no plan recorded)"
 
     def scalar(self) -> float:
         """The single value of a scalar (one row, one column) result."""
@@ -275,7 +312,7 @@ class LambadaDriver:
 
     def execute(
         self,
-        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan],
+        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan, DagPhysicalPlan],
         num_workers: Optional[int] = None,
         files_per_worker: Optional[int] = None,
         cold: bool = False,
@@ -331,7 +368,10 @@ class LambadaDriver:
         else:
             physical = plan
 
-        if isinstance(physical, JoinPhysicalPlan):
+        # Dispatch on the unified plan protocol: every physical plan carries
+        # an ``engine`` tag ("scan" or "shuffle-dag"), so the driver never
+        # needs to know the concrete plan class.
+        if getattr(physical, "engine", "scan") == "shuffle-dag":
             if catalog is not None or dataset_name is not None:
                 raise ExecutionError(
                     "catalog-based file pruning is not supported for join plans"
@@ -461,6 +501,7 @@ class LambadaDriver:
                 statistics=statistics,
                 worker_results=worker_results,
                 optimizer_report=report,
+                plan_explain=physical.explain(),
             )
         except (QueryCancelledError, RetryBudgetExhaustedError):
             # Typed teardown: a query that will never consume its results
@@ -474,7 +515,7 @@ class LambadaDriver:
 
     def _execute_join(
         self,
-        physical: JoinPhysicalPlan,
+        physical: Union[JoinPhysicalPlan, DagPhysicalPlan],
         report: Optional[OptimizerReport],
         num_workers: Optional[int],
         cold: bool,
@@ -482,13 +523,14 @@ class LambadaDriver:
     ) -> QueryResult:
         """Execute a join plan through the shuffle-join coordinator.
 
-        The multi-stage schedule (two map waves repartitioning each side by
-        join-key hash through the write-combined exchange, a join wave
-        probing the slices and computing the partial aggregates placed above
-        the join) runs in :class:`~repro.driver.shuffle.
-        ShuffleJoinCoordinator`; this wrapper folds its worker results into
-        the same :class:`QueryStatistics` shape scan queries report, with the
-        exchange and join counters threaded through.
+        The DAG schedule (one scan wave repartitioning every relation by its
+        join key through the write-combined exchange, then one join wave per
+        DAG stage — middle stages re-emit into the exchange, the final stage
+        computes the partial aggregates placed above the join) runs in
+        :class:`~repro.driver.shuffle.ShuffleJoinCoordinator`; this wrapper
+        folds its worker results into the same :class:`QueryStatistics` shape
+        scan queries report, with the exchange and join counters threaded
+        through.
         """
         from repro.driver.shuffle import (
             JOIN_MAP_FUNCTION_NAME,
@@ -569,6 +611,8 @@ class LambadaDriver:
             join_probe_rows=join_stats.join_probe_rows,
             join_build_rows=join_stats.join_build_rows,
             join_output_rows=join_stats.join_output_rows,
+            dag_stages=join_stats.dag_stages,
+            gc_objects_deleted=join_stats.gc_objects_deleted,
             resilience=resilience,
             integrity=join_stats.integrity,
         )
@@ -579,6 +623,7 @@ class LambadaDriver:
             statistics=statistics,
             worker_results=worker_results,
             optimizer_report=report,
+            plan_explain=physical.explain(),
         )
 
     # -- process-pool execution plane ------------------------------------------------
@@ -785,6 +830,7 @@ class LambadaDriver:
                 statistics=statistics,
                 worker_results=worker_results,
                 optimizer_report=report,
+                plan_explain=physical.explain(),
             )
         finally:
             # Release the zero-copy views BEFORE unmapping the segments.  On
@@ -1519,6 +1565,7 @@ class LambadaDriver:
             statistics=statistics,
             worker_results=[],
             optimizer_report=report,
+            plan_explain=physical.explain(),
         )
 
     def _merge(
@@ -1715,7 +1762,7 @@ class QuerySession:
 
     def submit(
         self,
-        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan],
+        plan: Union[LogicalPlan, PhysicalPlan, JoinPhysicalPlan, DagPhysicalPlan],
         tenant: str = "default",
         deadline_seconds: Optional[float] = None,
         cancel: Optional[CancellationToken] = None,

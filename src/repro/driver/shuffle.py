@@ -125,7 +125,12 @@ from repro.formats.compression import Compression
 from repro.plan.expressions import evaluate, expression_from_dict, expression_to_dict
 from repro.plan.logical import AggregateSpec
 from repro.plan.optimizer import _decompose_aggregates
-from repro.plan.physical import JoinPhysicalPlan, JoinSidePlan, PruneRange
+from repro.plan.physical import (
+    DagPhysicalPlan,
+    JoinPhysicalPlan,
+    JoinSidePlan,
+    PruneRange,
+)
 
 MAP_FUNCTION_NAME = "lambada-shuffle-map"
 REDUCE_FUNCTION_NAME = "lambada-shuffle-reduce"
@@ -491,19 +496,21 @@ def _slice_crcs(payload: bytes, offsets: Sequence[int]) -> List[int]:
     ]
 
 
-def _gc_cancelled_query(env: CloudEnvironment, query_id: str, namings, queue: str) -> int:
-    """Garbage-collect a cancelled query's cloud state; returns keys deleted.
+def _gc_query_objects(env: CloudEnvironment, query_id: str, namings) -> int:
+    """Delete every exchange object a query's attempts wrote; returns count.
 
-    Deletes every exchange object the query's attempts wrote (all attempt
-    prefixes live under ``{query_id}/`` in every naming's buckets) and purges
-    the result queue so no orphaned message can leak into a later query's
-    poll.  Best-effort: an injected fault during cleanup (the brownout that
-    provoked the cancellation may still be raging) skips that bucket rather
-    than masking the cancellation itself.
+    All attempt prefixes (and, for DAG queries, all side/stage tags) live
+    under ``{query_id}/`` in every naming's buckets, so one LIST per bucket
+    sweeps the lot.  Best-effort: an injected fault during cleanup skips
+    that bucket rather than masking the caller's own outcome.
     """
     deleted = 0
+    swept: Set[str] = set()
     for naming in namings:
         for bucket in naming.buckets():
+            if bucket in swept:
+                continue
+            swept.add(bucket)
             try:
                 metas = env.s3.list_objects(bucket, prefix=f"{query_id}/")
             except CloudError:
@@ -514,6 +521,53 @@ def _gc_cancelled_query(env: CloudEnvironment, query_id: str, namings, queue: st
                     deleted += 1
                 except CloudError:
                     continue
+    return deleted
+
+
+def _gc_tag_objects(
+    env: CloudEnvironment,
+    query_id: str,
+    tag: str,
+    num_buckets: int,
+    max_attempts: int,
+) -> int:
+    """Delete one exchange tag's objects across every attempt prefix.
+
+    Used by the DAG scheduler to drop a consumed intermediate result (tag
+    ``J{k}``) as soon as the wave that read it completes, bounding peak
+    shuffle storage to two live stages instead of the whole DAG.  Listing
+    the exact ``{attempt prefix}{tag}/`` prefix catches combined and legacy
+    objects alike, including orphans from superseded attempts.
+    """
+    deleted = 0
+    buckets = _join_map_naming(query_id, tag, num_buckets).buckets()
+    for attempt in range(max(1, max_attempts)):
+        prefix = f"{_attempt_prefix(query_id, attempt)}{tag}/"
+        for bucket in buckets:
+            try:
+                metas = env.s3.list_objects(bucket, prefix=prefix)
+            except CloudError:
+                continue
+            for meta in metas:
+                try:
+                    env.s3.delete_object(bucket, meta.key)
+                    deleted += 1
+                except CloudError:
+                    continue
+    return deleted
+
+
+def _gc_cancelled_query(env: CloudEnvironment, query_id: str, namings, queue: str) -> int:
+    """Garbage-collect a cancelled query's cloud state; returns keys deleted.
+
+    Deletes every exchange object the query's attempts wrote (all attempt
+    prefixes live under ``{query_id}/`` in every naming's buckets) and purges
+    the result queue so no orphaned message can leak into a later query's
+    poll.  Best-effort: an injected fault during cleanup (the brownout that
+    provoked the cancellation may still be raging) skips that bucket rather
+    than masking the cancellation itself.
+    """
+    deleted = _gc_query_objects(env, query_id, namings)
     try:
         env.sqs.purge_queue(queue)
     except CloudError:
@@ -1542,6 +1596,133 @@ def _make_join_map_handler(env: CloudEnvironment):
     return _guarded(env, handler)
 
 
+def _emit_intermediate(
+    env: CloudEnvironment,
+    event: Dict,
+    context: InvocationContext,
+    joined: Table,
+    stats: ExchangeStats,
+    istats: IntegrityStats,
+    objects_read: int,
+    probe_rows: int,
+    build_rows: int,
+    integrity: IntegrityConfig,
+) -> Dict:
+    """Repartition a non-final join wave's output back into the exchange.
+
+    A middle DAG stage does not return rows to the driver: it prunes the
+    joined rows to the columns later stages still need, scatters them by the
+    *next* stage's probe key under the intermediate tag (``J{k}``), and
+    announces the combined object's offset-bearing path through the result
+    queue — so the next join wave reads its slices with zero discovery
+    requests, exactly like a scan-side mapper with the join output as its
+    "scan".  Zero joined rows cost zero PUTs (format ``"empty"``).
+    """
+    query_id = event["query_id"]
+    partition = event["partition"]
+    attempt = int(event.get("attempt", 0))
+    emit = event["emit"]
+    emit_tag = emit["tag"]
+    emit_key = emit["key"]
+    emit_partitions = int(emit.get("num_partitions", event["num_partitions"]))
+    out_columns = list(emit.get("columns") or [])
+    write_combining = bool(event.get("write_combining", True))
+    fast_codec = bool(event.get("fast_codec", True))
+    compression = Compression(event.get("compression", Compression.FAST.value))
+    num_buckets = int(event.get("num_buckets", 10))
+
+    rows = joined
+    if out_columns and table_num_rows(joined):
+        rows = select_columns(joined, out_columns)
+
+    written = 0
+    combined_written = False
+    path = None
+    payload_len = 0
+    if table_num_rows(rows):
+        assignment = partition_assignments(rows, [emit_key], emit_partitions)
+        reordered, boundaries = scatter_by_assignment(rows, assignment, emit_partitions)
+        if write_combining:
+            naming = _join_map_naming(query_id, emit_tag, num_buckets, attempt)
+            payload, offsets = encode_partition_set(
+                reordered, boundaries, compression, checksum=integrity.generate
+            )
+            crcs = _slice_crcs(payload, offsets) if integrity.generate else None
+            try:
+                path = naming.combined_path(partition, offsets, crcs)
+            except ExchangeError:
+                # Offset directory overflows the S3 key limit: fall back to
+                # per-receiver objects for this emitter.
+                path = None
+            else:
+                env.s3.put_path(path, payload)
+                stats.put_requests += 1
+                stats.combined_put_requests += 1
+                stats.bytes_written += len(payload)
+                payload_len = len(payload)
+                written = 1
+                combined_written = True
+        if not combined_written:
+            naming = _join_legacy_naming(query_id, emit_tag, num_buckets, attempt)
+            for receiver in range(emit_partitions):
+                data = serialize_partition(
+                    slice_partition(reordered, boundaries, receiver),
+                    compression,
+                    fast=fast_codec,
+                    checksum=integrity.generate,
+                )
+                if not data:
+                    stats.empty_parts_elided += 1
+                    continue
+                env.s3.put_path(naming.path(partition, receiver), data)
+                stats.put_requests += 1
+                stats.bytes_written += len(data)
+                written += 1
+
+    modelled_seconds = (
+        0.1
+        + 0.001 * objects_read
+        + stats.total_requests * S3_REQUEST_LATENCY_SECONDS
+    ) * getattr(context, "straggler_factor", 1.0)
+    context.charge(modelled_seconds)
+
+    result = WorkerResult(
+        partial={},
+        rows_output=table_num_rows(rows),
+        join_probe_rows=probe_rows,
+        join_build_rows=build_rows,
+        join_output_rows=table_num_rows(joined),
+        duration_seconds=modelled_seconds,
+        exchange_stats=stats.to_dict(),
+        integrity_stats=istats.to_dict(),
+    )
+    if combined_written:
+        out_format = "combined"
+    elif written:
+        out_format = "objects"
+    else:
+        out_format = "empty"
+    message = {
+        "query_id": query_id,
+        "worker_id": partition,
+        "status": "ok",
+        "attempt": attempt,
+        "objects_read": objects_read,
+        "format": out_format,
+        "partitions_written": written,
+        "worker_result": result.to_payload(),
+    }
+    if event.get("side") is not None:
+        message["side"] = event["side"]
+    if combined_written:
+        message["combined_path"] = path
+        message["combined_size"] = payload_len
+    if integrity.generate:
+        sign_message(message)
+    env.sqs.send_json(event["result_queue"], message)
+    return message
+
+
 def _make_join_reduce_handler(env: CloudEnvironment):
     """Handler of the join-wave function.
 
@@ -1577,11 +1758,16 @@ def _make_join_reduce_handler(env: CloudEnvironment):
         objects_read = 0
         for side in JOIN_SIDES:
             spec = event["sides"][side]
+            # DAG stages address each input by its exchange tag: the probe
+            # side of stage k>0 is the previous stage's intermediate
+            # ("J{k-1}"), the build side a scan fleet ("R{k}").  Binary
+            # joins omit the tag and keep the historical "L"/"R" prefixes.
+            tag = spec.get("tag", side)
             pieces, side_objects = _collect_partition_pieces(
                 env,
-                _join_map_naming(query_id, side, num_buckets),
-                lambda map_attempt, side=side: _join_legacy_naming(
-                    query_id, side, num_buckets, map_attempt
+                _join_map_naming(query_id, tag, num_buckets),
+                lambda map_attempt, tag=tag: _join_legacy_naming(
+                    query_id, tag, num_buckets, map_attempt
                 ),
                 spec.get("combined", []),
                 spec.get("combined_senders", []),
@@ -1603,6 +1789,16 @@ def _make_join_reduce_handler(env: CloudEnvironment):
         build_rows = table_num_rows(right)
         if probe_rows and build_rows:
             joined = hash_join(left, right, left_key, right_key, suffix=suffix)
+            if (
+                bool(event.get("restore_right_key", False))
+                and table_num_rows(joined)
+                and right_key not in joined
+            ):
+                # hash_join drops the build side's key column (it equals the
+                # probe key on every joined row); a later stage or residual
+                # that references it gets the column materialized back here.
+                joined = dict(joined)
+                joined[right_key] = joined[left_key]
             if residual is not None and table_num_rows(joined):
                 joined = filter_table(
                     joined, np.asarray(evaluate(residual, joined), dtype=bool)
@@ -1612,6 +1808,20 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             # aggregate below still emits the right (empty) columns.
             joined = {}
         output_rows = table_num_rows(joined)
+
+        if event.get("emit") is not None:
+            return _emit_intermediate(
+                env,
+                event,
+                context,
+                joined,
+                stats,
+                istats,
+                objects_read,
+                probe_rows,
+                build_rows,
+                integrity,
+            )
 
         if collect_rows:
             partial_table = joined
@@ -1643,6 +1853,8 @@ def _make_join_reduce_handler(env: CloudEnvironment):
             "worker_result": result.to_payload(),
             "result": encode_table(partial_table, checksum=integrity.generate),
         }
+        if event.get("side") is not None:
+            payload["side"] = event["side"]
         if integrity.generate:
             sign_message(payload)
         encoded = json.dumps(payload).encode("utf-8")
@@ -1659,6 +1871,8 @@ def _make_join_reduce_handler(env: CloudEnvironment):
                 "worker_result": result.to_payload(),
                 "result_s3": f"s3://{RESULT_BUCKET}/{spill_key}",
             }
+            if event.get("side") is not None:
+                pointer["side"] = event["side"]
             if integrity.generate:
                 sign_message(pointer)
             env.sqs.send_json(event["result_queue"], pointer)
@@ -1694,6 +1908,11 @@ class JoinStatistics:
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
     #: Checksum verification and corruption-recovery counters.
     integrity: IntegrityStats = field(default_factory=IntegrityStats)
+    #: Number of join waves the DAG scheduler ran (1 for a binary join).
+    dag_stages: int = 1
+    #: Intermediate/exchange objects garbage-collected during and after the
+    #: query (per-stage intermediate GC plus the end-of-query sweep).
+    gc_objects_deleted: int = 0
 
     @property
     def modelled_latency_seconds(self) -> float:
@@ -1712,20 +1931,31 @@ class JoinStatistics:
 
 
 class ShuffleJoinCoordinator(_ResilientWaves):
-    """Coordinates a distributed equi-join as map waves + a join wave.
+    """Schedules a join DAG as a scan wave + successive shuffle-join waves.
 
-    Execution plan of a :class:`~repro.plan.physical.JoinPhysicalPlan`:
+    Accepts any shuffle physical plan (:class:`JoinPhysicalPlan` is
+    normalised through ``as_dag()`` into a one-stage
+    :class:`~repro.plan.physical.DagPhysicalPlan`):
 
-    1. **map waves** (one per side) — scan, per-side pushed-down filter,
-       projection, repartition by join-key hash through the write-combined
-       exchange (one combined PUT per mapper, offsets in the key);
-    2. **join wave** — one worker per hash partition reads its slices from
-       both sides (batched-LIST discovery, one ranged GET per non-empty
-       slice), probes with :func:`~repro.engine.join.hash_join`, applies the
-       residual predicate, and computes the partial aggregates placed above
-       the join;
+    1. **scan wave** — every relation's fleet in one wave: scan, per-side
+       pushed-down filter, projection, repartition by that relation's join
+       key through the write-combined exchange (one combined PUT per
+       mapper, offsets in the key);
+    2. **join waves** (one per DAG stage) — one worker per hash partition
+       reads its slice of every announced sender object (the combined
+       paths ride through the driver barrier, so discovery costs zero
+       requests), probes with :func:`~repro.engine.join.hash_join`,
+       restores the build key when a later stage needs it, applies the
+       stage residual, then either *emits* — reprojects to the columns
+       later stages need and scatters by the next stage's probe key under
+       the intermediate tag ``J{k}`` — or, on the final stage, computes
+       the partial aggregates placed above the join;
     3. **driver scope** — merge the disjoint partials, finalise derived
        aggregates, order, and limit.
+
+    Consumed intermediates are garbage-collected as soon as the wave that
+    read them completes, and a multi-stage query ends with a sweep of its
+    whole exchange prefix, so retried attempts leave no orphaned objects.
     """
 
     def __init__(
@@ -1763,7 +1993,7 @@ class ShuffleJoinCoordinator(_ResilientWaves):
 
     def execute(
         self,
-        physical: JoinPhysicalPlan,
+        physical,
         num_workers: Optional[int] = None,
         cancel=None,
         breakers=None,
@@ -1772,39 +2002,55 @@ class ShuffleJoinCoordinator(_ResilientWaves):
     ):
         """Run the join plan; returns ``(table, statistics, worker_results)``.
 
+        ``physical`` is a :class:`JoinPhysicalPlan` or
+        :class:`DagPhysicalPlan`; binary plans are normalised through
+        ``as_dag()`` and run as a one-stage DAG with the historical
+        ``"L"``/``"R"`` exchange tags.
+
         ``cancel``/``breakers``/``budget``/``now_fn`` arm the overload plane
         for this query (see :class:`_ResilientWaves`); a cancellation raised
-        mid-wave garbage-collects both sides' exchange objects and purges the
-        query's result-queue messages before propagating.
+        mid-wave garbage-collects every tag's exchange objects (scan sides
+        and intermediates alike — they all live under the query prefix) and
+        purges the query's result-queue messages before propagating.
         """
-        sides: Dict[str, JoinSidePlan] = {"L": physical.left, "R": physical.right}
+        dag = physical.as_dag()
+        fleets: Dict[str, JoinSidePlan] = {"L": dag.base}
+        build_tags: List[str] = []
+        for index, stage in enumerate(dag.stages):
+            tag = "R" if index == 0 else f"R{index}"
+            build_tags.append(tag)
+            fleets[tag] = stage.right
+        inter_tags = [f"J{k}" for k in range(len(dag.stages) - 1)]
+
         paths: Dict[str, List[str]] = {}
-        for side, plan in sides.items():
+        for tag, plan in fleets.items():
             expanded = self._expand(plan.files)
             if not expanded:
-                raise ExecutionError(
-                    f"join {'left' if side == 'L' else 'right'} side has no input files"
-                )
-            paths[side] = expanded
+                label = "left" if tag == "L" else "right"
+                raise ExecutionError(f"join {label} side has no input files")
+            paths[tag] = expanded
 
         mappers = {
-            side: min(num_workers or len(paths[side]), len(paths[side]))
-            for side in JOIN_SIDES
+            tag: min(num_workers or len(paths[tag]), len(paths[tag]))
+            for tag in fleets
         }
         num_partitions = num_workers or max(mappers.values())
 
         query_id = uuid.uuid4().hex[:12]
         namings = []
-        for side in JOIN_SIDES:
+        for tag in list(fleets) + inter_tags:
             namings.extend(
                 (
-                    _join_map_naming(query_id, side, self.num_buckets),
-                    _join_legacy_naming(query_id, side, self.num_buckets),
+                    _join_map_naming(query_id, tag, self.num_buckets),
+                    _join_legacy_naming(query_id, tag, self.num_buckets),
                 )
             )
+        seen_buckets: Set[str] = set()
         for naming in namings:
             for bucket in naming.buckets():
-                self.env.s3.ensure_bucket(bucket)
+                if bucket not in seen_buckets:
+                    seen_buckets.add(bucket)
+                    self.env.s3.ensure_bucket(bucket)
 
         # Per-query jitter reseed: backoff schedules must not depend on how
         # many queries this coordinator ran before (order-independent chaos).
@@ -1814,7 +2060,8 @@ class ShuffleJoinCoordinator(_ResilientWaves):
             cancel.bind(now_fn, query_id=query_id)
         try:
             return self._execute_waves(
-                physical, sides, paths, mappers, num_partitions, query_id
+                dag, fleets, build_tags, inter_tags, paths, mappers,
+                num_partitions, query_id,
             )
         except QueryCancelledError:
             _gc_cancelled_query(self.env, query_id, namings, self.result_queue)
@@ -1824,8 +2071,10 @@ class ShuffleJoinCoordinator(_ResilientWaves):
 
     def _execute_waves(
         self,
-        physical: JoinPhysicalPlan,
-        sides: Dict[str, JoinSidePlan],
+        dag: DagPhysicalPlan,
+        fleets: Dict[str, JoinSidePlan],
+        build_tags: List[str],
+        inter_tags: List[str],
         paths: Dict[str, List[str]],
         mappers: Dict[str, int],
         num_partitions: int,
@@ -1835,29 +2084,29 @@ class ShuffleJoinCoordinator(_ResilientWaves):
         resilience = ResilienceStats()
         integrity_stats = IntegrityStats()
         fault_snapshot = self._fault_snapshot()
+        num_stages = len(dag.stages)
 
-        # -- map waves (both sides dispatched before collecting either) ------------
+        # -- scan wave (every relation's fleet dispatched together) ----------------
         assignments: Dict[str, List[List[str]]] = {}
         map_events: Dict = {}
-        for side in JOIN_SIDES:
-            plan = sides[side]
-            side_assignments = [paths[side][i::mappers[side]] for i in range(mappers[side])]
-            side_assignments = [files for files in side_assignments if files]
-            assignments[side] = side_assignments
-            for worker_id, files in enumerate(side_assignments):
+        for tag, plan in fleets.items():
+            tag_assignments = [paths[tag][i::mappers[tag]] for i in range(mappers[tag])]
+            tag_assignments = [files for files in tag_assignments if files]
+            assignments[tag] = tag_assignments
+            for worker_id, files in enumerate(tag_assignments):
                 # The side fragment travels through its own serialisation
                 # (with the worker's file assignment substituted in).
                 fragment = plan.to_dict()
                 fragment["files"] = files
-                map_events[(side, worker_id)] = {
+                map_events[(tag, worker_id)] = {
                     **fragment,
                     "query_id": query_id,
                     "worker_id": worker_id,
-                    "side": side,
+                    "side": tag,
                     "attempt": 0,
                     "num_partitions": num_partitions,
                     "result_queue": self.result_queue,
-                    "write_combining": self._map_mode(side, worker_id),
+                    "write_combining": self._map_mode(tag, worker_id),
                     "fast_codec": self.config.fast_codec,
                     "compression": self.config.compression.value,
                     "num_buckets": self.num_buckets,
@@ -1869,61 +2118,129 @@ class ShuffleJoinCoordinator(_ResilientWaves):
             integrity=integrity_stats,
         )
 
-        sender_spec: Dict[str, Dict] = {}
-        for side in JOIN_SIDES:
-            side_messages = [m for m in map_messages if m.get("side") == side]
-            sender_spec[side] = {
-                "key": sides[side].key,
+        def sender_spec(
+            key: str, tag: str, messages: List[Dict], side: Optional[str] = None
+        ) -> Dict:
+            # ``tag`` names the exchange prefix the objects live under;
+            # ``side`` the wave key their announcements carried (an emit
+            # wave's messages are keyed "S{k}" but write under "J{k}").
+            tagged = [m for m in messages if m.get("side") == (side or tag)]
+            return {
+                "key": key,
+                "tag": tag,
                 # Combined objects are announced with their offset-bearing
                 # paths: the join wave needs no discovery requests for them,
                 # and an orphaned earlier-attempt duplicate is never read.
                 "combined": sorted(
                     [m["worker_id"], m["combined_path"], m["combined_size"]]
-                    for m in side_messages
+                    for m in tagged
                     if m.get("format") == "combined"
                 ),
-                # Legacy senders as (sender, attempt) pairs: retried mappers
-                # wrote under attempt-suffixed prefixes.
+                # Legacy senders as (sender, attempt) pairs: retried writers
+                # wrote under attempt-suffixed prefixes.  ``"empty"`` senders
+                # (an emit stage that joined zero rows) wrote nothing and are
+                # announced in neither list.
                 "object_senders": sorted(
                     [m["worker_id"], int(m.get("attempt", 0))]
-                    for m in side_messages
-                    if m.get("format") != "combined"
+                    for m in tagged
+                    if m.get("format") == "objects"
                 ),
             }
+
         rows_scanned = sum(message.get("rows_scanned", 0) for message in map_messages)
         objects_written = sum(message.get("partitions_written", 0) for message in map_messages)
 
-        # -- join wave --------------------------------------------------------------
-        reduce_events: Dict = {}
-        for partition in range(num_partitions):
-            reduce_events[partition] = {
-                "query_id": query_id,
-                "partition": partition,
-                "attempt": 0,
-                "num_partitions": num_partitions,
-                "sides": sender_spec,
-                "group_by": list(physical.group_by),
-                "aggregates": [spec.to_dict() for spec in physical.aggregates],
-                "residual_predicate": expression_to_dict(physical.residual_predicate),
-                "collect_rows": physical.driver.collect_rows,
-                "suffix": physical.suffix,
-                "result_queue": self.result_queue,
-                "num_buckets": self.num_buckets,
-                "max_poll_rounds": self.config.max_poll_rounds,
-                "integrity": self.config.integrity.to_dict(),
-            }
-        reduce_messages = self._wave(
-            JOIN_REDUCE_FUNCTION_NAME, reduce_events, query_id, "join",
-            resilience, integrity=integrity_stats,
-        )
-        objects_read = sum(message.get("objects_read", 0) for message in reduce_messages)
+        # -- join waves (one per DAG stage, chained through the exchange) ----------
+        left_spec = sender_spec(dag.stages[0].left_key, "L", map_messages)
+        reduce_waves: List[List[Dict]] = []
+        objects_read = 0
+        gc_deleted = 0
+        for k, stage in enumerate(dag.stages):
+            final = k == num_stages - 1
+            emit = None
+            if not final:
+                emit = {
+                    "tag": inter_tags[k],
+                    "key": dag.stages[k + 1].left_key,
+                    "num_partitions": num_partitions,
+                    "columns": list(stage.output_columns),
+                }
+            reduce_events: Dict = {}
+            for partition in range(num_partitions):
+                reduce_events[(f"S{k}", partition)] = {
+                    "query_id": query_id,
+                    "partition": partition,
+                    "side": f"S{k}",
+                    "attempt": 0,
+                    "num_partitions": num_partitions,
+                    "sides": {
+                        "L": left_spec,
+                        "R": sender_spec(stage.right.key, build_tags[k], map_messages),
+                    },
+                    "group_by": list(dag.group_by) if final else [],
+                    "aggregates": (
+                        [spec.to_dict() for spec in dag.aggregates] if final else []
+                    ),
+                    "residual_predicate": expression_to_dict(stage.residual_predicate),
+                    "collect_rows": dag.driver.collect_rows if final else False,
+                    "suffix": stage.suffix,
+                    "restore_right_key": stage.restore_right_key,
+                    "emit": emit,
+                    "result_queue": self.result_queue,
+                    "num_buckets": self.num_buckets,
+                    "max_poll_rounds": self.config.max_poll_rounds,
+                    "integrity": self.config.integrity.to_dict(),
+                    "write_combining": self.config.write_combining,
+                    "fast_codec": self.config.fast_codec,
+                    "compression": self.config.compression.value,
+                }
+            reduce_messages = self._wave(
+                JOIN_REDUCE_FUNCTION_NAME, reduce_events, query_id,
+                "join" if final else f"join stage {k}", resilience,
+                on_retry=None if final else self._degrade_map_retry(resilience),
+                integrity=integrity_stats,
+            )
+            reduce_waves.append(reduce_messages)
+            objects_read += sum(m.get("objects_read", 0) for m in reduce_messages)
+            if not final:
+                objects_written += sum(
+                    m.get("partitions_written", 0) for m in reduce_messages
+                )
+                left_spec = sender_spec(
+                    dag.stages[k + 1].left_key, inter_tags[k], reduce_messages,
+                    side=f"S{k}",
+                )
+            if k > 0:
+                # Stage k has fully consumed the previous intermediate: drop
+                # its objects now so peak exchange storage stays bounded by
+                # two live stages, not the whole DAG.
+                gc_deleted += _gc_tag_objects(
+                    self.env, query_id, inter_tags[k - 1], self.num_buckets,
+                    self.resilience_policy.max_attempts,
+                )
+        if num_stages > 1:
+            # End-of-query sweep: superseded attempts of any tag (scan sides
+            # included) may have left orphans the per-stage GC and the
+            # announced-path manifests never referenced.  Both naming planes
+            # must be swept — a degraded retry writes one-object-per-receiver
+            # keys into the legacy buckets, not the write-combined ones.
+            gc_deleted += _gc_query_objects(
+                self.env, query_id,
+                [
+                    _join_map_naming(query_id, "L", self.num_buckets),
+                    _join_legacy_naming(query_id, "L", self.num_buckets),
+                ],
+            )
 
         # -- fold statistics ---------------------------------------------------------
         exchange = ExchangeStats()
         wave_seconds = {"map": 0.0, "reduce": 0.0}
         worker_results: List[WorkerResult] = []
         counters = {"probe": 0, "build": 0, "output": 0}
-        for wave, messages in (("map", map_messages), ("reduce", reduce_messages)):
+        folds = [("map", map_messages)]
+        folds.extend(("reduce", messages) for messages in reduce_waves)
+        for wave, messages in folds:
+            wave_max = 0.0
             for message in messages:
                 payload = message.get("worker_result")
                 if not payload:
@@ -1932,14 +2249,20 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                 worker_results.append(parsed)
                 exchange.merge(ExchangeStats.from_dict(parsed.exchange_stats))
                 integrity_stats.merge(IntegrityStats.from_dict(parsed.integrity_stats))
-                wave_seconds[wave] = max(wave_seconds[wave], parsed.duration_seconds)
+                wave_max = max(wave_max, parsed.duration_seconds)
                 counters["probe"] += parsed.join_probe_rows
                 counters["build"] += parsed.join_build_rows
                 counters["output"] += parsed.join_output_rows
+            if wave == "map":
+                wave_seconds["map"] = max(wave_seconds["map"], wave_max)
+            else:
+                # Join waves are barriered on each other: their modelled
+                # latencies add, while workers within one wave run abreast.
+                wave_seconds["reduce"] += wave_max
 
         # -- driver scope ------------------------------------------------------------
         partials: List[Table] = []
-        for message in reduce_messages:
+        for message in reduce_waves[-1]:
             if "result_s3" in message:
                 message = self._fetch_spilled(
                     message["result_s3"], resilience, integrity_stats
@@ -1952,18 +2275,18 @@ class ShuffleJoinCoordinator(_ResilientWaves):
                 )
             )
 
-        driver_plan = physical.driver
+        driver_plan = dag.driver
         if driver_plan.collect_rows:
             result = concat_tables([piece for piece in partials if table_num_rows(piece)])
-            if physical.project and result:
+            if dag.project and result:
                 # Explicit projection above the join: drop the join key and
                 # predicate columns the repartition needed but the user did
                 # not select.
-                result = select_columns(result, physical.project)
+                result = select_columns(result, dag.project)
         else:
-            merged = merge_partials(partials, physical.group_by, physical.aggregates)
+            merged = merge_partials(partials, dag.group_by, dag.aggregates)
             result = finalize_aggregates(
-                merged, physical.group_by, driver_plan.final_aggregates
+                merged, dag.group_by, driver_plan.final_aggregates
             )
         if driver_plan.order_by:
             result = sort_table(result, driver_plan.order_by, driver_plan.descending)
@@ -1974,8 +2297,10 @@ class ShuffleJoinCoordinator(_ResilientWaves):
         resilience.faults_injected = _fault_delta(self.env, fault_snapshot)
         statistics = JoinStatistics(
             left_map_workers=len(assignments["L"]),
-            right_map_workers=len(assignments["R"]),
-            reduce_workers=num_partitions,
+            right_map_workers=sum(
+                len(workers) for tag, workers in assignments.items() if tag != "L"
+            ),
+            reduce_workers=num_partitions * num_stages,
             rows_scanned=rows_scanned,
             join_probe_rows=counters["probe"],
             join_build_rows=counters["build"],
@@ -1988,5 +2313,7 @@ class ShuffleJoinCoordinator(_ResilientWaves):
             modelled_reduce_seconds=wave_seconds["reduce"],
             resilience=resilience,
             integrity=integrity_stats,
+            dag_stages=num_stages,
+            gc_objects_deleted=gc_deleted,
         )
         return result, statistics, worker_results

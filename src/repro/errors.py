@@ -170,6 +170,31 @@ class SqlSyntaxError(PlanError):
     """The mini-SQL frontend could not parse a statement."""
 
 
+class SqlParseError(SqlSyntaxError):
+    """A statement failed to parse at a known position.
+
+    Also a :class:`SqlSyntaxError`, so existing ``except SqlSyntaxError``
+    handlers keep working.  Carries the offending location so tooling can
+    point at the exact character: ``position`` is the 0-based character
+    offset into ``statement``; ``line`` and ``column`` are 1-based and
+    derived from it (``None`` when no position is known).
+    """
+
+    def __init__(self, message: str, statement: str = "", position=None):
+        self.statement = statement
+        self.position = position
+        if statement and position is not None:
+            clamped = min(position, len(statement))
+            prefix = statement[:clamped]
+            self.line = prefix.count("\n") + 1
+            self.column = clamped - (prefix.rfind("\n") + 1) + 1
+            message = f"{message} (line {self.line}, column {self.column})"
+        else:
+            self.line = None
+            self.column = None
+        super().__init__(message)
+
+
 class ExecutionError(LambadaError):
     """Base class for runtime execution errors."""
 

@@ -11,11 +11,14 @@ Two frontends build logical plans:
 """
 
 from repro.frontend.dataframe import DataFlow, LambadaSession, from_files
+from repro.frontend.session import Session, connect
 from repro.frontend.sql import parse_sql, SqlCatalog
 
 __all__ = [
     "DataFlow",
     "LambadaSession",
+    "Session",
+    "connect",
     "from_files",
     "parse_sql",
     "SqlCatalog",

@@ -1,16 +1,23 @@
 """Mini-SQL frontend.
 
-Supports the single-table analytical subset needed for the paper's evaluation
-queries (TPC-H Q1 and Q6 and similar scan-heavy queries)::
+Supports the analytical subset needed for the paper's evaluation queries
+(TPC-H Q1/Q6 and the multi-relation join queries Q3/Q5/Q7/Q9/Q10/Q18)::
 
     SELECT <exprs and aggregates> FROM <table>
+    [JOIN <table> ON <col> = <col>]...
     [WHERE <conjunctions/disjunctions of comparisons, BETWEEN>]
     [GROUP BY <columns>] [ORDER BY <columns> [DESC]] [LIMIT <n>]
 
+Any number of ``JOIN ... ON a = b`` clauses chain into a left-deep join
+tree; the optimizer reorders and lowers the tree onto shuffle waves.
 Aggregates: ``SUM``, ``COUNT(*)``, ``AVG``, ``MIN``, ``MAX``.  ``DATE
 'YYYY-MM-DD'`` literals are converted to integer days since 1970-01-01, the
 encoding used by the numeric TPC-H generator.  Table names resolve to object
 store paths through a :class:`SqlCatalog`.
+
+Parse failures raise :class:`~repro.errors.SqlParseError` carrying the
+0-based character ``position`` (plus derived 1-based ``line``/``column``)
+of the offending token.
 """
 
 from __future__ import annotations
@@ -18,9 +25,9 @@ from __future__ import annotations
 import datetime as _dt
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NoReturn, Optional, Sequence, Tuple
 
-from repro.errors import SqlSyntaxError
+from repro.errors import SqlParseError, SqlSyntaxError
 from repro.plan.expressions import Column, Expression, col, lit
 from repro.plan.logical import (
     AggregateNode,
@@ -52,6 +59,11 @@ _TOKEN_RE = re.compile(
 class _Token:
     kind: str
     value: str
+    #: 0-based character offset of the token in the original statement.
+    position: int = -1
+
+    def __str__(self) -> str:  # referenced in error messages
+        return f"{self.value!r}"
 
 
 def _tokenize(statement: str) -> List[_Token]:
@@ -60,9 +72,12 @@ def _tokenize(statement: str) -> List[_Token]:
     while position < len(statement):
         match = _TOKEN_RE.match(statement, position)
         if match is None:
-            raise SqlSyntaxError(
-                f"unexpected character {statement[position]!r} at offset {position}"
+            raise SqlParseError(
+                f"unexpected character {statement[position]!r}",
+                statement=statement,
+                position=position,
             )
+        start = match.start()
         position = match.end()
         if match.lastgroup == "ws":
             continue
@@ -71,13 +86,13 @@ def _tokenize(statement: str) -> List[_Token]:
             assert date_match is not None
             year, month, day = date_match.groups()
             days = (_dt.date(int(year), int(month), int(day)) - _dt.date(1970, 1, 1)).days
-            tokens.append(_Token("number", str(days)))
+            tokens.append(_Token("number", str(days), start))
         elif match.lastgroup == "number":
-            tokens.append(_Token("number", match.group("number")))
+            tokens.append(_Token("number", match.group("number"), start))
         elif match.lastgroup == "ident":
-            tokens.append(_Token("ident", match.group("ident")))
+            tokens.append(_Token("ident", match.group("ident"), start))
         else:
-            tokens.append(_Token("op", match.group("op")))
+            tokens.append(_Token("op", match.group("op"), start))
     return tokens
 
 
@@ -137,11 +152,19 @@ class _SelectItem:
 class _Parser:
     """Recursive-descent parser over the token stream."""
 
-    def __init__(self, tokens: List[_Token]):
+    def __init__(self, tokens: List[_Token], statement: str = ""):
         self.tokens = tokens
+        self.statement = statement
         self.position = 0
 
     # -- token helpers -----------------------------------------------------------
+
+    def _error(self, message: str, token: Optional[_Token] = None) -> NoReturn:
+        """Raise a :class:`SqlParseError` located at ``token`` (or the current
+        token, or the end of the statement when the stream is exhausted)."""
+        where = token if token is not None else self._peek()
+        offset = where.position if where is not None else len(self.statement)
+        raise SqlParseError(message, statement=self.statement, position=offset)
 
     def _peek(self) -> Optional[_Token]:
         if self.position < len(self.tokens):
@@ -151,7 +174,7 @@ class _Parser:
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise SqlSyntaxError("unexpected end of statement")
+            self._error("unexpected end of statement")
         self.position += 1
         return token
 
@@ -165,7 +188,10 @@ class _Parser:
     def _expect_keyword(self, keyword: str) -> None:
         if not self._accept_keyword(keyword):
             token = self._peek()
-            raise SqlSyntaxError(f"expected {keyword.upper()}, found {token}")
+            self._error(
+                f"expected {keyword.upper()}, found "
+                f"{token if token is not None else 'end of statement'}"
+            )
 
     def _accept_op(self, op: str) -> bool:
         token = self._peek()
@@ -177,7 +203,10 @@ class _Parser:
     def _expect_op(self, op: str) -> None:
         if not self._accept_op(op):
             token = self._peek()
-            raise SqlSyntaxError(f"expected {op!r}, found {token}")
+            self._error(
+                f"expected {op!r}, found "
+                f"{token if token is not None else 'end of statement'}"
+            )
 
     # -- expression grammar ---------------------------------------------------------
 
@@ -205,7 +234,7 @@ class _Parser:
     def _parse_factor(self) -> Expression:
         token = self._peek()
         if token is None:
-            raise SqlSyntaxError("unexpected end of expression")
+            self._error("unexpected end of expression")
         if token.kind == "op" and token.value == "(":
             self._next()
             inner = self.parse_scalar()
@@ -227,24 +256,26 @@ class _Parser:
                 # disambiguates for the reader and is dropped here.
                 column_token = self._next()
                 if column_token.kind != "ident":
-                    raise SqlSyntaxError(
-                        f"expected a column name after '.', found {column_token}"
+                    self._error(
+                        f"expected a column name after '.', found {column_token}",
+                        token=column_token,
                     )
                 name = column_token.value.lower()
             return col(name)
-        raise SqlSyntaxError(f"unexpected token {token}")
+        self._error(f"unexpected token {token}", token=token)
 
     def parse_column_ref(self) -> Tuple[Optional[str], str]:
         """A possibly qualified column reference: ``(qualifier, column)``."""
         token = self._next()
         if token.kind != "ident":
-            raise SqlSyntaxError(f"expected a column name, found {token}")
+            self._error(f"expected a column name, found {token}", token=token)
         first = token.value.lower()
         if self._accept_op("."):
             column_token = self._next()
             if column_token.kind != "ident":
-                raise SqlSyntaxError(
-                    f"expected a column name after '.', found {column_token}"
+                self._error(
+                    f"expected a column name after '.', found {column_token}",
+                    token=column_token,
                 )
             return first, column_token.value.lower()
         return None, first
@@ -290,7 +321,10 @@ class _Parser:
             mapped = operators[token.value]
             return getattr(left, {"==": "__eq__", "!=": "__ne__", "<": "__lt__",
                                   "<=": "__le__", ">": "__gt__", ">=": "__ge__"}[mapped])(right)
-        raise SqlSyntaxError(f"expected a comparison operator, found {token}")
+        self._error(
+            f"expected a comparison operator, found "
+            f"{token if token is not None else 'end of statement'}"
+        )
 
     # -- select list ---------------------------------------------------------------------
 
@@ -322,16 +356,21 @@ class _Parser:
         if self._accept_keyword("as"):
             alias_token = self._next()
             if alias_token.kind != "ident":
-                raise SqlSyntaxError(f"expected an alias, found {alias_token}")
+                self._error(f"expected an alias, found {alias_token}", token=alias_token)
             alias = alias_token.value.lower()
         if aggregate is not None:
             aggregate = AggregateSpec(aggregate.function, aggregate.expression, alias)
         return _SelectItem(expression=expression, aggregate=aggregate, alias=alias)
 
 
+#: Join syntax the mini-SQL frontend deliberately does not support; naming
+#: them produces a targeted parse error instead of a generic one.
+_UNSUPPORTED_JOIN_KINDS = ("left", "right", "full", "outer", "cross", "semi", "anti")
+
+
 def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
     """Parse a SQL statement into a logical plan."""
-    parser = _Parser(_tokenize(statement))
+    parser = _Parser(_tokenize(statement), statement)
     parser._expect_keyword("select")
 
     items: List[_SelectItem] = [parser.parse_select_item(0)]
@@ -341,25 +380,65 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
     parser._expect_keyword("from")
     table_token = parser._next()
     if table_token.kind != "ident":
-        raise SqlSyntaxError(f"expected a table name, found {table_token}")
+        parser._error(f"expected a table name, found {table_token}", token=table_token)
     left_table = table_token.value.lower()
     paths = catalog.paths_of(left_table)
 
-    join_clause: Optional[Tuple[str, str, str]] = None  # (right_table, left_key, right_key)
-    if parser._accept_keyword("join"):
+    # Any number of INNER JOIN clauses chain into a left-deep join tree; the
+    # n-th ON clause must connect the new table to one already in scope.
+    join_clauses: List[Tuple[str, str, str]] = []  # (right_table, left_key, right_key)
+    joined_tables: List[str] = [left_table]
+    while True:
+        kind_token = parser._peek()
+        if (
+            kind_token is not None
+            and kind_token.kind == "ident"
+            and kind_token.value.lower() in _UNSUPPORTED_JOIN_KINDS
+        ):
+            parser._error(
+                f"unsupported join syntax {kind_token.value.upper()!r}: only "
+                f"inner equi-joins (JOIN table ON a = b) are supported",
+                token=kind_token,
+            )
+        if parser._accept_keyword("inner"):
+            parser._expect_keyword("join")
+        elif not parser._accept_keyword("join"):
+            break
         right_token = parser._next()
         if right_token.kind != "ident":
-            raise SqlSyntaxError(f"expected a table name after JOIN, found {right_token}")
+            parser._error(
+                f"expected a table name after JOIN, found {right_token}",
+                token=right_token,
+            )
         right_table = right_token.value.lower()
+        if right_table in joined_tables:
+            parser._error(
+                f"table {right_table!r} already joined (self-joins are not "
+                f"supported)",
+                token=right_token,
+            )
         catalog.paths_of(right_table)  # validate early
         parser._expect_keyword("on")
+        condition_token = parser._peek()
         first_ref = parser.parse_column_ref()
-        parser._expect_op("=")
+        if not parser._accept_op("="):
+            found = parser._peek()
+            parser._error(
+                f"unsupported join condition: expected '=' between two column "
+                f"references, found "
+                f"{found if found is not None else 'end of statement'}"
+            )
         second_ref = parser.parse_column_ref()
-        join_clause = (
-            right_table,
-            *_resolve_join_keys(catalog, left_table, right_table, first_ref, second_ref),
-        )
+        try:
+            left_key, right_key = _resolve_join_keys(
+                catalog, joined_tables, right_table, first_ref, second_ref
+            )
+        except SqlParseError:
+            raise
+        except SqlSyntaxError as exc:
+            parser._error(str(exc), token=condition_token)
+        join_clauses.append((right_table, left_key, right_key))
+        joined_tables.append(right_table)
 
     predicate: Optional[Expression] = None
     if parser._accept_keyword("where"):
@@ -388,18 +467,20 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
     if parser._accept_keyword("limit"):
         limit_token = parser._next()
         if limit_token.kind != "number":
-            raise SqlSyntaxError(f"expected a number after LIMIT, found {limit_token}")
+            parser._error(
+                f"expected a number after LIMIT, found {limit_token}",
+                token=limit_token,
+            )
         limit = int(float(limit_token.value))
 
     if parser._peek() is not None:
-        raise SqlSyntaxError(f"unexpected trailing tokens starting at {parser._peek()}")
+        parser._error(f"unexpected trailing tokens starting at {parser._peek()}")
 
     # -- build the logical plan -------------------------------------------------------
     plan: LogicalPlan = ScanNode(
         paths=paths, schema_columns=catalog.columns_of(left_table)
     )
-    if join_clause is not None:
-        right_table, left_key, right_key = join_clause
+    for right_table, left_key, right_key in join_clauses:
         right_scan = ScanNode(
             paths=catalog.paths_of(right_table),
             schema_columns=catalog.columns_of(right_table),
@@ -407,7 +488,7 @@ def parse_sql(statement: str, catalog: SqlCatalog) -> LogicalPlan:
         plan = JoinNode(
             child=plan, right=right_scan, left_key=left_key, right_key=right_key
         )
-    # The whole WHERE clause sits above the join; the optimizer pushes each
+    # The whole WHERE clause sits above the joins; the optimizer pushes each
     # conjunct down to the side whose schema covers it.
     if predicate is not None:
         plan = FilterNode(child=plan, predicate=predicate)
@@ -444,29 +525,31 @@ def _expect_column(parser: _Parser) -> str:
 
 def _resolve_join_keys(
     catalog: SqlCatalog,
-    left_table: str,
+    left_tables: Sequence[str],
     right_table: str,
     first_ref: Tuple[Optional[str], str],
     second_ref: Tuple[Optional[str], str],
 ) -> Tuple[str, str]:
     """Assign the two ON-clause columns to the join sides.
 
-    A ``table.column`` qualifier decides directly; unqualified columns are
-    looked up in the catalog's registered schemas; when neither source
-    resolves a column, the textual order (left key first) is assumed.
+    The "left" side of the n-th join is every table already in scope
+    (``left_tables``).  A ``table.column`` qualifier decides directly;
+    unqualified columns are looked up in the catalog's registered schemas;
+    when neither source resolves a column, the textual order (left key
+    first) is assumed.
     """
 
     def side_of(qualifier: Optional[str], column: str) -> Optional[str]:
         if qualifier is not None:
-            if qualifier == left_table:
+            if qualifier in left_tables:
                 return "left"
             if qualifier == right_table:
                 return "right"
             raise SqlSyntaxError(
                 f"unknown table {qualifier!r} in join condition "
-                f"(expected {left_table!r} or {right_table!r})"
+                f"(expected one of {sorted(left_tables)} or {right_table!r})"
             )
-        if column in catalog.columns_of(left_table):
+        if any(column in catalog.columns_of(table) for table in left_tables):
             return "left"
         if column in catalog.columns_of(right_table):
             return "right"

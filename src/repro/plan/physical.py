@@ -260,6 +260,167 @@ class JoinSidePlan:
 
 
 @dataclass
+class DagJoinStage:
+    """One join level of a :class:`DagPhysicalPlan`.
+
+    Stage ``k`` joins the accumulated intermediate result (the *probe* side,
+    keyed by ``left_key``, a column of the accumulated scope) against a
+    freshly scanned base relation (the *build* side, ``right``).  Every stage
+    except the last repartitions its joined rows by the next stage's
+    ``left_key`` through the write-combined exchange (``output_columns``
+    limits what is carried forward); the last stage feeds the partial
+    aggregation / row collection described on the plan itself.
+    """
+
+    #: Join key column on the accumulated (probe) side.
+    left_key: str
+    #: Scan fragment of the newly joined relation (build side).
+    right: JoinSidePlan
+    #: Conjuncts that first become evaluable at this stage (reference columns
+    #: of more than one relation already in scope); applied to the joined rows.
+    residual_predicate: Optional[Expression] = None
+    #: Columns carried into the next stage ([] keeps every column in scope).
+    output_columns: List[str] = field(default_factory=list)
+    #: The join kernel drops the build side's key column (it equals the probe
+    #: key on every joined row).  When a downstream stage, residual, group-by,
+    #: or projection still references it, the join wave restores it by copying
+    #: the probe key column under the build key's name.
+    restore_right_key: bool = False
+    #: Suffix applied to build-side columns whose names collide with the probe
+    #: side (never applied to the keys).
+    suffix: str = "_right"
+
+
+@dataclass
+class DagPhysicalPlan:
+    """Physical plan of an N-way join executed as a DAG of shuffle waves.
+
+    One map *wave* scans every base relation concurrently (one fleet per
+    relation, each repartitioning by the key of the stage that consumes it),
+    then one join wave per stage: stage ``k`` probes the repartitioned
+    intermediate of stage ``k-1`` against its build relation's slices, and —
+    unless it is the last stage — re-emits the joined rows through the
+    exchange partitioned by stage ``k+1``'s probe key.  Because every
+    combined-object path is announced through the wave barrier, no stage
+    issues a single discovery request.
+    """
+
+    engine = "shuffle-dag"
+
+    #: Scan fragment of the first (probe-side) base relation.
+    base: JoinSidePlan
+    #: The join levels, in execution order (at least one).
+    stages: List[DagJoinStage]
+    driver: DriverPlan
+    #: Explicit projection above the final join (row-collecting queries only).
+    project: Optional[List[str]] = None
+    #: Group-by keys of the partial aggregation above the final join.
+    group_by: List[str] = field(default_factory=list)
+    #: Partial aggregates computed by the final join wave (avg decomposed).
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.stages:
+            raise InvalidPlanError("a DAG join plan requires at least one stage")
+
+    def as_dag(self) -> "DagPhysicalPlan":
+        return self
+
+    def waves(self) -> List[Dict]:
+        """Wave descriptors, in dispatch order (the unified plan protocol).
+
+        The first wave scans every base relation; each following wave is one
+        join stage.  ``workers`` counts per-fleet upper bounds (actual fleet
+        sizes shrink to the file count at execution time).
+        """
+        fleets = [
+            {
+                "role": "scan",
+                "tag": "L",
+                "key": self.base.key,
+                "files": len(self.base.files),
+                "columns": list(self.base.columns),
+                "predicate": self.base.predicate is not None,
+            }
+        ]
+        for index, stage in enumerate(self.stages):
+            fleets.append(
+                {
+                    "role": "scan",
+                    "tag": "R" if index == 0 else f"R{index}",
+                    "key": stage.right.key,
+                    "files": len(stage.right.files),
+                    "columns": list(stage.right.columns),
+                    "predicate": stage.right.predicate is not None,
+                }
+            )
+        waves: List[Dict] = [{"kind": "map", "fleets": fleets}]
+        last = len(self.stages) - 1
+        for index, stage in enumerate(self.stages):
+            waves.append(
+                {
+                    "kind": "join",
+                    "stage": index,
+                    "left_key": stage.left_key,
+                    "right_key": stage.right.key,
+                    "residual": stage.residual_predicate is not None,
+                    "emit_key": (
+                        self.stages[index + 1].left_key if index < last else None
+                    ),
+                    "output_columns": list(stage.output_columns),
+                }
+            )
+        return waves
+
+    def estimated_cost(self, num_workers: int = 8) -> float:
+        """Modelled request dollars of the exchange waves (admission estimate)."""
+        return _estimate_exchange_cost(self.waves(), num_workers)
+
+    def explain(self) -> str:
+        """Human-readable description of the DAG: one line per wave/fleet."""
+        lines = [f"DagPhysicalPlan ({len(self.stages)} join stage(s))"]
+        for wave_index, wave in enumerate(self.waves()):
+            if wave["kind"] == "map":
+                lines.append(f"wave {wave_index}: map (scan + repartition)")
+                for fleet in wave["fleets"]:
+                    pred = " where ..." if fleet["predicate"] else ""
+                    cols = (
+                        f" cols={fleet['columns']}" if fleet["columns"] else " cols=*"
+                    )
+                    lines.append(
+                        f"  fleet {fleet['tag']}: {fleet['files']} file(s), "
+                        f"partition by {fleet['key']}{cols}{pred}"
+                    )
+            else:
+                stage = self.stages[wave["stage"]]
+                parts = [
+                    f"wave {wave_index}: join stage {wave['stage']} on "
+                    f"{wave['left_key']} = {wave['right_key']}"
+                ]
+                if wave["residual"]:
+                    parts.append("residual filter")
+                if stage.restore_right_key:
+                    parts.append(f"restore {stage.right.key}")
+                if wave["emit_key"] is not None:
+                    cols = stage.output_columns or ["*"]
+                    parts.append(f"emit by {wave['emit_key']} cols={cols}")
+                lines.append("; ".join(parts))
+        if self.aggregates:
+            aggs = [f"{a.function}(...) as {a.alias}" for a in self.aggregates]
+            lines.append(f"final: group_by={self.group_by} aggs={aggs}")
+        elif self.project:
+            lines.append(f"final: project {self.project}")
+        else:
+            lines.append("final: collect rows")
+        if self.driver.order_by:
+            lines.append(
+                f"driver: order_by={self.driver.order_by} "
+                f"desc={self.driver.descending} limit={self.driver.limit}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
 class JoinPhysicalPlan:
     """Physical plan of a repartitioned (shuffle) equi-join query.
 
@@ -267,8 +428,11 @@ class JoinPhysicalPlan:
     :class:`JoinSidePlan` fragments), a join wave that probes the
     repartitioned slices, applies the residual predicate, and computes the
     partial aggregates placed *above* the join, and the driver scope that
-    merges the partials (``driver``).
+    merges the partials (``driver``).  Executed by lowering to a one-stage
+    :class:`DagPhysicalPlan` (see :meth:`as_dag`).
     """
+
+    engine = "shuffle-dag"
 
     left: JoinSidePlan
     right: JoinSidePlan
@@ -286,10 +450,58 @@ class JoinPhysicalPlan:
     #: Suffix applied to right-side columns whose names collide with the left.
     suffix: str = "_right"
 
+    def as_dag(self) -> DagPhysicalPlan:
+        """Lower the binary join to an equivalent one-stage DAG plan."""
+        return DagPhysicalPlan(
+            base=self.left,
+            stages=[
+                DagJoinStage(
+                    left_key=self.left.key,
+                    right=self.right,
+                    residual_predicate=self.residual_predicate,
+                    suffix=self.suffix,
+                )
+            ],
+            driver=self.driver,
+            project=self.project,
+            group_by=list(self.group_by),
+            aggregates=list(self.aggregates),
+        )
+
+    def waves(self) -> List[Dict]:
+        """Wave descriptors of the equivalent one-stage DAG."""
+        return self.as_dag().waves()
+
+    def estimated_cost(self, num_workers: int = 8) -> float:
+        """Modelled request dollars of the exchange waves (admission estimate)."""
+        return self.as_dag().estimated_cost(num_workers)
+
+    def explain(self) -> str:
+        """Human-readable description of the join plan."""
+        return self.as_dag().explain()
+
+
+def _estimate_exchange_cost(waves: Sequence[Dict], num_workers: int) -> float:
+    """Sum the write-combined exchange cost model over a plan's waves."""
+    from repro.exchange.cost_model import ExchangeCostModel
+
+    model = ExchangeCostModel()
+    total = 0.0
+    for wave in waves:
+        if wave["kind"] == "map":
+            for fleet in wave["fleets"]:
+                workers = max(1, min(num_workers, fleet["files"] or 1))
+                total += model.cost("1l-wc", workers)["total_cost"]
+        else:
+            total += model.cost("1l-wc", max(1, num_workers))["total_cost"]
+    return total
+
 
 @dataclass
 class PhysicalPlan:
     """Complete physical plan: one worker fragment template + the driver plan."""
+
+    engine = "scan"
 
     worker_template: WorkerPlan
     driver: DriverPlan
@@ -316,3 +528,59 @@ class PhysicalPlan:
             self.worker_template.with_files(files)
             for files in self.partition_files(num_workers)
         ]
+
+    def waves(self) -> List[Dict]:
+        """Wave descriptors (the unified plan protocol): one scan wave."""
+        template = self.worker_template
+        return [
+            {
+                "kind": "scan",
+                "fleets": [
+                    {
+                        "role": "scan",
+                        "tag": "S",
+                        "files": len(self.input_files),
+                        "columns": list(template.columns),
+                        "predicate": template.predicate is not None
+                        or template.predicate_udf is not None,
+                    }
+                ],
+            }
+        ]
+
+    def estimated_cost(self, num_workers: int = 8) -> float:
+        """Modelled request dollars: one GET per file plus result messages.
+
+        A scan-aggregate query never touches the exchange, so its request
+        cost is dominated by the input GETs; this mirrors the admission
+        controller's per-query dollar estimate.
+        """
+        from repro.cloud.pricing import DEFAULT_PRICES
+
+        reads = max(1, len(self.input_files))
+        return DEFAULT_PRICES.s3_get_cost(reads) + DEFAULT_PRICES.sqs_cost(reads)
+
+    def explain(self) -> str:
+        """Human-readable description of the scan-aggregate plan."""
+        template = self.worker_template
+        cols = list(template.columns) or ["*"]
+        lines = [
+            "PhysicalPlan (scan + partial aggregation)",
+            f"wave 0: scan {len(self.input_files)} file(s), cols={cols}",
+        ]
+        if template.predicate is not None:
+            lines.append(f"  filter: {template.predicate!r}")
+        if template.predicate_udf is not None:
+            lines.append(f"  filter: udf {template.predicate_udf}")
+        if template.map_outputs:
+            names = [alias for alias, _ in template.map_outputs]
+            lines.append(f"  map: {names} (replace={template.map_replace})")
+        if template.aggregates:
+            aggs = [f"{a.function}(...) as {a.alias}" for a in template.aggregates]
+            lines.append(f"  partial agg: group_by={template.group_by} aggs={aggs}")
+        if self.driver.order_by:
+            lines.append(
+                f"driver: order_by={self.driver.order_by} "
+                f"desc={self.driver.descending} limit={self.driver.limit}"
+            )
+        return "\n".join(lines)

@@ -18,6 +18,17 @@ aggregate → driver merge):
 * **Q14-style** (LINEITEM ⋈ PART) — one shipdate month, promo revenue share
   via the ``p_promo`` flag.
 
+The N-way queries exercise the join-DAG planner (join-order selection,
+per-level push-down, multi-wave scheduling with intermediate re-exchange):
+
+* **Q5-style** (6 relations) — local supplier volume in one region, with the
+  classic ``c_nationkey = s_nationkey`` cross-relation residual;
+* **Q7-style** (4 relations) — volume shipping between a nation pair (the
+  two-sided OR residual over supplier/customer nations);
+* **Q9-style** (5 relations) — product-type profit per supplier nation;
+* **Q10-style** (4 relations) — returned-item revenue per customer, top-20;
+* **Q18-style** (3 relations) — large orders per customer segment, top-100.
+
 All are provided as logical plans for the Lambada frontend, as SQL strings
 for the mini-SQL frontend, and as NumPy reference implementations used by the
 tests to verify that the distributed execution returns the correct answer.
@@ -41,7 +52,15 @@ from repro.plan.logical import (
     OrderByNode,
     ScanNode,
 )
-from repro.workload.tpch import LINEITEM_SCHEMA, ORDERS_SCHEMA, PART_SCHEMA
+from repro.workload.tpch import (
+    CUSTOMER_SCHEMA,
+    LINEITEM_SCHEMA,
+    NATION_SCHEMA,
+    ORDERS_SCHEMA,
+    PART_SCHEMA,
+    REGION_SCHEMA,
+    SUPPLIER_SCHEMA,
+)
 
 
 def _days(year: int, month: int, day: int) -> int:
@@ -485,4 +504,591 @@ def reference_q14(
     return {
         "p_promo": unique,
         "revenue": np.bincount(inverse, weights=revenue, minlength=len(unique)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# N-way join-DAG queries
+#
+# The references below exploit that CUSTOMER, SUPPLIER, NATION, and REGION
+# have dense primary keys (1..N, or 0..N-1 for nation/region) covering their
+# foreign-key domains, so a join against them is a direct array lookup.
+# ORDERS is *not* dense — lineitems may reference absent orders — so that
+# join always goes through :func:`_inner_join_indices`.
+#
+# The volume/profit/revenue measure is ``l_quantity * (100 - l_discount *
+# 100)`` — the discounted quantity in basis points.  Both factors are exactly
+# integer-valued in float64 (``l_quantity`` is generated as integers;
+# ``(k/100) * 100`` rounds back to exactly ``k`` for k <= 10), so every
+# partial sum is an exact integer far below 2**53.  That makes the aggregate
+# independent of summation order, which is what lets the multi-wave DAG
+# schedule — whose per-partition merge order differs from a single NumPy
+# pass — stay *bit-identical* to these references at any worker count.  A
+# price-based measure would not survive reassociation: cent-rounded doubles
+# are not dyadic, so their sums drift by ULPs across partitionings.
+# ---------------------------------------------------------------------------
+
+#: Q5 window: orders placed within 1994; region code 2 plays "ASIA".
+Q5_ORDERDATE_LOWER_DAYS = _days(1994, 1, 1)
+Q5_ORDERDATE_UPPER_DAYS = _days(1995, 1, 1)
+Q5_REGION_CODE = 2
+
+#: Q7 window: lineitems shipped 1995-1996; the nation pair under study.
+Q7_SHIPDATE_LOWER_DAYS = _days(1995, 1, 1)
+Q7_SHIPDATE_UPPER_DAYS = _days(1997, 1, 1)
+Q7_NATION_A = 1
+Q7_NATION_B = 2
+
+#: Q9 part-type band (plays the ``p_name like '%green%'`` filter).
+Q9_TYPE_CUTOFF = 30
+
+#: Q10 window: orders of 1993Q4; return flag code 1 plays 'R'.
+Q10_ORDERDATE_LOWER_DAYS = _days(1993, 10, 1)
+Q10_ORDERDATE_UPPER_DAYS = _days(1994, 1, 1)
+Q10_RETURNFLAG = 1
+
+#: Q18 thresholds: large orders within one market segment.
+Q18_TOTALPRICE_MIN = 400_000.0
+Q18_MKTSEGMENT = 0
+
+
+# -- Query 5 (6 relations: local supplier volume) ----------------------------
+
+def q5_plan(
+    lineitem_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    customer_paths: Sequence[str],
+    supplier_paths: Sequence[str],
+    nation_paths: Sequence[str],
+    region_paths: Sequence[str],
+) -> LogicalPlan:
+    """TPC-H Query 5 as a logical plan (6-relation join DAG).
+
+    The ``c_nationkey = s_nationkey`` conjunct spans two relations and stays
+    a residual; everything else is pushed to its owning scan.
+    """
+    join = JoinNode(
+        child=JoinNode(
+            child=JoinNode(
+                child=JoinNode(
+                    child=JoinNode(
+                        child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+                        right=_scan(orders_paths, ORDERS_SCHEMA),
+                        left_key="l_orderkey",
+                        right_key="o_orderkey",
+                    ),
+                    right=_scan(customer_paths, CUSTOMER_SCHEMA),
+                    left_key="o_custkey",
+                    right_key="c_custkey",
+                ),
+                right=_scan(supplier_paths, SUPPLIER_SCHEMA),
+                left_key="l_suppkey",
+                right_key="s_suppkey",
+            ),
+            right=_scan(nation_paths, NATION_SCHEMA),
+            left_key="s_nationkey",
+            right_key="n_nationkey",
+        ),
+        right=_scan(region_paths, REGION_SCHEMA),
+        left_key="n_regionkey",
+        right_key="r_regionkey",
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("o_orderdate") >= lit(Q5_ORDERDATE_LOWER_DAYS))
+            & (col("o_orderdate") < lit(Q5_ORDERDATE_UPPER_DAYS))
+            & (col("r_name") == lit(Q5_REGION_CODE))
+            & (col("c_nationkey") == col("s_nationkey"))
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("n_nationkey",),
+        aggregates=(
+            AggregateSpec(
+                "sum",
+                col("l_quantity") * (lit(100) - col("l_discount") * lit(100)),
+                "volume",
+            ),
+        ),
+    )
+    return OrderByNode(
+        child=aggregate, keys=("volume", "n_nationkey"), descending=True
+    )
+
+
+def q5_sql(
+    lineitem_table: str = "lineitem",
+    orders_table: str = "orders",
+    customer_table: str = "customer",
+    supplier_table: str = "supplier",
+    nation_table: str = "nation",
+    region_table: str = "region",
+) -> str:
+    """TPC-H Query 5 in the mini-SQL dialect."""
+    return (
+        "SELECT n_nationkey, "
+        "sum(l_quantity * (100 - l_discount * 100)) AS volume "
+        f"FROM {lineitem_table} "
+        f"JOIN {orders_table} ON l_orderkey = o_orderkey "
+        f"JOIN {customer_table} ON o_custkey = c_custkey "
+        f"JOIN {supplier_table} ON l_suppkey = s_suppkey "
+        f"JOIN {nation_table} ON s_nationkey = n_nationkey "
+        f"JOIN {region_table} ON n_regionkey = r_regionkey "
+        f"WHERE o_orderdate >= {Q5_ORDERDATE_LOWER_DAYS} "
+        f"AND o_orderdate < {Q5_ORDERDATE_UPPER_DAYS} "
+        f"AND r_name = {Q5_REGION_CODE} "
+        "AND c_nationkey = s_nationkey "
+        "GROUP BY n_nationkey "
+        "ORDER BY volume, n_nationkey DESC"
+    )
+
+
+def reference_q5(
+    lineitem: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    customer: Dict[str, np.ndarray],
+    supplier: Dict[str, np.ndarray],
+    nation: Dict[str, np.ndarray],
+    region: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q5."""
+    omask = (
+        (orders["o_orderdate"] >= Q5_ORDERDATE_LOWER_DAYS)
+        & (orders["o_orderdate"] < Q5_ORDERDATE_UPPER_DAYS)
+    )
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"], orders["o_orderkey"][omask]
+    )
+    custkey = orders["o_custkey"][omask][right_idx]
+    c_nation = customer["c_nationkey"][custkey - 1]
+    s_nation = supplier["s_nationkey"][lineitem["l_suppkey"][left_idx] - 1]
+    r_name = region["r_name"][nation["n_regionkey"][s_nation]]
+    mask = (c_nation == s_nation) & (r_name == Q5_REGION_CODE)
+
+    volume = (
+        lineitem["l_quantity"][left_idx]
+        * (100 - lineitem["l_discount"][left_idx] * 100)
+    )[mask]
+    unique, inverse = np.unique(s_nation[mask], return_inverse=True)
+    volume_sum = np.bincount(inverse, weights=volume, minlength=len(unique))
+    order = np.lexsort((unique, volume_sum))[::-1]
+    return {"n_nationkey": unique[order], "volume": volume_sum[order]}
+
+
+# -- Query 7 (4 relations: volume shipping between two nations) --------------
+
+def q7_plan(
+    lineitem_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    customer_paths: Sequence[str],
+    supplier_paths: Sequence[str],
+) -> LogicalPlan:
+    """TPC-H Query 7 as a logical plan (4-relation join DAG).
+
+    The nation-pair OR predicate references both the supplier and the
+    customer relation, so it survives push-down as a residual evaluated in
+    the join wave where both sides are in scope.
+    """
+    join = JoinNode(
+        child=JoinNode(
+            child=JoinNode(
+                child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+                right=_scan(orders_paths, ORDERS_SCHEMA),
+                left_key="l_orderkey",
+                right_key="o_orderkey",
+            ),
+            right=_scan(customer_paths, CUSTOMER_SCHEMA),
+            left_key="o_custkey",
+            right_key="c_custkey",
+        ),
+        right=_scan(supplier_paths, SUPPLIER_SCHEMA),
+        left_key="l_suppkey",
+        right_key="s_suppkey",
+    )
+    pair = (
+        ((col("s_nationkey") == lit(Q7_NATION_A))
+         & (col("c_nationkey") == lit(Q7_NATION_B)))
+        | ((col("s_nationkey") == lit(Q7_NATION_B))
+           & (col("c_nationkey") == lit(Q7_NATION_A)))
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("l_shipdate") >= lit(Q7_SHIPDATE_LOWER_DAYS))
+            & (col("l_shipdate") < lit(Q7_SHIPDATE_UPPER_DAYS))
+            & pair
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("s_nationkey", "c_nationkey"),
+        aggregates=(
+            AggregateSpec(
+                "sum",
+                col("l_quantity") * (lit(100) - col("l_discount") * lit(100)),
+                "volume",
+            ),
+        ),
+    )
+    return OrderByNode(child=aggregate, keys=("s_nationkey", "c_nationkey"))
+
+
+def q7_sql(
+    lineitem_table: str = "lineitem",
+    orders_table: str = "orders",
+    customer_table: str = "customer",
+    supplier_table: str = "supplier",
+) -> str:
+    """TPC-H Query 7 in the mini-SQL dialect."""
+    return (
+        "SELECT s_nationkey, c_nationkey, "
+        "sum(l_quantity * (100 - l_discount * 100)) AS volume "
+        f"FROM {lineitem_table} "
+        f"JOIN {orders_table} ON l_orderkey = o_orderkey "
+        f"JOIN {customer_table} ON o_custkey = c_custkey "
+        f"JOIN {supplier_table} ON l_suppkey = s_suppkey "
+        f"WHERE l_shipdate >= {Q7_SHIPDATE_LOWER_DAYS} "
+        f"AND l_shipdate < {Q7_SHIPDATE_UPPER_DAYS} "
+        f"AND ((s_nationkey = {Q7_NATION_A} AND c_nationkey = {Q7_NATION_B}) "
+        f"OR (s_nationkey = {Q7_NATION_B} AND c_nationkey = {Q7_NATION_A})) "
+        "GROUP BY s_nationkey, c_nationkey "
+        "ORDER BY s_nationkey, c_nationkey"
+    )
+
+
+def reference_q7(
+    lineitem: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    customer: Dict[str, np.ndarray],
+    supplier: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q7."""
+    lmask = (
+        (lineitem["l_shipdate"] >= Q7_SHIPDATE_LOWER_DAYS)
+        & (lineitem["l_shipdate"] < Q7_SHIPDATE_UPPER_DAYS)
+    )
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"][lmask], orders["o_orderkey"]
+    )
+    c_nation = customer["c_nationkey"][orders["o_custkey"][right_idx] - 1]
+    s_nation = supplier["s_nationkey"][
+        lineitem["l_suppkey"][lmask][left_idx] - 1
+    ]
+    pair = (
+        ((s_nation == Q7_NATION_A) & (c_nation == Q7_NATION_B))
+        | ((s_nation == Q7_NATION_B) & (c_nation == Q7_NATION_A))
+    )
+    volume = (
+        lineitem["l_quantity"][lmask][left_idx]
+        * (100 - lineitem["l_discount"][lmask][left_idx] * 100)
+    )[pair]
+    keys = np.rec.fromarrays([s_nation[pair], c_nation[pair]], names=["s", "c"])
+    unique, inverse = np.unique(keys, return_inverse=True)
+    return {
+        "s_nationkey": np.asarray(unique["s"]),
+        "c_nationkey": np.asarray(unique["c"]),
+        "volume": np.bincount(inverse, weights=volume, minlength=len(unique)),
+    }
+
+
+# -- Query 9 (5 relations: product-type profit by supplier nation) -----------
+
+def q9_plan(
+    lineitem_paths: Sequence[str],
+    part_paths: Sequence[str],
+    supplier_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    nation_paths: Sequence[str],
+) -> LogicalPlan:
+    """TPC-H Query 9 as a logical plan (5-relation join DAG)."""
+    join = JoinNode(
+        child=JoinNode(
+            child=JoinNode(
+                child=JoinNode(
+                    child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+                    right=_scan(part_paths, PART_SCHEMA),
+                    left_key="l_partkey",
+                    right_key="p_partkey",
+                ),
+                right=_scan(supplier_paths, SUPPLIER_SCHEMA),
+                left_key="l_suppkey",
+                right_key="s_suppkey",
+            ),
+            right=_scan(orders_paths, ORDERS_SCHEMA),
+            left_key="l_orderkey",
+            right_key="o_orderkey",
+        ),
+        right=_scan(nation_paths, NATION_SCHEMA),
+        left_key="s_nationkey",
+        right_key="n_nationkey",
+    )
+    filtered = FilterNode(child=join, predicate=col("p_type") < lit(Q9_TYPE_CUTOFF))
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("n_nationkey",),
+        aggregates=(
+            AggregateSpec(
+                "sum",
+                col("l_quantity") * (lit(100) - col("l_discount") * lit(100)),
+                "profit",
+            ),
+        ),
+    )
+    return OrderByNode(child=aggregate, keys=("n_nationkey",))
+
+
+def q9_sql(
+    lineitem_table: str = "lineitem",
+    part_table: str = "part",
+    supplier_table: str = "supplier",
+    orders_table: str = "orders",
+    nation_table: str = "nation",
+) -> str:
+    """TPC-H Query 9 in the mini-SQL dialect."""
+    return (
+        "SELECT n_nationkey, "
+        "sum(l_quantity * (100 - l_discount * 100)) AS profit "
+        f"FROM {lineitem_table} "
+        f"JOIN {part_table} ON l_partkey = p_partkey "
+        f"JOIN {supplier_table} ON l_suppkey = s_suppkey "
+        f"JOIN {orders_table} ON l_orderkey = o_orderkey "
+        f"JOIN {nation_table} ON s_nationkey = n_nationkey "
+        f"WHERE p_type < {Q9_TYPE_CUTOFF} "
+        "GROUP BY n_nationkey "
+        "ORDER BY n_nationkey"
+    )
+
+
+def reference_q9(
+    lineitem: Dict[str, np.ndarray],
+    part: Dict[str, np.ndarray],
+    supplier: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    nation: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q9."""
+    lmask = part["p_type"][lineitem["l_partkey"] - 1] < Q9_TYPE_CUTOFF
+    left_idx, _ = _inner_join_indices(
+        lineitem["l_orderkey"][lmask], orders["o_orderkey"]
+    )
+    s_nation = supplier["s_nationkey"][
+        lineitem["l_suppkey"][lmask][left_idx] - 1
+    ]
+    profit = (
+        lineitem["l_quantity"][lmask][left_idx]
+        * (100 - lineitem["l_discount"][lmask][left_idx] * 100)
+    )
+    unique, inverse = np.unique(s_nation, return_inverse=True)
+    return {
+        "n_nationkey": unique,
+        "profit": np.bincount(inverse, weights=profit, minlength=len(unique)),
+    }
+
+
+# -- Query 10 (4 relations: returned-item revenue per customer) --------------
+
+def q10_plan(
+    lineitem_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    customer_paths: Sequence[str],
+    nation_paths: Sequence[str],
+    limit: int = 20,
+) -> LogicalPlan:
+    """TPC-H Query 10 as a logical plan (4-relation join DAG)."""
+    join = JoinNode(
+        child=JoinNode(
+            child=JoinNode(
+                child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+                right=_scan(orders_paths, ORDERS_SCHEMA),
+                left_key="l_orderkey",
+                right_key="o_orderkey",
+            ),
+            right=_scan(customer_paths, CUSTOMER_SCHEMA),
+            left_key="o_custkey",
+            right_key="c_custkey",
+        ),
+        right=_scan(nation_paths, NATION_SCHEMA),
+        left_key="c_nationkey",
+        right_key="n_nationkey",
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("o_orderdate") >= lit(Q10_ORDERDATE_LOWER_DAYS))
+            & (col("o_orderdate") < lit(Q10_ORDERDATE_UPPER_DAYS))
+            & (col("l_returnflag") == lit(Q10_RETURNFLAG))
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("c_custkey", "n_nationkey"),
+        aggregates=(
+            AggregateSpec(
+                "sum",
+                col("l_quantity") * (lit(100) - col("l_discount") * lit(100)),
+                "revenue",
+            ),
+        ),
+    )
+    ordered = OrderByNode(
+        child=aggregate, keys=("revenue", "c_custkey"), descending=True
+    )
+    return LimitNode(child=ordered, count=limit)
+
+
+def q10_sql(
+    lineitem_table: str = "lineitem",
+    orders_table: str = "orders",
+    customer_table: str = "customer",
+    nation_table: str = "nation",
+    limit: int = 20,
+) -> str:
+    """TPC-H Query 10 in the mini-SQL dialect."""
+    return (
+        "SELECT c_custkey, n_nationkey, "
+        "sum(l_quantity * (100 - l_discount * 100)) AS revenue "
+        f"FROM {lineitem_table} "
+        f"JOIN {orders_table} ON l_orderkey = o_orderkey "
+        f"JOIN {customer_table} ON o_custkey = c_custkey "
+        f"JOIN {nation_table} ON c_nationkey = n_nationkey "
+        f"WHERE o_orderdate >= {Q10_ORDERDATE_LOWER_DAYS} "
+        f"AND o_orderdate < {Q10_ORDERDATE_UPPER_DAYS} "
+        f"AND l_returnflag = {Q10_RETURNFLAG} "
+        "GROUP BY c_custkey, n_nationkey "
+        "ORDER BY revenue, c_custkey DESC "
+        f"LIMIT {limit}"
+    )
+
+
+def reference_q10(
+    lineitem: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    customer: Dict[str, np.ndarray],
+    nation: Dict[str, np.ndarray],
+    limit: int = 20,
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q10."""
+    lmask = lineitem["l_returnflag"] == Q10_RETURNFLAG
+    omask = (
+        (orders["o_orderdate"] >= Q10_ORDERDATE_LOWER_DAYS)
+        & (orders["o_orderdate"] < Q10_ORDERDATE_UPPER_DAYS)
+    )
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"][lmask], orders["o_orderkey"][omask]
+    )
+    custkey = orders["o_custkey"][omask][right_idx]
+    nationkey = customer["c_nationkey"][custkey - 1]
+    revenue = (
+        lineitem["l_quantity"][lmask][left_idx]
+        * (100 - lineitem["l_discount"][lmask][left_idx] * 100)
+    )
+    keys = np.rec.fromarrays([custkey, nationkey], names=["ck", "nk"])
+    unique, inverse = np.unique(keys, return_inverse=True)
+    revenue_sum = np.bincount(inverse, weights=revenue, minlength=len(unique))
+    custkeys = np.asarray(unique["ck"])
+    order = np.lexsort((custkeys, revenue_sum))[::-1][:limit]
+    return {
+        "c_custkey": custkeys[order],
+        "n_nationkey": np.asarray(unique["nk"])[order],
+        "revenue": revenue_sum[order],
+    }
+
+
+# -- Query 18 (3 relations: large orders in one market segment) --------------
+
+def q18_plan(
+    lineitem_paths: Sequence[str],
+    orders_paths: Sequence[str],
+    customer_paths: Sequence[str],
+    limit: int = 100,
+) -> LogicalPlan:
+    """TPC-H Query 18 as a logical plan (3-relation join DAG).
+
+    The original HAVING clause is replaced by the ``o_totalprice`` threshold
+    (the column it correlates with), keeping the plan within the engine's
+    aggregate model.
+    """
+    join = JoinNode(
+        child=JoinNode(
+            child=_scan(lineitem_paths, LINEITEM_SCHEMA),
+            right=_scan(orders_paths, ORDERS_SCHEMA),
+            left_key="l_orderkey",
+            right_key="o_orderkey",
+        ),
+        right=_scan(customer_paths, CUSTOMER_SCHEMA),
+        left_key="o_custkey",
+        right_key="c_custkey",
+    )
+    filtered = FilterNode(
+        child=join,
+        predicate=(
+            (col("o_totalprice") > lit(Q18_TOTALPRICE_MIN))
+            & (col("c_mktsegment") == lit(Q18_MKTSEGMENT))
+        ),
+    )
+    aggregate = AggregateNode(
+        child=filtered,
+        group_by=("c_custkey", "o_orderkey", "o_totalprice"),
+        aggregates=(AggregateSpec("sum", col("l_quantity"), "sum_qty"),),
+    )
+    ordered = OrderByNode(
+        child=aggregate, keys=("o_totalprice", "o_orderkey"), descending=True
+    )
+    return LimitNode(child=ordered, count=limit)
+
+
+def q18_sql(
+    lineitem_table: str = "lineitem",
+    orders_table: str = "orders",
+    customer_table: str = "customer",
+    limit: int = 100,
+) -> str:
+    """TPC-H Query 18 in the mini-SQL dialect."""
+    return (
+        "SELECT c_custkey, o_orderkey, o_totalprice, "
+        "sum(l_quantity) AS sum_qty "
+        f"FROM {lineitem_table} "
+        f"JOIN {orders_table} ON l_orderkey = o_orderkey "
+        f"JOIN {customer_table} ON o_custkey = c_custkey "
+        f"WHERE o_totalprice > {Q18_TOTALPRICE_MIN} "
+        f"AND c_mktsegment = {Q18_MKTSEGMENT} "
+        "GROUP BY c_custkey, o_orderkey, o_totalprice "
+        "ORDER BY o_totalprice, o_orderkey DESC "
+        f"LIMIT {limit}"
+    )
+
+
+def reference_q18(
+    lineitem: Dict[str, np.ndarray],
+    orders: Dict[str, np.ndarray],
+    customer: Dict[str, np.ndarray],
+    limit: int = 100,
+) -> Dict[str, np.ndarray]:
+    """NumPy reference implementation of Q18."""
+    omask = orders["o_totalprice"] > Q18_TOTALPRICE_MIN
+    left_idx, right_idx = _inner_join_indices(
+        lineitem["l_orderkey"], orders["o_orderkey"][omask]
+    )
+    custkey = orders["o_custkey"][omask][right_idx]
+    segment_ok = customer["c_mktsegment"][custkey - 1] == Q18_MKTSEGMENT
+
+    custkey = custkey[segment_ok]
+    orderkey = orders["o_orderkey"][omask][right_idx][segment_ok]
+    totalprice = orders["o_totalprice"][omask][right_idx][segment_ok]
+    quantity = lineitem["l_quantity"][left_idx][segment_ok]
+    keys = np.rec.fromarrays(
+        [custkey, orderkey, totalprice], names=["ck", "ok", "tp"]
+    )
+    unique, inverse = np.unique(keys, return_inverse=True)
+    qty_sum = np.bincount(inverse, weights=quantity, minlength=len(unique))
+    orderkeys = np.asarray(unique["ok"])
+    totalprices = np.asarray(unique["tp"])
+    order = np.lexsort((orderkeys, totalprices))[::-1][:limit]
+    return {
+        "c_custkey": np.asarray(unique["ck"])[order],
+        "o_orderkey": orderkeys[order],
+        "o_totalprice": totalprices[order],
+        "sum_qty": qty_sum[order],
     }

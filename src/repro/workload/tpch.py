@@ -108,6 +108,47 @@ PART_SCHEMA = Schema.from_pairs(
     ]
 )
 
+#: Number of TPC-H nations and regions (fixed, independent of scale factor).
+NATION_COUNT = 25
+REGION_COUNT = 5
+
+#: Schema of the numeric CUSTOMER relation (strings replaced by integer
+#: codes: c_mktsegment's five segment strings become 0..4).
+CUSTOMER_SCHEMA = Schema.from_pairs(
+    [
+        ("c_custkey", ColumnType.INT64),
+        ("c_nationkey", ColumnType.INT64),
+        ("c_acctbal", ColumnType.FLOAT64),
+        ("c_mktsegment", ColumnType.INT32),
+    ]
+)
+
+#: Schema of the numeric SUPPLIER relation.
+SUPPLIER_SCHEMA = Schema.from_pairs(
+    [
+        ("s_suppkey", ColumnType.INT64),
+        ("s_nationkey", ColumnType.INT64),
+        ("s_acctbal", ColumnType.FLOAT64),
+    ]
+)
+
+#: Schema of the numeric NATION relation (25 fixed rows; the name column is
+#: the key itself, as dbgen's names map 1:1 onto nation keys).
+NATION_SCHEMA = Schema.from_pairs(
+    [
+        ("n_nationkey", ColumnType.INT64),
+        ("n_regionkey", ColumnType.INT64),
+    ]
+)
+
+#: Schema of the numeric REGION relation (5 fixed rows).
+REGION_SCHEMA = Schema.from_pairs(
+    [
+        ("r_regionkey", ColumnType.INT64),
+        ("r_name", ColumnType.INT32),
+    ]
+)
+
 
 def lineitem_orderkey_domain(scale_factor: float) -> int:
     """Exclusive upper bound of ``l_orderkey`` at ``scale_factor``.
@@ -123,6 +164,16 @@ def lineitem_orderkey_domain(scale_factor: float) -> int:
 def lineitem_partkey_domain(scale_factor: float) -> int:
     """Exclusive upper bound of ``l_partkey`` at ``scale_factor``."""
     return max(2, int(200_000 * scale_factor) + 2)
+
+
+def lineitem_suppkey_domain(scale_factor: float) -> int:
+    """Exclusive upper bound of ``l_suppkey`` at ``scale_factor``."""
+    return max(2, int(10_000 * scale_factor) + 2)
+
+
+def orders_custkey_domain(scale_factor: float) -> int:
+    """Exclusive upper bound of ``o_custkey`` at ``scale_factor``."""
+    return max(2, int(150_000 * scale_factor) + 2)
 
 
 class LineitemGenerator:
@@ -287,6 +338,113 @@ class PartGenerator:
         }
 
 
+class CustomerGenerator:
+    """Deterministic generator of the numeric CUSTOMER relation.
+
+    ``c_custkey`` is the dense primary key ``1..N`` covering the full
+    ``o_custkey`` domain of the ORDERS generator at the same scale factor,
+    so every order matches exactly one customer.  ``c_nationkey`` spreads
+    the customers uniformly over the 25 nations; ``c_mktsegment`` encodes
+    the five dbgen segment strings as 0..4.
+    """
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows at this scale factor."""
+        return orders_custkey_domain(self.scale_factor) - 1
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``c_custkey``)."""
+        rows = num_rows if num_rows is not None else self.num_rows
+        rng = np.random.default_rng(self.seed + 3)
+
+        return {
+            "c_custkey": np.arange(1, rows + 1, dtype=np.int64),
+            "c_nationkey": rng.integers(0, NATION_COUNT, size=rows, dtype=np.int64),
+            "c_acctbal": np.round(rng.uniform(-999.99, 9_999.99, size=rows), 2),
+            "c_mktsegment": rng.integers(0, 5, size=rows, dtype=np.int32),
+        }
+
+
+class SupplierGenerator:
+    """Deterministic generator of the numeric SUPPLIER relation.
+
+    ``s_suppkey`` is the dense primary key ``1..N`` covering the full
+    ``l_suppkey`` domain of the LINEITEM generator at the same scale factor,
+    so every lineitem matches exactly one supplier.
+    """
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows at this scale factor."""
+        return lineitem_suppkey_domain(self.scale_factor) - 1
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``s_suppkey``)."""
+        rows = num_rows if num_rows is not None else self.num_rows
+        rng = np.random.default_rng(self.seed + 4)
+
+        return {
+            "s_suppkey": np.arange(1, rows + 1, dtype=np.int64),
+            "s_nationkey": rng.integers(0, NATION_COUNT, size=rows, dtype=np.int64),
+            "s_acctbal": np.round(rng.uniform(-999.99, 9_999.99, size=rows), 2),
+        }
+
+
+class NationGenerator:
+    """The fixed 25-row NATION relation (5 nations per region)."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """NATION always has 25 rows."""
+        return NATION_COUNT
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``n_nationkey``)."""
+        nationkey = np.arange(NATION_COUNT, dtype=np.int64)
+        return {
+            "n_nationkey": nationkey,
+            "n_regionkey": nationkey // (NATION_COUNT // REGION_COUNT),
+        }
+
+
+class RegionGenerator:
+    """The fixed 5-row REGION relation (name code = key)."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7):
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        """REGION always has 5 rows."""
+        return REGION_COUNT
+
+    def generate(self, num_rows: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Generate the full relation (sorted by ``r_regionkey``)."""
+        regionkey = np.arange(REGION_COUNT, dtype=np.int64)
+        return {
+            "r_regionkey": regionkey,
+            "r_name": regionkey.astype(np.int32),
+        }
+
+
 @dataclass
 class DatasetInfo:
     """Catalog entry of a generated dataset."""
@@ -416,6 +574,82 @@ def generate_part_dataset(
     table = PartGenerator(scale_factor=scale_factor, seed=seed).generate()
     return write_dataset(
         store, table, PART_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_customer_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "customer",
+    scale_factor: float = 0.001,
+    num_files: int = 2,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate CUSTOMER (dense keys over the o_custkey domain) and write it."""
+    table = CustomerGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, CUSTOMER_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_supplier_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "supplier",
+    scale_factor: float = 0.001,
+    num_files: int = 2,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate SUPPLIER (dense keys over the l_suppkey domain) and write it."""
+    table = SupplierGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, SUPPLIER_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_nation_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "nation",
+    scale_factor: float = 0.001,
+    num_files: int = 1,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate the fixed 25-row NATION relation and write it."""
+    table = NationGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, NATION_SCHEMA, bucket=bucket, prefix=prefix,
+        scale_factor=scale_factor, num_files=num_files,
+        row_group_rows=row_group_rows, compression=compression,
+    )
+
+
+def generate_region_dataset(
+    store: ObjectStore,
+    bucket: str = "tpch",
+    prefix: str = "region",
+    scale_factor: float = 0.001,
+    num_files: int = 1,
+    row_group_rows: int = 2048,
+    compression: Compression = Compression.GZIP,
+    seed: int = 7,
+) -> DatasetInfo:
+    """Generate the fixed 5-row REGION relation and write it."""
+    table = RegionGenerator(scale_factor=scale_factor, seed=seed).generate()
+    return write_dataset(
+        store, table, REGION_SCHEMA, bucket=bucket, prefix=prefix,
         scale_factor=scale_factor, num_files=num_files,
         row_group_rows=row_group_rows, compression=compression,
     )

@@ -1,8 +1,10 @@
-"""Tier-1 guard for the committed hot-path benchmark baseline.
+"""Tier-1 guard for the committed benchmark baselines.
 
 Runs ``scripts/check_bench_regression.py`` as a pytest so a stale, malformed,
-or floor-violating ``BENCH_hot_paths.json`` fails the ordinary test suite
-instead of only a manually-invoked CI script.
+or floor-violating committed trajectory (``BENCH_hot_paths.json`` or
+``BENCH_tpch.json`` — the checker merges both, exactly as its CLI default
+does) fails the ordinary test suite instead of only a manually-invoked CI
+script.
 """
 
 import importlib.util
@@ -13,6 +15,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+TPCH_BASELINE_PATH = REPO_ROOT / "BENCH_tpch.json"
 CHECKER_PATH = REPO_ROOT / "scripts" / "check_bench_regression.py"
 
 
@@ -27,7 +30,10 @@ def checker():
 @pytest.fixture(scope="module")
 def baseline():
     with BASELINE_PATH.open(encoding="utf-8") as handle:
-        return json.load(handle)
+        document = json.load(handle)
+    with TPCH_BASELINE_PATH.open(encoding="utf-8") as handle:
+        document["results"].update(json.load(handle)["results"])
+    return document
 
 
 def test_baseline_file_is_valid_trajectory(baseline):
@@ -113,7 +119,10 @@ def test_checker_flags_ratio_ceiling_violation(checker, baseline, tmp_path):
 
 
 def test_baseline_passes_absolute_floors(checker):
-    assert checker.check(BASELINE_PATH, None, tolerance=0.6) == 0
+    assert (
+        checker.check([BASELINE_PATH, TPCH_BASELINE_PATH], None, tolerance=0.6)
+        == 0
+    )
 
 
 def test_checker_rejects_malformed_trajectory(checker, tmp_path):

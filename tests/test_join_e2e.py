@@ -309,7 +309,10 @@ def test_residual_predicate_filters_joined_rows(driver, dataset, orders_dataset,
 # Plan validation
 # ---------------------------------------------------------------------------
 
-def test_nested_joins_rejected(dataset, orders_dataset, part_dataset):
+def test_left_deep_join_tree_lowers_to_dag(dataset, orders_dataset, part_dataset):
+    """A two-join left-deep tree lowers to a two-stage DAG physical plan."""
+    from repro.plan.physical import DagPhysicalPlan
+
     inner = JoinNode(
         child=ScanNode(paths=tuple(dataset.paths)),
         right=ScanNode(paths=tuple(orders_dataset.paths)),
@@ -322,8 +325,14 @@ def test_nested_joins_rejected(dataset, orders_dataset, part_dataset):
         left_key="l_partkey",
         right_key="p_partkey",
     )
-    with pytest.raises(InvalidPlanError):
-        optimize(outer)
+    physical, report = optimize(outer)
+    assert isinstance(physical, DagPhysicalPlan)
+    assert len(physical.stages) == 2
+    assert report.dag_stages == 2
+    # One map wave followed by one join wave per stage.
+    waves = physical.waves()
+    assert [wave["kind"] for wave in waves] == ["map", "join", "join"]
+    assert "join stage" in physical.explain()
 
 
 def test_group_by_right_key_rejected(dataset, orders_dataset):

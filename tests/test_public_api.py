@@ -81,3 +81,95 @@ def test_quickstart_example_runs(script):
     )
     assert result.returncode == 0, result.stderr
     assert "revenue" in result.stdout
+
+
+def test_nway_join_example_runs():
+    examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    result = subprocess.run(
+        [sys.executable, str(examples_dir / "nway_join_dag.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "join DAG stages:        5" in result.stdout
+    assert "discovery LIST/HEAD:    0" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# The stable facade: connect() -> Session -> QueryResult
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def facade_session():
+    from repro.workload.tpch import (
+        generate_customer_dataset,
+        generate_lineitem_dataset,
+        generate_orders_dataset,
+    )
+
+    session = repro.connect()
+    session.register(
+        generate_lineitem_dataset(session.env.s3, scale_factor=0.002, num_files=4)
+    )
+    session.register(
+        generate_orders_dataset(session.env.s3, scale_factor=0.002, num_files=2)
+    )
+    session.register(generate_customer_dataset(session.env.s3, scale_factor=0.002))
+    yield session
+    session.close()
+
+
+def test_connect_defaults_create_environment():
+    session = repro.connect()
+    assert session.env is session.driver.env
+    assert session.tables() == []
+
+
+def test_facade_sql_returns_rows_statistics_explain(facade_session):
+    result = facade_session.sql(
+        "SELECT count(*) AS n FROM lineitem WHERE l_discount >= 0.05"
+    )
+    assert len(result.rows) == 1
+    assert isinstance(result.rows[0]["n"], float)
+    assert result.rows[0]["n"] > 0
+    assert result.statistics.cost_total > 0
+    explain = result.explain()
+    assert "wave 0" in explain
+    assert "partial agg" in explain
+
+
+def test_facade_sql_join_dag(facade_session):
+    from repro.workload.queries import q18_sql
+
+    result = facade_session.sql(q18_sql(limit=5))
+    assert result.num_rows == 5
+    assert result.statistics.dag_stages == 2
+    assert {"c_custkey", "o_orderkey", "o_totalprice", "sum_qty"} == set(
+        result.rows[0]
+    )
+    explain = result.explain()
+    assert "join order" in explain
+    assert "join stage 0" in explain
+    assert "join stage 1" in explain
+
+
+def test_facade_explain_without_execution(facade_session):
+    from repro.workload.queries import q18_sql
+
+    text = facade_session.explain(q18_sql())
+    assert "join order" in text
+    assert "wave 0: map" in text
+
+
+def test_facade_register_table_and_dataflow(facade_session):
+    from repro import col
+
+    paths = facade_session.catalog.paths_of("lineitem")
+    facade_session.register_table("li2", paths)
+    assert "li2" in facade_session.tables()
+    count = facade_session.sql("SELECT count(*) AS n FROM li2").rows[0]["n"]
+    flow_count = (
+        facade_session.dataflow(list(paths)).count(alias="n").collect().rows[0]["n"]
+    )
+    assert count == flow_count
